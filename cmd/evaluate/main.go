@@ -1,0 +1,108 @@
+// Evaluate regenerates the tables and figures of the paper's evaluation
+// (Section 8) on the generated datasets:
+//
+//	evaluate -exp table3       # Table 3: per-component runtimes
+//	evaluate -exp naive        # §8.2: naive vs improved vs optimized closure
+//	evaluate -exp figure2      # Figure 2: closure runtime vs #input FDs
+//	evaluate -exp figure3      # Figure 3: TPC-H schema reconstruction
+//	evaluate -exp figure4      # Figure 4: MusicBrainz schema reconstruction
+//	evaluate -exp conformance  # §8.3: BCNF conformance + lossless joins
+//	evaluate -exp all
+//
+// See EXPERIMENTS.md for the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"normalize/internal/core"
+	"normalize/internal/datagen"
+	"normalize/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|naive|figure2|figure3|figure4|conformance|all")
+	naiveSample := flag.Int("naive-sample", 3000, "FD sample size for the cubic naive closure (0 = all FDs)")
+	figure2Steps := flag.Int("figure2-steps", 6, "number of x-positions in the Figure 2 sweep")
+	flag.Parse()
+
+	run := func(name string, f func()) {
+		if *exp == name || *exp == "all" {
+			fmt.Printf("=== %s ===\n", name)
+			f()
+			fmt.Println()
+		}
+	}
+
+	run("table3", func() {
+		var rows []eval.Table3Row
+		for _, spec := range eval.DefaultSpecs() {
+			fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
+			rows = append(rows, eval.RunTable3Row(spec))
+		}
+		eval.PrintTable3(os.Stdout, rows)
+	})
+
+	run("naive", func() {
+		var rows []eval.NaiveRow
+		for _, spec := range eval.SmallSpecs() {
+			fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
+			rows = append(rows, eval.RunNaiveComparison(spec, *naiveSample))
+		}
+		eval.PrintNaive(os.Stdout, rows)
+	})
+
+	run("figure2", func() {
+		eval.PrintFigure2(os.Stdout, eval.RunFigure2(*figure2Steps))
+	})
+
+	run("figure3", func() {
+		rec, err := eval.RunReconstruction(datagen.TPCH(0.0005, 1), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.PrintReconstruction(os.Stdout, rec)
+	})
+
+	run("figure4", func() {
+		rec, err := eval.RunReconstruction(datagen.MusicBrainz(24, 1), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.PrintReconstruction(os.Stdout, rec)
+	})
+
+	run("conformance", func() {
+		specs := []struct {
+			name   string
+			ds     *datagen.Dataset
+			maxLhs int // 0 = unpruned; verification applies the same bound
+		}{
+			{"TPC-H", datagen.TPCH(0.0002, 1), 3},
+			{"MusicBrainz", datagen.MusicBrainz(12, 1), 0},
+			{"Horse", datagen.Horse(1), 0},
+		}
+		for _, s := range specs {
+			res, err := core.NormalizeRelation(s.ds.Denormalized, core.Options{MaxLhs: s.maxLhs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bad := 0
+			for _, t := range res.Tables {
+				if err := core.VerifyNormalFormMax(t, s.maxLhs); err != nil {
+					fmt.Printf("  %s: %v\n", s.name, err)
+					bad++
+				}
+			}
+			pruned := "complete FDs"
+			if s.maxLhs > 0 {
+				pruned = fmt.Sprintf("FDs with |lhs| <= %d", s.maxLhs)
+			}
+			fmt.Printf("%-12s %2d tables, %d decompositions, BCNF violations: %d (%s)\n",
+				s.name, len(res.Tables), res.Stats.Decompositions, bad, pruned)
+		}
+	})
+}

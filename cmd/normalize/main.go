@@ -1,0 +1,166 @@
+// Normalize is the command-line front end of the normalization library:
+// it reads CSV relations, normalizes them into BCNF (or 3NF), and
+// writes the resulting schema as SQL DDL plus one CSV per decomposed
+// table.
+//
+//	normalize [-mode bcnf|3nf|2nf] [-algo hyfd|tane|dfd] [-maxlhs N]
+//	          [-out DIR] [-dot] [-interactive] file.csv...
+//
+// Without -out the schema and DDL are printed to stdout only. With
+// -interactive the ranked decomposition candidates are presented on
+// every split and read from stdin (the paper's semi-automatic mode).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"normalize"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("normalize: ")
+	mode := flag.String("mode", "bcnf", "target normal form: bcnf, 3nf, or 2nf")
+	algo := flag.String("algo", "hyfd", "FD discovery algorithm: hyfd, tane, or dfd")
+	maxLhs := flag.Int("maxlhs", 0, "prune FDs with left-hand sides larger than this (0 = unbounded)")
+	out := flag.String("out", "", "directory for DDL and decomposed CSV files")
+	dot := flag.Bool("dot", false, "print the schema as a Graphviz digraph instead of DDL")
+	asJSON := flag.Bool("json", false, "print the schema as JSON instead of DDL")
+	interactive := flag.Bool("interactive", false, "choose decompositions and keys interactively")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: normalize [flags] file.csv...")
+	}
+
+	opts := normalize.Options{MaxLhs: *maxLhs}
+	switch *mode {
+	case "bcnf":
+	case "3nf":
+		opts.Mode = normalize.ThirdNF
+	case "2nf":
+		opts.Mode = normalize.SecondNF
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	switch *algo {
+	case "hyfd":
+	case "tane":
+		opts.Discover = func(rel *normalize.Relation) *normalize.FDSet {
+			return normalize.DiscoverFDs(rel, normalize.TANE, *maxLhs)
+		}
+	case "dfd":
+		opts.Discover = func(rel *normalize.Relation) *normalize.FDSet {
+			return normalize.DiscoverFDs(rel, normalize.DFD, *maxLhs)
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	if *interactive {
+		opts.Decider = consoleDecider()
+	}
+
+	var rels []*normalize.Relation
+	for _, path := range flag.Args() {
+		rel, err := normalize.ReadCSVFile(path)
+		if err != nil {
+			log.Fatalf("read %s: %v", path, err)
+		}
+		rels = append(rels, rel)
+	}
+
+	res, err := normalize.NormalizeAll(rels, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("-- %d input relation(s), %d FDs discovered in %v, %d decompositions\n",
+		len(rels), res.Stats.NumFDs, res.Stats.Discovery.Round(1e6), res.Stats.Decompositions)
+	for _, t := range res.Tables {
+		fmt.Printf("-- %s (%d rows)\n", t, t.Data.NumRows())
+	}
+	ddl := normalize.DDL(res.Tables)
+	switch {
+	case *dot:
+		fmt.Println(normalize.Dot(res.Tables))
+	case *asJSON:
+		data, err := normalize.SchemaJSON(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Println(ddl)
+	}
+
+	// With several input relations, INDs across their normalized tables
+	// suggest the foreign keys Normalize cannot see within one relation.
+	if len(rels) > 1 {
+		if fks := normalize.SuggestForeignKeys(res.Tables); len(fks) > 0 {
+			fmt.Println("-- suggested cross-relation foreign keys:")
+			for _, fk := range fks {
+				fmt.Printf("--   %s.%s -> %s.%s  (score %.2f, coverage %.2f)\n",
+					fk.IND.Dependent.Relation, fk.IND.Dependent.Attribute,
+					fk.IND.Referenced.Relation, fk.IND.Referenced.Attribute,
+					fk.Score, fk.IND.Coverage)
+			}
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "schema.sql"), []byte(ddl), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range res.Tables {
+			path := filepath.Join(*out, t.Name+".csv")
+			if err := t.Data.WriteCSVFile(path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("-- wrote schema.sql and %d CSV files to %s\n", len(res.Tables), *out)
+	}
+}
+
+// consoleDecider reads decomposition and key choices from stdin.
+func consoleDecider() normalize.Decider {
+	in := bufio.NewScanner(os.Stdin)
+	choose := func(n int) int {
+		for in.Scan() {
+			v, err := strconv.Atoi(strings.TrimSpace(in.Text()))
+			if err == nil && v < n {
+				return v
+			}
+			fmt.Fprintf(os.Stderr, "enter -1..%d: ", n-1)
+		}
+		return 0
+	}
+	return normalize.FuncDecider{
+		ViolatingFD: func(t *normalize.Table, ranked []normalize.RankedFD) (int, *normalize.AttrSet) {
+			fmt.Fprintf(os.Stderr, "\n%s violates the target normal form; candidates:\n", t.Name)
+			for i, rf := range ranked {
+				fmt.Fprintf(os.Stderr, "  [%d] %s -> %s (score %.3f)\n", i,
+					strings.Join(t.AttrNames(rf.FD.Lhs), ","),
+					strings.Join(t.AttrNames(rf.FD.Rhs), ","), rf.Score)
+			}
+			fmt.Fprint(os.Stderr, "split by [index], -1 keeps the relation: ")
+			return choose(len(ranked)), nil
+		},
+		PrimaryKey: func(t *normalize.Table, ranked []normalize.RankedKey) int {
+			fmt.Fprintf(os.Stderr, "\nprimary key for %s:\n", t.Name)
+			for i, rk := range ranked {
+				fmt.Fprintf(os.Stderr, "  [%d] %v (score %.3f)\n", i, t.AttrNames(rk.Key), rk.Score)
+			}
+			fmt.Fprint(os.Stderr, "choose [index], -1 for none: ")
+			return choose(len(ranked))
+		},
+	}
+}

@@ -1,0 +1,38 @@
+package normalize
+
+import "normalize/internal/datagen"
+
+// Dataset bundles a generated evaluation dataset: the gold-standard
+// relations (when the dataset is a denormalized join) and the universal
+// relation the normalizer runs on.
+type Dataset = datagen.Dataset
+
+// GenerateTPCH builds the eight TPC-H relations at the given scale
+// factor (1.0 = the official SF1 cardinalities) and their denormalized
+// 52-attribute universal relation — the preparation step of the paper's
+// effectiveness evaluation (Figure 3).
+func GenerateTPCH(scaleFactor float64, seed int64) *Dataset {
+	return datagen.TPCH(scaleFactor, seed)
+}
+
+// GenerateMusicBrainz builds a synthetic music encyclopedia with the
+// same 11-table, non-snowflake core as the MusicBrainz selection the
+// paper denormalizes (Figure 4). The scale parameter is the number of
+// artists.
+func GenerateMusicBrainz(artists int, seed int64) *Dataset {
+	return datagen.MusicBrainz(artists, seed)
+}
+
+// GenerateHorse, GeneratePlista, GenerateAmalgam1, and GenerateFlight
+// build synthetic stand-ins for the efficiency datasets of the paper's
+// Table 3, matching their attribute and record counts.
+func GenerateHorse(seed int64) *Dataset { return datagen.Horse(seed) }
+
+// GeneratePlista builds the Plista stand-in (63 attributes × 1000 rows).
+func GeneratePlista(seed int64) *Dataset { return datagen.Plista(seed) }
+
+// GenerateAmalgam1 builds the Amalgam1 stand-in (87 attributes × 50 rows).
+func GenerateAmalgam1(seed int64) *Dataset { return datagen.Amalgam1(seed) }
+
+// GenerateFlight builds the Flight stand-in (109 attributes × 1000 rows).
+func GenerateFlight(seed int64) *Dataset { return datagen.Flight(seed) }

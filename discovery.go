@@ -1,0 +1,92 @@
+package normalize
+
+import (
+	"normalize/internal/bitset"
+	"normalize/internal/closure"
+	"normalize/internal/core"
+	"normalize/internal/discovery/dfd"
+	"normalize/internal/discovery/hyfd"
+	"normalize/internal/discovery/tane"
+	"normalize/internal/discovery/ucc"
+	"normalize/internal/fd"
+)
+
+// FD is a functional dependency with an aggregated right-hand side; the
+// attribute sets index into the relation the FD was discovered on.
+type FD = fd.FD
+
+// FDSet is a collection of FDs over one relation.
+type FDSet = fd.Set
+
+// AttrSet is a set of attribute indices.
+type AttrSet = bitset.Set
+
+// NewAttrSet builds an attribute set over a universe of n attributes
+// containing the given elements.
+func NewAttrSet(n int, elems ...int) *AttrSet {
+	return bitset.Of(n, elems...)
+}
+
+// DiscoveryAlgorithm selects the FD discovery algorithm.
+type DiscoveryAlgorithm int
+
+const (
+	// HyFD is the hybrid sampling/validation algorithm (default; the
+	// paper's choice, with max-LHS pruning built in).
+	HyFD DiscoveryAlgorithm = iota
+	// TANE is the classic level-wise lattice algorithm, included as the
+	// baseline the paper cites.
+	TANE
+	// DFD traverses one lattice per RHS attribute, exploiting the
+	// duality of minimal dependencies and maximal non-dependencies —
+	// the other discovery algorithm the paper names.
+	DFD
+)
+
+// DiscoverFDs finds all minimal, non-trivial functional dependencies of
+// the relation with left-hand sides of at most maxLhs attributes
+// (0 = unbounded), aggregated by LHS and deterministically ordered.
+func DiscoverFDs(rel *Relation, algo DiscoveryAlgorithm, maxLhs int) *FDSet {
+	switch algo {
+	case TANE:
+		return tane.Discover(rel, tane.Options{MaxLhs: maxLhs})
+	case DFD:
+		return dfd.Discover(rel, dfd.Options{MaxLhs: maxLhs})
+	default:
+		return hyfd.Discover(rel, hyfd.Options{MaxLhs: maxLhs, Parallel: true})
+	}
+}
+
+// DiscoverKeys finds all minimal unique column combinations (candidate
+// keys) of the relation, smallest first, with a level-wise lattice
+// search.
+func DiscoverKeys(rel *Relation) []*AttrSet {
+	return ucc.Discover(rel, ucc.Options{})
+}
+
+// DiscoverKeysHybrid is DiscoverKeys with a HyUCC-style hybrid
+// algorithm (sampling + induction + validation, the UCC sibling of
+// HyFD) — usually faster on larger relations, identical results.
+func DiscoverKeysHybrid(rel *Relation) []*AttrSet {
+	return ucc.DiscoverHybrid(rel, ucc.Options{})
+}
+
+// ExtendFDs maximizes every FD's right-hand side in place using
+// Armstrong's transitivity axiom (the closure F⁺ of Section 4). The
+// optimized algorithm requires fds to be a complete set of minimal FDs,
+// which DiscoverFDs guarantees; pass ClosureImproved for arbitrary
+// hand-written FD sets.
+func ExtendFDs(fds *FDSet, algo ClosureAlgorithm) *FDSet {
+	switch algo {
+	case ClosureImproved:
+		return closure.ImprovedParallel(fds, 0)
+	case ClosureNaive:
+		return closure.Naive(fds)
+	default:
+		return closure.OptimizedParallel(fds, 0)
+	}
+}
+
+// ClosureAlgorithm selects a closure variant; see the Closure*
+// constants in this package.
+type ClosureAlgorithm = core.ClosureAlgorithm

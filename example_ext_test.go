@@ -1,0 +1,86 @@
+package normalize_test
+
+import (
+	"fmt"
+	"log"
+
+	"normalize"
+)
+
+// ExampleNormalize4NF splits the classic course/teacher/book cross
+// product — BCNF-conform but redundant — by its multivalued dependency.
+func ExampleNormalize4NF() {
+	rel, _ := normalize.NewRelation("ctb",
+		[]string{"course", "teacher", "book"},
+		[][]string{
+			{"db", "smith", "codd"},
+			{"db", "smith", "date"},
+			{"db", "jones", "codd"},
+			{"db", "jones", "date"},
+			{"ai", "lee", "norvig"},
+			{"ml", "smith", "codd"},
+		})
+
+	parts, err := normalize.Normalize4NF(rel, normalize.FourNFOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range parts {
+		fmt.Println(p.Name, p.Attrs)
+	}
+	// Output:
+	// ctb_course [course teacher]
+	// ctb_course2 [course book]
+}
+
+// ExampleSuggestForeignKeys proposes the customer → nation foreign key
+// from inclusion dependencies after normalizing two separate relations.
+func ExampleSuggestForeignKeys() {
+	nation, _ := normalize.NewRelation("nation",
+		[]string{"nationkey", "n_name"},
+		[][]string{{"0", "FRANCE"}, {"1", "GERMANY"}})
+	customer, _ := normalize.NewRelation("customer",
+		[]string{"custkey", "c_name", "nationkey"},
+		[][]string{{"10", "Ann", "0"}, {"11", "Bob", "1"}, {"12", "Cleo", "0"}})
+
+	res, err := normalize.NormalizeAll([]*normalize.Relation{nation, customer}, normalize.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fk := range normalize.SuggestForeignKeys(res.Tables) {
+		fmt.Printf("%s.%s -> %s.%s\n",
+			fk.IND.Dependent.Relation, fk.IND.Dependent.Attribute,
+			fk.IND.Referenced.Relation, fk.IND.Referenced.Attribute)
+	}
+	// Output:
+	// customer.nationkey -> nation.nationkey
+}
+
+// ExampleDiscoverKeys lists the minimal candidate keys of the paper's
+// address relation.
+func ExampleDiscoverKeys() {
+	rel, _ := normalize.NewRelation("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+
+	for _, key := range normalize.DiscoverKeys(rel) {
+		names := []string{}
+		key.ForEach(func(e int) bool {
+			names = append(names, rel.Attrs[e])
+			return true
+		})
+		fmt.Println(names)
+	}
+	// Output:
+	// [First Last]
+	// [First Postcode]
+	// [First City]
+	// [First Mayor]
+}

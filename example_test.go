@@ -1,0 +1,60 @@
+package normalize_test
+
+import (
+	"fmt"
+	"log"
+
+	"normalize"
+)
+
+// ExampleNormalize reproduces the paper's running example: the address
+// relation of Table 1 decomposes into the two BCNF relations of
+// Table 2.
+func ExampleNormalize() {
+	rel, err := normalize.NewRelation("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := normalize.Normalize(rel, normalize.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Tables {
+		fmt.Println(t)
+	}
+	// Output:
+	// postcode(*Postcode, City, Mayor)
+	// address(*First, *Last, Postcode)
+}
+
+// ExampleDiscoverFDs profiles the address relation for its minimal
+// functional dependencies only.
+func ExampleDiscoverFDs() {
+	rel, _ := normalize.NewRelation("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+
+	fds := normalize.DiscoverFDs(rel, normalize.HyFD, 0)
+	fmt.Printf("%d minimal FDs, e.g.:\n", fds.CountSingle())
+	fmt.Println(fds.FDs[0].Format(rel.Attrs))
+	// Output:
+	// 12 minimal FDs, e.g.:
+	// Postcode -> City,Mayor
+}

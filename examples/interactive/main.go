@@ -1,0 +1,85 @@
+// Interactive demonstrates the user-in-the-loop mode of Normalize
+// (the "(semi-)automatic" of the paper's title): at every decomposition
+// the ranked violating FDs are printed and the user picks one — or
+// rejects them all to keep the relation as is. Reads choices from
+// stdin; run it with a pipe for scripted sessions, e.g.
+//
+//	printf "1\n0\n0\n" | go run ./examples/interactive
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"normalize"
+)
+
+func main() {
+	rel, err := normalize.NewRelation("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	decider := normalize.FuncDecider{
+		ViolatingFD: func(t *normalize.Table, ranked []normalize.RankedFD) (int, *normalize.AttrSet) {
+			fmt.Printf("\nRelation %s violates BCNF. Ranked decomposition candidates:\n", t.Name)
+			for i, rf := range ranked {
+				lhs := strings.Join(t.AttrNames(rf.FD.Lhs), ",")
+				rhs := strings.Join(t.AttrNames(rf.FD.Rhs), ",")
+				shared := ""
+				if !rf.SharedRhs.IsEmpty() {
+					shared = fmt.Sprintf("  [rhs also in other FDs: %v]", t.AttrNames(rf.SharedRhs))
+				}
+				fmt.Printf("  [%d] %s -> %s  (score %.3f)%s\n", i, lhs, rhs, rf.Score, shared)
+			}
+			fmt.Print("Pick an index to split, or -1 to keep the relation: ")
+			return readChoice(in, len(ranked)), nil
+		},
+		PrimaryKey: func(t *normalize.Table, ranked []normalize.RankedKey) int {
+			fmt.Printf("\nRelation %s needs a primary key. Candidates:\n", t.Name)
+			for i, rk := range ranked {
+				fmt.Printf("  [%d] %v  (score %.3f)\n", i, t.AttrNames(rk.Key), rk.Score)
+			}
+			fmt.Print("Pick an index, or -1 for none: ")
+			return readChoice(in, len(ranked))
+		},
+	}
+
+	res, err := normalize.Normalize(rel, normalize.Options{Decider: decider})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nFinal schema:")
+	for _, t := range res.Tables {
+		fmt.Printf("  %s\n", t)
+	}
+}
+
+func readChoice(in *bufio.Scanner, n int) int {
+	for in.Scan() {
+		v, err := strconv.Atoi(strings.TrimSpace(in.Text()))
+		if err == nil && v < n {
+			fmt.Println(v)
+			return v
+		}
+		fmt.Printf("invalid choice, enter -1..%d: ", n-1)
+	}
+	// EOF: behave like the automatic mode.
+	fmt.Println("0 (auto)")
+	return 0
+}

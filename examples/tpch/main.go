@@ -1,0 +1,77 @@
+// Tpch reproduces the paper's Figure 3 scenario: the eight TPC-H
+// relations are generated, denormalized into one 52-attribute universal
+// relation by joining along the foreign keys, and handed to Normalize.
+// The automatic BCNF normalization then reconstructs the original
+// snowflake schema almost perfectly — and makes the same two
+// "interesting flaws" the paper observes (LINEITEM split slightly too
+// far; shippriority lands next to the region because the data supports
+// it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"normalize"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0005, "TPC-H scale factor (1.0 = official SF1)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	maxLhs := flag.Int("maxlhs", 3, "prune FDs with larger left-hand sides (0 = none; Section 4.3)")
+	flag.Parse()
+
+	ds := normalize.GenerateTPCH(*scale, *seed)
+	fmt.Println("Original TPC-H schema:")
+	for _, r := range ds.Original {
+		fmt.Printf("  %-9s %3d attributes, %6d rows\n", r.Name, r.NumAttrs(), r.NumRows())
+	}
+	fmt.Printf("\nDenormalized universal relation: %d attributes × %d rows.\n\n",
+		ds.Denormalized.NumAttrs(), ds.Denormalized.NumRows())
+
+	// Small instances of wide relations have combinatorially many
+	// coincidental FDs; the paper's max-LHS pruning (Section 4.3) keeps
+	// discovery tractable without losing any key or foreign-key
+	// candidate — semantically meaningful constraints have short LHSs.
+	res, err := normalize.Normalize(ds.Denormalized, normalize.Options{MaxLhs: *maxLhs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Normalize decomposed the universal relation into %d BCNF tables\n", len(res.Tables))
+	fmt.Printf("(discovery %v, closure %v, %d FDs, %d decompositions):\n\n",
+		res.Stats.Discovery.Round(1e6), res.Stats.Closure.Round(1e6),
+		res.Stats.NumFDs, res.Stats.Decompositions)
+	for _, t := range res.Tables {
+		fmt.Printf("  %s  (%d rows)\n", t, t.Data.NumRows())
+		for _, fk := range t.ForeignKeys {
+			fmt.Printf("      FK (%v) → %s\n", t.AttrNames(fk.Attrs), fk.RefTable)
+		}
+	}
+
+	// Compare against the gold standard: which original relations were
+	// recovered as an exact attribute set?
+	fmt.Println("\nReconstruction vs. the original schema:")
+	for _, orig := range ds.Original {
+		attrs := map[string]bool{}
+		for _, a := range orig.Attrs {
+			attrs[a] = true
+		}
+		best, bestOverlap := "", 0.0
+		for _, t := range res.Tables {
+			names := t.AttrNames(t.Attrs)
+			inter := 0
+			for _, n := range names {
+				if attrs[n] {
+					inter++
+				}
+			}
+			overlap := float64(inter) / float64(len(attrs)+len(names)-inter)
+			if overlap > bestOverlap {
+				best, bestOverlap = t.Name, overlap
+			}
+		}
+		fmt.Printf("  %-9s → %-24s (Jaccard %.2f)\n", orig.Name, best, bestOverlap)
+	}
+}

@@ -1,0 +1,3 @@
+module normalize
+
+go 1.22

@@ -1,0 +1,191 @@
+package normalize
+
+// Integration tests sweeping the generated evaluation datasets through
+// the public API: BCNF conformance, lossless joins, referential
+// integrity, and agreement across discovery algorithms — the §8.3
+// robustness claims as executable checks.
+
+import (
+	"strings"
+	"testing"
+)
+
+// datasets returns small instances of every generator, with the
+// discovery pruning each needs (see DESIGN.md §2).
+func datasets() []struct {
+	name   string
+	ds     *Dataset
+	maxLhs int
+} {
+	return []struct {
+		name   string
+		ds     *Dataset
+		maxLhs int
+	}{
+		{"tpch", GenerateTPCH(0.0001, 1), 3},
+		{"musicbrainz", GenerateMusicBrainz(8, 1), 3},
+		{"horse", GenerateHorse(1), 2},
+		{"plista", GeneratePlista(1), 2},
+	}
+}
+
+func TestIntegrationBCNFAndIntegrity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated datasets")
+	}
+	for _, c := range datasets() {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Normalize(c.ds.Denormalized, Options{MaxLhs: c.maxLhs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Decompositions == 0 {
+				t.Errorf("%s: denormalized input not decomposed at all", c.name)
+			}
+			if err := CheckReferentialIntegrity(res.Tables); err != nil {
+				t.Error(err)
+			}
+			for _, tbl := range res.Tables {
+				if tbl.Data.NumRows() == 0 {
+					t.Errorf("table %s materialized empty", tbl.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationLosslessJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated datasets")
+	}
+	for _, c := range datasets() {
+		t.Run(c.name, func(t *testing.T) {
+			orig := c.ds.Denormalized
+			res, err := Normalize(orig, Options{MaxLhs: c.maxLhs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Join greedily: always pick a remaining table that shares
+			// an attribute with the accumulated result (the
+			// decomposition tree is connected, so an order exists, but
+			// an arbitrary left fold may pair disconnected tables).
+			joined := res.Tables[0].Data
+			remaining := append([]*Table{}, res.Tables[1:]...)
+			for len(remaining) > 0 {
+				progressed := false
+				for i, tbl := range remaining {
+					if !sharesAttr(joined.Attrs, tbl.Data.Attrs) {
+						continue
+					}
+					joined, err = joined.NaturalJoin("joined", tbl.Data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					remaining = append(remaining[:i], remaining[i+1:]...)
+					progressed = true
+					break
+				}
+				if !progressed {
+					t.Fatalf("decomposition not join-connected; %d tables unreachable", len(remaining))
+				}
+			}
+			cols := make([]int, orig.NumAttrs())
+			for i, a := range orig.Attrs {
+				cols[i] = joined.AttrIndex(a)
+				if cols[i] < 0 {
+					t.Fatalf("attribute %s lost", a)
+				}
+			}
+			dedup, err := NewRelation("orig", orig.Attrs, orig.Rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !joined.Project("j", cols).SameRowSet(dedup.Dedup()) {
+				t.Error("natural join of the decomposition differs from the input")
+			}
+		})
+	}
+}
+
+func sharesAttr(a, b []string) bool {
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIntegrationDiscoveryAlgorithmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated datasets")
+	}
+	// A mid-size slice of TPC-H exercises all three algorithms on a
+	// realistic FD structure (bounded LHS keeps TANE and DFD tractable).
+	rel := GenerateTPCH(0.00005, 2).Denormalized
+	hy := DiscoverFDs(rel, HyFD, 2)
+	ta := DiscoverFDs(rel, TANE, 2)
+	df := DiscoverFDs(rel, DFD, 2)
+	if !hy.Equal(ta) {
+		t.Error("HyFD and TANE disagree on TPC-H")
+	}
+	if !hy.Equal(df) {
+		t.Error("HyFD and DFD disagree on TPC-H")
+	}
+	if hy.CountSingle() == 0 {
+		t.Error("no FDs discovered")
+	}
+}
+
+func TestIntegrationStatsPlausible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated datasets")
+	}
+	ds := GenerateTPCH(0.0001, 1)
+	res, err := Normalize(ds.Denormalized, Options{MaxLhs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Attrs != 52 || s.Records != ds.Denormalized.NumRows() {
+		t.Errorf("stats shape: %+v", s)
+	}
+	if s.NumFDs <= 0 || s.NumFDKeys <= 0 {
+		t.Errorf("counts: FDs=%d keys=%d", s.NumFDs, s.NumFDKeys)
+	}
+	if s.Discovery <= 0 || s.Closure <= 0 || s.KeyDerivation <= 0 || s.Violation <= 0 {
+		t.Errorf("timings missing: %+v", s)
+	}
+	if s.AvgRhsAfter < s.AvgRhsBefore {
+		t.Errorf("closure shrank RHS: %f -> %f", s.AvgRhsBefore, s.AvgRhsAfter)
+	}
+}
+
+func TestIntegrationSchemaArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated datasets")
+	}
+	res, err := Normalize(GenerateTPCH(0.0001, 1).Denormalized, Options{MaxLhs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddl := DDL(res.Tables)
+	dot := Dot(res.Tables)
+	js, err := SchemaJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for artifact, content := range map[string]string{
+		"ddl": ddl, "dot": dot, "json": string(js),
+	} {
+		for _, tbl := range res.Tables {
+			if !strings.Contains(content, tbl.Name) {
+				t.Errorf("%s output missing table %s", artifact, tbl.Name)
+			}
+		}
+	}
+}

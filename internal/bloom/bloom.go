@@ -1,0 +1,127 @@
+// Package bloom provides a Bloom filter whose purpose in this system is
+// not membership testing but cardinality estimation: Section 7.2 of the
+// paper estimates the number of distinct values of an attribute
+// (combination) from the false-positive state of a Bloom filter,
+// because exact distinct counting is too expensive inside the scoring
+// loop. The estimator inverts the expected fill ratio:
+//
+//	n̂ = -(m/k) · ln(1 - X/m)
+//
+// where m is the number of bits, k the number of hash functions, and X
+// the number of set bits.
+package bloom
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter with double hashing (Kirsch &
+// Mitzenmacher): h_i(v) = h1(v) + i·h2(v).
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     uint64 // number of hash functions
+	count int    // number of Add calls (not distinct adds)
+}
+
+// New creates a filter sized for approximately n expected distinct
+// elements at false-positive rate p. n must be positive; p must be in
+// (0, 1).
+func New(n int, p float64) *Filter {
+	if n <= 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+func (f *Filter) hash(v string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	h1 := h.Sum64()
+	// Derive a second independent hash by mixing (splitmix64 finalizer).
+	h2 := h1
+	h2 ^= h2 >> 30
+	h2 *= 0xbf58476d1ce4e5b9
+	h2 ^= h2 >> 27
+	h2 *= 0x94d049bb133111eb
+	h2 ^= h2 >> 31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts a value.
+func (f *Filter) Add(v string) {
+	h1, h2 := f.hash(v)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// Contains reports whether v may have been added (no false negatives).
+func (f *Filter) Contains(v string) bool {
+	h1, h2 := f.hash(v)
+	for i := uint64(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBits returns the number of bits currently set.
+func (f *Filter) SetBits() int {
+	n := 0
+	for _, w := range f.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// EstimateDistinct estimates the number of distinct values added so
+// far, inverting the expected fill ratio of the filter. The estimate is
+// clamped to [0, count] since there cannot be more distinct values than
+// insertions.
+func (f *Filter) EstimateDistinct() float64 {
+	x := float64(f.SetBits())
+	m := float64(f.m)
+	if x >= m {
+		// Saturated filter: every insertion may have been distinct.
+		return float64(f.count)
+	}
+	est := -m / float64(f.k) * math.Log(1-x/m)
+	if est > float64(f.count) {
+		est = float64(f.count)
+	}
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// Count returns the number of insertions performed.
+func (f *Filter) Count() int { return f.count }

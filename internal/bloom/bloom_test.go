@@ -1,0 +1,97 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("value-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains(fmt.Sprintf("value-%d", i)) {
+			t.Fatalf("false negative for value-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateRoughlyBounded(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("value-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("other-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f way above configured 0.01", rate)
+	}
+}
+
+func TestEstimateDistinctAccuracy(t *testing.T) {
+	for _, distinct := range []int{10, 100, 1000, 5000} {
+		f := New(10000, 0.01)
+		// Insert each distinct value 3 times: estimate must track
+		// distinct values, not insertions.
+		for rep := 0; rep < 3; rep++ {
+			for i := 0; i < distinct; i++ {
+				f.Add(fmt.Sprintf("v%d", i))
+			}
+		}
+		est := f.EstimateDistinct()
+		err := math.Abs(est-float64(distinct)) / float64(distinct)
+		if err > 0.15 {
+			t.Errorf("distinct=%d estimate=%.1f relative error %.3f", distinct, est, err)
+		}
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	f := New(100, 0.01)
+	if f.EstimateDistinct() != 0 {
+		t.Error("empty filter must estimate 0")
+	}
+	if f.Count() != 0 {
+		t.Error("Count must be 0")
+	}
+}
+
+func TestEstimateClampedToCount(t *testing.T) {
+	f := New(10, 0.5) // deliberately tiny
+	f.Add("a")
+	f.Add("a")
+	if f.EstimateDistinct() > float64(f.Count()) {
+		t.Error("estimate exceeds insertion count")
+	}
+}
+
+func TestDegenerateParameters(t *testing.T) {
+	// Invalid constructor args must be corrected, not panic.
+	f := New(0, 2.0)
+	f.Add("x")
+	if !f.Contains("x") {
+		t.Error("filter with corrected params must still work")
+	}
+}
+
+func TestSaturatedFilter(t *testing.T) {
+	f := New(1, 0.9) // minimal filter, saturates quickly
+	for i := 0; i < 10000; i++ {
+		f.Add(fmt.Sprintf("v%d", i))
+	}
+	est := f.EstimateDistinct()
+	if math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Errorf("saturated estimate must be finite, got %v", est)
+	}
+	if est > float64(f.Count()) {
+		t.Error("estimate exceeds count on saturated filter")
+	}
+}

@@ -1,0 +1,314 @@
+package closure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"normalize/internal/bitset"
+	"normalize/internal/discovery/hyfd"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+)
+
+// paperExample is the FD set from Section 4: Postcode→City and
+// City→Mayor must extend to Postcode→City,Mayor.
+// Attribute order: First(0) Last(1) Postcode(2) City(3) Mayor(4).
+func paperExample() *fd.Set {
+	s := fd.NewSet(5)
+	s.AddAttrs([]int{2}, []int{3})
+	s.AddAttrs([]int{3}, []int{4})
+	return s
+}
+
+func TestPaperTransitivityExample(t *testing.T) {
+	for name, algo := range algorithms() {
+		s := paperExample()
+		algo(s)
+		if !s.FDs[0].Rhs.Equal(bitset.Of(5, 3, 4)) {
+			t.Errorf("%s: Postcode rhs = %v, want {City, Mayor}", name, s.FDs[0].Rhs)
+		}
+		if !s.FDs[1].Rhs.Equal(bitset.Of(5, 4)) {
+			t.Errorf("%s: City rhs = %v, want {Mayor}", name, s.FDs[1].Rhs)
+		}
+	}
+}
+
+// algorithms returns the closure variants that are correct on
+// *arbitrary* FD sets.
+func algorithms() map[string]func(*fd.Set) *fd.Set {
+	return map[string]func(*fd.Set) *fd.Set{
+		"naive":             Naive,
+		"improved":          Improved,
+		"improved-parallel": func(s *fd.Set) *fd.Set { return ImprovedParallel(s, 4) },
+	}
+}
+
+// completeAlgorithms additionally includes the optimized variant, which
+// requires complete minimal covers.
+func completeAlgorithms() map[string]func(*fd.Set) *fd.Set {
+	m := algorithms()
+	m["optimized"] = Optimized
+	m["optimized-parallel"] = func(s *fd.Set) *fd.Set { return OptimizedParallel(s, 4) }
+	return m
+}
+
+func TestChainExtension(t *testing.T) {
+	// A→B, B→C, C→D, D→E: A must reach everything.
+	for name, algo := range algorithms() {
+		s := fd.NewSet(5)
+		for i := 0; i < 4; i++ {
+			s.AddAttrs([]int{i}, []int{i + 1})
+		}
+		algo(s)
+		if !s.FDs[0].Rhs.Equal(bitset.Of(5, 1, 2, 3, 4)) {
+			t.Errorf("%s: chain closure of A = %v", name, s.FDs[0].Rhs)
+		}
+	}
+}
+
+func TestMultiAttributeLhsExtension(t *testing.T) {
+	// The paper's example: First,Last→Mayor allows extending
+	// First,Postcode→Last by Mayor because {First,Last} ⊆
+	// {First,Postcode} ∪ {Last}.
+	for name, algo := range algorithms() {
+		s := fd.NewSet(5)
+		s.AddAttrs([]int{0, 1}, []int{4})
+		s.AddAttrs([]int{0, 2}, []int{1})
+		algo(s)
+		if !s.FDs[1].Rhs.Contains(4) {
+			t.Errorf("%s: First,Postcode not extended by Mayor", name)
+		}
+	}
+}
+
+func TestEmptyLhsFD(t *testing.T) {
+	// ∅→A plus A→B: every FD extends by both A and B.
+	for name, algo := range algorithms() {
+		s := fd.NewSet(3)
+		s.AddAttrs(nil, []int{0})
+		s.AddAttrs([]int{0}, []int{1})
+		s.AddAttrs([]int{2}, nil) // an FD with empty RHS stays harmless
+		algo(s)
+		if !s.FDs[0].Rhs.Equal(bitset.Of(3, 0, 1)) {
+			t.Errorf("%s: closure of ∅ = %v", name, s.FDs[0].Rhs)
+		}
+		if !s.FDs[2].Rhs.Equal(bitset.Of(3, 0, 1)) {
+			t.Errorf("%s: closure of {2} = %v", name, s.FDs[2].Rhs)
+		}
+	}
+}
+
+// randomFDSet builds an arbitrary (not necessarily minimal or complete)
+// FD set.
+func randomFDSet(r *rand.Rand, n, count int) *fd.Set {
+	s := fd.NewSet(n)
+	for i := 0; i < count; i++ {
+		lhs := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if r.Intn(4) == 0 {
+				lhs.Add(e)
+			}
+		}
+		rhs := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if !lhs.Contains(e) && r.Intn(4) == 0 {
+				rhs.Add(e)
+			}
+		}
+		if rhs.IsEmpty() {
+			continue
+		}
+		s.Add(lhs, rhs)
+	}
+	return s
+}
+
+// TestQuickImprovedMatchesNaiveAndReference: on arbitrary FD sets, the
+// naive and improved algorithms must produce identical extensions, and
+// each extended RHS must equal the attribute closure of its LHS.
+func TestQuickImprovedMatchesNaiveAndReference(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	f := func() bool {
+		n := 2 + r.Intn(8)
+		orig := randomFDSet(r, n, 1+r.Intn(12))
+		naive := Naive(orig.Clone())
+		improved := Improved(orig.Clone())
+		parallel := ImprovedParallel(orig.Clone(), 3)
+		for i := range orig.FDs {
+			if !naive.FDs[i].Rhs.Equal(improved.FDs[i].Rhs) {
+				return false
+			}
+			if !naive.FDs[i].Rhs.Equal(parallel.FDs[i].Rhs) {
+				return false
+			}
+			want := AttributeClosure(orig, orig.FDs[i].Lhs).DifferenceWith(orig.FDs[i].Lhs)
+			if !naive.FDs[i].Rhs.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizedOnCompleteCovers: all five variants agree on complete
+// minimal covers produced by actual FD discovery, and match the
+// attribute-closure reference.
+func TestOptimizedOnCompleteCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		rel := randomRelation(r, 4+r.Intn(3), 10+r.Intn(40), 2+r.Intn(3))
+		cover := hyfd.Discover(rel, hyfd.Options{})
+		if cover.Len() == 0 {
+			continue
+		}
+		results := map[string]*fd.Set{}
+		for name, algo := range completeAlgorithms() {
+			results[name] = algo(cover.Clone())
+		}
+		ref := results["naive"]
+		for name, got := range results {
+			for i := range ref.FDs {
+				if !got.FDs[i].Rhs.Equal(ref.FDs[i].Rhs) {
+					t.Fatalf("trial %d: %s differs from naive on FD %v: %v vs %v",
+						trial, name, ref.FDs[i].Lhs, got.FDs[i].Rhs, ref.FDs[i].Rhs)
+				}
+			}
+		}
+		for i := range ref.FDs {
+			want := AttributeClosure(cover, cover.FDs[i].Lhs).DifferenceWith(cover.FDs[i].Lhs)
+			if !ref.FDs[i].Rhs.Equal(want) {
+				t.Fatalf("trial %d: closure of %v = %v, want %v",
+					trial, cover.FDs[i].Lhs, ref.FDs[i].Rhs, want)
+			}
+		}
+	}
+}
+
+func randomRelation(r *rand.Rand, attrs, rows, card int) *relation.Relation {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, attrs)
+		for j := range row {
+			row[j] = fmt.Sprintf("v%d", r.Intn(card))
+		}
+		data[i] = row
+	}
+	return relation.MustNew("rand", names, data)
+}
+
+func TestMaxLhsPrunedCoverStillClosesCorrectly(t *testing.T) {
+	// Section 4.3: pruning all FDs with LHS larger than a bound keeps
+	// the optimized closure correct for the remaining FDs.
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomRelation(r, 6, 30, 2)
+		full := hyfd.Discover(rel, hyfd.Options{})
+		pruned := hyfd.Discover(rel, hyfd.Options{MaxLhs: 2})
+		fullClosed := Optimized(full.Clone())
+		prunedClosed := Optimized(pruned.Clone())
+		// Index full results by lhs.
+		byLhs := map[string]*fd.FD{}
+		for _, f := range fullClosed.FDs {
+			byLhs[f.Lhs.Key()] = f
+		}
+		for _, f := range prunedClosed.FDs {
+			want, ok := byLhs[f.Lhs.Key()]
+			if !ok {
+				t.Fatalf("trial %d: pruned cover has FD %v missing in full", trial, f.Lhs)
+			}
+			if !f.Rhs.Equal(want.Rhs) {
+				t.Fatalf("trial %d: pruned closure of %v = %v, full says %v",
+					trial, f.Lhs, f.Rhs, want.Rhs)
+			}
+		}
+	}
+}
+
+func TestAttributeClosure(t *testing.T) {
+	s := fd.NewSet(4)
+	s.AddAttrs([]int{0}, []int{2})
+	s.AddAttrs([]int{2}, []int{3})
+	got := AttributeClosure(s, bitset.Of(4, 0, 1))
+	if !got.Equal(bitset.Of(4, 0, 1, 2, 3)) {
+		t.Errorf("closure = %v", got)
+	}
+}
+
+func TestParallelDegenerateWorkerCounts(t *testing.T) {
+	s := paperExample()
+	OptimizedParallel(s, 0) // auto
+	s2 := paperExample()
+	OptimizedParallel(s2, 100) // more workers than FDs
+	if !s.FDs[0].Rhs.Equal(s2.FDs[0].Rhs) {
+		t.Error("degenerate worker counts changed the result")
+	}
+}
+
+// TestQuickClosureIdempotent: running any closure variant on an
+// already-extended set must change nothing.
+func TestQuickClosureIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	f := func() bool {
+		n := 2 + r.Intn(7)
+		s := randomFDSet(r, n, 1+r.Intn(10))
+		Improved(s)
+		snapshot := s.Clone()
+		Improved(s)
+		Naive(s)
+		for i := range s.FDs {
+			if !s.FDs[i].Rhs.Equal(snapshot.FDs[i].Rhs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClosureMonotone: adding an FD never shrinks any closure.
+func TestQuickClosureMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	f := func() bool {
+		n := 3 + r.Intn(6)
+		s := randomFDSet(r, n, 1+r.Intn(8))
+		if s.Len() == 0 {
+			return true
+		}
+		base := Improved(s.Clone())
+		extra := randomFDSet(r, n, 1)
+		grown := s.Clone()
+		grown.FDs = append(grown.FDs, extra.FDs...)
+		Improved(grown)
+		for i := range base.FDs {
+			// grown closure of the same LHS must contain the base one.
+			union := grown.FDs[i].Rhs.Union(grown.FDs[i].Lhs)
+			if !base.FDs[i].Rhs.IsSubsetOf(union) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	for name, algo := range completeAlgorithms() {
+		s := fd.NewSet(3)
+		if got := algo(s); got.Len() != 0 {
+			t.Errorf("%s: empty set mutated", name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"normalize/internal/relation"
+)
+
+// ctb is the classic course/teacher/book 4NF example: teachers and
+// books of a course are independent, stored as a cross product. No
+// non-trivial FD holds, so BCNF keeps the relation; 4NF splits it.
+func ctb() *relation.Relation {
+	return relation.MustNew("ctb",
+		[]string{"course", "teacher", "book"},
+		[][]string{
+			{"db", "smith", "codd"},
+			{"db", "smith", "date"},
+			{"db", "jones", "codd"},
+			{"db", "jones", "date"},
+			{"ai", "lee", "norvig"},
+			{"ai", "lee", "russell"},
+			// smith also teaches ml reusing codd's book, so neither
+			// teacher → course nor book → course holds and the relation
+			// is BCNF-conform while still violating 4NF.
+			{"ml", "smith", "codd"},
+		})
+}
+
+func TestNormalize4NFClassicExample(t *testing.T) {
+	// BCNF leaves the relation alone…
+	res, err := NormalizeRelation(ctb(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("BCNF should not split ctb, got %d tables", len(res.Tables))
+	}
+	// …4NF splits it into (course, teacher) and (course, book).
+	parts, err := Normalize4NF(ctb(), FourNFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("4NF should split ctb into 2 relations, got %d", len(parts))
+	}
+	shapes := map[string]bool{}
+	for _, p := range parts {
+		shapes[fmt.Sprint(p.Attrs)] = true
+		if err := Verify4NF(p, FourNFOptions{}); err != nil {
+			t.Error(err)
+		}
+	}
+	if !shapes["[course teacher]"] || !shapes["[course book]"] {
+		t.Errorf("unexpected split shapes: %v", shapes)
+	}
+}
+
+func TestNormalize4NFLossless(t *testing.T) {
+	parts, err := Normalize4NF(ctb(), FourNFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := parts[0]
+	for _, p := range parts[1:] {
+		joined, err = joined.NaturalJoin("joined", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cols := make([]int, 3)
+	for i, a := range ctb().Attrs {
+		cols[i] = joined.AttrIndex(a)
+	}
+	if !joined.Project("j", cols).SameRowSet(ctb()) {
+		t.Error("4NF decomposition is not lossless")
+	}
+}
+
+func TestNormalize4NFAlreadyConform(t *testing.T) {
+	rel := relation.MustNew("r", []string{"id", "v"}, [][]string{
+		{"1", "a"}, {"2", "b"},
+	})
+	parts, err := Normalize4NF(rel, FourNFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Errorf("conform relation split into %d parts", len(parts))
+	}
+}
+
+func TestNormalize4NFSubsumesBCNF(t *testing.T) {
+	// The address example has FD violations; 4NF must split those too
+	// (every FD is an MVD) and end 4NF- and FD-violation-free.
+	parts, err := Normalize4NF(address(), FourNFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("4NF did not split the address relation")
+	}
+	for _, p := range parts {
+		if err := Verify4NF(p, FourNFOptions{}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestNormalize4NFRandomLossless(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		attrs := 3 + r.Intn(3)
+		rows := 4 + r.Intn(12)
+		names := make([]string, attrs)
+		for i := range names {
+			names[i] = fmt.Sprintf("c%d", i)
+		}
+		data := make([][]string, rows)
+		for i := range data {
+			row := make([]string, attrs)
+			for j := range row {
+				row[j] = fmt.Sprintf("v%d", r.Intn(3))
+			}
+			data[i] = row
+		}
+		rel := relation.MustNew("rand", names, data)
+		parts, err := Normalize4NF(rel, FourNFOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := parts[0]
+		for _, p := range parts[1:] {
+			joined, err = joined.NaturalJoin("joined", p)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cols := make([]int, attrs)
+		for i, a := range rel.Attrs {
+			cols[i] = joined.AttrIndex(a)
+		}
+		dedup := relation.MustNew("d", rel.Attrs, rel.Rows).Dedup()
+		if !joined.Project("j", cols).SameRowSet(dedup) {
+			t.Fatalf("trial %d: 4NF decomposition not lossless", trial)
+		}
+		for _, p := range parts {
+			if err := Verify4NF(p, FourNFOptions{}); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestNormalize4NFWidthGuard(t *testing.T) {
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := relation.MustNew("wide", names, nil)
+	if _, err := Normalize4NF(rel, FourNFOptions{}); err == nil {
+		t.Error("width guard missing")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"normalize/internal/relation"
+)
+
+// CheckInsert validates a candidate row (in the table's column order)
+// against the constraints the normalization selected: arity, primary-key
+// null-freeness and uniqueness, and every discovered FD of the table.
+// This addresses the paper's closing question of how normalization
+// results behave under dynamic data: the chosen constraints become
+// enforceable checks, and an FD that was only coincidentally valid will
+// reject legitimate inserts — which is exactly why the constraint
+// selection of Section 7 favors semantically reliable FDs.
+func (t *Table) CheckInsert(row []string) error {
+	n := t.Data.NumAttrs()
+	if len(row) != n {
+		return fmt.Errorf("table %s: row has %d fields, want %d", t.Name, len(row), n)
+	}
+
+	if t.PrimaryKey != nil {
+		pk := t.localSet(t.PrimaryKey)
+		violated := false
+		pk.ForEach(func(c int) bool {
+			if relation.IsNull(row[c]) {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			return fmt.Errorf("table %s: null in primary key (%s)",
+				t.Name, strings.Join(t.AttrNames(t.PrimaryKey), ", "))
+		}
+		for _, existing := range t.Data.Rows {
+			if agreesOn(existing, row, pk.Elements()) {
+				return fmt.Errorf("table %s: duplicate primary key (%s)",
+					t.Name, strings.Join(t.AttrNames(t.PrimaryKey), ", "))
+			}
+		}
+	}
+
+	for _, f := range t.FDs.FDs {
+		lhs := t.localSet(f.Lhs)
+		rhs := t.localSet(f.Rhs)
+		if lhs.IsEmpty() || rhs.IsEmpty() {
+			continue
+		}
+		lhsCols := lhs.Elements()
+		rhsCols := rhs.Elements()
+		for _, existing := range t.Data.Rows {
+			if !agreesOn(existing, row, lhsCols) {
+				continue
+			}
+			if !agreesOn(existing, row, rhsCols) {
+				return fmt.Errorf("table %s: row violates FD %s",
+					t.Name, t.localFD(f).Format(t.Data.Attrs))
+			}
+		}
+	}
+	return nil
+}
+
+// Insert validates the row with CheckInsert and appends it to the
+// table's instance.
+func (t *Table) Insert(row []string) error {
+	if err := t.CheckInsert(row); err != nil {
+		return err
+	}
+	copied := make([]string, len(row))
+	copy(copied, row)
+	t.Data.Rows = append(t.Data.Rows, copied)
+	return nil
+}
+
+func agreesOn(a, b []string, cols []int) bool {
+	for _, c := range cols {
+		if a[c] != b[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckReferentialIntegrity verifies every foreign key of the schema:
+// each value combination of a referencing table must appear in the
+// referenced table (null components exempt a row, as in SQL's MATCH
+// SIMPLE). The BCNF decomposition guarantees this by construction; the
+// checker makes the guarantee testable and catches drift after manual
+// edits or inserts.
+func CheckReferentialIntegrity(tables []*Table) error {
+	byName := make(map[string]*Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	for _, t := range tables {
+		for _, fk := range t.ForeignKeys {
+			ref, ok := byName[fk.RefTable]
+			if !ok {
+				return fmt.Errorf("table %s: foreign key references unknown table %s",
+					t.Name, fk.RefTable)
+			}
+			names := t.AttrNames(fk.Attrs)
+			refCols := make([]int, len(names))
+			for i, name := range names {
+				refCols[i] = ref.Data.AttrIndex(name)
+				if refCols[i] < 0 {
+					return fmt.Errorf("table %s: FK attribute %s missing in %s",
+						t.Name, name, ref.Name)
+				}
+			}
+			// Index the referenced side.
+			index := make(map[string]bool, ref.Data.NumRows())
+			var b strings.Builder
+			for _, row := range ref.Data.Rows {
+				b.Reset()
+				for _, c := range refCols {
+					b.WriteString(row[c])
+					b.WriteByte(0)
+				}
+				index[b.String()] = true
+			}
+			localCols := t.localSet(fk.Attrs).Elements()
+			for i, row := range t.Data.Rows {
+				hasNull := false
+				b.Reset()
+				for _, c := range localCols {
+					if relation.IsNull(row[c]) {
+						hasNull = true
+						break
+					}
+					b.WriteString(row[c])
+					b.WriteByte(0)
+				}
+				if hasNull {
+					continue
+				}
+				if !index[b.String()] {
+					return fmt.Errorf("table %s row %d: foreign key (%s) value not in %s",
+						t.Name, i, strings.Join(names, ", "), ref.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

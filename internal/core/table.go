@@ -1,0 +1,142 @@
+// Package core implements the paper's primary contribution: the
+// Normalize pipeline (Section 3, Figure 1) that turns relation
+// instances into Boyce-Codd Normal Form. It wires the substrate
+// packages — FD discovery, closure calculation, key derivation,
+// violation detection, and constraint scoring — into the decomposition
+// loop, materializes the decomposed instances, and tracks primary- and
+// foreign-key constraints across splits.
+package core
+
+import (
+	"strings"
+
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+)
+
+// ForeignKey is a foreign-key constraint: the attributes reference the
+// primary key of another table.
+type ForeignKey struct {
+	Attrs    *bitset.Set // universal attribute indices
+	RefTable string      // name of the referenced table
+}
+
+// Table is one relation of the evolving schema. Attribute sets are in
+// the universal index space of the source relation the table descends
+// from; Data holds the materialized instance whose columns are the
+// table's attributes in ascending universal order.
+type Table struct {
+	Name        string
+	Attrs       *bitset.Set
+	Data        *relation.Relation
+	FDs         *fd.Set // extended minimal FDs scoped to this table
+	Keys        []*bitset.Set
+	PrimaryKey  *bitset.Set // nil until selected
+	ForeignKeys []ForeignKey
+	// NullAttrs marks universal attributes containing nulls in the
+	// source instance (nulls survive projection and deduplication).
+	NullAttrs *bitset.Set
+	// universe is the attribute count of the source relation.
+	universe int
+	// sourceAttrs are the attribute names of the source relation.
+	sourceAttrs []string
+}
+
+// AttrNames returns the names of the given universal attribute set.
+func (t *Table) AttrNames(s *bitset.Set) []string {
+	names := make([]string, 0, s.Cardinality())
+	s.ForEach(func(e int) bool {
+		names = append(names, t.sourceAttrs[e])
+		return true
+	})
+	return names
+}
+
+// String renders the table like "city(Postcode, City, Mayor)" with the
+// primary key attributes marked by a leading asterisk.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteByte('(')
+	first := true
+	t.Attrs.ForEach(func(e int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		if t.PrimaryKey != nil && t.PrimaryKey.Contains(e) {
+			b.WriteByte('*')
+		}
+		b.WriteString(t.sourceAttrs[e])
+		return true
+	})
+	b.WriteByte(')')
+	return b.String()
+}
+
+// localSet translates a universal attribute set into the local column
+// space of t.Data (rank within t.Attrs).
+func (t *Table) localSet(universal *bitset.Set) *bitset.Set {
+	local := bitset.New(t.Attrs.Cardinality())
+	rank := 0
+	t.Attrs.ForEach(func(e int) bool {
+		if universal.Contains(e) {
+			local.Add(rank)
+		}
+		rank++
+		return true
+	})
+	return local
+}
+
+// localFD translates a universal-space FD into local space.
+func (t *Table) localFD(f *fd.FD) *fd.FD {
+	return &fd.FD{Lhs: t.localSet(f.Lhs), Rhs: t.localSet(f.Rhs)}
+}
+
+// universalSet translates a local column set back to universal space.
+func (t *Table) universalSet(local *bitset.Set) *bitset.Set {
+	universal := bitset.New(t.universe)
+	rank := 0
+	t.Attrs.ForEach(func(e int) bool {
+		if local.Contains(rank) {
+			universal.Add(e)
+		}
+		rank++
+		return true
+	})
+	return universal
+}
+
+// projectFDs scopes an extended FD set to a sub-relation per Lemma 3 of
+// the paper: FDs whose LHS lies inside attrs survive with their RHS
+// intersected; empty projected RHSs are dropped. The result is again a
+// complete, extended, minimal cover — now of the sub-relation.
+func projectFDs(fds *fd.Set, attrs *bitset.Set) *fd.Set {
+	out := fd.NewSet(fds.NumAttrs)
+	for _, f := range fds.FDs {
+		if !f.Lhs.IsSubsetOf(attrs) {
+			continue
+		}
+		rhs := f.Rhs.Intersect(attrs)
+		if rhs.IsEmpty() {
+			continue
+		}
+		out.FDs = append(out.FDs, &fd.FD{Lhs: f.Lhs.Clone(), Rhs: rhs})
+	}
+	return out
+}
+
+// tableName derives the split-off table's name from its key attributes.
+func tableName(parent string, attrs []string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = strings.ToLower(a)
+	}
+	name := strings.Join(parts, "_")
+	if name == "" {
+		name = parent + "_split"
+	}
+	return name
+}

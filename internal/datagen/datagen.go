@@ -1,0 +1,95 @@
+// Package datagen generates the evaluation datasets of the paper's
+// Section 8 — or rather, faithful synthetic stand-ins for them, since
+// the original data is not redistributable (see DESIGN.md §2 for the
+// substitution rationale):
+//
+//   - TPCH: a dbgen-like generator for the TPC-H schema (8 relations,
+//     snowflake), plus the denormalizing join into one universal
+//     relation, exactly the preparation step of Section 8.1.
+//   - MusicBrainz: a music-encyclopedia generator with the same 11-table
+//     core and non-snowflake n:m topology as the MusicBrainz join used
+//     in the paper.
+//   - Horse, Plista, Amalgam1, Flight: synthetic single relations
+//     matching the attribute/record counts of Table 3 (27×368, 63×1000,
+//     87×50, 109×1000) with engineered correlations, sparse columns,
+//     and nulls so that their minimal-FD sets blow up the same way.
+//
+// All generators are deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"normalize/internal/relation"
+)
+
+// Dataset bundles a generated dataset: the original (gold standard)
+// relations and, when the dataset is used denormalized, the universal
+// relation produced by joining them.
+type Dataset struct {
+	Name string
+	// Original holds the gold-standard relations (nil for the synthetic
+	// single-table datasets).
+	Original []*relation.Relation
+	// Denormalized is the relation the normalizer runs on.
+	Denormalized *relation.Relation
+}
+
+// joinAll left-folds natural joins over the given relations.
+func joinAll(name string, rels ...*relation.Relation) *relation.Relation {
+	out := rels[0]
+	var err error
+	for _, r := range rels[1:] {
+		out, err = out.NaturalJoin(name, r)
+		if err != nil {
+			panic(fmt.Sprintf("datagen join: %v", err))
+		}
+	}
+	out.Name = name
+	return out
+}
+
+// words is a small vocabulary for plausible text values.
+var words = []string{
+	"amber", "basalt", "cedar", "dusk", "ember", "fjord", "garnet",
+	"harbor", "iris", "juniper", "krill", "lumen", "mesa", "nimbus",
+	"onyx", "prairie", "quartz", "russet", "sienna", "tundra",
+	"umber", "vesper", "willow", "xenon", "yarrow", "zephyr",
+}
+
+// phrase builds a deterministic pseudo-text of n words.
+func phrase(r *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[r.Intn(len(words))]
+	}
+	return out
+}
+
+// pick returns a random element of the slice.
+func pick(r *rand.Rand, vals []string) string {
+	return vals[r.Intn(len(vals))]
+}
+
+// intsBetween formats a bounded random integer.
+func intsBetween(r *rand.Rand, lo, hi int) string {
+	return fmt.Sprint(lo + r.Intn(hi-lo+1))
+}
+
+// date formats a deterministic date within the usual TPC-H range.
+func date(r *rand.Rand) string {
+	return fmt.Sprintf("19%02d-%02d-%02d", 92+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28))
+}
+
+// scaleCount scales a TPC-H base cardinality, enforcing a minimum.
+func scaleCount(base int, sf float64, min int) int {
+	n := int(float64(base) * sf)
+	if n < min {
+		n = min
+	}
+	return n
+}

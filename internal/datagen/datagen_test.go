@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"testing"
+
+	"normalize/internal/relation"
+)
+
+func TestTPCHShape(t *testing.T) {
+	ds := TPCH(0.0001, 1)
+	if len(ds.Original) != 8 {
+		t.Errorf("TPC-H has %d relations, want 8", len(ds.Original))
+	}
+	if got := ds.Denormalized.NumAttrs(); got != 52 {
+		t.Errorf("denormalized TPC-H has %d attributes, want 52 (paper, Table 3)", got)
+	}
+	if ds.Denormalized.NumRows() == 0 {
+		t.Fatal("denormalized TPC-H is empty")
+	}
+	// The denormalized row count equals the lineitem count: every join
+	// is along a total foreign key.
+	var lineitem *relation.Relation
+	for _, r := range ds.Original {
+		if r.Name == "lineitem" {
+			lineitem = r
+		}
+	}
+	if ds.Denormalized.NumRows() != lineitem.NumRows() {
+		t.Errorf("denormalized rows = %d, lineitem rows = %d (FK join must not drop or duplicate)",
+			ds.Denormalized.NumRows(), lineitem.NumRows())
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	a := TPCH(0.0001, 7)
+	b := TPCH(0.0001, 7)
+	if !a.Denormalized.SameRowSet(b.Denormalized) {
+		t.Error("same seed must reproduce the same dataset")
+	}
+	c := TPCH(0.0001, 8)
+	if a.Denormalized.SameRowSet(c.Denormalized) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTPCHShippriorityIsRegionDerived(t *testing.T) {
+	// The deliberate flaw injection: regionkey functionally determines
+	// o_shippriority in the universal relation (Figure 3's observation).
+	d := TPCH(0.0002, 3).Denormalized
+	rk := d.AttrIndex("regionkey")
+	sp := d.AttrIndex("o_shippriority")
+	if rk < 0 || sp < 0 {
+		t.Fatal("columns missing")
+	}
+	seen := map[string]string{}
+	for _, row := range d.Rows {
+		if prev, ok := seen[row[rk]]; ok && prev != row[sp] {
+			t.Fatalf("regionkey %s maps to both %s and %s", row[rk], prev, row[sp])
+		}
+		seen[row[rk]] = row[sp]
+	}
+}
+
+func TestMusicBrainzShape(t *testing.T) {
+	ds := MusicBrainz(12, 2)
+	if len(ds.Original) != 11 {
+		t.Errorf("MusicBrainz has %d relations, want 11 core tables", len(ds.Original))
+	}
+	if ds.Denormalized.NumRows() == 0 {
+		t.Fatal("denormalized MusicBrainz is empty")
+	}
+	// The n:m links must blow up the join beyond the track count.
+	var tracks *relation.Relation
+	for _, r := range ds.Original {
+		if r.Name == "track" {
+			tracks = r
+		}
+	}
+	if ds.Denormalized.NumRows() <= tracks.NumRows() {
+		t.Errorf("denormalized rows %d not larger than track rows %d — n:m blowup missing",
+			ds.Denormalized.NumRows(), tracks.NumRows())
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	cases := []struct {
+		ds    *Dataset
+		attrs int
+		rows  int
+	}{
+		{Horse(1), 27, 368},
+		{Plista(1), 63, 1000},
+		{Amalgam1(1), 87, 50},
+		{Flight(1), 109, 1000},
+	}
+	for _, c := range cases {
+		if got := c.ds.Denormalized.NumAttrs(); got != c.attrs {
+			t.Errorf("%s: %d attributes, want %d (Table 3)", c.ds.Name, got, c.attrs)
+		}
+		if got := c.ds.Denormalized.NumRows(); got != c.rows {
+			t.Errorf("%s: %d rows, want %d (Table 3)", c.ds.Name, got, c.rows)
+		}
+	}
+}
+
+func TestSyntheticDerivedColumnsCreateFDs(t *testing.T) {
+	// lesion_code → lesion_site must hold by construction in Horse.
+	d := Horse(5).Denormalized
+	code := d.AttrIndex("lesion_code")
+	site := d.AttrIndex("lesion_site")
+	seen := map[string]string{}
+	for _, row := range d.Rows {
+		if prev, ok := seen[row[code]]; ok && prev != row[site] {
+			t.Fatal("derived column violates its defining FD")
+		}
+		seen[row[code]] = row[site]
+	}
+}
+
+func TestSyntheticHasNulls(t *testing.T) {
+	d := Horse(9).Denormalized
+	anyNull := false
+	for c := 0; c < d.NumAttrs(); c++ {
+		if d.HasNull(c) {
+			anyNull = true
+			break
+		}
+	}
+	if !anyNull {
+		t.Error("Horse must contain nulls (sparse medical data)")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	if !Flight(4).Denormalized.SameRowSet(Flight(4).Denormalized) {
+		t.Error("Flight not deterministic")
+	}
+	if !Amalgam1(4).Denormalized.SameRowSet(Amalgam1(4).Denormalized) {
+		t.Error("Amalgam1 not deterministic")
+	}
+}

@@ -1,0 +1,134 @@
+// Package bruteforce discovers minimal functional dependencies and
+// minimal unique column combinations by exhaustive enumeration. It is
+// exponential in the number of attributes and exists purely as a
+// correctness oracle for the real discovery algorithms (TANE, HyFD,
+// UCC) on small relations, and as the reference semantics in property
+// tests.
+package bruteforce
+
+import (
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+	"normalize/internal/settrie"
+)
+
+// Holds reports whether X → A holds in the encoded relation, with
+// null = null semantics (inherited from the dictionary encoding).
+func Holds(enc *relation.Encoded, lhs *bitset.Set, rhsAttr int) bool {
+	seen := make(map[string]int, enc.NumRows)
+	cols := lhs.Elements()
+	key := make([]byte, 0, len(cols)*4)
+	for row := 0; row < enc.NumRows; row++ {
+		key = key[:0]
+		for _, c := range cols {
+			v := enc.Columns[c][row]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		a := enc.Columns[rhsAttr][row]
+		if prev, ok := seen[k]; ok {
+			if prev != a {
+				return false
+			}
+		} else {
+			seen[k] = a
+		}
+	}
+	return true
+}
+
+// IsUnique reports whether the attribute set is a unique column
+// combination (no two rows agree on all its attributes).
+func IsUnique(enc *relation.Encoded, attrs *bitset.Set) bool {
+	seen := make(map[string]struct{}, enc.NumRows)
+	cols := attrs.Elements()
+	key := make([]byte, 0, len(cols)*4)
+	for row := 0; row < enc.NumRows; row++ {
+		key = key[:0]
+		for _, c := range cols {
+			v := enc.Columns[c][row]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		if _, ok := seen[k]; ok {
+			return false
+		}
+		seen[k] = struct{}{}
+	}
+	return true
+}
+
+// subsetsInSizeOrder enumerates all subsets of [0,n) grouped by
+// ascending cardinality, calling f for each.
+func subsetsInSizeOrder(n, maxSize int, f func(*bitset.Set)) {
+	var rec func(start int, cur []int, want int)
+	rec = func(start int, cur []int, want int) {
+		if len(cur) == want {
+			f(bitset.Of(n, cur...))
+			return
+		}
+		for e := start; e < n; e++ {
+			rec(e+1, append(cur, e), want)
+		}
+	}
+	for size := 0; size <= maxSize; size++ {
+		rec(0, make([]int, 0, size), size)
+	}
+}
+
+// DiscoverFDs returns all minimal non-trivial FDs of the relation, with
+// left-hand sides of at most maxLhs attributes (use the attribute count
+// for the complete set). The result is aggregated by Lhs.
+func DiscoverFDs(rel *relation.Relation, maxLhs int) *fd.Set {
+	enc := rel.Encode()
+	n := rel.NumAttrs()
+	if maxLhs > n {
+		maxLhs = n
+	}
+	// minimal[a] stores the minimal LHSs found so far for RHS a.
+	minimal := make([]settrie.Trie, n)
+	result := fd.NewSet(n)
+
+	subsetsInSizeOrder(n, maxLhs, func(lhs *bitset.Set) {
+		rhs := bitset.New(n)
+		for a := 0; a < n; a++ {
+			if lhs.Contains(a) {
+				continue
+			}
+			if minimal[a].ContainsSubsetOf(lhs) {
+				continue // not minimal
+			}
+			if Holds(enc, lhs, a) {
+				minimal[a].Insert(lhs)
+				rhs.Add(a)
+			}
+		}
+		if !rhs.IsEmpty() {
+			result.Add(lhs, rhs)
+		}
+	})
+	return result.Aggregate().Sort()
+}
+
+// DiscoverUCCs returns all minimal unique column combinations of the
+// relation with at most maxSize attributes.
+func DiscoverUCCs(rel *relation.Relation, maxSize int) []*bitset.Set {
+	enc := rel.Encode()
+	n := rel.NumAttrs()
+	if maxSize > n {
+		maxSize = n
+	}
+	var minimal settrie.Trie
+	var out []*bitset.Set
+	subsetsInSizeOrder(n, maxSize, func(attrs *bitset.Set) {
+		if minimal.ContainsSubsetOf(attrs) {
+			return
+		}
+		if IsUnique(enc, attrs) {
+			minimal.Insert(attrs)
+			out = append(out, attrs)
+		}
+	})
+	return out
+}

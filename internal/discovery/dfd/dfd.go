@@ -1,0 +1,229 @@
+// Package dfd implements functional-dependency discovery in the style
+// of DFD (Abedjan, Schulze & Naumann, CIKM 2014), the second discovery
+// algorithm the paper names for Normalize's component (1). DFD searches
+// one attribute lattice per right-hand-side attribute and exploits the
+// duality between dependencies (upward closed) and non-dependencies
+// (downward closed):
+//
+//   - minimal dependencies are exactly the minimal hitting sets of the
+//     complements of the maximal non-dependencies;
+//   - every probe is a stripped-partition refinement check, served from
+//     a PLI cache.
+//
+// Discovery alternates between generating candidate minimal LHSs as
+// minimal hitting sets of the maximal non-dependencies found so far,
+// and classifying those candidates: a candidate that checks out as a
+// dependency is provably minimal; one that fails is greedily maximized
+// into a new maximal non-dependency, which refines the next hitting-set
+// round. The loop reaches a fixpoint exactly when the hitting sets
+// coincide with the complete set of minimal dependencies. (The original
+// DFD explores the same lattice with random walks; the deterministic
+// greedy walks used here visit the same classification structure.)
+package dfd
+
+import (
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
+	MaxLhs int
+}
+
+// Discover returns all minimal non-trivial FDs of rel, aggregated by
+// left-hand side and deterministically sorted.
+func Discover(rel *relation.Relation, opts Options) *fd.Set {
+	n := rel.NumAttrs()
+	result := fd.NewSet(n)
+	if n == 0 {
+		return result
+	}
+	enc := rel.Encode()
+	if enc.NumRows == 0 {
+		result.Add(bitset.New(n), bitset.Full(n))
+		return result.Aggregate().Sort()
+	}
+	maxLhs := opts.MaxLhs
+	if maxLhs <= 0 || maxLhs > n {
+		maxLhs = n
+	}
+
+	d := &discoverer{enc: enc, n: n, plis: make(map[string]*pli.PLI)}
+	for a := 0; a < n; a++ {
+		d.plis[bitset.Of(n, a).Key()] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+	}
+
+	for a := 0; a < n; a++ {
+		for _, lhs := range d.findLhss(a, maxLhs) {
+			result.Add(lhs, bitset.Of(n, a))
+		}
+	}
+	return result.Aggregate().Sort()
+}
+
+type discoverer struct {
+	enc  *relation.Encoded
+	n    int
+	plis map[string]*pli.PLI // PLI cache, keyed by attribute-set key
+}
+
+// findLhss discovers the minimal LHSs determining attribute a.
+func (d *discoverer) findLhss(a, maxLhs int) []*bitset.Set {
+	// Attributes available for left-hand sides.
+	universe := bitset.Full(d.n).Remove(a)
+
+	// The empty LHS first: ∅ → a iff the column is constant.
+	if d.enc.Cardinality[a] == 1 {
+		return []*bitset.Set{bitset.New(d.n)}
+	}
+
+	var maxNonDeps []*bitset.Set
+	verified := map[string]bool{} // candidate key → isDep result known true
+
+	for {
+		candidates := minimalHittingSets(universe, maxNonDeps, d.n, maxLhs)
+		progress := false
+		for _, cand := range candidates {
+			if verified[cand.Key()] {
+				continue
+			}
+			if d.isDep(cand, a) {
+				// A minimal hitting set of the maximal non-dependencies
+				// found so far that IS a dependency is a minimal
+				// dependency: every proper subset misses some
+				// complement, lies inside a non-dependency, and is
+				// therefore a non-dependency itself.
+				verified[cand.Key()] = true
+				continue
+			}
+			maxNonDeps = append(maxNonDeps, d.maximize(cand, a, universe))
+			progress = true
+			break // the hitting sets must be regenerated
+		}
+		if !progress {
+			// Fixpoint: all candidates are verified minimal deps.
+			sort.Slice(candidates, func(i, j int) bool {
+				return candidates[i].String() < candidates[j].String()
+			})
+			return candidates
+		}
+	}
+}
+
+// maximize grows a non-dependency into a maximal one with a single
+// ascending pass (non-dependencies are downward closed, so an attribute
+// rejected against a subset stays rejected against any superset).
+func (d *discoverer) maximize(x *bitset.Set, a int, universe *bitset.Set) *bitset.Set {
+	cur := x.Clone()
+	universe.ForEach(func(b int) bool {
+		if cur.Contains(b) {
+			return true
+		}
+		ext := cur.Clone().Add(b)
+		if !d.isDep(ext, a) {
+			cur = ext
+		}
+		return true
+	})
+	return cur
+}
+
+// isDep checks X → a via stripped-partition refinement, with PLI reuse.
+func (d *discoverer) isDep(x *bitset.Set, a int) bool {
+	if x.IsEmpty() {
+		return d.enc.Cardinality[a] == 1
+	}
+	return d.pliFor(x).Refines(d.enc.Columns[a])
+}
+
+// pliFor returns the cached PLI of x, computing it from the largest
+// cached subset plus single-column intersections when absent.
+func (d *discoverer) pliFor(x *bitset.Set) *pli.PLI {
+	if p, ok := d.plis[x.Key()]; ok {
+		return p
+	}
+	// Build up from single columns, most selective first, caching the
+	// prefix partitions along the way.
+	attrs := x.Elements()
+	sort.Slice(attrs, func(i, j int) bool {
+		pi := d.plis[bitset.Of(d.n, attrs[i]).Key()]
+		pj := d.plis[bitset.Of(d.n, attrs[j]).Key()]
+		return pi.Error() < pj.Error()
+	})
+	cur := bitset.Of(d.n, attrs[0])
+	p := d.plis[cur.Key()]
+	for _, b := range attrs[1:] {
+		cur.Add(b)
+		if cached, ok := d.plis[cur.Key()]; ok {
+			p = cached
+			continue
+		}
+		if !p.IsUnique() {
+			p = p.Intersect(d.plis[bitset.Of(d.n, b).Key()])
+		}
+		d.plis[cur.Key()] = p
+	}
+	return p
+}
+
+// minimalHittingSets enumerates the inclusion-minimal subsets of
+// universe (of size ≤ maxSize) that intersect the complement of every
+// given set — the candidate minimal LHSs of DFD's seed generation.
+func minimalHittingSets(universe *bitset.Set, nonDeps []*bitset.Set, n, maxSize int) []*bitset.Set {
+	hs := []*bitset.Set{bitset.New(n)}
+	for _, nd := range nonDeps {
+		complement := universe.Difference(nd)
+		var next []*bitset.Set
+		var missed []*bitset.Set
+		for _, h := range hs {
+			if h.Intersects(complement) {
+				next = append(next, h)
+			} else {
+				missed = append(missed, h)
+			}
+		}
+		for _, h := range missed {
+			if h.Cardinality() >= maxSize {
+				continue
+			}
+			complement.ForEach(func(a int) bool {
+				next = append(next, h.Clone().Add(a))
+				return true
+			})
+		}
+		hs = removeSupersets(next)
+	}
+	return hs
+}
+
+// removeSupersets keeps only inclusion-minimal sets, deduplicated.
+func removeSupersets(sets []*bitset.Set) []*bitset.Set {
+	sort.Slice(sets, func(i, j int) bool {
+		return sets[i].Cardinality() < sets[j].Cardinality()
+	})
+	var out []*bitset.Set
+	seen := map[string]bool{}
+	for _, s := range sets {
+		if seen[s.Key()] {
+			continue
+		}
+		minimal := true
+		for _, kept := range out {
+			if kept.IsSubsetOf(s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			seen[s.Key()] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

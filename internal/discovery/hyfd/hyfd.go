@@ -1,0 +1,341 @@
+// Package hyfd implements a hybrid functional-dependency discovery
+// algorithm in the style of HyFD (Papenbrock & Naumann, SIGMOD 2016),
+// the algorithm the Normalize paper uses for its FD-discovery component
+// and whose max-LHS pruning Normalize gets "for free".
+//
+// The hybrid combines two strategies:
+//
+//   - Sampling: compare likely-similar record pairs; each pair yields an
+//     agree set (the attributes on which the two records agree), which
+//     is evidence of a non-FD and prunes many candidates at once.
+//   - Induction: maintain a prefix-tree cover (fd.Tree) of FD candidates
+//     that is consistent with all observed non-FDs: a violated candidate
+//     is removed and specialized by one attribute outside the agree set.
+//   - Validation: check the remaining candidates level-wise against the
+//     full data using position list indices; violations feed back into
+//     the inductor as new agree sets.
+//
+// The validator is authoritative, so the result is exactly the complete
+// set of minimal, non-trivial FDs (optionally bounded by MaxLhs), which
+// the optimized closure algorithm of the normalization pipeline relies
+// on.
+package hyfd
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+	"normalize/internal/settrie"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
+	// The paper's Section 4.3 uses this pruning when complete FD sets
+	// would not fit in memory; the pruned result is still a complete
+	// and correct cover for all FDs within the bound.
+	MaxLhs int
+	// Parallel enables concurrent candidate validation across worker
+	// goroutines.
+	Parallel bool
+	// sampleRounds overrides the number of initial sampling window
+	// rounds (for tests); 0 means the default.
+	sampleRounds int
+}
+
+// Discover returns all minimal non-trivial FDs of rel with left-hand
+// sides of at most opts.MaxLhs attributes, aggregated by left-hand side
+// and deterministically sorted.
+func Discover(rel *relation.Relation, opts Options) *fd.Set {
+	n := rel.NumAttrs()
+	result := fd.NewSet(n)
+	if n == 0 {
+		return result
+	}
+	enc := rel.Encode()
+	if enc.NumRows == 0 {
+		result.Add(bitset.New(n), bitset.Full(n))
+		return result.Aggregate().Sort()
+	}
+	maxLhs := opts.MaxLhs
+	if maxLhs <= 0 || maxLhs > n {
+		maxLhs = n
+	}
+
+	d := &discoverer{
+		enc:    enc,
+		n:      n,
+		maxLhs: maxLhs,
+		tree:   fd.NewTree(n),
+		opts:   opts,
+	}
+	d.buildPLIs()
+
+	// Positive cover starts at the most general hypothesis: every
+	// attribute is constant (∅ → A for all A).
+	empty := bitset.New(n)
+	for a := 0; a < n; a++ {
+		d.tree.Add(empty, a)
+	}
+
+	d.sampler = newSampler(enc, d.plis)
+	rounds := opts.sampleRounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	d.sampleAndInduct(rounds)
+	d.validate()
+
+	return minimize(d.tree.ToSet()).Aggregate().Sort()
+}
+
+// minimize drops FDs that have a generalization in the same set. The
+// induction phase inserts candidates after a generalization check only
+// (no specialization eviction, matching HyFD), so a valid specialization
+// can survive next to its later-inserted valid generalization; this
+// final linear pass restores exact minimality.
+func minimize(s *fd.Set) *fd.Set {
+	s.Sort() // ascending LHS size: generalizations come first
+	tries := make([]settrie.Trie, s.NumAttrs)
+	out := fd.NewSet(s.NumAttrs)
+	for _, f := range s.FDs {
+		rhs := bitset.New(s.NumAttrs)
+		f.Rhs.ForEach(func(a int) bool {
+			if !tries[a].ContainsSubsetOf(f.Lhs) {
+				tries[a].Insert(f.Lhs)
+				rhs.Add(a)
+			}
+			return true
+		})
+		if !rhs.IsEmpty() {
+			out.FDs = append(out.FDs, &fd.FD{Lhs: f.Lhs, Rhs: rhs})
+		}
+	}
+	return out
+}
+
+type discoverer struct {
+	enc      *relation.Encoded
+	n        int
+	maxLhs   int
+	tree     *fd.Tree
+	plis     []*pli.PLI
+	inverted [][]int // row → cluster per attribute, shared by workers
+	sampler  *sampler
+	opts     Options
+}
+
+func (d *discoverer) buildPLIs() {
+	d.plis = make([]*pli.PLI, d.n)
+	d.inverted = make([][]int, d.n)
+	for a := 0; a < d.n; a++ {
+		d.plis[a] = pli.FromColumn(d.enc.Columns[a], d.enc.Cardinality[a])
+		d.inverted[a] = d.plis[a].Inverted()
+	}
+}
+
+// sampleAndInduct runs the sampler for the given number of window
+// rounds and folds every new agree set into the positive cover.
+func (d *discoverer) sampleAndInduct(rounds int) {
+	for _, s := range d.sampler.run(rounds) {
+		d.induct(s)
+	}
+}
+
+// induct updates the candidate tree with the non-FD evidence of one
+// agree set S: every candidate X → A with X ⊆ S and A ∉ S is violated
+// by the witnessing record pair; it is removed and specialized by every
+// attribute outside S. Inserts check only for generalizations (like the
+// original HyFD), so the tree may temporarily hold specializations of
+// other candidates; Discover filters the final result for minimality.
+func (d *discoverer) induct(agree *bitset.Set) {
+	violated := d.tree.ViolatedBy(agree)
+	if len(violated) == 0 {
+		return
+	}
+	outside := bitset.Full(d.n).DifferenceWith(agree)
+	for _, v := range violated {
+		d.tree.RemoveRhs(v.Lhs, v.Rhs)
+		if v.Lhs.Cardinality() >= d.maxLhs {
+			continue
+		}
+		outside.ForEach(func(b int) bool {
+			if v.Lhs.Contains(b) {
+				return true
+			}
+			ext := v.Lhs.Clone().Add(b)
+			v.Rhs.ForEach(func(a int) bool {
+				if a == b {
+					return true
+				}
+				if !d.tree.ContainsGeneralization(ext, a) {
+					d.tree.Add(ext, a)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// agreeSet computes the attributes on which two rows agree.
+func (d *discoverer) agreeSet(r1, r2 int) *bitset.Set {
+	s := bitset.New(d.n)
+	for a := 0; a < d.n; a++ {
+		if d.enc.Columns[a][r1] == d.enc.Columns[a][r2] {
+			s.Add(a)
+		}
+	}
+	return s
+}
+
+// candidate is one left-hand side with its aggregated right-hand side,
+// snapshot from a tree level.
+type candidate struct {
+	lhs *bitset.Set
+	rhs *bitset.Set
+}
+
+// verdict is the validation outcome for one candidate.
+type verdict struct {
+	cand    candidate
+	invalid *bitset.Set // rhs attributes the data refutes
+	pairs   [][2]int    // one violating row pair per invalid attribute
+}
+
+// validate sweeps the candidate tree level by level. Candidates at or
+// below the validated level are final; violations specialize upward, so
+// the sweep terminates at maxLhs (or when the tree has no deeper
+// level). A level with a high violation ratio triggers another sampling
+// round first — the HyFD switching heuristic: sampling prunes many
+// candidates per comparison, validation proves the survivors.
+func (d *discoverer) validate() {
+	const switchRatio = 0.1
+	for level := 0; level <= d.tree.MaxLevel() && level <= d.maxLhs; level++ {
+		var cands []candidate
+		d.tree.Level(level, func(lhs, rhs *bitset.Set) {
+			cands = append(cands, candidate{lhs: lhs, rhs: rhs})
+		})
+		if len(cands) == 0 {
+			continue
+		}
+		verdicts := d.check(cands)
+		total, invalid := 0, 0
+		for _, v := range verdicts {
+			total += v.cand.rhs.Cardinality()
+			if v.invalid == nil {
+				continue
+			}
+			invalid += v.invalid.Cardinality()
+			// Feed the violating pairs back as non-FD evidence; the
+			// inductor removes the refuted candidates and specializes
+			// them one level up. (A single pass per level suffices:
+			// removals only hit refuted candidates, and every insert
+			// lands at a deeper level than the candidate it replaces.)
+			for _, p := range v.pairs {
+				d.induct(d.agreeSet(p[0], p[1]))
+			}
+		}
+		// Switching heuristic: if validation found mostly garbage,
+		// cheaper sampling likely prunes the next levels better.
+		if invalid > 0 && float64(invalid)/float64(total) > switchRatio && d.sampler.hasMore() {
+			d.sampleAndInduct(2)
+		}
+	}
+}
+
+// check validates the candidates of one level against the data,
+// optionally in parallel.
+func (d *discoverer) check(cands []candidate) []verdict {
+	out := make([]verdict, len(cands))
+	if !d.opts.Parallel || len(cands) < 8 {
+		for i, c := range cands {
+			out[i] = d.checkOne(c)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = d.checkOne(cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// checkOne validates a single candidate: it materializes the LHS
+// partition and tests refinement of every RHS column.
+func (d *discoverer) checkOne(c candidate) verdict {
+	v := verdict{cand: c}
+	if c.lhs.IsEmpty() {
+		// ∅ → A means column A is constant.
+		c.rhs.ForEach(func(a int) bool {
+			if d.enc.Cardinality[a] != 1 {
+				if v.invalid == nil {
+					v.invalid = bitset.New(d.n)
+				}
+				v.invalid.Add(a)
+				// Any two rows with different values violate ∅ → A.
+				r1, r2 := d.firstDifferingRows(a)
+				v.pairs = append(v.pairs, [2]int{r1, r2})
+			}
+			return true
+		})
+		return v
+	}
+	p := d.pliFor(c.lhs)
+	c.rhs.ForEach(func(a int) bool {
+		if r1, r2 := p.FirstViolation(d.enc.Columns[a]); r1 >= 0 {
+			if v.invalid == nil {
+				v.invalid = bitset.New(d.n)
+			}
+			v.invalid.Add(a)
+			v.pairs = append(v.pairs, [2]int{r1, r2})
+		}
+		return true
+	})
+	return v
+}
+
+func (d *discoverer) firstDifferingRows(a int) (int, int) {
+	col := d.enc.Columns[a]
+	for i := 1; i < len(col); i++ {
+		if col[i] != col[0] {
+			return 0, i
+		}
+	}
+	return 0, 0
+}
+
+// pliFor intersects the single-column PLIs of the LHS, most selective
+// first, so intermediate partitions shrink as fast as possible.
+func (d *discoverer) pliFor(lhs *bitset.Set) *pli.PLI {
+	attrs := lhs.Elements()
+	sort.Slice(attrs, func(i, j int) bool {
+		return d.plis[attrs[i]].Error() < d.plis[attrs[j]].Error()
+	})
+	p := d.plis[attrs[0]]
+	for _, a := range attrs[1:] {
+		if p.IsUnique() {
+			break
+		}
+		p = p.IntersectInverted(d.inverted[a])
+	}
+	return p
+}

@@ -1,0 +1,104 @@
+package hyfd
+
+import (
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+)
+
+// sampler produces non-FD evidence by comparing record pairs that are
+// likely to agree on many attributes: records within the same PLI
+// cluster. Clusters are ordered by overall record similarity (a global
+// lexicographic sort of the records), and each sampling round compares
+// every cluster member with its neighbour at the next larger window
+// distance — the progressive widening of HyFD's sampling phase. Every
+// compared pair yields an agree set; duplicates are suppressed.
+type sampler struct {
+	enc        *relation.Encoded
+	n          int
+	clusters   [][]int
+	window     int // next window distance to run (1-based)
+	maxCluster int
+	seen       map[string]bool
+}
+
+func newSampler(enc *relation.Encoded, plis []*pli.PLI) *sampler {
+	s := &sampler{
+		enc:    enc,
+		n:      len(plis),
+		window: 1,
+		seen:   make(map[string]bool),
+	}
+	// Rank rows by a lexicographic sort of their full code vectors so
+	// that neighbours inside a cluster are similar on other attributes
+	// too, which makes their agree sets large and informative.
+	rows := make([]int, enc.NumRows)
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := rows[i], rows[j]
+		for a := 0; a < s.n; a++ {
+			ci, cj := enc.Columns[a][ri], enc.Columns[a][rj]
+			if ci != cj {
+				return ci < cj
+			}
+		}
+		return false
+	})
+	rank := make([]int, enc.NumRows)
+	for pos, r := range rows {
+		rank[r] = pos
+	}
+
+	for _, p := range plis {
+		for _, cluster := range p.Clusters() {
+			c := make([]int, len(cluster))
+			copy(c, cluster)
+			sort.Slice(c, func(i, j int) bool { return rank[c[i]] < rank[c[j]] })
+			s.clusters = append(s.clusters, c)
+			if len(c) > s.maxCluster {
+				s.maxCluster = len(c)
+			}
+		}
+	}
+	return s
+}
+
+// hasMore reports whether widening the window can still produce new
+// comparisons.
+func (s *sampler) hasMore() bool { return s.window < s.maxCluster }
+
+// run executes up to rounds window-widening passes and returns the
+// agree sets not seen before.
+func (s *sampler) run(rounds int) []*bitset.Set {
+	var out []*bitset.Set
+	for r := 0; r < rounds && s.hasMore(); r++ {
+		w := s.window
+		s.window++
+		for _, cluster := range s.clusters {
+			for i := 0; i+w < len(cluster); i++ {
+				a := s.agreeSet(cluster[i], cluster[i+w])
+				k := a.Key()
+				if s.seen[k] {
+					continue
+				}
+				s.seen[k] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func (s *sampler) agreeSet(r1, r2 int) *bitset.Set {
+	set := bitset.New(s.n)
+	for a := 0; a < s.n; a++ {
+		if s.enc.Columns[a][r1] == s.enc.Columns[a][r2] {
+			set.Add(a)
+		}
+	}
+	return set
+}

@@ -1,0 +1,262 @@
+package ind
+
+import (
+	"sort"
+	"strings"
+
+	"normalize/internal/relation"
+)
+
+// FKCandidate is a scored cross-relation foreign-key suggestion: the
+// dependent attribute references a key attribute of another relation.
+type FKCandidate struct {
+	IND   IND
+	Score float64
+}
+
+// KeyedAttr marks an attribute as belonging to a (primary) key of its
+// relation; only INDs into keyed attributes qualify as foreign keys.
+type KeyedAttr = Attr
+
+// SuggestForeignKeys filters INDs to those referencing a key attribute
+// and scores them with features in the spirit of Rostin et al. (the
+// machine-learning foreign-key work the paper's Section 7.2 credits):
+//
+//   - coverage: a true foreign key typically uses much of the referenced
+//     key's value range;
+//   - name similarity: equal or substring-related attribute names are
+//     strong evidence (customer.nationkey → nation.nationkey);
+//   - the dependent side should not itself be a key of its relation
+//     (keyed dependents indicate 1:1 mirrors rather than references) —
+//     callers encode this by passing only non-key dependents if desired.
+//
+// The result is sorted best first.
+func SuggestForeignKeys(inds []IND, keyed []KeyedAttr) []FKCandidate {
+	keys := make(map[Attr]bool, len(keyed))
+	for _, k := range keyed {
+		keys[k] = true
+	}
+	var out []FKCandidate
+	for _, d := range inds {
+		if !keys[d.Referenced] {
+			continue
+		}
+		score := (d.Coverage + nameSimilarity(d.Dependent.Attribute, d.Referenced.Attribute)) / 2
+		out = append(out, FKCandidate{IND: d, Score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return lessAttr(out[i].IND.Dependent, out[j].IND.Dependent)
+	})
+	return out
+}
+
+// nameSimilarity scores attribute-name evidence in [0, 1]: exact match
+// 1, suffix/substring containment 0.75, shared trailing token 0.5,
+// otherwise a normalized longest-common-prefix fraction.
+func nameSimilarity(a, b string) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	switch {
+	case la == lb:
+		return 1
+	case strings.HasSuffix(la, lb) || strings.HasSuffix(lb, la),
+		strings.Contains(la, lb) || strings.Contains(lb, la):
+		return 0.75
+	}
+	if ta, tb := lastToken(la), lastToken(lb); ta != "" && ta == tb {
+		return 0.5
+	}
+	n := 0
+	for n < len(la) && n < len(lb) && la[n] == lb[n] {
+		n++
+	}
+	max := len(la)
+	if len(lb) > max {
+		max = len(lb)
+	}
+	return float64(n) / float64(max) * 0.5
+}
+
+func lastToken(s string) string {
+	if i := strings.LastIndexByte(s, '_'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// CompositeFK is a scored n-ary foreign-key suggestion: the dependent
+// columns (as one tuple) reference the key columns of another relation.
+type CompositeFK struct {
+	DependentRel   string
+	DependentCols  []string
+	ReferencedRel  string
+	ReferencedCols []string
+	Coverage       float64
+	Score          float64
+}
+
+// CompositeKey names a multi-attribute key of a relation.
+type CompositeKey struct {
+	Relation string
+	Cols     []string
+}
+
+// SuggestCompositeForeignKeys proposes n-ary foreign keys into
+// composite keys: for every key (B1..Bk) and every other relation, the
+// candidate dependent columns per position are those with sufficient
+// name similarity; each bounded assignment is validated as an n-ary
+// inclusion dependency with CheckComposite and scored like the unary
+// suggestions. Composite references are common exactly where Normalize
+// produces them — link tables such as TPC-H's partsupp(partkey,
+// suppkey).
+func SuggestCompositeForeignKeys(rels []*relation.Relation, keys []CompositeKey) []CompositeFK {
+	const (
+		minNameSim = 0.5
+		maxCombos  = 64
+	)
+	byName := make(map[string]*relation.Relation, len(rels))
+	for _, r := range rels {
+		byName[r.Name] = r
+	}
+	var out []CompositeFK
+	for _, key := range keys {
+		ref := byName[key.Relation]
+		if ref == nil || len(key.Cols) < 2 {
+			continue
+		}
+		refCols := make([]int, len(key.Cols))
+		ok := true
+		for i, name := range key.Cols {
+			refCols[i] = ref.AttrIndex(name)
+			if refCols[i] < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, dep := range rels {
+			if dep.Name == key.Relation {
+				continue
+			}
+			// Candidate dependent columns per key position.
+			cands := make([][]int, len(key.Cols))
+			sims := make(map[[2]int]float64)
+			for i, keyCol := range key.Cols {
+				for c, name := range dep.Attrs {
+					if s := nameSimilarity(name, keyCol); s >= minNameSim {
+						cands[i] = append(cands[i], c)
+						sims[[2]int{i, c}] = s
+					}
+				}
+			}
+			assignments := enumerate(cands, maxCombos)
+			for _, depCols := range assignments {
+				if hasDuplicates(depCols) {
+					continue
+				}
+				valid, coverage := CheckComposite(dep, depCols, ref, refCols)
+				if !valid || coverage == 0 {
+					continue
+				}
+				simSum := 0.0
+				names := make([]string, len(depCols))
+				for i, c := range depCols {
+					simSum += sims[[2]int{i, c}]
+					names[i] = dep.Attrs[c]
+				}
+				out = append(out, CompositeFK{
+					DependentRel:   dep.Name,
+					DependentCols:  names,
+					ReferencedRel:  key.Relation,
+					ReferencedCols: append([]string{}, key.Cols...),
+					Coverage:       coverage,
+					Score:          (coverage + simSum/float64(len(depCols))) / 2,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// enumerate yields up to limit assignments picking one column per slot.
+func enumerate(cands [][]int, limit int) [][]int {
+	out := [][]int{{}}
+	for _, slot := range cands {
+		if len(slot) == 0 {
+			return nil
+		}
+		var next [][]int
+		for _, prefix := range out {
+			for _, c := range slot {
+				ext := append(append([]int{}, prefix...), c)
+				next = append(next, ext)
+				if len(next) >= limit {
+					break
+				}
+			}
+			if len(next) >= limit {
+				break
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func hasDuplicates(cols []int) bool {
+	for i := range cols {
+		for j := i + 1; j < len(cols); j++ {
+			if cols[i] == cols[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckComposite verifies the n-ary inclusion dependency
+// dep[depCols] ⊆ ref[refCols] (column index lists of equal length) and
+// returns its coverage. Dependent tuples containing nulls are exempt,
+// matching SQL's MATCH SIMPLE foreign-key semantics.
+func CheckComposite(dep *relation.Relation, depCols []int, ref *relation.Relation, refCols []int) (bool, float64) {
+	refTuples := make(map[string]struct{}, len(ref.Rows))
+	var b strings.Builder
+	for _, row := range ref.Rows {
+		b.Reset()
+		for _, c := range refCols {
+			b.WriteString(row[c])
+			b.WriteByte(0)
+		}
+		refTuples[b.String()] = struct{}{}
+	}
+	depTuples := make(map[string]struct{}, len(dep.Rows))
+	for _, row := range dep.Rows {
+		b.Reset()
+		null := false
+		for _, c := range depCols {
+			if relation.IsNull(row[c]) {
+				null = true
+				break
+			}
+			b.WriteString(row[c])
+			b.WriteByte(0)
+		}
+		if null {
+			continue
+		}
+		k := b.String()
+		if _, ok := refTuples[k]; !ok {
+			return false, 0
+		}
+		depTuples[k] = struct{}{}
+	}
+	if len(refTuples) == 0 {
+		return false, 0
+	}
+	return true, float64(len(depTuples)) / float64(len(refTuples))
+}

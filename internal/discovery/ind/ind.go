@@ -1,0 +1,126 @@
+// Package ind discovers unary inclusion dependencies (INDs) between
+// relations: A ⊆ B holds when every non-null value of attribute A also
+// occurs in attribute B. INDs are the raw material of foreign-key
+// discovery (Rostin et al., WebDB 2009) — the work whose features
+// inspired the paper's violating-FD scoring (Section 7.2) — and
+// complement Normalize when a dataset arrives as several relations:
+// within one relation Normalize derives foreign keys from FDs, across
+// relations they come from INDs.
+//
+// Discovery builds one sorted distinct-value list per attribute and
+// verifies candidate inclusions by set containment, pruned by
+// cardinality and by a global value index (an attribute whose values
+// never co-occur with another's cannot be included in it) — the
+// essence of the SPIDER approach at laptop scale.
+package ind
+
+import (
+	"sort"
+
+	"normalize/internal/relation"
+)
+
+// Attr identifies one attribute of one relation.
+type Attr struct {
+	Relation  string
+	Attribute string
+}
+
+// IND is a unary inclusion dependency Dependent ⊆ Referenced.
+type IND struct {
+	Dependent  Attr
+	Referenced Attr
+	// Coverage is |values(Dependent)| / |values(Referenced)| — how much
+	// of the referenced attribute the dependent side uses.
+	Coverage float64
+}
+
+// Options configures discovery.
+type Options struct {
+	// MinValues skips attributes with fewer distinct non-null values
+	// (tiny attributes produce coincidental inclusions). Default 1.
+	MinValues int
+	// IncludeSelf also reports INDs within the same relation.
+	IncludeSelf bool
+}
+
+// column is the prepared per-attribute state.
+type column struct {
+	attr   Attr
+	values map[string]struct{}
+}
+
+// Discover returns all unary INDs between (and optionally within) the
+// given relations, dependent/referenced pairs with distinct attributes.
+// Null values are ignored on the dependent side, as in SQL's foreign
+// key semantics; an attribute with only nulls is not reported as
+// dependent.
+func Discover(rels []*relation.Relation, opts Options) []IND {
+	minValues := opts.MinValues
+	if minValues < 1 {
+		minValues = 1
+	}
+	var cols []column
+	for _, rel := range rels {
+		for c, name := range rel.Attrs {
+			vals := make(map[string]struct{})
+			for _, row := range rel.Rows {
+				if !relation.IsNull(row[c]) {
+					vals[row[c]] = struct{}{}
+				}
+			}
+			cols = append(cols, column{
+				attr:   Attr{Relation: rel.Name, Attribute: name},
+				values: vals,
+			})
+		}
+	}
+
+	var out []IND
+	for i, dep := range cols {
+		if len(dep.values) < minValues {
+			continue
+		}
+		for j, ref := range cols {
+			if i == j {
+				continue
+			}
+			if !opts.IncludeSelf && dep.attr.Relation == ref.attr.Relation {
+				continue
+			}
+			if len(dep.values) > len(ref.values) {
+				continue // cardinality prune
+			}
+			if included(dep.values, ref.values) {
+				out = append(out, IND{
+					Dependent:  dep.attr,
+					Referenced: ref.attr,
+					Coverage:   float64(len(dep.values)) / float64(len(ref.values)),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dependent != out[b].Dependent {
+			return lessAttr(out[a].Dependent, out[b].Dependent)
+		}
+		return lessAttr(out[a].Referenced, out[b].Referenced)
+	})
+	return out
+}
+
+func included(a, b map[string]struct{}) bool {
+	for v := range a {
+		if _, ok := b[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func lessAttr(a, b Attr) bool {
+	if a.Relation != b.Relation {
+		return a.Relation < b.Relation
+	}
+	return a.Attribute < b.Attribute
+}

@@ -1,0 +1,199 @@
+package ind
+
+import (
+	"testing"
+
+	"normalize/internal/relation"
+)
+
+func sample() []*relation.Relation {
+	nation := relation.MustNew("nation",
+		[]string{"nationkey", "n_name"},
+		[][]string{{"0", "FRANCE"}, {"1", "GERMANY"}, {"2", "JAPAN"}})
+	customer := relation.MustNew("customer",
+		[]string{"custkey", "c_name", "nationkey"},
+		[][]string{
+			{"10", "Ann", "0"},
+			{"11", "Bob", "1"},
+			{"12", "Cleo", "0"},
+			{"13", "Dai", ""},
+		})
+	return []*relation.Relation{nation, customer}
+}
+
+func findIND(inds []IND, dep, ref Attr) *IND {
+	for i := range inds {
+		if inds[i].Dependent == dep && inds[i].Referenced == ref {
+			return &inds[i]
+		}
+	}
+	return nil
+}
+
+func TestDiscoverFindsForeignKeyIND(t *testing.T) {
+	inds := Discover(sample(), Options{})
+	got := findIND(inds,
+		Attr{Relation: "customer", Attribute: "nationkey"},
+		Attr{Relation: "nation", Attribute: "nationkey"})
+	if got == nil {
+		t.Fatalf("customer.nationkey ⊆ nation.nationkey not found: %v", inds)
+	}
+	// Customer uses nations 0 and 1 of three: coverage 2/3.
+	if got.Coverage < 0.66 || got.Coverage > 0.67 {
+		t.Errorf("coverage = %v", got.Coverage)
+	}
+}
+
+func TestDiscoverIgnoresNullsOnDependent(t *testing.T) {
+	// The null nationkey of Dai must not break the inclusion.
+	inds := Discover(sample(), Options{})
+	if findIND(inds,
+		Attr{Relation: "customer", Attribute: "nationkey"},
+		Attr{Relation: "nation", Attribute: "nationkey"}) == nil {
+		t.Error("null dependent value broke the IND")
+	}
+}
+
+func TestDiscoverNoFalseInclusions(t *testing.T) {
+	inds := Discover(sample(), Options{})
+	if findIND(inds,
+		Attr{Relation: "customer", Attribute: "custkey"},
+		Attr{Relation: "nation", Attribute: "nationkey"}) != nil {
+		t.Error("custkey values are not nation keys")
+	}
+}
+
+func TestDiscoverSelfINDs(t *testing.T) {
+	emp := relation.MustNew("emp",
+		[]string{"id", "manager"},
+		[][]string{{"1", ""}, {"2", "1"}, {"3", "1"}, {"4", "2"}})
+	without := Discover([]*relation.Relation{emp}, Options{})
+	if len(without) != 0 {
+		t.Errorf("self INDs reported without IncludeSelf: %v", without)
+	}
+	with := Discover([]*relation.Relation{emp}, Options{IncludeSelf: true})
+	if findIND(with,
+		Attr{Relation: "emp", Attribute: "manager"},
+		Attr{Relation: "emp", Attribute: "id"}) == nil {
+		t.Error("manager ⊆ id (self reference) not found")
+	}
+}
+
+func TestMinValuesPrunesTinyAttributes(t *testing.T) {
+	a := relation.MustNew("a", []string{"x"}, [][]string{{"1"}})
+	b := relation.MustNew("b", []string{"y"}, [][]string{{"1"}, {"2"}})
+	if len(Discover([]*relation.Relation{a, b}, Options{MinValues: 2})) != 0 {
+		t.Error("MinValues prune failed")
+	}
+	if len(Discover([]*relation.Relation{a, b}, Options{})) == 0 {
+		t.Error("default must keep the inclusion")
+	}
+}
+
+func TestSuggestForeignKeys(t *testing.T) {
+	inds := Discover(sample(), Options{})
+	keyed := []KeyedAttr{{Relation: "nation", Attribute: "nationkey"}}
+	fks := SuggestForeignKeys(inds, keyed)
+	if len(fks) == 0 {
+		t.Fatal("no FK suggested")
+	}
+	best := fks[0]
+	if best.IND.Dependent.Attribute != "nationkey" || best.IND.Referenced.Relation != "nation" {
+		t.Errorf("best suggestion = %+v", best)
+	}
+	if best.Score <= 0.5 {
+		t.Errorf("equal-name, high-coverage FK scored %v", best.Score)
+	}
+	// INDs into non-key attributes must not be suggested.
+	for _, fk := range fks {
+		if fk.IND.Referenced.Attribute != "nationkey" {
+			t.Errorf("non-key reference suggested: %+v", fk)
+		}
+	}
+}
+
+func TestCheckComposite(t *testing.T) {
+	partsupp := relation.MustNew("partsupp",
+		[]string{"partkey", "suppkey", "qty"},
+		[][]string{{"1", "a", "10"}, {"1", "b", "20"}, {"2", "a", "30"}})
+	lineitem := relation.MustNew("lineitem",
+		[]string{"orderkey", "partkey", "suppkey"},
+		[][]string{{"o1", "1", "a"}, {"o2", "2", "a"}, {"o3", "1", "a"}})
+
+	ok, cov := CheckComposite(lineitem, []int{1, 2}, partsupp, []int{0, 1})
+	if !ok {
+		t.Fatal("valid composite inclusion rejected")
+	}
+	if cov < 0.66 || cov > 0.67 { // uses 2 of 3 reference pairs
+		t.Errorf("coverage = %v", cov)
+	}
+	// A pair outside the reference set breaks it even when each column
+	// individually is included.
+	bad := relation.MustNew("bad",
+		[]string{"partkey", "suppkey"},
+		[][]string{{"2", "b"}}) // 2 ∈ partkeys, b ∈ suppkeys, (2,b) ∉ pairs
+	if ok, _ := CheckComposite(bad, []int{0, 1}, partsupp, []int{0, 1}); ok {
+		t.Error("pairwise-only inclusion accepted as composite")
+	}
+	// Null components exempt the row.
+	withNull := relation.MustNew("n",
+		[]string{"partkey", "suppkey"},
+		[][]string{{"1", "a"}, {"", "zzz"}})
+	if ok, _ := CheckComposite(withNull, []int{0, 1}, partsupp, []int{0, 1}); !ok {
+		t.Error("null dependent tuple must be exempt")
+	}
+}
+
+func TestSuggestCompositeForeignKeys(t *testing.T) {
+	partsupp := relation.MustNew("partsupp",
+		[]string{"partkey", "suppkey", "qty"},
+		[][]string{{"1", "a", "10"}, {"1", "b", "20"}, {"2", "a", "30"}})
+	lineitem := relation.MustNew("lineitem",
+		[]string{"orderkey", "partkey", "suppkey", "price"},
+		[][]string{{"o1", "1", "a", "5"}, {"o2", "2", "a", "6"}})
+	got := SuggestCompositeForeignKeys(
+		[]*relation.Relation{partsupp, lineitem},
+		[]CompositeKey{{Relation: "partsupp", Cols: []string{"partkey", "suppkey"}}})
+	if len(got) == 0 {
+		t.Fatal("composite FK not suggested")
+	}
+	best := got[0]
+	if best.DependentRel != "lineitem" || best.ReferencedRel != "partsupp" {
+		t.Errorf("best = %+v", best)
+	}
+	if len(best.DependentCols) != 2 || best.DependentCols[0] != "partkey" || best.DependentCols[1] != "suppkey" {
+		t.Errorf("dependent cols = %v", best.DependentCols)
+	}
+	if best.Score < 0.7 {
+		t.Errorf("obvious composite FK scored %v", best.Score)
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	cands := [][]int{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if got := enumerate(cands, 5); len(got) > 5 {
+		t.Errorf("cap exceeded: %d", len(got))
+	}
+	if enumerate([][]int{{1}, {}}, 10) != nil {
+		t.Error("empty slot must yield no assignments")
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"nationkey", "nationkey", 1, 1},
+		{"c_nationkey", "nationkey", 0.75, 0.75},
+		{"customer_id", "product_id", 0.5, 0.5},
+		{"foo", "bar", 0, 0.1},
+	}
+	for _, c := range cases {
+		got := nameSimilarity(c.a, c.b)
+		if got < c.min || got > c.max {
+			t.Errorf("nameSimilarity(%q, %q) = %v, want in [%v, %v]", c.a, c.b, got, c.min, c.max)
+		}
+	}
+}

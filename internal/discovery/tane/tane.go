@@ -1,0 +1,199 @@
+// Package tane implements the TANE algorithm (Huhtala et al., 1999)
+// for discovering all minimal, non-trivial functional dependencies of a
+// relation instance. TANE traverses the attribute-set lattice
+// level-wise, maintains stripped partitions (PLIs) per lattice node,
+// and prunes with right-hand-side candidate sets C⁺ and key pruning.
+//
+// In this repository TANE is the classic baseline the paper cites for
+// the FD-discovery step (component 1 of Normalize); the default
+// discovery algorithm is the faster HyFD-style hybrid in the sibling
+// package hyfd. TANE also serves as a correctness cross-check in tests.
+package tane
+
+import (
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
+	MaxLhs int
+}
+
+// node is one lattice element X with its stripped partition, partition
+// error e(X), RHS candidate set C⁺(X), and the errors e(X\{B}) of all
+// its parents (needed for the minimality test).
+type node struct {
+	attrs      []int // X as a sorted attribute list
+	set        *bitset.Set
+	part       *pli.PLI
+	err        int
+	cplus      *bitset.Set
+	parentErrs map[int]int // removed attribute → e(X\{attr})
+}
+
+// Discover returns all minimal non-trivial FDs of rel, aggregated by
+// left-hand side and deterministically sorted.
+func Discover(rel *relation.Relation, opts Options) *fd.Set {
+	enc := rel.Encode()
+	n := rel.NumAttrs()
+	maxLhs := opts.MaxLhs
+	if maxLhs <= 0 || maxLhs > n {
+		maxLhs = n
+	}
+	result := fd.NewSet(n)
+	if n == 0 {
+		return result
+	}
+	if enc.NumRows == 0 {
+		// Vacuously, ∅ determines every attribute.
+		result.Add(bitset.New(n), bitset.Full(n))
+		return result.Aggregate().Sort()
+	}
+
+	emptyErr := enc.NumRows - 1 // e(∅): a single cluster holding all rows
+
+	// Level 1: single attributes with C⁺ = R.
+	level := make([]*node, 0, n)
+	for a := 0; a < n; a++ {
+		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		level = append(level, &node{
+			attrs:      []int{a},
+			set:        bitset.Of(n, a),
+			part:       p,
+			err:        p.Error(),
+			cplus:      bitset.Full(n),
+			parentErrs: map[int]int{a: emptyErr},
+		})
+	}
+
+	// Level ℓ emits FDs with LHS size ℓ-1 (COMPUTE_DEPENDENCIES tests
+	// X\{A} → A for ℓ-sized X), so the bound requires processing level
+	// maxLhs+1 before stopping.
+	for size := 1; len(level) > 0; size++ {
+		computeDependencies(level, result, n)
+		if size > maxLhs {
+			break
+		}
+		survivors := prune(level)
+		level = generateNextLevel(survivors, n)
+	}
+	return result.Aggregate().Sort()
+}
+
+// computeDependencies implements TANE's COMPUTE_DEPENDENCIES: for each
+// X and each A ∈ C⁺(X) ∩ X, the FD X\{A} → A is valid and minimal iff
+// e(X\{A}) = e(X). At level 1 this reduces to the constant-column check
+// ∅ → A.
+func computeDependencies(level []*node, result *fd.Set, n int) {
+	for _, nd := range level {
+		candidates := nd.cplus.Intersect(nd.set)
+		candidates.ForEach(func(a int) bool {
+			pe, ok := nd.parentErrs[a]
+			if !ok {
+				return true
+			}
+			if pe == nd.err { // X\{A} → A holds
+				lhs := nd.set.Clone().Remove(a)
+				result.Add(lhs, bitset.Of(n, a))
+				nd.cplus.Remove(a)
+				nd.cplus.IntersectWith(nd.set) // drop all B ∈ R\X
+			}
+			return true
+		})
+	}
+}
+
+// prune implements the C⁺ pruning of TANE's base algorithm: nodes with
+// an empty RHS candidate set can never contribute further minimal FDs
+// and are deleted. (The paper's additional key pruning is a pure
+// optimization whose minimality side-condition needs C⁺ sets of pruned
+// lattice nodes; the base algorithm is provably complete and minimal
+// without it, so this baseline implementation omits it. Keys still
+// terminate quickly because their descendants' C⁺ sets empty out within
+// two levels.) It returns the surviving nodes keyed by attribute set.
+func prune(level []*node) map[string]*node {
+	survivors := make(map[string]*node, len(level))
+	for _, nd := range level {
+		if nd.cplus.IsEmpty() {
+			continue
+		}
+		survivors[nd.set.Key()] = nd
+	}
+	return survivors
+}
+
+// generateNextLevel implements TANE's prefix-block candidate
+// generation. Two surviving nodes sharing all attributes but the last
+// combine into a child; the child is kept only if every |X|-subset
+// survived (apriori), and inherits C⁺(X) = ∩_{B∈X} C⁺(X\{B}).
+func generateNextLevel(survivors map[string]*node, n int) []*node {
+	nodes := make([]*node, 0, len(survivors))
+	for _, nd := range survivors {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i].attrs, nodes[j].attrs
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+
+	var next []*node
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i], nodes[j]
+			if !samePrefix(a.attrs, b.attrs) {
+				break
+			}
+			attrs := append(append(make([]int, 0, len(a.attrs)+1), a.attrs...), b.attrs[len(b.attrs)-1])
+			set := a.set.Union(b.set)
+
+			cplus := bitset.Full(n)
+			parentErrs := make(map[int]int, len(attrs))
+			ok := true
+			for _, rm := range attrs {
+				sub := set.Clone().Remove(rm)
+				parent, exists := survivors[sub.Key()]
+				if !exists {
+					ok = false
+					break
+				}
+				cplus.IntersectWith(parent.cplus)
+				parentErrs[rm] = parent.err
+			}
+			if !ok || cplus.IsEmpty() {
+				continue
+			}
+			child := &node{
+				attrs:      attrs,
+				set:        set,
+				part:       a.part.Intersect(b.part),
+				cplus:      cplus,
+				parentErrs: parentErrs,
+			}
+			child.err = child.part.Error()
+			next = append(next, child)
+		}
+	}
+	return next
+}
+
+// samePrefix reports whether two equal-length attribute lists agree on
+// all but their last element.
+func samePrefix(a, b []int) bool {
+	for k := 0; k < len(a)-1; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

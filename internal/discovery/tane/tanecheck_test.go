@@ -1,0 +1,26 @@
+package tane
+
+import (
+	"math/rand"
+	"testing"
+
+	"normalize/internal/discovery/bruteforce"
+)
+
+// TestMaxLhsMatchesBruteForceExactly pins the §4.3 pruning semantics:
+// the pruned result equals the complete minimal cover restricted to the
+// LHS bound.
+func TestMaxLhsMatchesBruteForceExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomRelation(r, 5, 10+r.Intn(25), 2)
+		for _, max := range []int{1, 2, 3} {
+			got := Discover(rel, Options{MaxLhs: max})
+			want := bruteforce.DiscoverFDs(rel, max)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d MaxLhs=%d:\nTANE:\n%sbrute:\n%s",
+					trial, max, got.Format(rel.Attrs), want.Format(rel.Attrs))
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package ucc
+
+import (
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+	"normalize/internal/settrie"
+)
+
+// DiscoverHybrid finds all minimal unique column combinations with the
+// hybrid strategy of HyUCC (Papenbrock & Naumann, 2017) — the
+// UCC-shaped sibling of HyFD: record-pair sampling yields agree sets
+// (every agree set is non-unique evidence killing all its subsets as
+// UCC candidates), a prefix-tree cover maintains the candidate minimal
+// UCCs, and a PLI validator confirms the survivors level-wise. It
+// returns exactly the result of Discover and exists both as the faster
+// option for larger relations and as a cross-check of the level-wise
+// implementation.
+func DiscoverHybrid(rel *relation.Relation, opts Options) []*bitset.Set {
+	n := rel.NumAttrs()
+	maxSize := opts.MaxSize
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	enc := rel.Encode()
+	if enc.NumRows <= 1 {
+		return []*bitset.Set{bitset.New(n)}
+	}
+
+	plis := make([]*pli.PLI, n)
+	inverted := make([][]int, n)
+	for a := 0; a < n; a++ {
+		plis[a] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		inverted[a] = plis[a].Inverted()
+	}
+
+	// Candidate cover: a set-trie of candidate minimal UCCs, starting at
+	// the most general hypothesis (the empty set is unique).
+	candidates := &settrie.Trie{}
+	candidates.Insert(bitset.New(n))
+
+	// Sampling: each pair of records agreeing on set S proves every
+	// subset of S non-unique; specialize the violated candidates by one
+	// attribute outside S.
+	induct := func(agree *bitset.Set) {
+		var violated []*bitset.Set
+		candidates.SubsetsOf(agree, func(s *bitset.Set) bool {
+			violated = append(violated, s)
+			return true
+		})
+		if len(violated) == 0 {
+			return
+		}
+		outside := bitset.Full(n).DifferenceWith(agree)
+		rebuilt := &settrie.Trie{}
+		skip := make(map[string]bool, len(violated))
+		for _, v := range violated {
+			skip[v.Key()] = true
+		}
+		candidates.All(n, func(s *bitset.Set) bool {
+			if !skip[s.Key()] {
+				rebuilt.Insert(s)
+			}
+			return true
+		})
+		for _, v := range violated {
+			if v.Cardinality() >= maxSize {
+				continue
+			}
+			outside.ForEach(func(b int) bool {
+				ext := v.Clone().Add(b)
+				if !rebuilt.ContainsSubsetOf(ext) {
+					rebuilt.Insert(ext)
+				}
+				return true
+			})
+		}
+		candidates = rebuilt
+	}
+
+	// Sample neighbouring rows within each cluster (window 1 and 2).
+	agreeSeen := map[string]bool{}
+	for a := 0; a < n; a++ {
+		for _, cluster := range plis[a].Clusters() {
+			for w := 1; w <= 2; w++ {
+				for i := 0; i+w < len(cluster); i++ {
+					s := agreeSet(enc, n, cluster[i], cluster[i+w])
+					if k := s.Key(); !agreeSeen[k] {
+						agreeSeen[k] = true
+						induct(s)
+					}
+				}
+			}
+		}
+	}
+
+	// Validation: level-wise confirmation; a refuted candidate yields a
+	// violating pair whose agree set feeds back into induction.
+	var result []*bitset.Set
+	for level := 0; ; level++ {
+		var todo []*bitset.Set
+		maxLevel := -1
+		candidates.All(n, func(s *bitset.Set) bool {
+			c := s.Cardinality()
+			if c > maxLevel {
+				maxLevel = c
+			}
+			if c == level {
+				todo = append(todo, s)
+			}
+			return true
+		})
+		if level > maxLevel {
+			break
+		}
+		for _, cand := range todo {
+			if r1, r2 := firstDuplicate(enc, plis, inverted, cand); r1 >= 0 {
+				induct(agreeSet(enc, n, r1, r2))
+				continue
+			}
+			result = append(result, cand)
+		}
+	}
+	sort.Slice(result, func(i, j int) bool {
+		if ci, cj := result[i].Cardinality(), result[j].Cardinality(); ci != cj {
+			return ci < cj
+		}
+		return result[i].String() < result[j].String()
+	})
+	// Candidate inserts reject specializations of existing candidates
+	// but cannot evict an already-present specialization of a later,
+	// more general insert; one ascending pass restores exact minimality
+	// (the same post-processing HyFD-style induction needs).
+	minimal := &settrie.Trie{}
+	out := result[:0]
+	for _, s := range result {
+		if minimal.ContainsSubsetOf(s) {
+			continue
+		}
+		minimal.Insert(s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// firstDuplicate returns a pair of rows agreeing on all attributes of
+// the candidate, or (-1, -1) when the candidate is unique.
+func firstDuplicate(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set) (int, int) {
+	if cand.IsEmpty() {
+		if enc.NumRows > 1 {
+			return 0, 1
+		}
+		return -1, -1
+	}
+	attrs := cand.Elements()
+	p := plis[attrs[0]]
+	for _, a := range attrs[1:] {
+		if p.IsUnique() {
+			return -1, -1
+		}
+		p = p.IntersectInverted(inverted[a])
+	}
+	for _, cluster := range p.Clusters() {
+		return cluster[0], cluster[1]
+	}
+	return -1, -1
+}
+
+func agreeSet(enc *relation.Encoded, n, r1, r2 int) *bitset.Set {
+	s := bitset.New(n)
+	for a := 0; a < n; a++ {
+		if enc.Columns[a][r1] == enc.Columns[a][r2] {
+			s.Add(a)
+		}
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+// Package ucc discovers minimal unique column combinations (UCCs),
+// i.e. candidate keys, of a relation instance. The Normalize paper uses
+// the DUCC algorithm (Heise et al., 2013) for its final primary-key
+// selection component: relations that never received a primary key
+// during decomposition need their full set of keys discovered. Because
+// those relations are small and already normalized, a level-wise
+// lattice search with stripped partitions — apriori generation plus
+// minimality pruning over a set-trie — is entirely sufficient, and is
+// what this package implements.
+package ucc
+
+import (
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+	"normalize/internal/settrie"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxSize bounds the size of reported UCCs; 0 means unbounded.
+	MaxSize int
+}
+
+type node struct {
+	attrs []int
+	set   *bitset.Set
+	part  *pli.PLI
+}
+
+// Discover returns all minimal unique column combinations of rel in
+// ascending size order. An empty relation (or one with at most one row)
+// has the empty set as its only minimal UCC.
+func Discover(rel *relation.Relation, opts Options) []*bitset.Set {
+	n := rel.NumAttrs()
+	maxSize := opts.MaxSize
+	if maxSize <= 0 || maxSize > n {
+		maxSize = n
+	}
+	enc := rel.Encode()
+	if enc.NumRows <= 1 {
+		return []*bitset.Set{bitset.New(n)}
+	}
+
+	var result []*bitset.Set
+	var minimal settrie.Trie
+
+	level := make([]*node, 0, n)
+	for a := 0; a < n; a++ {
+		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		s := bitset.Of(n, a)
+		if p.IsUnique() {
+			result = append(result, s)
+			minimal.Insert(s)
+			continue
+		}
+		level = append(level, &node{attrs: []int{a}, set: s, part: p})
+	}
+
+	for size := 1; len(level) > 0 && size < maxSize; size++ {
+		level = nextLevel(level, &minimal, &result, n)
+	}
+	return result
+}
+
+// nextLevel combines prefix-block pairs of non-unique nodes; candidates
+// containing a known UCC are skipped, unique candidates become minimal
+// UCCs (minimal because all their subsets are non-unique), and the
+// remaining candidates form the next level.
+func nextLevel(level []*node, minimal *settrie.Trie, result *[]*bitset.Set, n int) []*node {
+	sort.Slice(level, func(i, j int) bool {
+		a, b := level[i].attrs, level[j].attrs
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	present := make(map[string]bool, len(level))
+	for _, nd := range level {
+		present[nd.set.Key()] = true
+	}
+
+	var next []*node
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a.attrs, b.attrs) {
+				break
+			}
+			set := a.set.Union(b.set)
+			if minimal.ContainsSubsetOf(set) {
+				continue // contains a known UCC, cannot be minimal
+			}
+			// Apriori: every subset of the candidate must be a
+			// non-unique node of the current level.
+			ok := true
+			for e := set.First(); e >= 0; e = set.NextAfter(e) {
+				sub := set.Clone().Remove(e)
+				if !present[sub.Key()] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			part := a.part.Intersect(b.part)
+			attrs := append(append(make([]int, 0, len(a.attrs)+1), a.attrs...), b.attrs[len(b.attrs)-1])
+			if part.IsUnique() {
+				*result = append(*result, set)
+				minimal.Insert(set)
+				continue
+			}
+			next = append(next, &node{attrs: attrs, set: set, part: part})
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b []int) bool {
+	for k := 0; k < len(a)-1; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

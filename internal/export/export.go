@@ -1,0 +1,104 @@
+// Package export serializes profiling and normalization results as
+// JSON, in the spirit of the Metanome platform's standardized result
+// formats the paper's implementation targets: machine-readable FDs,
+// keys, and schemata that downstream tooling can consume.
+package export
+
+import (
+	"encoding/json"
+
+	"normalize/internal/bitset"
+	"normalize/internal/core"
+	"normalize/internal/fd"
+)
+
+// JSONFD is one functional dependency with attribute names.
+type JSONFD struct {
+	Lhs []string `json:"lhs"`
+	Rhs []string `json:"rhs"`
+}
+
+// JSONFDSet is a serialized FD set.
+type JSONFDSet struct {
+	Relation   string   `json:"relation"`
+	Attributes []string `json:"attributes"`
+	Count      int      `json:"countSingleRhs"`
+	FDs        []JSONFD `json:"fds"`
+}
+
+// FDSet serializes an FD set against its relation's attribute names.
+func FDSet(relName string, attrs []string, set *fd.Set) ([]byte, error) {
+	out := JSONFDSet{
+		Relation:   relName,
+		Attributes: attrs,
+		Count:      set.CountSingle(),
+	}
+	for _, f := range set.FDs {
+		out.FDs = append(out.FDs, JSONFD{
+			Lhs: names(attrs, f.Lhs),
+			Rhs: names(attrs, f.Rhs),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// JSONForeignKey is a serialized foreign-key constraint.
+type JSONForeignKey struct {
+	Attributes []string `json:"attributes"`
+	References string   `json:"references"`
+}
+
+// JSONTable is one relation of a serialized normalized schema.
+type JSONTable struct {
+	Name        string           `json:"name"`
+	Attributes  []string         `json:"attributes"`
+	PrimaryKey  []string         `json:"primaryKey,omitempty"`
+	Keys        [][]string       `json:"keys,omitempty"`
+	ForeignKeys []JSONForeignKey `json:"foreignKeys,omitempty"`
+	Rows        int              `json:"rows"`
+}
+
+// JSONSchema is a serialized normalization result.
+type JSONSchema struct {
+	Tables         []JSONTable `json:"tables"`
+	Decompositions int         `json:"decompositions"`
+	DiscoveredFDs  int         `json:"discoveredFDs"`
+}
+
+// Schema serializes a normalization result.
+func Schema(res *core.Result) ([]byte, error) {
+	out := JSONSchema{
+		Decompositions: res.Stats.Decompositions,
+		DiscoveredFDs:  res.Stats.NumFDs,
+	}
+	for _, t := range res.Tables {
+		jt := JSONTable{
+			Name:       t.Name,
+			Attributes: t.AttrNames(t.Attrs),
+			Rows:       t.Data.NumRows(),
+		}
+		if t.PrimaryKey != nil {
+			jt.PrimaryKey = t.AttrNames(t.PrimaryKey)
+		}
+		for _, k := range t.Keys {
+			jt.Keys = append(jt.Keys, t.AttrNames(k))
+		}
+		for _, fk := range t.ForeignKeys {
+			jt.ForeignKeys = append(jt.ForeignKeys, JSONForeignKey{
+				Attributes: t.AttrNames(fk.Attrs),
+				References: fk.RefTable,
+			})
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func names(attrs []string, s *bitset.Set) []string {
+	out := make([]string, 0, s.Cardinality())
+	s.ForEach(func(e int) bool {
+		out = append(out, attrs[e])
+		return true
+	})
+	return out
+}

@@ -1,0 +1,72 @@
+package export
+
+import (
+	"encoding/json"
+	"testing"
+
+	"normalize/internal/core"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+)
+
+func TestFDSetRoundTrip(t *testing.T) {
+	s := fd.NewSet(3)
+	s.AddAttrs([]int{0}, []int{1, 2})
+	data, err := FDSet("r", []string{"a", "b", "c"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSONFDSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Relation != "r" || back.Count != 2 || len(back.FDs) != 1 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.FDs[0].Lhs[0] != "a" || len(back.FDs[0].Rhs) != 2 {
+		t.Errorf("FD = %+v", back.FDs[0])
+	}
+}
+
+func TestSchemaExport(t *testing.T) {
+	rel := relation.MustNew("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+	res, err := core.NormalizeRelation(rel, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Schema(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSONSchema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tables) != 2 || back.Decompositions != 1 || back.DiscoveredFDs != 12 {
+		t.Errorf("schema = %+v", back)
+	}
+	foundFK := false
+	for _, tbl := range back.Tables {
+		if len(tbl.PrimaryKey) == 0 {
+			t.Errorf("table %s has no primary key in export", tbl.Name)
+		}
+		if len(tbl.ForeignKeys) > 0 {
+			foundFK = true
+			if tbl.ForeignKeys[0].References == "" {
+				t.Error("FK reference missing")
+			}
+		}
+	}
+	if !foundFK {
+		t.Error("no foreign key exported")
+	}
+}

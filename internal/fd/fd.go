@@ -1,0 +1,195 @@
+// Package fd defines functional dependencies and their containers: the
+// aggregated FD (one left-hand side with a bitset of right-hand-side
+// attributes, the notation Postcode→City,Mayor of the paper), flat FD
+// sets as exchanged between the pipeline components, and a prefix-tree
+// cover (Tree) used by the HyFD-style discovery for induction and
+// minimality reasoning.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"normalize/internal/bitset"
+)
+
+// FD is a functional dependency Lhs → Rhs with an aggregated right-hand
+// side: every attribute in Rhs is determined by Lhs. Following the
+// paper, Lhs attributes are kept implicit on the right (reflexivity is
+// never materialized), so Lhs ∩ Rhs = ∅ for canonical FDs.
+type FD struct {
+	Lhs *bitset.Set
+	Rhs *bitset.Set
+}
+
+// Clone returns a deep copy.
+func (f *FD) Clone() *FD { return &FD{Lhs: f.Lhs.Clone(), Rhs: f.Rhs.Clone()} }
+
+// String renders the FD with attribute indices, e.g. "{2} -> {3, 4}".
+func (f *FD) String() string {
+	return f.Lhs.String() + " -> " + f.Rhs.String()
+}
+
+// Format renders the FD with attribute names, e.g.
+// "Postcode -> City,Mayor".
+func (f *FD) Format(attrs []string) string {
+	name := func(s *bitset.Set) string {
+		parts := make([]string, 0, s.Cardinality())
+		s.ForEach(func(e int) bool {
+			parts = append(parts, attrs[e])
+			return true
+		})
+		if len(parts) == 0 {
+			return "∅"
+		}
+		return strings.Join(parts, ",")
+	}
+	return name(f.Lhs) + " -> " + name(f.Rhs)
+}
+
+// Set is a collection of FDs over a relation with NumAttrs attributes.
+type Set struct {
+	NumAttrs int
+	FDs      []*FD
+}
+
+// NewSet returns an empty FD set over the given universe.
+func NewSet(numAttrs int) *Set { return &Set{NumAttrs: numAttrs} }
+
+// Add appends the FD Lhs → Rhs. The sets are cloned, so callers may
+// reuse their arguments.
+func (s *Set) Add(lhs, rhs *bitset.Set) {
+	s.FDs = append(s.FDs, &FD{Lhs: lhs.Clone(), Rhs: rhs.Clone()})
+}
+
+// AddAttrs is Add with element lists, convenient in tests.
+func (s *Set) AddAttrs(lhs []int, rhs []int) {
+	s.Add(bitset.Of(s.NumAttrs, lhs...), bitset.Of(s.NumAttrs, rhs...))
+}
+
+// Len returns the number of aggregated FDs (distinct left-hand sides if
+// the set is aggregated).
+func (s *Set) Len() int { return len(s.FDs) }
+
+// CountSingle returns the number of single-RHS FDs, i.e. Σ|Rhs|. This
+// is the FD count the paper reports (e.g. 128,727 FDs for Horse).
+func (s *Set) CountSingle() int {
+	n := 0
+	for _, f := range s.FDs {
+		n += f.Rhs.Cardinality()
+	}
+	return n
+}
+
+// AverageRhsSize returns the mean |Rhs| over all FDs, the quantity the
+// paper uses to explain the optimized closure's advantage (§8.2).
+func (s *Set) AverageRhsSize() float64 {
+	if len(s.FDs) == 0 {
+		return 0
+	}
+	return float64(s.CountSingle()) / float64(len(s.FDs))
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{NumAttrs: s.NumAttrs, FDs: make([]*FD, len(s.FDs))}
+	for i, f := range s.FDs {
+		c.FDs[i] = f.Clone()
+	}
+	return c
+}
+
+// Aggregate merges FDs with equal left-hand sides by unioning their
+// right-hand sides, removes Lhs attributes from Rhs sides (canonical
+// non-trivial form), and drops FDs with empty Rhs. It returns the
+// receiver.
+func (s *Set) Aggregate() *Set {
+	byLhs := make(map[string]*FD, len(s.FDs))
+	out := s.FDs[:0]
+	for _, f := range s.FDs {
+		f.Rhs.DifferenceWith(f.Lhs)
+		k := f.Lhs.Key()
+		if prev, ok := byLhs[k]; ok {
+			prev.Rhs.UnionWith(f.Rhs)
+			continue
+		}
+		byLhs[k] = f
+		out = append(out, f)
+	}
+	s.FDs = out[:0]
+	for _, f := range out {
+		if !f.Rhs.IsEmpty() {
+			s.FDs = append(s.FDs, f)
+		}
+	}
+	return s
+}
+
+// Sort orders FDs by ascending Lhs cardinality, then lexicographically
+// by Lhs elements, for deterministic output. It returns the receiver.
+func (s *Set) Sort() *Set {
+	sort.Slice(s.FDs, func(i, j int) bool {
+		a, b := s.FDs[i].Lhs, s.FDs[j].Lhs
+		if ca, cb := a.Cardinality(), b.Cardinality(); ca != cb {
+			return ca < cb
+		}
+		ea, eb := a.First(), b.First()
+		for ea >= 0 && eb >= 0 {
+			if ea != eb {
+				return ea < eb
+			}
+			ea, eb = a.NextAfter(ea), b.NextAfter(eb)
+		}
+		return eb >= 0
+	})
+	return s
+}
+
+// Equal reports whether two FD sets contain the same dependencies,
+// regardless of order and aggregation.
+func (s *Set) Equal(o *Set) bool {
+	if s.NumAttrs != o.NumAttrs {
+		return false
+	}
+	a := s.Clone().Aggregate()
+	b := o.Clone().Aggregate()
+	if len(a.FDs) != len(b.FDs) {
+		return false
+	}
+	byLhs := make(map[string]*FD, len(a.FDs))
+	for _, f := range a.FDs {
+		byLhs[f.Lhs.Key()] = f
+	}
+	for _, f := range b.FDs {
+		g, ok := byLhs[f.Lhs.Key()]
+		if !ok || !g.Rhs.Equal(f.Rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the whole set with attribute names, one FD per line.
+func (s *Set) Format(attrs []string) string {
+	var b strings.Builder
+	for _, f := range s.FDs {
+		b.WriteString(f.Format(attrs))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants: universe sizes match and FDs
+// are non-trivial. Intended for tests and debugging.
+func (s *Set) Validate() error {
+	for i, f := range s.FDs {
+		if f.Lhs.Size() != s.NumAttrs || f.Rhs.Size() != s.NumAttrs {
+			return fmt.Errorf("fd %d: universe mismatch", i)
+		}
+		if f.Lhs.Intersects(f.Rhs) {
+			return fmt.Errorf("fd %d (%v): trivial rhs attributes", i, f)
+		}
+	}
+	return nil
+}

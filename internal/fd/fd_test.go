@@ -1,0 +1,122 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"normalize/internal/bitset"
+)
+
+func TestFDStringAndFormat(t *testing.T) {
+	f := &FD{Lhs: bitset.Of(5, 2), Rhs: bitset.Of(5, 3, 4)}
+	if f.String() != "{2} -> {3, 4}" {
+		t.Errorf("String = %q", f.String())
+	}
+	attrs := []string{"First", "Last", "Postcode", "City", "Mayor"}
+	if got := f.Format(attrs); got != "Postcode -> City,Mayor" {
+		t.Errorf("Format = %q", got)
+	}
+	empty := &FD{Lhs: bitset.New(5), Rhs: bitset.Of(5, 1)}
+	if !strings.HasPrefix(empty.Format(attrs), "∅") {
+		t.Errorf("empty lhs format = %q", empty.Format(attrs))
+	}
+}
+
+func TestSetAddAndCounts(t *testing.T) {
+	s := NewSet(5)
+	s.AddAttrs([]int{2}, []int{3})
+	s.AddAttrs([]int{2}, []int{4})
+	s.AddAttrs([]int{0, 1}, []int{2, 3, 4})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.CountSingle() != 5 {
+		t.Errorf("CountSingle = %d", s.CountSingle())
+	}
+	s.Aggregate()
+	if s.Len() != 2 || s.CountSingle() != 5 {
+		t.Errorf("after aggregate: Len=%d CountSingle=%d", s.Len(), s.CountSingle())
+	}
+	if got := s.AverageRhsSize(); got != 2.5 {
+		t.Errorf("AverageRhsSize = %v", got)
+	}
+}
+
+func TestAggregateRemovesTrivialAndEmpty(t *testing.T) {
+	s := NewSet(4)
+	s.AddAttrs([]int{0, 1}, []int{1}) // fully trivial → dropped
+	s.AddAttrs([]int{0}, []int{0, 2}) // lhs attr removed from rhs
+	s.Aggregate()
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.FDs[0].Rhs.Equal(bitset.Of(4, 2)) {
+		t.Errorf("rhs = %v", s.FDs[0].Rhs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(4)
+	a.AddAttrs([]int{0}, []int{1})
+	a.AddAttrs([]int{0}, []int{2})
+	b := NewSet(4)
+	b.AddAttrs([]int{0}, []int{2, 1})
+	if !a.Equal(b) {
+		t.Error("aggregation-equivalent sets not Equal")
+	}
+	c := NewSet(4)
+	c.AddAttrs([]int{0}, []int{1})
+	if a.Equal(c) {
+		t.Error("different sets Equal")
+	}
+	d := NewSet(5)
+	d.AddAttrs([]int{0}, []int{1, 2})
+	if a.Equal(d) {
+		t.Error("different universes Equal")
+	}
+}
+
+func TestSetSortDeterministic(t *testing.T) {
+	s := NewSet(4)
+	s.AddAttrs([]int{1, 2}, []int{3})
+	s.AddAttrs([]int{0}, []int{3})
+	s.AddAttrs([]int{1}, []int{3})
+	s.AddAttrs([]int{0, 3}, []int{1})
+	s.Sort()
+	want := []string{"{0}", "{1}", "{0, 3}", "{1, 2}"}
+	for i, f := range s.FDs {
+		if f.Lhs.String() != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, f.Lhs, want[i])
+		}
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := NewSet(3)
+	s.AddAttrs([]int{0}, []int{1})
+	c := s.Clone()
+	c.FDs[0].Rhs.Add(2)
+	if s.FDs[0].Rhs.Contains(2) {
+		t.Error("Clone not deep")
+	}
+}
+
+func TestValidateCatchesTrivial(t *testing.T) {
+	s := NewSet(3)
+	s.FDs = append(s.FDs, &FD{Lhs: bitset.Of(3, 0), Rhs: bitset.Of(3, 0, 1)})
+	if s.Validate() == nil {
+		t.Error("trivial FD not caught")
+	}
+}
+
+func TestFormatSet(t *testing.T) {
+	s := NewSet(3)
+	s.AddAttrs([]int{0}, []int{1})
+	out := s.Format([]string{"a", "b", "c"})
+	if out != "a -> b\n" {
+		t.Errorf("Format = %q", out)
+	}
+}

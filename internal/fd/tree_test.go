@@ -1,0 +1,328 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"normalize/internal/bitset"
+)
+
+func bs(n int, elems ...int) *bitset.Set { return bitset.Of(n, elems...) }
+
+func TestTreeAddContains(t *testing.T) {
+	tr := NewTree(5)
+	tr.Add(bs(5, 0, 2), 3)
+	if !tr.Contains(bs(5, 0, 2), 3) {
+		t.Error("Contains after Add failed")
+	}
+	if tr.Contains(bs(5, 0, 2), 4) || tr.Contains(bs(5, 0), 3) || tr.Contains(bs(5, 0, 1, 2), 3) {
+		t.Error("Contains reported FD never added")
+	}
+	if tr.Count() != 1 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}
+
+func TestTreeAddSetAndToSet(t *testing.T) {
+	tr := NewTree(5)
+	tr.AddSet(bs(5, 2), bs(5, 3, 4))
+	tr.Add(bs(5, 0, 1), 2)
+	s := tr.ToSet().Sort()
+	if s.Len() != 2 || s.CountSingle() != 3 {
+		t.Fatalf("ToSet: Len=%d CountSingle=%d", s.Len(), s.CountSingle())
+	}
+	if !s.FDs[0].Lhs.Equal(bs(5, 2)) || !s.FDs[0].Rhs.Equal(bs(5, 3, 4)) {
+		t.Errorf("first FD = %v", s.FDs[0])
+	}
+}
+
+func TestTreeGeneralization(t *testing.T) {
+	tr := NewTree(6)
+	tr.Add(bs(6, 1, 3), 5)
+	if !tr.ContainsGeneralization(bs(6, 1, 3), 5) {
+		t.Error("equal lhs must count as generalization")
+	}
+	if !tr.ContainsGeneralization(bs(6, 0, 1, 3), 5) {
+		t.Error("superset lhs must find generalization")
+	}
+	if tr.ContainsGeneralization(bs(6, 1), 5) {
+		t.Error("subset lhs is not a generalization holder")
+	}
+	if tr.ContainsGeneralization(bs(6, 0, 1, 3), 4) {
+		t.Error("wrong rhs attribute matched")
+	}
+	// Empty-lhs FD generalizes everything.
+	tr2 := NewTree(6)
+	tr2.Add(bs(6), 2)
+	if !tr2.ContainsGeneralization(bs(6, 4), 2) || !tr2.ContainsGeneralization(bs(6), 2) {
+		t.Error("empty lhs must generalize all")
+	}
+}
+
+func TestTreeCollectGeneralizations(t *testing.T) {
+	tr := NewTree(6)
+	tr.Add(bs(6, 1), 5)
+	tr.Add(bs(6, 1, 3), 5)
+	tr.Add(bs(6, 2), 5)
+	tr.Add(bs(6, 1), 4)
+	got := tr.CollectGeneralizations(bs(6, 1, 3), 5)
+	if len(got) != 2 {
+		t.Fatalf("collected %d generalizations, want 2", len(got))
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		seen[g.String()] = true
+	}
+	if !seen["{1}"] || !seen["{1, 3}"] {
+		t.Errorf("collected %v", seen)
+	}
+}
+
+func TestTreeRemove(t *testing.T) {
+	tr := NewTree(5)
+	tr.Add(bs(5, 1, 2), 4)
+	tr.Remove(bs(5, 1, 2), 4)
+	if tr.Contains(bs(5, 1, 2), 4) || tr.Count() != 0 {
+		t.Error("Remove failed")
+	}
+	// Removing a non-existent FD is a no-op.
+	tr.Remove(bs(5, 0), 1)
+	tr.Remove(bs(5, 1, 2, 3), 4)
+}
+
+func TestTreeAddMinimal(t *testing.T) {
+	tr := NewTree(6)
+	if !tr.AddMinimal(bs(6, 1, 3), 5) {
+		t.Error("first insert must succeed")
+	}
+	// A specialization must be rejected.
+	if tr.AddMinimal(bs(6, 0, 1, 3), 5) {
+		t.Error("specialization insert must be rejected")
+	}
+	// A generalization must evict the specialization.
+	if !tr.AddMinimal(bs(6, 1), 5) {
+		t.Error("generalization insert must succeed")
+	}
+	if tr.Contains(bs(6, 1, 3), 5) {
+		t.Error("specialization not removed")
+	}
+	if !tr.Contains(bs(6, 1), 5) {
+		t.Error("generalization missing")
+	}
+	if tr.Count() != 1 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}
+
+func TestTreeAddMinimalKeepsOtherRhs(t *testing.T) {
+	tr := NewTree(6)
+	tr.AddMinimal(bs(6, 1, 3), 5)
+	tr.AddMinimal(bs(6, 1, 3), 4)
+	tr.AddMinimal(bs(6, 1), 5) // evicts {1,3}→5 but not {1,3}→4
+	if !tr.Contains(bs(6, 1, 3), 4) {
+		t.Error("unrelated rhs removed")
+	}
+	if tr.Contains(bs(6, 1, 3), 5) {
+		t.Error("specialization survived")
+	}
+}
+
+func TestTreeLevelAndMaxLevel(t *testing.T) {
+	tr := NewTree(6)
+	tr.Add(bs(6, 1), 2)
+	tr.Add(bs(6, 1, 3), 4)
+	tr.Add(bs(6, 0, 2, 5), 4)
+	if tr.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d", tr.MaxLevel())
+	}
+	var level2 []string
+	tr.Level(2, func(lhs, rhs *bitset.Set) {
+		level2 = append(level2, lhs.String())
+	})
+	if len(level2) != 1 || level2[0] != "{1, 3}" {
+		t.Errorf("Level(2) = %v", level2)
+	}
+	if NewTree(4).MaxLevel() != -1 {
+		t.Error("empty tree MaxLevel should be -1")
+	}
+}
+
+func TestTreeViolatedBy(t *testing.T) {
+	tr := NewTree(6)
+	tr.Add(bs(6, 0), 1)    // lhs ⊆ agree, rhs outside → violated
+	tr.Add(bs(6, 0), 2)    // rhs inside agree → fine
+	tr.Add(bs(6, 0, 3), 1) // lhs outside agree → fine
+	tr.Add(bs(6, 2), 4)    // violated
+	tr.Add(bs(6), 5)       // empty lhs, rhs outside → violated
+	agree := bs(6, 0, 2)
+	got := tr.ViolatedBy(agree)
+	want := map[string]string{
+		"{0}": "{1}",
+		"{2}": "{4}",
+		"{}":  "{5}",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ViolatedBy returned %d FDs, want %d: %v", len(got), len(want), got)
+	}
+	for _, v := range got {
+		if want[v.Lhs.String()] != v.Rhs.String() {
+			t.Errorf("unexpected violated FD %v -> %v", v.Lhs, v.Rhs)
+		}
+	}
+}
+
+func TestTreeViolatedByMatchesCollect(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(6)
+		tr := NewTree(n)
+		for i := 0; i < 25; i++ {
+			a := r.Intn(n)
+			lhs := bitset.New(n)
+			for e := 0; e < n; e++ {
+				if e != a && r.Intn(3) == 0 {
+					lhs.Add(e)
+				}
+			}
+			tr.Add(lhs, a)
+		}
+		agree := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if r.Intn(2) == 0 {
+				agree.Add(e)
+			}
+		}
+		// Reference: per-attribute CollectGeneralizations.
+		type pair struct{ lhs, a string }
+		want := map[pair]bool{}
+		for a := 0; a < n; a++ {
+			if agree.Contains(a) {
+				continue
+			}
+			for _, lhs := range tr.CollectGeneralizations(agree, a) {
+				want[pair{lhs.String(), string(rune('0' + a))}] = true
+			}
+		}
+		got := map[pair]bool{}
+		for _, v := range tr.ViolatedBy(agree) {
+			v.Rhs.ForEach(func(a int) bool {
+				got[pair{v.Lhs.String(), string(rune('0' + a))}] = true
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d violated pairs, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: missing violated pair %v", trial, k)
+			}
+		}
+	}
+}
+
+func TestTreeRemoveRhs(t *testing.T) {
+	tr := NewTree(5)
+	tr.AddSet(bs(5, 1), bs(5, 2, 3, 4))
+	tr.RemoveRhs(bs(5, 1), bs(5, 2, 4))
+	if tr.Contains(bs(5, 1), 2) || tr.Contains(bs(5, 1), 4) {
+		t.Error("RemoveRhs left removed attributes")
+	}
+	if !tr.Contains(bs(5, 1), 3) {
+		t.Error("RemoveRhs removed an unrelated attribute")
+	}
+	// Removing from a non-existent path is a no-op.
+	tr.RemoveRhs(bs(5, 0, 2), bs(5, 3))
+}
+
+// brute is a reference implementation holding FDs in a slice.
+type brute struct {
+	n   int
+	fds []struct {
+		lhs *bitset.Set
+		a   int
+	}
+}
+
+func (b *brute) addMinimal(lhs *bitset.Set, a int) bool {
+	for _, f := range b.fds {
+		if f.a == a && f.lhs.IsSubsetOf(lhs) {
+			return false
+		}
+	}
+	out := b.fds[:0]
+	for _, f := range b.fds {
+		if f.a == a && lhs.IsProperSubsetOf(f.lhs) {
+			continue
+		}
+		out = append(out, f)
+	}
+	b.fds = out
+	b.fds = append(b.fds, struct {
+		lhs *bitset.Set
+		a   int
+	}{lhs.Clone(), a})
+	return true
+}
+
+func (b *brute) containsGen(lhs *bitset.Set, a int) bool {
+	for _, f := range b.fds {
+		if f.a == a && f.lhs.IsSubsetOf(lhs) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickTreeMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	f := func() bool {
+		n := 3 + r.Intn(8)
+		tr := NewTree(n)
+		ref := &brute{n: n}
+		for op := 0; op < 60; op++ {
+			a := r.Intn(n)
+			lhs := bitset.New(n)
+			for e := 0; e < n; e++ {
+				if e != a && r.Intn(3) == 0 {
+					lhs.Add(e)
+				}
+			}
+			switch r.Intn(3) {
+			case 0:
+				if tr.AddMinimal(lhs, a) != ref.addMinimal(lhs, a) {
+					return false
+				}
+			case 1:
+				if tr.ContainsGeneralization(lhs, a) != ref.containsGen(lhs, a) {
+					return false
+				}
+			case 2:
+				gens := tr.CollectGeneralizations(lhs, a)
+				want := 0
+				for _, fd := range ref.fds {
+					if fd.a == a && fd.lhs.IsSubsetOf(lhs) {
+						want++
+					}
+				}
+				if len(gens) != want {
+					return false
+				}
+			}
+		}
+		// Final structural agreement.
+		if tr.Count() != len(ref.fds) {
+			return false
+		}
+		for _, fd := range ref.fds {
+			if !tr.Contains(fd.lhs, fd.a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package keys implements the key-derivation component of Normalize
+// (Section 5 of the paper): from the extended (closed) FDs of a
+// relation, every FD X → Y with X ∪ Y covering all attributes of the
+// relation yields the key X. Lemma 2 of the paper proves that this
+// derivation, although it does not find *all* minimal keys, finds every
+// key that BCNF violation detection can ever need — namely all keys
+// that are subsets of some FD's left-hand side.
+package keys
+
+import (
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+)
+
+// Derive returns the keys directly derivable from the extended FDs for
+// a relation consisting of relAttrs: the left-hand sides X of all FDs
+// X → Y with X ∪ Y ⊇ relAttrs. The result is deduplicated; because the
+// FDs are extended minimal FDs, every derived key is a minimal key.
+func Derive(fds *fd.Set, relAttrs *bitset.Set) []*bitset.Set {
+	var out []*bitset.Set
+	seen := make(map[string]bool)
+	for _, f := range fds.FDs {
+		if !f.Lhs.IsSubsetOf(relAttrs) {
+			continue
+		}
+		if !coversUnion(relAttrs, f.Lhs, f.Rhs) {
+			continue
+		}
+		k := f.Lhs.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f.Lhs.Clone())
+	}
+	return out
+}
+
+// coversUnion reports rel ⊆ (a ∪ b) without allocating the union.
+func coversUnion(rel, a, b *bitset.Set) bool {
+	ok := true
+	rel.ForEach(func(e int) bool {
+		if !a.Contains(e) && !b.Contains(e) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

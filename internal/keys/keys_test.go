@@ -1,0 +1,134 @@
+package keys
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"normalize/internal/bitset"
+	"normalize/internal/closure"
+	"normalize/internal/discovery/bruteforce"
+	"normalize/internal/discovery/hyfd"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+)
+
+func TestAddressExampleKeyDerivation(t *testing.T) {
+	// Extended FD First,Last → Postcode,City,Mayor lets us derive the
+	// key {First, Last} (Section 1).
+	s := hyfd.Discover(relation.MustNew("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		}), hyfd.Options{})
+	closure.Optimized(s)
+	got := Derive(s, bitset.Full(5))
+	found := false
+	for _, k := range got {
+		if k.Equal(bitset.Of(5, 0, 1)) {
+			found = true
+		}
+		// Every derived key must determine the whole relation.
+		if !closure.AttributeClosure(s, k).Equal(bitset.Full(5)) {
+			t.Errorf("derived non-key %v", k)
+		}
+	}
+	if !found {
+		t.Error("{First, Last} not derived")
+	}
+}
+
+func TestScopedToSubRelation(t *testing.T) {
+	// FDs: 0→1, 2→3. For the sub-relation {0,1}, FD 0→1 covers it, so 0
+	// is a key; FD 2→3 must be ignored (lhs outside the relation).
+	s := fdSet(4, [][2][]int{
+		{{0}, {1}},
+		{{2}, {3}},
+	})
+	got := Derive(s, bitset.Of(4, 0, 1))
+	if len(got) != 1 || !got[0].Equal(bitset.Of(4, 0)) {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	s := fdSet(3, [][2][]int{
+		{{0}, {1, 2}},
+		{{0}, {1, 2}},
+	})
+	if got := Derive(s, bitset.Full(3)); len(got) != 1 {
+		t.Errorf("duplicate keys not merged: %v", got)
+	}
+}
+
+func TestNoKeys(t *testing.T) {
+	s := fdSet(3, [][2][]int{{{0}, {1}}})
+	if got := Derive(s, bitset.Full(3)); len(got) != 0 {
+		t.Errorf("no FD covers the relation, got %v", got)
+	}
+}
+
+// TestLemma2 validates the paper's Lemma 2 on generated instances:
+// every true minimal key X' that is a subset of some extended FD's
+// LHS is itself directly derivable.
+func TestLemma2(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		// Dedup: keys only exist under set semantics; an instance with
+		// duplicate rows has FD-keys but no unique column combination.
+		rel := randomRelation(r, 4+r.Intn(3), 8+r.Intn(30), 2+r.Intn(3)).Dedup()
+		fds := hyfd.Discover(rel, hyfd.Options{})
+		closure.Optimized(fds)
+		all := bitset.Full(rel.NumAttrs())
+		derived := Derive(fds, all)
+		derivedKeys := map[string]bool{}
+		for _, k := range derived {
+			derivedKeys[k.Key()] = true
+		}
+		trueKeys := bruteforce.DiscoverUCCs(rel, rel.NumAttrs())
+		for _, key := range trueKeys {
+			for _, f := range fds.FDs {
+				if key.IsSubsetOf(f.Lhs) && !derivedKeys[key.Key()] {
+					t.Fatalf("trial %d: Lemma 2 violated — key %v ⊆ lhs %v not derived",
+						trial, key, f.Lhs)
+				}
+			}
+		}
+		// Soundness: every derived key is a true minimal key.
+		enc := rel.Encode()
+		for _, k := range derived {
+			if !bruteforce.IsUnique(enc, k) {
+				t.Fatalf("trial %d: derived key %v is not unique", trial, k)
+			}
+		}
+	}
+}
+
+func fdSet(n int, fdList [][2][]int) *fd.Set {
+	s := fd.NewSet(n)
+	for _, f := range fdList {
+		s.AddAttrs(f[0], f[1])
+	}
+	return s
+}
+
+func randomRelation(r *rand.Rand, attrs, rows, card int) *relation.Relation {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, attrs)
+		for j := range row {
+			row[j] = fmt.Sprintf("v%d", r.Intn(card))
+		}
+		data[i] = row
+	}
+	return relation.MustNew("rand", names, data)
+}

@@ -1,0 +1,144 @@
+// Package pli implements position list indices, also known as stripped
+// partitions: for an attribute (set), the PLI lists the clusters of row
+// indices that share the same value (combination). Clusters of size one
+// are stripped, because they can never witness or violate a functional
+// dependency.
+//
+// PLIs are the core index of partition-based dependency discovery: TANE
+// refines them level-wise, HyFD validates FD candidates with them, and
+// the UCC discovery detects keys as attribute sets with empty PLIs.
+package pli
+
+// PLI is a stripped partition over the rows of one relation instance.
+type PLI struct {
+	numRows  int
+	clusters [][]int
+}
+
+// FromColumn builds the PLI of a dictionary-encoded column.
+func FromColumn(codes []int, cardinality int) *PLI {
+	groups := make([][]int, cardinality)
+	for row, code := range codes {
+		groups[code] = append(groups[code], row)
+	}
+	p := &PLI{numRows: len(codes)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.clusters = append(p.clusters, g)
+		}
+	}
+	return p
+}
+
+// FromClusters builds a PLI directly; singleton clusters are stripped.
+// Intended for tests and synthetic partitions.
+func FromClusters(numRows int, clusters [][]int) *PLI {
+	p := &PLI{numRows: numRows}
+	for _, c := range clusters {
+		if len(c) >= 2 {
+			cp := make([]int, len(c))
+			copy(cp, c)
+			p.clusters = append(p.clusters, cp)
+		}
+	}
+	return p
+}
+
+// NumRows returns the number of rows of the underlying relation.
+func (p *PLI) NumRows() int { return p.numRows }
+
+// NumClusters returns the number of (stripped) clusters.
+func (p *PLI) NumClusters() int { return len(p.clusters) }
+
+// Clusters exposes the clusters; callers must not modify them.
+func (p *PLI) Clusters() [][]int { return p.clusters }
+
+// Size returns the total number of rows covered by clusters.
+func (p *PLI) Size() int {
+	n := 0
+	for _, c := range p.clusters {
+		n += len(c)
+	}
+	return n
+}
+
+// IsUnique reports whether the partition has no cluster, i.e. the
+// attribute set is a unique column combination (a key candidate).
+func (p *PLI) IsUnique() bool { return len(p.clusters) == 0 }
+
+// Inverted returns a row → cluster-id map with -1 for stripped rows.
+func (p *PLI) Inverted() []int {
+	inv := make([]int, p.numRows)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for id, c := range p.clusters {
+		for _, row := range c {
+			inv[row] = id
+		}
+	}
+	return inv
+}
+
+// Intersect computes the PLI of the union of the attribute sets
+// underlying p and o, i.e. the product partition, using the standard
+// probe-table algorithm of TANE.
+func (p *PLI) Intersect(o *PLI) *PLI {
+	return p.IntersectInverted(o.Inverted())
+}
+
+// IntersectInverted is Intersect with the second operand given in
+// inverted (row → cluster) form, which callers can cache and reuse.
+func (p *PLI) IntersectInverted(inv []int) *PLI {
+	res := &PLI{numRows: p.numRows}
+	for _, cluster := range p.clusters {
+		groups := make(map[int][]int)
+		for _, row := range cluster {
+			id := inv[row]
+			if id < 0 {
+				continue
+			}
+			groups[id] = append(groups[id], row)
+		}
+		for _, g := range groups {
+			if len(g) >= 2 {
+				res.clusters = append(res.clusters, g)
+			}
+		}
+	}
+	return res
+}
+
+// Refines reports whether the partition of p refines the given encoded
+// column, i.e. whether every cluster of p is constant in that column.
+// This decides the FD X → A for p = PLI(X) and codes = column A.
+func (p *PLI) Refines(codes []int) bool {
+	for _, cluster := range p.clusters {
+		first := codes[cluster[0]]
+		for _, row := range cluster[1:] {
+			if codes[row] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FirstViolation returns a pair of row indices that agree on p's
+// attribute set but disagree on the given column, or (-1, -1) if the FD
+// holds.
+func (p *PLI) FirstViolation(codes []int) (int, int) {
+	for _, cluster := range p.clusters {
+		first := codes[cluster[0]]
+		for _, row := range cluster[1:] {
+			if codes[row] != first {
+				return cluster[0], row
+			}
+		}
+	}
+	return -1, -1
+}
+
+// Error returns the partition error e(X) = (Size - NumClusters) used by
+// TANE's key pruning: e(X) == 0 iff X is a key.
+func (p *PLI) Error() int { return p.Size() - len(p.clusters) }

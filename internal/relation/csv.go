@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses a relation from CSV. The first record is the header.
+// Empty fields are nulls. The relation name is derived from the reader
+// only via the name argument.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	attrs := make([]string, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			h = fmt.Sprintf("column%d", i+1)
+		}
+		attrs[i] = h
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv row %d: %w", len(rows)+2, err)
+		}
+		row := make([]string, len(rec))
+		copy(row, rec)
+		rows = append(rows, row)
+	}
+	return New(name, attrs, rows)
+}
+
+// ReadCSVFile reads a relation from a CSV file; the relation is named
+// after the file's base name without extension.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to the given path.
+func (r *Relation) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,325 @@
+// Package relation provides the relational substrate of the
+// normalization system: named relations over string-typed attributes,
+// dictionary encoding for the profiling algorithms, projections,
+// deduplication, and natural joins (used both to denormalize evaluation
+// datasets and to verify lossless decompositions).
+//
+// The empty string represents the SQL null value ⊥. Two nulls compare
+// equal for functional-dependency semantics, which matches the default
+// null handling of the Metanome profiling platform the paper builds on.
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"normalize/internal/bitset"
+)
+
+// IsNull reports whether a value represents SQL null (⊥).
+func IsNull(v string) bool { return v == "" }
+
+// Relation is a named relation instance: a header of attribute names
+// and a bag of rows. Rows all have exactly len(Attrs) fields.
+type Relation struct {
+	Name  string
+	Attrs []string
+	Rows  [][]string
+}
+
+// New creates a relation and validates its shape.
+func New(name string, attrs []string, rows [][]string) (*Relation, error) {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation %s: empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	for i, r := range rows {
+		if len(r) != len(attrs) {
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(r), len(attrs))
+		}
+	}
+	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+}
+
+// MustNew is New but panics on error; for literals in tests and
+// generators where shape is statically correct.
+func MustNew(name string, attrs []string, rows [][]string) *Relation {
+	r, err := New(name, attrs, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NumAttrs returns the number of attributes.
+func (r *Relation) NumAttrs() int { return len(r.Attrs) }
+
+// NumRows returns the number of rows.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrNames maps an attribute set over this relation's universe to the
+// corresponding names, in attribute order.
+func (r *Relation) AttrNames(s *bitset.Set) []string {
+	out := make([]string, 0, s.Cardinality())
+	s.ForEach(func(e int) bool {
+		out = append(out, r.Attrs[e])
+		return true
+	})
+	return out
+}
+
+// Column returns the values of column c as a fresh slice.
+func (r *Relation) Column(c int) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[c]
+	}
+	return out
+}
+
+// HasNull reports whether column c contains at least one null.
+func (r *Relation) HasNull(c int) bool {
+	for _, row := range r.Rows {
+		if IsNull(row[c]) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxValueLen returns the length in bytes of the longest value in the
+// given attribute combination; values of multiple attributes are
+// concatenated per row, as prescribed for the paper's value score.
+func (r *Relation) MaxValueLen(attrs *bitset.Set) int {
+	max := 0
+	for _, row := range r.Rows {
+		n := 0
+		attrs.ForEach(func(c int) bool {
+			n += len(row[c])
+			return true
+		})
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// DistinctCount returns the exact number of distinct value combinations
+// of the given attribute set (nulls compare equal).
+func (r *Relation) DistinctCount(attrs *bitset.Set) int {
+	seen := make(map[string]struct{}, len(r.Rows))
+	cols := attrs.Elements()
+	var b strings.Builder
+	for _, row := range r.Rows {
+		b.Reset()
+		for _, c := range cols {
+			b.WriteString(row[c])
+			b.WriteByte(0)
+		}
+		seen[b.String()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Project returns a new relation with the given columns (by index, in
+// the given order). Duplicates are retained; use Dedup afterwards for
+// set semantics.
+func (r *Relation) Project(name string, cols []int) *Relation {
+	attrs := make([]string, len(cols))
+	for i, c := range cols {
+		attrs[i] = r.Attrs[c]
+	}
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		nr := make([]string, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		rows[i] = nr
+	}
+	return &Relation{Name: name, Attrs: attrs, Rows: rows}
+}
+
+// ProjectSet is Project with columns given as a bitset (ascending
+// attribute order).
+func (r *Relation) ProjectSet(name string, attrs *bitset.Set) *Relation {
+	return r.Project(name, attrs.Elements())
+}
+
+// Dedup removes duplicate rows in place, keeping first occurrences, and
+// returns the receiver.
+func (r *Relation) Dedup() *Relation {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := r.Rows[:0]
+	var b strings.Builder
+	for _, row := range r.Rows {
+		b.Reset()
+		for _, v := range row {
+			b.WriteString(v)
+			b.WriteByte(0)
+		}
+		k := b.String()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	r.Rows = out
+	return r
+}
+
+// RowSet returns the set of rows as encoded strings, for set-semantics
+// comparison of instances.
+func (r *Relation) RowSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(r.Rows))
+	var b strings.Builder
+	for _, row := range r.Rows {
+		b.Reset()
+		for _, v := range row {
+			b.WriteString(v)
+			b.WriteByte(0)
+		}
+		set[b.String()] = struct{}{}
+	}
+	return set
+}
+
+// SameRowSet reports whether two relations with identical headers hold
+// the same set of rows (duplicates ignored).
+func (r *Relation) SameRowSet(o *Relation) bool {
+	if len(r.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	a, b := r.RowSet(), o.RowSet()
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NaturalJoin joins r with o on all attributes sharing the same name.
+// The result header is r's attributes followed by o's non-shared
+// attributes. Nulls join with nulls (values compare by equality). It is
+// an error if the relations share no attribute.
+func (r *Relation) NaturalJoin(name string, o *Relation) (*Relation, error) {
+	var shared [][2]int // (col in r, col in o)
+	oOnly := make([]int, 0, len(o.Attrs))
+	for j, a := range o.Attrs {
+		if i := r.AttrIndex(a); i >= 0 {
+			shared = append(shared, [2]int{i, j})
+		} else {
+			oOnly = append(oOnly, j)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("natural join %s ⋈ %s: no shared attributes", r.Name, o.Name)
+	}
+
+	attrs := make([]string, 0, len(r.Attrs)+len(oOnly))
+	attrs = append(attrs, r.Attrs...)
+	for _, j := range oOnly {
+		attrs = append(attrs, o.Attrs[j])
+	}
+
+	// Hash join: index o by its shared-attribute key.
+	index := make(map[string][]int, len(o.Rows))
+	var b strings.Builder
+	for i, row := range o.Rows {
+		b.Reset()
+		for _, p := range shared {
+			b.WriteString(row[p[1]])
+			b.WriteByte(0)
+		}
+		k := b.String()
+		index[k] = append(index[k], i)
+	}
+
+	var rows [][]string
+	for _, row := range r.Rows {
+		b.Reset()
+		for _, p := range shared {
+			b.WriteString(row[p[0]])
+			b.WriteByte(0)
+		}
+		for _, oi := range index[b.String()] {
+			nr := make([]string, 0, len(attrs))
+			nr = append(nr, row...)
+			for _, j := range oOnly {
+				nr = append(nr, o.Rows[oi][j])
+			}
+			rows = append(rows, nr)
+		}
+	}
+	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+}
+
+// Encoded is the dictionary-encoded, column-major form of a relation,
+// the input format of the profiling algorithms (PLI construction, FD
+// validation). Values are encoded per column into dense integer codes;
+// nulls share one code per column (null = null semantics).
+type Encoded struct {
+	NumRows int
+	// Columns[c][row] is the code of the value at (row, c).
+	Columns [][]int
+	// Cardinality[c] is the number of distinct codes in column c.
+	Cardinality []int
+	// HasNull[c] reports whether column c contains nulls.
+	HasNull []bool
+}
+
+// Encode dictionary-encodes the relation.
+func (r *Relation) Encode() *Encoded {
+	e := &Encoded{
+		NumRows:     len(r.Rows),
+		Columns:     make([][]int, len(r.Attrs)),
+		Cardinality: make([]int, len(r.Attrs)),
+		HasNull:     make([]bool, len(r.Attrs)),
+	}
+	for c := range r.Attrs {
+		codes := make(map[string]int)
+		col := make([]int, len(r.Rows))
+		for i, row := range r.Rows {
+			v := row[c]
+			if IsNull(v) {
+				e.HasNull[c] = true
+			}
+			code, ok := codes[v]
+			if !ok {
+				code = len(codes)
+				codes[v] = code
+			}
+			col[i] = code
+		}
+		e.Columns[c] = col
+		e.Cardinality[c] = len(codes)
+	}
+	return e
+}

@@ -1,0 +1,220 @@
+package relation
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"normalize/internal/bitset"
+)
+
+// address is the paper's running example (Table 1).
+func address() *Relation {
+	return MustNew("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("r", []string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := New("r", []string{""}, nil); err == nil {
+		t.Error("empty attribute name accepted")
+	}
+	if _, err := New("r", []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestAttrIndexAndNames(t *testing.T) {
+	r := address()
+	if r.AttrIndex("City") != 3 || r.AttrIndex("nope") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	names := r.AttrNames(bitset.Of(5, 0, 3))
+	if !reflect.DeepEqual(names, []string{"First", "City"}) {
+		t.Errorf("AttrNames = %v", names)
+	}
+}
+
+func TestColumnAndNulls(t *testing.T) {
+	r := MustNew("r", []string{"a", "b"}, [][]string{{"x", ""}, {"y", "z"}})
+	if !reflect.DeepEqual(r.Column(0), []string{"x", "y"}) {
+		t.Error("Column wrong")
+	}
+	if !r.HasNull(1) || r.HasNull(0) {
+		t.Error("HasNull wrong")
+	}
+	if !IsNull("") || IsNull("x") {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestMaxValueLen(t *testing.T) {
+	r := address()
+	if got := r.MaxValueLen(bitset.Of(5, 3)); got != len("Frankfurt") {
+		t.Errorf("MaxValueLen(City) = %d", got)
+	}
+	// Concatenation across attributes: First+Last.
+	if got := r.MaxValueLen(bitset.Of(5, 0, 1)); got != len("Thomas")+len("Miller") {
+		t.Errorf("MaxValueLen(First,Last) = %d", got)
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	r := address()
+	if got := r.DistinctCount(bitset.Of(5, 2)); got != 3 {
+		t.Errorf("DistinctCount(Postcode) = %d, want 3", got)
+	}
+	if got := r.DistinctCount(bitset.Of(5, 0, 1)); got != 6 {
+		t.Errorf("DistinctCount(First,Last) = %d, want 6", got)
+	}
+}
+
+func TestProjectAndDedup(t *testing.T) {
+	r := address()
+	p := r.ProjectSet("city", bitset.Of(5, 2, 3, 4)).Dedup()
+	if p.NumRows() != 3 {
+		t.Errorf("deduped projection has %d rows, want 3", p.NumRows())
+	}
+	if !reflect.DeepEqual(p.Attrs, []string{"Postcode", "City", "Mayor"}) {
+		t.Errorf("projection attrs = %v", p.Attrs)
+	}
+}
+
+func TestNaturalJoinLossless(t *testing.T) {
+	// Decompose the address relation as in the paper (Table 2) and
+	// verify the natural join reproduces the original tuples.
+	r := address()
+	r1 := r.Project("r1", []int{0, 1, 2})
+	r2 := r.Project("r2", []int{2, 3, 4}).Dedup()
+	if r2.NumRows() != 3 {
+		t.Fatalf("r2 rows = %d, want 3", r2.NumRows())
+	}
+	joined, err := r1.NaturalJoin("joined", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.SameRowSet(r) {
+		t.Error("natural join does not reproduce original relation")
+	}
+}
+
+func TestNaturalJoinNoSharedAttrs(t *testing.T) {
+	a := MustNew("a", []string{"x"}, nil)
+	b := MustNew("b", []string{"y"}, nil)
+	if _, err := a.NaturalJoin("j", b); err == nil {
+		t.Error("join without shared attributes must fail")
+	}
+}
+
+func TestNaturalJoinNullsJoin(t *testing.T) {
+	a := MustNew("a", []string{"k", "v"}, [][]string{{"", "1"}})
+	b := MustNew("b", []string{"k", "w"}, [][]string{{"", "2"}})
+	j, err := a.NaturalJoin("j", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 1 {
+		t.Errorf("null keys should join; got %d rows", j.NumRows())
+	}
+}
+
+func TestSameRowSet(t *testing.T) {
+	a := MustNew("a", []string{"x"}, [][]string{{"1"}, {"2"}, {"1"}})
+	b := MustNew("b", []string{"x"}, [][]string{{"2"}, {"1"}})
+	if !a.SameRowSet(b) {
+		t.Error("bag vs set comparison should ignore duplicates")
+	}
+	c := MustNew("c", []string{"x"}, [][]string{{"2"}, {"3"}})
+	if a.SameRowSet(c) {
+		t.Error("different row sets reported equal")
+	}
+	d := MustNew("d", []string{"y"}, [][]string{{"1"}, {"2"}})
+	if a.SameRowSet(d) {
+		t.Error("different headers reported equal")
+	}
+}
+
+func TestEncode(t *testing.T) {
+	r := MustNew("r", []string{"a", "b"}, [][]string{
+		{"x", ""},
+		{"y", "z"},
+		{"x", ""},
+	})
+	e := r.Encode()
+	if e.NumRows != 3 {
+		t.Errorf("NumRows = %d", e.NumRows)
+	}
+	if e.Columns[0][0] != e.Columns[0][2] || e.Columns[0][0] == e.Columns[0][1] {
+		t.Error("encoding of column a wrong")
+	}
+	if e.Columns[1][0] != e.Columns[1][2] {
+		t.Error("nulls must share a code")
+	}
+	if e.Cardinality[0] != 2 || e.Cardinality[1] != 2 {
+		t.Errorf("cardinalities = %v", e.Cardinality)
+	}
+	if !e.HasNull[1] || e.HasNull[0] {
+		t.Error("HasNull flags wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := address()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("address", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameRowSet(r) || !reflect.DeepEqual(back.Attrs, r.Attrs) {
+		t.Error("CSV round trip lost data")
+	}
+}
+
+func TestReadCSVHeaderFallback(t *testing.T) {
+	r, err := ReadCSV("r", strings.NewReader("a,,c\n1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Attrs, []string{"a", "column2", "c"}) {
+		t.Errorf("attrs = %v", r.Attrs)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV("r", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/addr.csv"
+	r := address()
+	if err := r.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "addr" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if !back.SameRowSet(r) {
+		t.Error("file round trip lost data")
+	}
+}

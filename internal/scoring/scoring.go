@@ -1,0 +1,213 @@
+// Package scoring implements the constraint-selection features of
+// Section 7 of the paper: quality scores that rank key candidates
+// (Section 7.1) and violating FDs (Section 7.2) by their likelihood of
+// being semantically meaningful constraints rather than coincidences of
+// the instance. All scores are in (0, 1]; the final score of a
+// candidate is the mean of its feature scores, so a "perfect" candidate
+// scores 1.
+//
+// The duplication feature estimates distinct-value counts with a Bloom
+// filter, exactly as the paper prescribes, because exact counting is
+// too expensive inside the ranking loop (an exact variant exists for
+// the ablation benchmark).
+//
+// All attribute sets passed to this package are in the local index
+// space of the given relation instance (position i = i-th column).
+package scoring
+
+import (
+	"math"
+	"sort"
+
+	"normalize/internal/bitset"
+	"normalize/internal/bloom"
+	"normalize/internal/fd"
+	"normalize/internal/relation"
+)
+
+// KeyScore rates a key candidate, combining the length, value, and
+// position features of Section 7.1. A single leading attribute with
+// values of at most 8 characters scores 1.
+func KeyScore(rel *relation.Relation, key *bitset.Set) float64 {
+	return (keyLengthScore(key) +
+		valueScore(rel, key) +
+		keyPositionScore(rel, key)) / 3
+}
+
+// keyLengthScore: 1/|X| — schema designers prefer short keys.
+func keyLengthScore(key *bitset.Set) float64 {
+	c := key.Cardinality()
+	if c == 0 {
+		return 1
+	}
+	return 1 / float64(c)
+}
+
+// valueScore: 1/max(1, |max(X)|-7) — primary-key values are typically
+// short; max(X) concatenates the values of multi-attribute candidates.
+func valueScore(rel *relation.Relation, attrs *bitset.Set) float64 {
+	longest := rel.MaxValueLen(attrs)
+	d := longest - 7
+	if d < 1 {
+		d = 1
+	}
+	return 1 / float64(d)
+}
+
+// keyPositionScore: ½(1/(|left(X)|+1) + 1/(|between(X)|+1)) — key
+// attributes tend to be leftmost and adjacent.
+func keyPositionScore(rel *relation.Relation, key *bitset.Set) float64 {
+	if key.IsEmpty() {
+		return 1
+	}
+	left := key.First()
+	return 0.5 * (1/float64(left+1) + 1/float64(between(key)+1))
+}
+
+// between counts the non-member attributes between the first and last
+// member of the set.
+func between(s *bitset.Set) int {
+	first := s.First()
+	if first < 0 {
+		return 0
+	}
+	last := first
+	for e := first; e >= 0; e = s.NextAfter(e) {
+		last = e
+	}
+	return (last - first + 1) - s.Cardinality()
+}
+
+// FDScore rates a violating FD as a foreign-key constraint, combining
+// the length, value, position, and duplication features of Section 7.2.
+func FDScore(rel *relation.Relation, f *fd.FD) float64 {
+	return (fdLengthScore(rel, f) +
+		valueScore(rel, f.Lhs) +
+		fdPositionScore(f) +
+		DuplicationScore(rel, f, EstimateDistinctBloom)) / 4
+}
+
+// fdLengthScore: ½(1/|X| + |Y|/(|R|-2)) — short LHS (it becomes a key)
+// and long RHS (large split-off relations raise confidence and remove
+// more redundancy). The RHS can be at most |R|-2 attributes long, which
+// normalizes its weight.
+func fdLengthScore(rel *relation.Relation, f *fd.FD) float64 {
+	lhsPart := 1.0
+	if c := f.Lhs.Cardinality(); c > 0 {
+		lhsPart = 1 / float64(c)
+	}
+	maxRhs := rel.NumAttrs() - 2
+	rhsPart := 1.0
+	if maxRhs > 0 {
+		rhsPart = float64(f.Rhs.Cardinality()) / float64(maxRhs)
+		if rhsPart > 1 {
+			rhsPart = 1
+		}
+	}
+	return 0.5 * (lhsPart + rhsPart)
+}
+
+// fdPositionScore: ½(1/(|between(X)|+1) + 1/(|between(Y)|+1)) —
+// attributes of a semantically coherent FD sit close together; the gap
+// between LHS and RHS is deliberately ignored (a weak signal, per the
+// paper).
+func fdPositionScore(f *fd.FD) float64 {
+	return 0.5 * (1/float64(between(f.Lhs)+1) + 1/float64(between(f.Rhs)+1))
+}
+
+// DistinctEstimator estimates the number of distinct value combinations
+// of the given attributes.
+type DistinctEstimator func(rel *relation.Relation, attrs *bitset.Set) float64
+
+// EstimateDistinctBloom estimates distinct counts with a Bloom filter
+// (the paper's method). The estimate is rounded to the nearest integer:
+// true distinct counts are integral, and rounding keeps estimation
+// noise from breaking score ties between otherwise symmetric candidates
+// (the deterministic tie-break should decide those).
+func EstimateDistinctBloom(rel *relation.Relation, attrs *bitset.Set) float64 {
+	if rel.NumRows() == 0 {
+		return 0
+	}
+	f := bloom.New(rel.NumRows(), 0.01)
+	cols := attrs.Elements()
+	buf := make([]byte, 0, 64)
+	for _, row := range rel.Rows {
+		buf = buf[:0]
+		for _, c := range cols {
+			buf = append(buf, row[c]...)
+			buf = append(buf, 0)
+		}
+		f.Add(string(buf))
+	}
+	return math.Round(f.EstimateDistinct())
+}
+
+// EstimateDistinctExact counts distinct combinations exactly; used by
+// the ablation benchmark comparing against the Bloom estimate.
+func EstimateDistinctExact(rel *relation.Relation, attrs *bitset.Set) float64 {
+	return float64(rel.DistinctCount(attrs))
+}
+
+// DuplicationScore: ½(2 - uniques(X)/values(X) - uniques(Y)/values(Y))
+// — the more duplication on both sides, the more redundancy the split
+// removes, and the likelier the FD is semantically true.
+func DuplicationScore(rel *relation.Relation, f *fd.FD, estimate DistinctEstimator) float64 {
+	rows := float64(rel.NumRows())
+	if rows == 0 {
+		return 0
+	}
+	ratio := func(attrs *bitset.Set) float64 {
+		if attrs.IsEmpty() {
+			return 1 / rows // a single (empty) combination
+		}
+		r := estimate(rel, attrs) / rows
+		if r > 1 {
+			r = 1
+		}
+		return r
+	}
+	return 0.5 * (2 - ratio(f.Lhs) - ratio(f.Rhs))
+}
+
+// RankedKey pairs a key candidate with its score.
+type RankedKey struct {
+	Key   *bitset.Set
+	Score float64
+}
+
+// RankKeys scores and sorts key candidates, best first. Ties break
+// deterministically by the key's element order.
+func RankKeys(rel *relation.Relation, candidates []*bitset.Set) []RankedKey {
+	out := make([]RankedKey, len(candidates))
+	for i, k := range candidates {
+		out[i] = RankedKey{Key: k, Score: KeyScore(rel, k)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}
+
+// RankedFD pairs a violating FD with its score.
+type RankedFD struct {
+	FD    *fd.FD
+	Score float64
+}
+
+// RankFDs scores and sorts violating FDs, best first.
+func RankFDs(rel *relation.Relation, candidates []*fd.FD) []RankedFD {
+	out := make([]RankedFD, len(candidates))
+	for i, f := range candidates {
+		out[i] = RankedFD{FD: f, Score: FDScore(rel, f)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].FD.String() < out[j].FD.String()
+	})
+	return out
+}

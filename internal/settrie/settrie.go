@@ -1,0 +1,186 @@
+// Package settrie implements a prefix tree ("trie") over attribute
+// sets, the index structure proposed in Sections 4 and 6 of the paper
+// for efficient subset lookups: given a query attribute set X, the trie
+// answers "is any stored set a subset of X?" without scanning all
+// stored sets.
+//
+// Sets are stored along root-to-node paths of strictly ascending
+// attribute indices. A subset query then is a pruned depth-first search
+// that only follows edges whose attribute is contained in the query.
+package settrie
+
+import "normalize/internal/bitset"
+
+// Trie stores attribute sets and answers subset queries. The zero
+// value is an empty trie ready for use.
+type Trie struct {
+	root node
+	size int
+}
+
+type node struct {
+	end      bool // a stored set ends here
+	attrs    []int
+	children []*node
+}
+
+// child returns the child for attribute a, or nil.
+func (n *node) child(a int) *node {
+	// Children are few and sorted; linear scan with early exit beats
+	// binary search for the typical fan-out.
+	for i, attr := range n.attrs {
+		if attr == a {
+			return n.children[i]
+		}
+		if attr > a {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ensureChild returns the child for attribute a, creating it in sorted
+// position if necessary.
+func (n *node) ensureChild(a int) *node {
+	i := 0
+	for i < len(n.attrs) && n.attrs[i] < a {
+		i++
+	}
+	if i < len(n.attrs) && n.attrs[i] == a {
+		return n.children[i]
+	}
+	c := &node{}
+	n.attrs = append(n.attrs, 0)
+	copy(n.attrs[i+1:], n.attrs[i:])
+	n.attrs[i] = a
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// Len returns the number of distinct sets stored.
+func (t *Trie) Len() int { return t.size }
+
+// Insert stores the given set. Inserting a set that is already present
+// is a no-op. The empty set is storable and is a subset of everything.
+func (t *Trie) Insert(s *bitset.Set) {
+	n := &t.root
+	s.ForEach(func(e int) bool {
+		n = n.ensureChild(e)
+		return true
+	})
+	if !n.end {
+		n.end = true
+		t.size++
+	}
+}
+
+// Contains reports whether exactly the given set has been stored.
+func (t *Trie) Contains(s *bitset.Set) bool {
+	n := &t.root
+	ok := true
+	s.ForEach(func(e int) bool {
+		if c := n.child(e); c != nil {
+			n = c
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok && n.end
+}
+
+// ContainsSubsetOf reports whether any stored set is a subset of s
+// (including s itself and the empty set).
+func (t *Trie) ContainsSubsetOf(s *bitset.Set) bool {
+	return containsSubset(&t.root, s, -1)
+}
+
+// ContainsProperSubsetOf reports whether any stored set is a proper
+// subset of s.
+func (t *Trie) ContainsProperSubsetOf(s *bitset.Set) bool {
+	return containsSubsetBounded(&t.root, s, -1, s.Cardinality())
+}
+
+func containsSubset(n *node, s *bitset.Set, after int) bool {
+	if n.end {
+		return true
+	}
+	for e := s.NextAfter(after); e >= 0; e = s.NextAfter(e) {
+		if c := n.child(e); c != nil {
+			if containsSubset(c, s, e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsSubsetBounded is like containsSubset but only accepts stored
+// sets with fewer than bound elements (bound = |s| yields proper
+// subsets). depth counting is folded into bound by decrementing.
+func containsSubsetBounded(n *node, s *bitset.Set, after, bound int) bool {
+	if n.end && bound > 0 {
+		return true
+	}
+	if bound <= 1 {
+		// Descending one more level would reach cardinality >= |s|.
+		return false
+	}
+	for e := s.NextAfter(after); e >= 0; e = s.NextAfter(e) {
+		if c := n.child(e); c != nil {
+			if containsSubsetBounded(c, s, e, bound-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SubsetsOf calls f with every stored set that is a subset of s, in
+// lexicographic order of their element sequences. Iteration stops early
+// if f returns false. The set passed to f is freshly allocated over the
+// same universe as s.
+func (t *Trie) SubsetsOf(s *bitset.Set, f func(*bitset.Set) bool) {
+	prefix := make([]int, 0, 16)
+	subsetsOf(&t.root, s, -1, prefix, f)
+}
+
+func subsetsOf(n *node, s *bitset.Set, after int, prefix []int, f func(*bitset.Set) bool) bool {
+	if n.end {
+		if !f(bitset.Of(s.Size(), prefix...)) {
+			return false
+		}
+	}
+	for e := s.NextAfter(after); e >= 0; e = s.NextAfter(e) {
+		if c := n.child(e); c != nil {
+			if !subsetsOf(c, s, e, append(prefix, e), f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// All calls f with every stored set, in lexicographic order. The
+// universe size of the produced sets is n. Iteration stops early if f
+// returns false.
+func (t *Trie) All(n int, f func(*bitset.Set) bool) {
+	prefix := make([]int, 0, 16)
+	all(&t.root, n, prefix, f)
+}
+
+func all(nd *node, n int, prefix []int, f func(*bitset.Set) bool) bool {
+	if nd.end {
+		if !f(bitset.Of(n, prefix...)) {
+			return false
+		}
+	}
+	for i, a := range nd.attrs {
+		if !all(nd.children[i], n, append(prefix, a), f) {
+			return false
+		}
+	}
+	return true
+}

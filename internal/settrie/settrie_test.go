@@ -1,0 +1,223 @@
+package settrie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"normalize/internal/bitset"
+)
+
+func set(elems ...int) *bitset.Set { return bitset.Of(64, elems...) }
+
+func TestInsertContains(t *testing.T) {
+	var tr Trie
+	sets := []*bitset.Set{set(1, 2), set(1, 2, 3), set(5), set()}
+	for _, s := range sets {
+		tr.Insert(s)
+	}
+	if tr.Len() != len(sets) {
+		t.Errorf("Len = %d, want %d", tr.Len(), len(sets))
+	}
+	for _, s := range sets {
+		if !tr.Contains(s) {
+			t.Errorf("Contains(%v) = false", s)
+		}
+	}
+	if tr.Contains(set(2)) || tr.Contains(set(1, 3)) || tr.Contains(set(1)) {
+		t.Error("Contains reported set never inserted")
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	var tr Trie
+	tr.Insert(set(1, 2))
+	tr.Insert(set(1, 2))
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert", tr.Len())
+	}
+}
+
+func TestContainsSubsetOf(t *testing.T) {
+	var tr Trie
+	tr.Insert(set(1, 2))
+	tr.Insert(set(4, 7))
+
+	cases := []struct {
+		query *bitset.Set
+		want  bool
+	}{
+		{set(1, 2, 3), true}, // superset of {1,2}
+		{set(1, 2), true},    // equal counts as subset
+		{set(4, 7, 9), true}, // superset of {4,7}
+		{set(1, 3), false},   // no stored subset
+		{set(2, 4), false},   // partial overlaps only
+		{set(), false},       // nothing stored is subset of empty
+		{set(7), false},      // {4,7} not subset of {7}
+	}
+	for _, c := range cases {
+		if got := tr.ContainsSubsetOf(c.query); got != c.want {
+			t.Errorf("ContainsSubsetOf(%v) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}
+
+func TestEmptySetIsSubsetOfEverything(t *testing.T) {
+	var tr Trie
+	tr.Insert(set())
+	if !tr.ContainsSubsetOf(set()) || !tr.ContainsSubsetOf(set(3, 9)) {
+		t.Error("stored empty set must be subset of every query")
+	}
+}
+
+func TestContainsProperSubsetOf(t *testing.T) {
+	var tr Trie
+	tr.Insert(set(1, 2))
+	if tr.ContainsProperSubsetOf(set(1, 2)) {
+		t.Error("equal set is not a proper subset")
+	}
+	if !tr.ContainsProperSubsetOf(set(1, 2, 3)) {
+		t.Error("{1,2} is a proper subset of {1,2,3}")
+	}
+	tr.Insert(set(1))
+	if !tr.ContainsProperSubsetOf(set(1, 2)) {
+		t.Error("{1} is a proper subset of {1,2}")
+	}
+	var tr2 Trie
+	tr2.Insert(set())
+	if !tr2.ContainsProperSubsetOf(set(5)) {
+		t.Error("empty set is a proper subset of {5}")
+	}
+	if tr2.ContainsProperSubsetOf(set()) {
+		t.Error("empty set is not a proper subset of itself")
+	}
+}
+
+func TestSubsetsOf(t *testing.T) {
+	var tr Trie
+	for _, s := range []*bitset.Set{set(1), set(2), set(1, 2), set(1, 3), set(9)} {
+		tr.Insert(s)
+	}
+	var got []string
+	tr.SubsetsOf(set(1, 2, 3), func(s *bitset.Set) bool {
+		got = append(got, s.String())
+		return true
+	})
+	sort.Strings(got)
+	want := []string{"{1, 2}", "{1, 3}", "{1}", "{2}"}
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("SubsetsOf returned %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SubsetsOf returned %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsetsOfEarlyStop(t *testing.T) {
+	var tr Trie
+	tr.Insert(set(1))
+	tr.Insert(set(2))
+	count := 0
+	tr.SubsetsOf(set(1, 2), func(*bitset.Set) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop delivered %d sets", count)
+	}
+}
+
+func TestAll(t *testing.T) {
+	var tr Trie
+	ins := []*bitset.Set{set(3, 5), set(1), set(1, 9)}
+	for _, s := range ins {
+		tr.Insert(s)
+	}
+	seen := map[string]bool{}
+	tr.All(64, func(s *bitset.Set) bool {
+		seen[s.String()] = true
+		return true
+	})
+	if len(seen) != 3 || !seen["{3, 5}"] || !seen["{1}"] || !seen["{1, 9}"] {
+		t.Errorf("All visited %v", seen)
+	}
+}
+
+// bruteSubsetOf checks the reference semantics against a plain slice.
+func bruteContainsSubsetOf(stored []*bitset.Set, q *bitset.Set) bool {
+	for _, s := range stored {
+		if s.IsSubsetOf(q) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	f := func() bool {
+		n := 4 + r.Intn(12)
+		var tr Trie
+		var stored []*bitset.Set
+		for i := 0; i < 1+r.Intn(20); i++ {
+			s := bitset.New(n)
+			for e := 0; e < n; e++ {
+				if r.Intn(3) == 0 {
+					s.Add(e)
+				}
+			}
+			tr.Insert(s)
+			stored = append(stored, s)
+		}
+		for i := 0; i < 10; i++ {
+			q := bitset.New(n)
+			for e := 0; e < n; e++ {
+				if r.Intn(2) == 0 {
+					q.Add(e)
+				}
+			}
+			if tr.ContainsSubsetOf(q) != bruteContainsSubsetOf(stored, q) {
+				return false
+			}
+			// Proper subset reference.
+			want := false
+			for _, s := range stored {
+				if s.IsProperSubsetOf(q) {
+					want = true
+					break
+				}
+			}
+			if tr.ContainsProperSubsetOf(q) != want {
+				return false
+			}
+			// SubsetsOf must enumerate exactly the brute-force subsets.
+			got := map[string]bool{}
+			tr.SubsetsOf(q, func(s *bitset.Set) bool {
+				got[s.Key()] = true
+				return true
+			})
+			wantSet := map[string]bool{}
+			for _, s := range stored {
+				if s.IsSubsetOf(q) {
+					wantSet[s.Key()] = true
+				}
+			}
+			if len(got) != len(wantSet) {
+				return false
+			}
+			for k := range wantSet {
+				if !got[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"normalize/internal/core"
+)
+
+// Dot renders a normalized schema as a Graphviz digraph: one record
+// node per table (primary-key attributes underlined via a port marker)
+// and one edge per foreign key. The paper's conclusion names graphical
+// previews of normalized relations as future work; this is the
+// machine-readable half of it — pipe through `dot -Tsvg`.
+func Dot(tables []*core.Table) string {
+	var b strings.Builder
+	b.WriteString("digraph schema {\n")
+	b.WriteString("    rankdir=LR;\n")
+	b.WriteString("    node [shape=record, fontsize=10];\n")
+
+	sorted := make([]*core.Table, len(tables))
+	copy(sorted, tables)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	for _, t := range sorted {
+		var fields []string
+		for _, name := range t.AttrNames(t.Attrs) {
+			label := escapeDot(name)
+			if t.PrimaryKey != nil {
+				for _, pk := range t.AttrNames(t.PrimaryKey) {
+					if pk == name {
+						label = "*" + label
+						break
+					}
+				}
+			}
+			fields = append(fields, label)
+		}
+		fmt.Fprintf(&b, "    %q [label=\"{%s|%s}\"];\n",
+			t.Name, escapeDot(t.Name), strings.Join(fields, "\\l")+"\\l")
+	}
+	for _, t := range sorted {
+		for _, fk := range t.ForeignKeys {
+			fmt.Fprintf(&b, "    %q -> %q [label=%q, fontsize=9];\n",
+				t.Name, fk.RefTable, strings.Join(t.AttrNames(fk.Attrs), ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	r := strings.NewReplacer(
+		`"`, `\"`, "{", `\{`, "}", `\}`, "|", `\|`, "<", `\<`, ">", `\>`,
+	)
+	return r.Replace(s)
+}

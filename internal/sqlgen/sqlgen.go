@@ -1,0 +1,123 @@
+// Package sqlgen renders a normalized schema as SQL DDL: one CREATE
+// TABLE statement per table with PRIMARY KEY and FOREIGN KEY
+// constraints, which is the artifact a downstream user feeds to their
+// database after normalization.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"normalize/internal/core"
+)
+
+// quote renders an identifier with double quotes when it is not a
+// plain lowercase SQL identifier.
+func quote(id string) string {
+	plain := true
+	for i, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain && id != "" {
+		return id
+	}
+	return `"` + strings.ReplaceAll(id, `"`, `""`) + `"`
+}
+
+// CreateTable renders the DDL of one table. All columns are typed TEXT
+// (the normalizer is type-agnostic); key columns get NOT NULL.
+func CreateTable(t *core.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (\n", quote(t.Name))
+	names := t.AttrNames(t.Attrs)
+	for _, name := range names {
+		fmt.Fprintf(&b, "    %s TEXT", quote(name))
+		if t.PrimaryKey != nil {
+			for _, pk := range t.AttrNames(t.PrimaryKey) {
+				if pk == name {
+					b.WriteString(" NOT NULL")
+					break
+				}
+			}
+		}
+		b.WriteString(",\n")
+	}
+	if t.PrimaryKey != nil {
+		fmt.Fprintf(&b, "    PRIMARY KEY (%s),\n", columnList(t.AttrNames(t.PrimaryKey)))
+	}
+	for _, fk := range t.ForeignKeys {
+		cols := columnList(t.AttrNames(fk.Attrs))
+		fmt.Fprintf(&b, "    FOREIGN KEY (%s) REFERENCES %s (%s),\n",
+			cols, quote(fk.RefTable), cols)
+	}
+	ddl := strings.TrimSuffix(b.String(), ",\n") + "\n);\n"
+	return ddl
+}
+
+// columnList renders quoted column names separated by commas.
+func columnList(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = quote(n)
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// Schema renders the DDL of a whole schema, referenced tables first so
+// the script executes without forward references. Cycles cannot occur:
+// BCNF decomposition produces a tree-shaped (snowflake) foreign-key
+// structure.
+func Schema(tables []*core.Table) string {
+	// Topological order by FK references (referenced before referencing).
+	byName := make(map[string]*core.Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	var order []string
+	visited := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		if visited[name] {
+			return
+		}
+		visited[name] = true
+		t := byName[name]
+		if t == nil {
+			return
+		}
+		refs := make([]string, 0, len(t.ForeignKeys))
+		for _, fk := range t.ForeignKeys {
+			refs = append(refs, fk.RefTable)
+		}
+		sort.Strings(refs)
+		for _, r := range refs {
+			visit(r)
+		}
+		order = append(order, name)
+	}
+	names := make([]string, 0, len(tables))
+	for _, t := range tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		visit(n)
+	}
+
+	var b strings.Builder
+	for i, name := range order {
+		if t := byName[name]; t != nil {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(CreateTable(t))
+		}
+	}
+	return b.String()
+}

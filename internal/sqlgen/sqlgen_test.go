@@ -1,0 +1,114 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"normalize/internal/core"
+	"normalize/internal/relation"
+)
+
+func normalizedAddress(t *testing.T) []*core.Table {
+	t.Helper()
+	rel := relation.MustNew("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", "Jakobs"},
+			{"Thomas", "Moore", "60329", "Frankfurt", "Feldmann"},
+		})
+	res, err := core.NormalizeRelation(rel, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tables
+}
+
+func TestCreateTableContainsConstraints(t *testing.T) {
+	tables := normalizedAddress(t)
+	var withFK *core.Table
+	for _, tbl := range tables {
+		if len(tbl.ForeignKeys) > 0 {
+			withFK = tbl
+		}
+	}
+	if withFK == nil {
+		t.Fatal("no table with foreign key")
+	}
+	ddl := CreateTable(withFK)
+	for _, want := range []string{"CREATE TABLE", "PRIMARY KEY", "FOREIGN KEY", "REFERENCES"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	if strings.Contains(ddl, ",\n);") {
+		t.Errorf("trailing comma before closing paren:\n%s", ddl)
+	}
+}
+
+func TestSchemaOrdersReferencedTablesFirst(t *testing.T) {
+	tables := normalizedAddress(t)
+	ddl := Schema(tables)
+	var refIdx, useIdx int
+	for _, tbl := range tables {
+		for _, fk := range tbl.ForeignKeys {
+			refIdx = strings.Index(ddl, "CREATE TABLE "+quote(fk.RefTable))
+			useIdx = strings.Index(ddl, "CREATE TABLE "+quote(tbl.Name))
+		}
+	}
+	if refIdx < 0 || useIdx < 0 {
+		t.Fatalf("tables missing from schema DDL:\n%s", ddl)
+	}
+	if refIdx > useIdx {
+		t.Errorf("referenced table created after referencing table:\n%s", ddl)
+	}
+	if strings.Count(ddl, "CREATE TABLE") != len(tables) {
+		t.Errorf("want %d CREATE TABLE statements:\n%s", len(tables), ddl)
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	tables := normalizedAddress(t)
+	dot := Dot(tables)
+	for _, want := range []string{"digraph schema", "shape=record", "*Postcode", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every table appears as a node; every FK as an edge.
+	edges := 0
+	for _, tbl := range tables {
+		if !strings.Contains(dot, `"`+tbl.Name+`"`) {
+			t.Errorf("node for %s missing", tbl.Name)
+		}
+		edges += len(tbl.ForeignKeys)
+	}
+	if got := strings.Count(dot, "->"); got != edges {
+		t.Errorf("DOT has %d edges, want %d", got, edges)
+	}
+}
+
+func TestEscapeDot(t *testing.T) {
+	if got := escapeDot(`a"b{c|d}`); got != `a\"b\{c\|d\}` {
+		t.Errorf("escapeDot = %q", got)
+	}
+}
+
+func TestQuoteIdentifiers(t *testing.T) {
+	cases := map[string]string{
+		"simple":     "simple",
+		"with_under": "with_under",
+		"MixedCase":  `"MixedCase"`,
+		"has space":  `"has space"`,
+		`has"quote`:  `"has""quote"`,
+		"1leading":   `"1leading"`,
+	}
+	for in, want := range cases {
+		if got := quote(in); got != want {
+			t.Errorf("quote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package violation implements the violating-FD identification
+// component of Normalize (Section 6, Algorithm 4 of the paper). Given
+// the extended FDs and the derived keys of a relation, an FD X → Y
+// violates BCNF iff X is neither a key nor a superkey — efficiently
+// tested as "no key is a subset of X" with a prefix tree over the keys.
+//
+// The detector honors the paper's constraint-preservation rules: FDs
+// with null values in their left-hand side are skipped (their LHS would
+// become a primary key, and SQL forbids nulls in keys), primary-key
+// attributes are removed from violating right-hand sides, and FDs whose
+// decomposition would tear an existing foreign key apart are skipped.
+//
+// A Mode selects the target normal form: BCNF (the default) or 3NF,
+// which additionally drops violating FDs whose decomposition would
+// split the left-hand side of another FD — the dependency-preservation
+// condition the paper describes at the end of Section 6.
+package violation
+
+import (
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+	"normalize/internal/settrie"
+)
+
+// Mode selects the normal form whose violations are reported.
+type Mode int
+
+const (
+	// BCNF reports every FD whose LHS is not a (super)key.
+	BCNF Mode = iota
+	// ThirdNF additionally requires dependency preservation: violating
+	// FDs whose decomposition would split another FD's LHS are dropped.
+	ThirdNF
+	// SecondNF reports only partial dependencies: FDs whose LHS is a
+	// proper subset of a key and whose RHS contains non-prime
+	// attributes. Eliminating exactly these yields 2NF — the weakest
+	// normal form the paper's component (4) can be configured for
+	// ("one could setup other normalization criteria in this
+	// component").
+	SecondNF
+)
+
+// Input bundles the state of one relation under normalization.
+type Input struct {
+	// FDs are the extended FDs scoped to the relation (lhs and rhs
+	// within RelAttrs).
+	FDs *fd.Set
+	// Keys are the derived keys of the relation.
+	Keys []*bitset.Set
+	// RelAttrs are the attributes of the relation.
+	RelAttrs *bitset.Set
+	// NullAttrs marks attributes that contain at least one null value.
+	NullAttrs *bitset.Set
+	// PrimaryKey is the relation's primary key, or nil.
+	PrimaryKey *bitset.Set
+	// ForeignKeys are attribute sets acting as foreign keys in this
+	// relation.
+	ForeignKeys []*bitset.Set
+	// Mode selects the target normal form (default BCNF).
+	Mode Mode
+}
+
+// Detect returns the constraint-preserving violating FDs of the
+// relation. Returned FDs are clones; the input set is not modified. An
+// empty result means the relation conforms to the target normal form.
+func Detect(in Input) []*fd.FD {
+	keyTrie := &settrie.Trie{}
+	for _, k := range in.Keys {
+		keyTrie.Insert(k)
+	}
+
+	var out []*fd.FD
+	for _, f := range in.FDs.FDs {
+		if !f.Lhs.IsSubsetOf(in.RelAttrs) {
+			continue
+		}
+		// Null check: the LHS becomes a primary key after the split.
+		if in.NullAttrs != nil && f.Lhs.Intersects(in.NullAttrs) {
+			continue
+		}
+		// Constant columns (∅ → A) are never proposed for decomposition:
+		// the split-off relation would need an empty primary key, which
+		// SQL cannot express — the same reasoning that skips null LHSs.
+		if f.Lhs.IsEmpty() {
+			continue
+		}
+		// BCNF test: any key that is a subset of the LHS certifies the
+		// FD (Line 8 of Algorithm 4).
+		if keyTrie.ContainsSubsetOf(f.Lhs) {
+			continue
+		}
+		v := f.Clone()
+		v.Rhs.IntersectWith(in.RelAttrs)
+		// Preserve an existing primary key: its attributes must not be
+		// pulled out of the relation (Lines 10–11).
+		if in.PrimaryKey != nil {
+			v.Rhs.DifferenceWith(in.PrimaryKey)
+		}
+		if v.Rhs.IsEmpty() {
+			continue
+		}
+		// Preserve existing foreign keys: each must survive intact in
+		// one of the two split relations (Lines 12–14). R2 = X ∪ Y
+		// holds the FK iff fk ⊆ lhs ∪ rhs; R1 = R \ Y ∪ X holds it iff
+		// fk ∩ rhs = ∅.
+		if breaksForeignKey(in.ForeignKeys, v) {
+			continue
+		}
+		out = append(out, v)
+	}
+	switch in.Mode {
+	case ThirdNF:
+		out = dependencyPreserving(in, out)
+	case SecondNF:
+		out = partialDependencies(in, out)
+	}
+	return out
+}
+
+// partialDependencies keeps only 2NF violations: the LHS must be a
+// proper subset of some key, and the RHS is reduced to non-prime
+// attributes (attributes in no key).
+func partialDependencies(in Input, violating []*fd.FD) []*fd.FD {
+	prime := bitset.New(in.FDs.NumAttrs)
+	for _, k := range in.Keys {
+		prime.UnionWith(k)
+	}
+	var out []*fd.FD
+	for _, v := range violating {
+		partial := false
+		for _, k := range in.Keys {
+			if v.Lhs.IsProperSubsetOf(k) {
+				partial = true
+				break
+			}
+		}
+		if !partial {
+			continue
+		}
+		v.Rhs.DifferenceWith(prime)
+		if !v.Rhs.IsEmpty() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func breaksForeignKey(fks []*bitset.Set, v *fd.FD) bool {
+	for _, fk := range fks {
+		if !fk.Intersects(v.Rhs) {
+			continue // fk untouched, stays in R1
+		}
+		if !coveredByUnion(fk, v.Lhs, v.Rhs) {
+			return true // fk neither in R1 nor in R2
+		}
+	}
+	return false
+}
+
+// dependencyPreserving keeps only violating FDs whose decomposition
+// splits no other FD's LHS: for the split by X → Y, every FD LHS V with
+// V ⊆ R must fit into R1 = R \ Y ∪ X or into R2 = X ∪ Y.
+func dependencyPreserving(in Input, violating []*fd.FD) []*fd.FD {
+	var out []*fd.FD
+	for _, v := range violating {
+		r1 := in.RelAttrs.Difference(v.Rhs) // X stays: X ∩ Y = ∅
+		r2 := v.Lhs.Union(v.Rhs)
+		splits := false
+		for _, f := range in.FDs.FDs {
+			if !f.Lhs.IsSubsetOf(in.RelAttrs) || f.Lhs.IsEmpty() {
+				continue
+			}
+			if !f.Lhs.IsSubsetOf(r1) && !f.Lhs.IsSubsetOf(r2) {
+				splits = true
+				break
+			}
+		}
+		if !splits {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func coveredByUnion(s, a, b *bitset.Set) bool {
+	ok := true
+	s.ForEach(func(e int) bool {
+		if !a.Contains(e) && !b.Contains(e) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

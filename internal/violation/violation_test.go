@@ -1,0 +1,204 @@
+package violation
+
+import (
+	"testing"
+
+	"normalize/internal/bitset"
+	"normalize/internal/fd"
+)
+
+// Address example universe: First(0) Last(1) Postcode(2) City(3) Mayor(4).
+func addressInput() Input {
+	s := fd.NewSet(5)
+	s.AddAttrs([]int{0, 1}, []int{2, 3, 4}) // First,Last → rest (key)
+	s.AddAttrs([]int{2}, []int{3, 4})       // Postcode → City,Mayor (violates)
+	return Input{
+		FDs:      s,
+		Keys:     []*bitset.Set{bitset.Of(5, 0, 1)},
+		RelAttrs: bitset.Full(5),
+	}
+}
+
+func TestAddressViolation(t *testing.T) {
+	got := Detect(addressInput())
+	if len(got) != 1 {
+		t.Fatalf("got %d violations, want 1", len(got))
+	}
+	if !got[0].Lhs.Equal(bitset.Of(5, 2)) || !got[0].Rhs.Equal(bitset.Of(5, 3, 4)) {
+		t.Errorf("violation = %v", got[0])
+	}
+}
+
+func TestSuperkeyLhsNotViolating(t *testing.T) {
+	in := addressInput()
+	// Add an FD whose LHS is a superkey: must not be reported.
+	in.FDs.AddAttrs([]int{0, 1, 3}, []int{2, 4})
+	got := Detect(in)
+	for _, v := range got {
+		if v.Lhs.Cardinality() == 3 {
+			t.Error("superkey LHS reported as violation")
+		}
+	}
+}
+
+func TestBCNFConformRelation(t *testing.T) {
+	s := fd.NewSet(3)
+	s.AddAttrs([]int{0}, []int{1, 2})
+	in := Input{FDs: s, Keys: []*bitset.Set{bitset.Of(3, 0)}, RelAttrs: bitset.Full(3)}
+	if got := Detect(in); len(got) != 0 {
+		t.Errorf("conform relation reported %d violations", len(got))
+	}
+}
+
+func TestNullLhsSkipped(t *testing.T) {
+	in := addressInput()
+	in.NullAttrs = bitset.Of(5, 2) // Postcode has nulls
+	if got := Detect(in); len(got) != 0 {
+		t.Error("FD with null LHS must be skipped")
+	}
+}
+
+func TestPrimaryKeyAttributesProtected(t *testing.T) {
+	in := addressInput()
+	// Primary key {First, Last, City}: City must be removed from the
+	// violating FD's RHS.
+	in.PrimaryKey = bitset.Of(5, 0, 1, 3)
+	got := Detect(in)
+	if len(got) != 1 {
+		t.Fatalf("got %d violations", len(got))
+	}
+	if got[0].Rhs.Contains(3) {
+		t.Error("primary key attribute left in violating RHS")
+	}
+	if !got[0].Rhs.Contains(4) {
+		t.Error("non-key RHS attribute lost")
+	}
+	// Input set must not have been mutated.
+	if !in.FDs.FDs[1].Rhs.Contains(3) {
+		t.Error("Detect mutated its input")
+	}
+}
+
+func TestFullyProtectedRhsDropped(t *testing.T) {
+	in := addressInput()
+	in.PrimaryKey = bitset.Of(5, 0, 1, 3, 4) // covers the whole RHS
+	if got := Detect(in); len(got) != 0 {
+		t.Error("violation with empty effective RHS must be dropped")
+	}
+}
+
+func TestForeignKeyPreservation(t *testing.T) {
+	in := addressInput()
+	// FK {City, First}: the split by Postcode→City,Mayor moves City to
+	// R2 but First stays in R1 only — FK torn apart, FD must be skipped.
+	in.ForeignKeys = []*bitset.Set{bitset.Of(5, 0, 3)}
+	if got := Detect(in); len(got) != 0 {
+		t.Errorf("FK-breaking FD not skipped: %v", got)
+	}
+	// FK {City, Mayor} fits entirely into R2 = {Postcode, City, Mayor}:
+	// the FD is fine.
+	in.ForeignKeys = []*bitset.Set{bitset.Of(5, 3, 4)}
+	if got := Detect(in); len(got) != 1 {
+		t.Error("FK inside R2 must not block the FD")
+	}
+	// FK {First, Last} is untouched by the split (stays in R1).
+	in.ForeignKeys = []*bitset.Set{bitset.Of(5, 0, 1)}
+	if got := Detect(in); len(got) != 1 {
+		t.Error("FK disjoint from RHS must not block the FD")
+	}
+}
+
+func TestScopedToRelation(t *testing.T) {
+	in := addressInput()
+	// Restrict the relation to {First, Last, Postcode}: the violating
+	// FD Postcode→City,Mayor points outside and must be ignored.
+	in.RelAttrs = bitset.Of(5, 0, 1, 2)
+	in.Keys = []*bitset.Set{bitset.Of(5, 0, 1)}
+	if got := Detect(in); len(got) != 0 {
+		t.Errorf("out-of-relation FD reported: %v", got)
+	}
+}
+
+func TestEmptyLhsSkipped(t *testing.T) {
+	// A constant column yields ∅→A; it must never be proposed for
+	// decomposition (its table would need an empty primary key).
+	s := fd.NewSet(3)
+	s.AddAttrs(nil, []int{2})
+	s.AddAttrs([]int{0}, []int{1})
+	in := Input{
+		FDs:      s,
+		Keys:     []*bitset.Set{bitset.Of(3, 0, 1)},
+		RelAttrs: bitset.Full(3),
+	}
+	got := Detect(in)
+	for _, v := range got {
+		if v.Lhs.IsEmpty() {
+			t.Error("empty-LHS FD reported as violation")
+		}
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d violations, want 1 (only {0}→{1})", len(got))
+	}
+}
+
+func TestSecondNFOnlyPartialDependencies(t *testing.T) {
+	// Universe: OrderID(0) ProductID(1) Qty(2) ProductName(3) Supplier(4).
+	// Key: {OrderID, ProductID}. ProductID→ProductName,Supplier is a
+	// partial dependency (LHS ⊂ key, RHS non-prime) — a 2NF violation.
+	// Supplier→... with LHS outside the key is a BCNF violation but NOT
+	// a 2NF violation.
+	s := fd.NewSet(5)
+	s.AddAttrs([]int{0, 1}, []int{2, 3, 4})
+	s.AddAttrs([]int{1}, []int{3, 4})
+	s.AddAttrs([]int{4}, []int{3})
+	in := Input{
+		FDs:      s,
+		Keys:     []*bitset.Set{bitset.Of(5, 0, 1)},
+		RelAttrs: bitset.Full(5),
+		Mode:     SecondNF,
+	}
+	got := Detect(in)
+	if len(got) != 1 {
+		t.Fatalf("2NF violations = %d, want 1: %v", len(got), got)
+	}
+	if !got[0].Lhs.Equal(bitset.Of(5, 1)) {
+		t.Errorf("2NF violation = %v, want ProductID partial dependency", got[0])
+	}
+	if got[0].Rhs.Contains(0) || got[0].Rhs.Contains(1) {
+		t.Error("prime attributes must be removed from the 2NF violation RHS")
+	}
+	// BCNF mode reports both.
+	in.Mode = BCNF
+	if got := Detect(in); len(got) != 2 {
+		t.Errorf("BCNF violations = %d, want 2", len(got))
+	}
+}
+
+func TestThirdNFDropsLhsSplitters(t *testing.T) {
+	// Universe: A(0) B(1) C(2) D(3). Keys: {A}.
+	// FD1: B→C (violates). FD2: C,D→... with LHS {C,D}: the split by
+	// B→C yields R1={A,B,D}, R2={B,C}; LHS {2,3} fits in neither.
+	s := fd.NewSet(4)
+	s.AddAttrs([]int{0}, []int{1, 2, 3})
+	s.AddAttrs([]int{1}, []int{2})
+	s.AddAttrs([]int{2, 3}, []int{1})
+	in := Input{
+		FDs:      s,
+		Keys:     []*bitset.Set{bitset.Of(4, 0)},
+		RelAttrs: bitset.Full(4),
+	}
+	bcnf := Detect(in)
+	if len(bcnf) != 2 {
+		t.Fatalf("BCNF violations = %d, want 2", len(bcnf))
+	}
+	in.Mode = ThirdNF
+	tnf := Detect(in)
+	for _, v := range tnf {
+		if v.Lhs.Equal(bitset.Of(4, 1)) {
+			t.Error("3NF kept the FD that splits {C,D}")
+		}
+	}
+	if len(tnf) != 1 {
+		t.Errorf("3NF violations = %d, want 1", len(tnf))
+	}
+}

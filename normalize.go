@@ -1,0 +1,260 @@
+// Package normalize is a data-driven schema normalization library: it
+// turns relation instances into Boyce-Codd Normal Form (BCNF) using
+// functional dependencies discovered from the data itself, implementing
+// the Normalize system of Papenbrock & Naumann, "Data-driven Schema
+// Normalization" (EDBT 2017).
+//
+// The pipeline mirrors Figure 1 of the paper:
+//
+//	(1) FD discovery        — a HyFD-style hybrid (or TANE) finds all
+//	                          minimal functional dependencies.
+//	(2) Closure calculation — right-hand sides are transitively
+//	                          maximized (three algorithms, Section 4).
+//	(3) Key derivation      — keys fall out of the extended FDs.
+//	(4) Violation detection — FDs whose LHS is no (super)key.
+//	(5) Violating-FD selection — candidates are scored and ranked;
+//	                          a Decider (you, or the automatic default)
+//	                          picks the split.
+//	(6) Decomposition       — R splits into R\Y∪X and X∪Y with key and
+//	                          foreign-key constraints.
+//	(7) Primary key selection — key-less tables get a ranked choice of
+//	                          discovered unique column combinations.
+//
+// Quick start:
+//
+//	rel, err := normalize.ReadCSVFile("addresses.csv")
+//	if err != nil { ... }
+//	res, err := normalize.Normalize(rel, normalize.Options{})
+//	if err != nil { ... }
+//	for _, t := range res.Tables {
+//	    fmt.Println(t)
+//	}
+//	fmt.Println(normalize.DDL(res.Tables))
+//
+// The normalization runs entirely data-driven: every proposed
+// decomposition is backed by functional dependencies with evidence in
+// the instance, all redundancy observable in the data is removed, and
+// the natural join of the resulting tables reproduces the original
+// relation exactly (lossless decomposition).
+package normalize
+
+import (
+	"io"
+
+	"normalize/internal/core"
+	"normalize/internal/discovery/ind"
+	"normalize/internal/export"
+	"normalize/internal/relation"
+	"normalize/internal/sqlgen"
+	"normalize/internal/violation"
+)
+
+// Relation is a named relation instance over string-typed attributes.
+// The empty string represents SQL null.
+type Relation = relation.Relation
+
+// NewRelation creates a relation from a header and rows, validating
+// shape (no duplicate or empty attribute names, rectangular rows).
+func NewRelation(name string, attrs []string, rows [][]string) (*Relation, error) {
+	return relation.New(name, attrs, rows)
+}
+
+// ReadCSV parses a relation from CSV; the first record is the header
+// and empty fields are nulls.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	return relation.ReadCSV(name, r)
+}
+
+// ReadCSVFile reads a relation from a CSV file, named after the file.
+func ReadCSVFile(path string) (*Relation, error) {
+	return relation.ReadCSVFile(path)
+}
+
+// Table is one relation of a normalized schema, with its materialized
+// instance, keys, primary key, and foreign keys.
+type Table = core.Table
+
+// ForeignKey is a foreign-key constraint of a Table.
+type ForeignKey = core.ForeignKey
+
+// Options configures normalization; the zero value requests fully
+// automatic BCNF normalization with HyFD discovery and the optimized
+// closure.
+type Options = core.Options
+
+// Result is the outcome of a normalization run: the schema tables and
+// the per-component statistics of the paper's evaluation.
+type Result = core.Result
+
+// Stats carries the per-component runtimes and FD-set characteristics
+// reported in the paper's Table 3.
+type Stats = core.Stats
+
+// Decider is the user-in-the-loop hook: it chooses the violating FD for
+// each decomposition and the primary key for key-less tables.
+type Decider = core.Decider
+
+// AutoDecider always takes the top-ranked candidate (automatic mode).
+type AutoDecider = core.AutoDecider
+
+// FuncDecider adapts plain functions to the Decider interface.
+type FuncDecider = core.FuncDecider
+
+// RankedFD is a scored violating-FD candidate presented to a Decider.
+type RankedFD = core.RankedFD
+
+// RankedKey is a scored primary-key candidate presented to a Decider.
+type RankedKey = core.RankedKey
+
+// Mode selects the target normal form.
+type Mode = violation.Mode
+
+// Target normal forms.
+const (
+	// BCNF removes all FD-related redundancy (the default).
+	BCNF = violation.BCNF
+	// ThirdNF is slightly less strict but dependency-preserving.
+	ThirdNF = violation.ThirdNF
+	// SecondNF eliminates only partial dependencies on candidate keys.
+	SecondNF = violation.SecondNF
+)
+
+// Closure algorithm selectors (Section 4 of the paper).
+const (
+	// ClosureOptimized is Algorithm 3, requiring the complete minimal
+	// covers that FD discovery produces (the default).
+	ClosureOptimized = core.ClosureOptimized
+	// ClosureImproved is Algorithm 2 for arbitrary FD sets.
+	ClosureImproved = core.ClosureImproved
+	// ClosureNaive is Algorithm 1, the baseline.
+	ClosureNaive = core.ClosureNaive
+)
+
+// Normalize runs the full pipeline on one relation instance.
+func Normalize(rel *Relation, opts Options) (*Result, error) {
+	return core.NormalizeRelation(rel, opts)
+}
+
+// NormalizeAll normalizes each relation of a dataset independently and
+// concatenates the resulting tables.
+func NormalizeAll(rels []*Relation, opts Options) (*Result, error) {
+	return core.NormalizeRelations(rels, opts)
+}
+
+// VerifyNormalForm re-discovers the FDs of a table instance and checks
+// the BCNF condition; it returns nil when the table conforms.
+func VerifyNormalForm(t *Table) error {
+	return core.VerifyNormalForm(t)
+}
+
+// DDL renders a normalized schema as SQL CREATE TABLE statements with
+// primary- and foreign-key constraints, referenced tables first.
+func DDL(tables []*Table) string {
+	return sqlgen.Schema(tables)
+}
+
+// FourNFOptions configures Normalize4NF.
+type FourNFOptions = core.FourNFOptions
+
+// Normalize4NF decomposes a relation into Fourth Normal Form using
+// discovered multivalued dependencies — the extension Section 6 of the
+// paper sketches. MVD discovery is exponential in the attribute count,
+// so this is meant as a refinement pass over small relations (e.g. the
+// output tables of Normalize); relations wider than
+// FourNFOptions.MaxAttrs (default 16) are rejected.
+func Normalize4NF(rel *Relation, opts FourNFOptions) ([]*Relation, error) {
+	return core.Normalize4NF(rel, opts)
+}
+
+// Verify4NF reports nil iff the relation contains no non-trivial
+// multivalued dependency whose left-hand side is not a superkey.
+func Verify4NF(rel *Relation, opts FourNFOptions) error {
+	return core.Verify4NF(rel, opts)
+}
+
+// IND is a unary inclusion dependency between attributes of (usually
+// different) relations.
+type IND = ind.IND
+
+// FKSuggestion is a scored cross-relation foreign-key candidate.
+type FKSuggestion = ind.FKCandidate
+
+// DiscoverINDs finds all unary inclusion dependencies between the
+// given relations (nulls ignored on the dependent side).
+func DiscoverINDs(rels []*Relation) []IND {
+	return ind.Discover(rels, ind.Options{})
+}
+
+// SuggestForeignKeys proposes foreign keys between the tables of a
+// normalized schema (or any set of tables): unary inclusion
+// dependencies into single-attribute primary keys, scored by coverage
+// and attribute-name similarity. Within one relation Normalize derives
+// foreign keys from functional dependencies; across independently
+// normalized relations they come from inclusion dependencies — this is
+// the cross-relation half, inspired by the foreign-key discovery work
+// the paper's Section 7.2 credits.
+func SuggestForeignKeys(tables []*Table) []FKSuggestion {
+	rels := make([]*Relation, len(tables))
+	var keyed []ind.KeyedAttr
+	for i, t := range tables {
+		rels[i] = t.Data
+		if t.PrimaryKey != nil && t.PrimaryKey.Cardinality() == 1 {
+			keyed = append(keyed, ind.KeyedAttr{
+				Relation:  t.Name,
+				Attribute: t.AttrNames(t.PrimaryKey)[0],
+			})
+		}
+	}
+	return ind.SuggestForeignKeys(ind.Discover(rels, ind.Options{}), keyed)
+}
+
+// CompositeFKSuggestion is a scored n-ary foreign-key candidate.
+type CompositeFKSuggestion = ind.CompositeFK
+
+// SuggestCompositeForeignKeys proposes n-ary foreign keys between the
+// tables of a normalized schema: combinations of dependent columns that
+// are included (as tuples) in another table's multi-attribute primary
+// key — the references SuggestForeignKeys cannot express, e.g. a line
+// item's (partkey, suppkey) into partsupp.
+func SuggestCompositeForeignKeys(tables []*Table) []CompositeFKSuggestion {
+	rels := make([]*Relation, len(tables))
+	var keys []ind.CompositeKey
+	for i, t := range tables {
+		rels[i] = t.Data
+		if t.PrimaryKey != nil && t.PrimaryKey.Cardinality() >= 2 {
+			keys = append(keys, ind.CompositeKey{
+				Relation: t.Name,
+				Cols:     t.AttrNames(t.PrimaryKey),
+			})
+		}
+	}
+	return ind.SuggestCompositeForeignKeys(rels, keys)
+}
+
+// SchemaJSON serializes a normalization result as indented JSON
+// (tables, keys, foreign keys, statistics) for downstream tooling.
+func SchemaJSON(res *Result) ([]byte, error) {
+	return export.Schema(res)
+}
+
+// FDSetJSON serializes a discovered FD set with attribute names.
+func FDSetJSON(rel *Relation, fds *FDSet) ([]byte, error) {
+	return export.FDSet(rel.Name, rel.Attrs, fds)
+}
+
+// Dot renders a normalized schema as a Graphviz digraph (one record
+// node per table, one edge per foreign key) for visual inspection —
+// pipe through `dot -Tsvg`.
+func Dot(tables []*Table) string {
+	return sqlgen.Dot(tables)
+}
+
+// CheckReferentialIntegrity verifies every foreign key of a normalized
+// schema: each value combination of a referencing table must exist in
+// the referenced table. The decomposition guarantees this by
+// construction; the check catches drift after manual edits. Constraint
+// enforcement for new rows is available as (*Table).CheckInsert and
+// (*Table).Insert.
+func CheckReferentialIntegrity(tables []*Table) error {
+	return core.CheckReferentialIntegrity(tables)
+}
