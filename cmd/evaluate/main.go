@@ -9,14 +9,21 @@
 //	evaluate -exp conformance  # §8.3: BCNF conformance + lossless joins
 //	evaluate -exp all
 //
+// Ctrl-C cancels the running experiment gracefully: completed rows and
+// sweep points are printed before the process exits with status 130.
+//
 // See EXPERIMENTS.md for the paper-vs-measured discussion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"normalize/internal/core"
 	"normalize/internal/datagen"
@@ -29,53 +36,80 @@ func main() {
 	figure2Steps := flag.Int("figure2-steps", 6, "number of x-positions in the Figure 2 sweep")
 	flag.Parse()
 
-	run := func(name string, f func()) {
-		if *exp == name || *exp == "all" {
-			fmt.Printf("=== %s ===\n", name)
-			f()
-			fmt.Println()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interrupted := false
+	run := func(name string, f func() error) {
+		if interrupted || (*exp != name && *exp != "all") {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		err := f()
+		fmt.Println()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted; partial results above")
+			interrupted = true
+		} else if err != nil {
+			log.Fatal(err)
 		}
 	}
 
-	run("table3", func() {
+	run("table3", func() error {
 		var rows []eval.Table3Row
+		var err error
 		for _, spec := range eval.DefaultSpecs() {
 			fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
-			rows = append(rows, eval.RunTable3Row(spec))
+			var row eval.Table3Row
+			if row, err = eval.RunTable3Row(ctx, spec); err != nil {
+				break
+			}
+			rows = append(rows, row)
 		}
 		eval.PrintTable3(os.Stdout, rows)
+		return err
 	})
 
-	run("naive", func() {
+	run("naive", func() error {
 		var rows []eval.NaiveRow
+		var err error
 		for _, spec := range eval.SmallSpecs() {
 			fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
-			rows = append(rows, eval.RunNaiveComparison(spec, *naiveSample))
+			var row eval.NaiveRow
+			if row, err = eval.RunNaiveComparison(ctx, spec, *naiveSample); err != nil {
+				break
+			}
+			rows = append(rows, row)
 		}
 		eval.PrintNaive(os.Stdout, rows)
+		return err
 	})
 
-	run("figure2", func() {
-		eval.PrintFigure2(os.Stdout, eval.RunFigure2(*figure2Steps))
+	run("figure2", func() error {
+		points, err := eval.RunFigure2(ctx, *figure2Steps)
+		eval.PrintFigure2(os.Stdout, points)
+		return err
 	})
 
-	run("figure3", func() {
-		rec, err := eval.RunReconstruction(datagen.TPCH(0.0005, 1), 3)
+	run("figure3", func() error {
+		rec, err := eval.RunReconstruction(ctx, datagen.TPCH(0.0005, 1), 3)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		eval.PrintReconstruction(os.Stdout, rec)
+		return nil
 	})
 
-	run("figure4", func() {
-		rec, err := eval.RunReconstruction(datagen.MusicBrainz(24, 1), 3)
+	run("figure4", func() error {
+		rec, err := eval.RunReconstruction(ctx, datagen.MusicBrainz(24, 1), 3)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		eval.PrintReconstruction(os.Stdout, rec)
+		return nil
 	})
 
-	run("conformance", func() {
+	run("conformance", func() error {
 		specs := []struct {
 			name   string
 			ds     *datagen.Dataset
@@ -86,9 +120,9 @@ func main() {
 			{"Horse", datagen.Horse(1), 0},
 		}
 		for _, s := range specs {
-			res, err := core.NormalizeRelation(s.ds.Denormalized, core.Options{MaxLhs: s.maxLhs})
+			res, err := core.NormalizeRelationContext(ctx, s.ds.Denormalized, core.Options{MaxLhs: s.maxLhs})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			bad := 0
 			for _, t := range res.Tables {
@@ -104,5 +138,11 @@ func main() {
 			fmt.Printf("%-12s %2d tables, %d decompositions, BCNF violations: %d (%s)\n",
 				s.name, len(res.Tables), res.Stats.Decompositions, bad, pruned)
 		}
+		return nil
 	})
+
+	if interrupted {
+		stop()
+		os.Exit(130)
+	}
 }

@@ -6,12 +6,21 @@
 //
 // With -extend the FDs are printed with transitively maximized
 // right-hand sides (the closure F⁺ of the paper's Section 4).
+//
+// Ctrl-C cancels a running profile gracefully: the process prints the
+// stage telemetry collected so far and exits with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"normalize"
 )
@@ -29,6 +38,9 @@ func main() {
 		log.Fatal("usage: fdprofile [flags] file.csv")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	rel, err := normalize.ReadCSVFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
@@ -45,9 +57,34 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algoName)
 	}
 
-	fds := normalize.DiscoverFDs(rel, algo, *maxLhs)
+	// The profile stages run under manual recorder spans so an
+	// interrupted run still reports what it finished.
+	rec := normalize.NewRecordingObserver()
+	interrupted := func(err error) {
+		if !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "fdprofile: interrupted; partial stage telemetry:")
+		rec.Summary(os.Stderr)
+		stop()
+		os.Exit(130)
+	}
+
+	rec.StageStart(normalize.StageDiscovery)
+	start := time.Now()
+	fds, err := normalize.DiscoverFDsContext(ctx, rel, algo, *maxLhs)
+	if err != nil {
+		interrupted(err)
+	}
+	rec.StageFinish(normalize.StageDiscovery, time.Since(start))
+
 	if *extend {
-		normalize.ExtendFDs(fds, normalize.ClosureOptimized)
+		rec.StageStart(normalize.StageClosure)
+		start = time.Now()
+		if _, err := normalize.ExtendFDsContext(ctx, fds, normalize.ClosureOptimized); err != nil {
+			interrupted(err)
+		}
+		rec.StageFinish(normalize.StageClosure, time.Since(start))
 	}
 	if *asJSON {
 		data, err := normalize.FDSetJSON(rel, fds)
@@ -62,8 +99,15 @@ func main() {
 	}
 
 	if *showKeys {
+		rec.StageStart(normalize.StagePrimaryKey)
+		start = time.Now()
+		keys, err := normalize.DiscoverKeysContext(ctx, rel)
+		if err != nil {
+			interrupted(err)
+		}
+		rec.StageFinish(normalize.StagePrimaryKey, time.Since(start))
 		fmt.Println("# minimal keys:")
-		for _, k := range normalize.DiscoverKeys(rel) {
+		for _, k := range keys {
 			names := make([]string, 0, k.Cardinality())
 			k.ForEach(func(e int) bool {
 				names = append(names, rel.Attrs[e])

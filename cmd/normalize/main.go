@@ -9,17 +9,27 @@
 // Without -out the schema and DDL are printed to stdout only. With
 // -interactive the ranked decomposition candidates are presented on
 // every split and read from stdin (the paper's semi-automatic mode).
+//
+// Ctrl-C cancels a running normalization gracefully: the process
+// prints the per-stage telemetry collected so far (interrupted stages
+// marked) and exits with status 130. -telemetry prints the same
+// per-stage summary after successful runs too, and -trace streams
+// every pipeline event to stderr as it happens.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"normalize"
 )
@@ -34,12 +44,23 @@ func main() {
 	dot := flag.Bool("dot", false, "print the schema as a Graphviz digraph instead of DDL")
 	asJSON := flag.Bool("json", false, "print the schema as JSON instead of DDL")
 	interactive := flag.Bool("interactive", false, "choose decompositions and keys interactively")
+	telemetry := flag.Bool("telemetry", false, "print per-stage telemetry after the run")
+	trace := flag.Bool("trace", false, "stream pipeline events to stderr as they happen")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("usage: normalize [flags] file.csv...")
 	}
 
-	opts := normalize.Options{MaxLhs: *maxLhs}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rec := normalize.NewRecordingObserver()
+	var observer normalize.Observer = rec
+	if *trace {
+		observer = normalize.MultiObserver{rec, normalize.NewLoggingObserver(os.Stderr)}
+	}
+
+	opts := normalize.Options{MaxLhs: *maxLhs, Observer: observer}
 	switch *mode {
 	case "bcnf":
 	case "3nf":
@@ -75,7 +96,15 @@ func main() {
 		rels = append(rels, rel)
 	}
 
-	res, err := normalize.NormalizeAll(rels, opts)
+	res, err := normalize.NormalizeAllContext(ctx, rels, opts)
+	if errors.Is(err, context.Canceled) {
+		// Graceful Ctrl-C: report what the pipeline got done before the
+		// cancellation hit (interrupted stages are marked).
+		fmt.Fprintln(os.Stderr, "normalize: interrupted; partial stage telemetry:")
+		rec.Summary(os.Stderr)
+		stop()
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +156,11 @@ func main() {
 			}
 		}
 		fmt.Printf("-- wrote schema.sql and %d CSV files to %s\n", len(res.Tables), *out)
+	}
+
+	if *telemetry {
+		fmt.Fprintln(os.Stderr, "-- per-stage telemetry:")
+		rec.Summary(os.Stderr)
 	}
 }
 

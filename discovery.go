@@ -1,6 +1,8 @@
 package normalize
 
 import (
+	"context"
+
 	"normalize/internal/bitset"
 	"normalize/internal/closure"
 	"normalize/internal/core"
@@ -57,6 +59,20 @@ func DiscoverFDs(rel *Relation, algo DiscoveryAlgorithm, maxLhs int) *FDSet {
 	}
 }
 
+// DiscoverFDsContext is DiscoverFDs with cancellation: the discovery
+// loops poll ctx and the call returns ctx.Err() promptly (within
+// ~100ms) when the context ends mid-discovery.
+func DiscoverFDsContext(ctx context.Context, rel *Relation, algo DiscoveryAlgorithm, maxLhs int) (*FDSet, error) {
+	switch algo {
+	case TANE:
+		return tane.DiscoverContext(ctx, rel, tane.Options{MaxLhs: maxLhs})
+	case DFD:
+		return dfd.DiscoverContext(ctx, rel, dfd.Options{MaxLhs: maxLhs})
+	default:
+		return hyfd.DiscoverContext(ctx, rel, hyfd.Options{MaxLhs: maxLhs, Parallel: true})
+	}
+}
+
 // DiscoverKeys finds all minimal unique column combinations (candidate
 // keys) of the relation, smallest first, with a level-wise lattice
 // search.
@@ -64,11 +80,21 @@ func DiscoverKeys(rel *Relation) []*AttrSet {
 	return ucc.Discover(rel, ucc.Options{})
 }
 
+// DiscoverKeysContext is DiscoverKeys with cancellation.
+func DiscoverKeysContext(ctx context.Context, rel *Relation) ([]*AttrSet, error) {
+	return ucc.DiscoverContext(ctx, rel, ucc.Options{})
+}
+
 // DiscoverKeysHybrid is DiscoverKeys with a HyUCC-style hybrid
 // algorithm (sampling + induction + validation, the UCC sibling of
 // HyFD) — usually faster on larger relations, identical results.
 func DiscoverKeysHybrid(rel *Relation) []*AttrSet {
 	return ucc.DiscoverHybrid(rel, ucc.Options{})
+}
+
+// DiscoverKeysHybridContext is DiscoverKeysHybrid with cancellation.
+func DiscoverKeysHybridContext(ctx context.Context, rel *Relation) ([]*AttrSet, error) {
+	return ucc.DiscoverHybridContext(ctx, rel, ucc.Options{})
 }
 
 // ExtendFDs maximizes every FD's right-hand side in place using
@@ -84,6 +110,20 @@ func ExtendFDs(fds *FDSet, algo ClosureAlgorithm) *FDSet {
 		return closure.Naive(fds)
 	default:
 		return closure.OptimizedParallel(fds, 0)
+	}
+}
+
+// ExtendFDsContext is ExtendFDs with cancellation. On cancellation the
+// input set is left in an unspecified partially-extended state and the
+// call returns ctx.Err().
+func ExtendFDsContext(ctx context.Context, fds *FDSet, algo ClosureAlgorithm) (*FDSet, error) {
+	switch algo {
+	case ClosureImproved:
+		return closure.ImprovedParallelContext(ctx, fds, 0)
+	case ClosureNaive:
+		return closure.NaiveContext(ctx, fds)
+	default:
+		return closure.OptimizedParallelContext(ctx, fds, 0)
 	}
 }
 

@@ -59,7 +59,12 @@ func main() {
 		},
 	}
 
-	res, err := normalize.Normalize(rel, normalize.Options{Decider: decider})
+	// The recording observer captures per-stage spans and work counters;
+	// the violating-fd-selection span includes the time spent waiting for
+	// the user's choices, so the summary shows where an interactive
+	// session actually went.
+	rec := normalize.NewRecordingObserver()
+	res, err := normalize.Normalize(rel, normalize.Options{Decider: decider, Observer: rec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,6 +73,9 @@ func main() {
 	for _, t := range res.Tables {
 		fmt.Printf("  %s\n", t)
 	}
+
+	fmt.Println("\nPer-stage telemetry:")
+	rec.Summary(os.Stdout)
 }
 
 func readChoice(in *bufio.Scanner, n int) int {

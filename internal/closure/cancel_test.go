@@ -1,0 +1,84 @@
+package closure
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"normalize/internal/fd"
+)
+
+// chainFDs builds a long transitive chain a0→a1, a1→a2, … over n
+// attributes, repeated until the set holds count FDs — enough work for
+// every algorithm to be mid-flight when cancellation lands.
+func chainFDs(n, count int) *fd.Set {
+	s := fd.NewSet(n)
+	for i := 0; i < count; i++ {
+		a := i % (n - 1)
+		s.AddAttrs([]int{a}, []int{a + 1})
+	}
+	return s
+}
+
+func TestContextVariantsPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	variants := []struct {
+		name string
+		run  func(*fd.Set) error
+	}{
+		{"NaiveContext", func(s *fd.Set) error { _, err := NaiveContext(ctx, s); return err }},
+		{"ImprovedContext", func(s *fd.Set) error { _, err := ImprovedContext(ctx, s); return err }},
+		{"ImprovedParallelContext", func(s *fd.Set) error { _, err := ImprovedParallelContext(ctx, s, 4); return err }},
+		{"OptimizedContext", func(s *fd.Set) error { _, err := OptimizedContext(ctx, s); return err }},
+		{"OptimizedParallelContext", func(s *fd.Set) error { _, err := OptimizedParallelContext(ctx, s, 4); return err }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			if err := v.run(chainFDs(64, 1024)); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestParallelContextCancelledNoLeak: every worker must wind down
+// before the call returns, so no goroutine outlives a cancelled run.
+func TestParallelContextCancelledNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 50; i++ {
+		if _, err := OptimizedParallelContext(ctx, chainFDs(64, 2048), 8); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestContextVariantsComplete: with a live context the Context variants
+// agree with the plain wrappers.
+func TestContextVariantsComplete(t *testing.T) {
+	want := Optimized(chainFDs(16, 64))
+	got, err := OptimizedContext(context.Background(), chainFDs(16, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("Len: plain %d vs context %d", want.Len(), got.Len())
+	}
+	for i := range want.FDs {
+		if !want.FDs[i].Rhs.Equal(got.FDs[i].Rhs) {
+			t.Fatalf("FD %d differs: %v vs %v", i, want.FDs[i], got.FDs[i])
+		}
+	}
+}

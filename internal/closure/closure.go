@@ -22,9 +22,19 @@
 // workers; this is safe because a worker mutates only its own FDs and
 // the lookup tries are immutable after construction (the paper makes
 // the same observation in Section 4.3).
+//
+// Each algorithm comes in two flavours: the plain function (Naive,
+// Improved, OptimizedParallel, …) and a Context variant taking a
+// context.Context first. The Context variants poll for cancellation
+// inside the FD loops (every cancelCheckMask+1 FDs) and return
+// ctx.Err() promptly — within the ~100ms latency contract of the
+// pipeline — leaving the input set in an unspecified partially-extended
+// state. The plain functions are thin wrappers over the Context ones
+// with context.Background().
 package closure
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -33,13 +43,31 @@ import (
 	"normalize/internal/settrie"
 )
 
+// cancelCheckMask throttles cancellation polling in the hot FD loops:
+// the context is consulted every mask+1 iterations, frequent enough to
+// stay far below the 100ms cancellation-latency contract while keeping
+// the check off the per-FD fast path.
+const cancelCheckMask = 63
+
 // Naive implements Algorithm 1: repeated full passes over all FD pairs
 // until a pass changes nothing. It returns the input set, extended in
 // place.
 func Naive(fds *fd.Set) *fd.Set {
+	out, _ := NaiveContext(context.Background(), fds)
+	return out
+}
+
+// NaiveContext is Naive with cancellation: it checks ctx inside the
+// pass loop and returns ctx.Err() (with fds partially extended) when
+// the context ends.
+func NaiveContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
+	done := ctx.Done()
 	for {
 		changed := false
-		for _, f := range fds.FDs {
+		for i, f := range fds.FDs {
+			if i&cancelCheckMask == 0 && canceled(done) {
+				return nil, ctx.Err()
+			}
 			for _, other := range fds.FDs {
 				if f == other {
 					continue
@@ -59,7 +87,7 @@ func Naive(fds *fd.Set) *fd.Set {
 			}
 		}
 		if !changed {
-			return fds
+			return fds, nil
 		}
 	}
 }
@@ -83,19 +111,41 @@ func lhsTries(fds *fd.Set) []*settrie.Trie {
 // Improved implements Algorithm 2 for arbitrary FD sets: per-attribute
 // prefix-tree lookups with the change loop moved inside the FD loop.
 func Improved(fds *fd.Set) *fd.Set {
-	improvedRange(fds, lhsTries(fds), 0, len(fds.FDs))
-	return fds
+	out, _ := ImprovedContext(context.Background(), fds)
+	return out
+}
+
+// ImprovedContext is Improved with cancellation.
+func ImprovedContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
+	if err := improvedRange(ctx, fds, lhsTries(fds), 0, len(fds.FDs)); err != nil {
+		return nil, err
+	}
+	return fds, nil
 }
 
 // ImprovedParallel is Improved with the FD loop split across workers.
 func ImprovedParallel(fds *fd.Set, workers int) *fd.Set {
-	parallelize(fds, lhsTries(fds), workers, improvedRange)
-	return fds
+	out, _ := ImprovedParallelContext(context.Background(), fds, workers)
+	return out
 }
 
-func improvedRange(fds *fd.Set, tries []*settrie.Trie, lo, hi int) {
+// ImprovedParallelContext is ImprovedParallel with cancellation: all
+// workers poll the context and wind down promptly (no goroutine is
+// leaked) before the call returns ctx.Err().
+func ImprovedParallelContext(ctx context.Context, fds *fd.Set, workers int) (*fd.Set, error) {
+	if err := parallelize(ctx, fds, lhsTries(fds), workers, improvedRange); err != nil {
+		return nil, err
+	}
+	return fds, nil
+}
+
+func improvedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, hi int) error {
 	n := fds.NumAttrs
-	for _, f := range fds.FDs[lo:hi] {
+	done := ctx.Done()
+	for i, f := range fds.FDs[lo:hi] {
+		if i&cancelCheckMask == 0 && canceled(done) {
+			return ctx.Err()
+		}
 		known := f.Lhs.Union(f.Rhs)
 		for {
 			changed := false
@@ -114,24 +164,46 @@ func improvedRange(fds *fd.Set, tries []*settrie.Trie, lo, hi int) {
 			}
 		}
 	}
+	return nil
 }
 
 // Optimized implements Algorithm 3 for complete sets of minimal FDs: a
 // single pass per FD, with subset lookups against the LHS only.
 func Optimized(fds *fd.Set) *fd.Set {
-	optimizedRange(fds, lhsTries(fds), 0, len(fds.FDs))
-	return fds
+	out, _ := OptimizedContext(context.Background(), fds)
+	return out
+}
+
+// OptimizedContext is Optimized with cancellation.
+func OptimizedContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
+	if err := optimizedRange(ctx, fds, lhsTries(fds), 0, len(fds.FDs)); err != nil {
+		return nil, err
+	}
+	return fds, nil
 }
 
 // OptimizedParallel is Optimized with the FD loop split across workers.
 func OptimizedParallel(fds *fd.Set, workers int) *fd.Set {
-	parallelize(fds, lhsTries(fds), workers, optimizedRange)
-	return fds
+	out, _ := OptimizedParallelContext(context.Background(), fds, workers)
+	return out
 }
 
-func optimizedRange(fds *fd.Set, tries []*settrie.Trie, lo, hi int) {
+// OptimizedParallelContext is OptimizedParallel with cancellation; see
+// ImprovedParallelContext for the worker wind-down guarantee.
+func OptimizedParallelContext(ctx context.Context, fds *fd.Set, workers int) (*fd.Set, error) {
+	if err := parallelize(ctx, fds, lhsTries(fds), workers, optimizedRange); err != nil {
+		return nil, err
+	}
+	return fds, nil
+}
+
+func optimizedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, hi int) error {
 	n := fds.NumAttrs
-	for _, f := range fds.FDs[lo:hi] {
+	done := ctx.Done()
+	for i, f := range fds.FDs[lo:hi] {
+		if i&cancelCheckMask == 0 && canceled(done) {
+			return ctx.Err()
+		}
 		for attr := 0; attr < n; attr++ {
 			if f.Rhs.Contains(attr) || f.Lhs.Contains(attr) {
 				continue
@@ -141,10 +213,14 @@ func optimizedRange(fds *fd.Set, tries []*settrie.Trie, lo, hi int) {
 			}
 		}
 	}
+	return nil
 }
 
-// parallelize splits [0, len(fds.FDs)) into contiguous worker ranges.
-func parallelize(fds *fd.Set, tries []*settrie.Trie, workers int, run func(*fd.Set, []*settrie.Trie, int, int)) {
+// parallelize splits [0, len(fds.FDs)) into contiguous worker ranges
+// and returns the first range error (cancellation) after every worker
+// has exited.
+func parallelize(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, workers int,
+	run func(context.Context, *fd.Set, []*settrie.Trie, int, int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -153,23 +229,43 @@ func parallelize(fds *fd.Set, tries []*settrie.Trie, workers int, run func(*fd.S
 		workers = total
 	}
 	if workers <= 1 {
-		run(fds, tries, 0, total)
-		return
+		return run(ctx, fds, tries, 0, total)
 	}
 	var wg sync.WaitGroup
 	chunk := (total + workers - 1) / workers
+	errs := make([]error, (total+chunk-1)/chunk)
+	slot := 0
 	for lo := 0; lo < total; lo += chunk {
 		hi := lo + chunk
 		if hi > total {
 			hi = total
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(slot, lo, hi int) {
 			defer wg.Done()
-			run(fds, tries, lo, hi)
-		}(lo, hi)
+			errs[slot] = run(ctx, fds, tries, lo, hi)
+		}(slot, lo, hi)
+		slot++
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canceled is the non-blocking poll of a context's done channel used
+// inside the hot loops (a nil channel — context.Background — never
+// reports cancellation).
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // isSubsetOfUnion reports s ⊆ (a ∪ b) without allocating the union.

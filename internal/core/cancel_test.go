@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"normalize/internal/datagen"
+	"normalize/internal/observe"
+	"normalize/internal/relation"
+)
+
+// TestNormalizeRelationContextPreCancelled: the pipeline must not do
+// any discovery work under a context that is already cancelled.
+func TestNormalizeRelationContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := datagen.Plista(1)
+	start := time.Now()
+	_, err := NormalizeRelationContext(ctx, ds.Denormalized, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("pre-cancelled pipeline took %v, want ≈ immediate", elapsed)
+	}
+}
+
+// TestNormalizeRelationContextCancelMidRun is the end-to-end form of
+// the acceptance contract: cancelling mid-discovery on a Plista-sized
+// dataset returns context.Canceled in under one second, and the
+// observer still carries the partial telemetry — an open (interrupted)
+// discovery span with non-zero work counters.
+func TestNormalizeRelationContextCancelMidRun(t *testing.T) {
+	ds := datagen.Plista(1)
+	rec := &observe.Recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelledAt time.Time
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancelledAt = time.Now()
+		cancel()
+	}()
+	_, err := NormalizeRelationContext(ctx, ds.Denormalized, Options{Observer: rec})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (the full run takes seconds)", err)
+	}
+	if latency := time.Since(cancelledAt); latency > time.Second {
+		t.Errorf("cancellation surfaced %v after cancel, contract is < 1s", latency)
+	}
+
+	// Partial telemetry: the stage the cancellation landed in must be
+	// recorded as an open (interrupted) span. Whether work counters had
+	// time to accumulate depends on machine speed, so the counter-flush
+	// contract is asserted in the hyfd package's cancellation test.
+	totals := rec.Totals()
+	if len(totals) == 0 {
+		t.Fatal("cancelled run recorded no telemetry")
+	}
+	interrupted := 0
+	for _, tot := range totals {
+		interrupted += tot.Open
+	}
+	if interrupted == 0 {
+		t.Error("cancelled run shows no interrupted stage span")
+	}
+}
+
+// TestNormalizeRelationsContextCancelled covers the multi-relation
+// wrapper.
+func TestNormalizeRelationsContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := datagen.Horse(1)
+	_, err := NormalizeRelationsContext(ctx, []*relation.Relation{ds.Denormalized}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNormalize4NFContextPreCancelled covers the 4NF refinement entry
+// point.
+func TestNormalize4NFContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := datagen.Horse(1)
+	_, err := Normalize4NFContext(ctx, ds.Denormalized, FourNFOptions{MaxAttrs: 32})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"normalize/internal/bitset"
@@ -15,11 +16,22 @@ import (
 // any, stays valid in R1 because violation detection removed its
 // attributes from every violating RHS.
 func Decompose(t *Table, v *fd.FD, usedNames map[string]bool) (r1, r2 *Table) {
+	r1, r2, _ = DecomposeContext(context.Background(), t, v, usedNames)
+	return r1, r2
+}
+
+// DecomposeContext is Decompose with cancellation: it checks ctx before
+// materializing each projection (the expensive halves of a split) and
+// returns ctx.Err() when the context has ended.
+func DecomposeContext(ctx context.Context, t *Table, v *fd.FD, usedNames map[string]bool) (r1, r2 *Table, err error) {
 	r1Attrs := t.Attrs.Difference(v.Rhs)
 	r2Attrs := v.Lhs.Union(v.Rhs)
 
 	r2Name := uniqueName(tableName(t.Name, t.AttrNames(v.Lhs)), usedNames)
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	r2 = &Table{
 		Name:        r2Name,
 		Attrs:       r2Attrs,
@@ -31,6 +43,9 @@ func Decompose(t *Table, v *fd.FD, usedNames map[string]bool) (r1, r2 *Table) {
 		sourceAttrs: t.sourceAttrs,
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	r1 = &Table{
 		Name:        t.Name,
 		Attrs:       r1Attrs,
@@ -55,7 +70,7 @@ func Decompose(t *Table, v *fd.FD, usedNames map[string]bool) (r1, r2 *Table) {
 	// R1 references R2 via the new foreign key X.
 	r1.ForeignKeys = append(r1.ForeignKeys, ForeignKey{Attrs: v.Lhs.Clone(), RefTable: r2Name})
 
-	return r1, r2
+	return r1, r2, nil
 }
 
 func clonePK(pk *bitset.Set) *bitset.Set {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,16 @@ type FourNFOptions struct {
 // The returned relations carry generated names and reproduce the input
 // exactly under natural join (lossless, by Fagin's theorem).
 func Normalize4NF(rel *relation.Relation, opts FourNFOptions) ([]*relation.Relation, error) {
+	return Normalize4NFContext(context.Background(), rel, opts)
+}
+
+// Normalize4NFContext is Normalize4NF with cancellation: the
+// decomposition worklist and the underlying MVD discovery poll ctx and
+// return ctx.Err() promptly when the context ends.
+func Normalize4NFContext(ctx context.Context, rel *relation.Relation, opts FourNFOptions) ([]*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.MaxAttrs == 0 {
 		opts.MaxAttrs = 16
 	}
@@ -45,7 +56,7 @@ func Normalize4NF(rel *relation.Relation, opts FourNFOptions) ([]*relation.Relat
 	for len(work) > 0 {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
-		v, err := firstViolatingMVD(cur, opts)
+		v, err := firstViolatingMVD(ctx, cur, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -64,12 +75,12 @@ func Normalize4NF(rel *relation.Relation, opts FourNFOptions) ([]*relation.Relat
 // firstViolatingMVD returns a non-trivial MVD whose LHS is not a
 // superkey, preferring small LHSs and balanced splits, or nil when the
 // relation is in 4NF.
-func firstViolatingMVD(rel *relation.Relation, opts FourNFOptions) (*mvd.MVD, error) {
+func firstViolatingMVD(ctx context.Context, rel *relation.Relation, opts FourNFOptions) (*mvd.MVD, error) {
 	n := rel.NumAttrs()
 	if n < 3 {
 		return nil, nil // no non-trivial bipartition can violate 4NF
 	}
-	mvds, err := mvd.Discover(rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs})
+	mvds, err := mvd.DiscoverContext(ctx, rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs})
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +141,15 @@ func splitName(rel *relation.Relation, lhs, side *bitset.Set, used map[string]bo
 
 // Verify4NF reports nil iff the relation contains no violating MVD.
 func Verify4NF(rel *relation.Relation, opts FourNFOptions) error {
+	return Verify4NFContext(context.Background(), rel, opts)
+}
+
+// Verify4NFContext is Verify4NF with cancellation.
+func Verify4NFContext(ctx context.Context, rel *relation.Relation, opts FourNFOptions) error {
 	if opts.MaxAttrs == 0 {
 		opts.MaxAttrs = 16
 	}
-	v, err := firstViolatingMVD(relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup(), opts)
+	v, err := firstViolatingMVD(ctx, relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup(), opts)
 	if err != nil {
 		return err
 	}

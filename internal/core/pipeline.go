@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"normalize/internal/discovery/ucc"
 	"normalize/internal/fd"
 	"normalize/internal/keys"
+	"normalize/internal/observe"
 	"normalize/internal/relation"
 	"normalize/internal/scoring"
 	"normalize/internal/violation"
@@ -47,6 +49,12 @@ type Options struct {
 	// returned set must be the complete set of minimal FDs (subject to
 	// MaxLhs) when the optimized closure is selected.
 	Discover func(rel *relation.Relation) *fd.Set
+	// DiscoverContext is the cancellable form of Discover and takes
+	// precedence over it when both are set.
+	DiscoverContext func(ctx context.Context, rel *relation.Relation) (*fd.Set, error)
+	// Observer receives stage start/finish events and work counters
+	// from every pipeline component; nil means no instrumentation.
+	Observer observe.Observer
 }
 
 // Stats reports the measurements the paper's evaluation tracks
@@ -82,6 +90,20 @@ type Result struct {
 // instance and returns the normalized schema with materialized
 // instances, keys, and foreign keys.
 func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
+	return NormalizeRelationContext(context.Background(), rel, opts)
+}
+
+// NormalizeRelationContext is NormalizeRelation with cancellation and
+// instrumentation: every pipeline component polls ctx (the call returns
+// ctx.Err() promptly — within ~100ms — when the context ends
+// mid-pipeline) and reports stage spans plus work counters to
+// opts.Observer. A stage whose span never finishes was interrupted; the
+// observe.Recorder marks it as such, so partial telemetry of a
+// cancelled run remains meaningful.
+func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if rel.NumAttrs() == 0 {
 		return nil, fmt.Errorf("normalize %s: relation has no attributes", rel.Name)
 	}
@@ -89,35 +111,55 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 	if decider == nil {
 		decider = AutoDecider{}
 	}
+	obs := observe.Or(opts.Observer)
 
 	res := &Result{}
 	res.Stats.Attrs = rel.NumAttrs()
 	res.Stats.Records = rel.NumRows()
 
 	// (1) FD discovery.
+	obs.StageStart(observe.Discovery)
 	start := time.Now()
 	var fds *fd.Set
-	if opts.Discover != nil {
+	var err error
+	switch {
+	case opts.DiscoverContext != nil:
+		fds, err = opts.DiscoverContext(ctx, rel)
+	case opts.Discover != nil:
 		fds = opts.Discover(rel)
-	} else {
-		fds = hyfd.Discover(rel, hyfd.Options{MaxLhs: opts.MaxLhs, Parallel: true})
+	default:
+		fds, err = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
+			MaxLhs: opts.MaxLhs, Parallel: true, Observer: opts.Observer,
+		})
+	}
+	if err != nil {
+		return nil, err // discovery span stays open: interrupted
 	}
 	res.Stats.Discovery = time.Since(start)
 	res.Stats.NumFDs = fds.CountSingle()
 	res.Stats.AvgRhsBefore = fds.AverageRhsSize()
+	obs.Counter(observe.Discovery, observe.CounterFDsDiscovered, int64(res.Stats.NumFDs))
+	obs.StageFinish(observe.Discovery, res.Stats.Discovery)
 
 	// (2) Closure calculation.
+	obs.StageStart(observe.Closure)
 	start = time.Now()
+	rhsBefore := totalRhsSize(fds)
 	switch opts.Closure {
 	case ClosureImproved:
-		closure.ImprovedParallel(fds, opts.Workers)
+		_, err = closure.ImprovedParallelContext(ctx, fds, opts.Workers)
 	case ClosureNaive:
-		closure.Naive(fds)
+		_, err = closure.NaiveContext(ctx, fds)
 	default:
-		closure.OptimizedParallel(fds, opts.Workers)
+		_, err = closure.OptimizedParallelContext(ctx, fds, opts.Workers)
+	}
+	if err != nil {
+		return nil, err // closure span stays open: interrupted
 	}
 	res.Stats.Closure = time.Since(start)
 	res.Stats.AvgRhsAfter = fds.AverageRhsSize()
+	obs.Counter(observe.Closure, observe.CounterRhsAttrsAdded, totalRhsSize(fds)-rhsBefore)
+	obs.StageFinish(observe.Closure, res.Stats.Closure)
 
 	// Root table over the whole relation, set semantics.
 	n := rel.NumAttrs()
@@ -141,12 +183,19 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 
 	// (3)–(6) loop: key derivation, violation detection, selection,
 	// decomposition.
+	done := ctx.Done()
 	worklist := []*Table{root}
 	firstKey, firstViolation := true, true
 	for len(worklist) > 0 {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
 		t := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 
+		obs.StageStart(observe.KeyDerivation)
 		start = time.Now()
 		t.Keys = keys.Derive(t.FDs, t.Attrs)
 		if firstKey {
@@ -154,7 +203,10 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 			res.Stats.NumFDKeys = len(t.Keys)
 			firstKey = false
 		}
+		obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
+		obs.StageFinish(observe.KeyDerivation, time.Since(start))
 
+		obs.StageStart(observe.Violation)
 		start = time.Now()
 		viol := violation.Detect(violation.Input{
 			FDs:         t.FDs,
@@ -169,14 +221,22 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 			res.Stats.Violation = time.Since(start)
 			firstViolation = false
 		}
+		obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
+		obs.StageFinish(observe.Violation, time.Since(start))
 
 		if len(viol) == 0 {
 			res.Tables = append(res.Tables, t)
 			continue
 		}
 
+		// The selection span deliberately includes the decider call, so
+		// interactive runs expose the human decision time per split.
+		obs.StageStart(observe.Selection)
+		start = time.Now()
 		ranked := rankViolatingFDs(t, viol)
+		obs.Counter(observe.Selection, observe.CounterCandidatesScored, int64(len(ranked)))
 		choice, pruneRhs := decider.ChooseViolatingFD(t, ranked)
+		obs.StageFinish(observe.Selection, time.Since(start))
 		if choice < 0 || choice >= len(ranked) {
 			// The user rejected every split: accept the table as is.
 			res.Tables = append(res.Tables, t)
@@ -190,18 +250,32 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 			res.Tables = append(res.Tables, t)
 			continue
 		}
-		r1, r2 := Decompose(t, chosen, usedNames)
+		obs.StageStart(observe.Decomposition)
+		start = time.Now()
+		r1, r2, err := DecomposeContext(ctx, t, chosen, usedNames)
+		if err != nil {
+			return nil, err // decomposition span stays open: interrupted
+		}
 		res.Stats.Decompositions++
+		obs.Counter(observe.Decomposition, observe.CounterDecompositions, 1)
+		obs.Counter(observe.Decomposition, observe.CounterRowsMaterialized,
+			int64(r1.Data.NumRows()+r2.Data.NumRows()))
+		obs.StageFinish(observe.Decomposition, time.Since(start))
 		worklist = append(worklist, r1, r2)
 	}
 
 	// (7) Primary key selection for tables that never received one.
+	obs.StageStart(observe.PrimaryKey)
+	start = time.Now()
 	for _, t := range res.Tables {
 		if t.PrimaryKey != nil {
 			continue
 		}
-		selectPrimaryKey(t, decider)
+		if err := selectPrimaryKey(ctx, t, decider, opts.Observer); err != nil {
+			return nil, err // primary-key span stays open: interrupted
+		}
 	}
+	obs.StageFinish(observe.PrimaryKey, time.Since(start))
 	return res, nil
 }
 
@@ -209,9 +283,15 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 // independently, concatenating the resulting tables. Stats are summed;
 // the per-component durations accumulate across relations.
 func NormalizeRelations(rels []*relation.Relation, opts Options) (*Result, error) {
+	return NormalizeRelationsContext(context.Background(), rels, opts)
+}
+
+// NormalizeRelationsContext is NormalizeRelations with cancellation and
+// instrumentation; see NormalizeRelationContext.
+func NormalizeRelationsContext(ctx context.Context, rels []*relation.Relation, opts Options) (*Result, error) {
 	total := &Result{}
 	for _, rel := range rels {
-		r, err := NormalizeRelation(rel, opts)
+		r, err := NormalizeRelationContext(ctx, rel, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +307,16 @@ func NormalizeRelations(rels []*relation.Relation, opts Options) (*Result, error
 		total.Stats.Decompositions += r.Stats.Decompositions
 	}
 	return total, nil
+}
+
+// totalRhsSize sums the aggregated RHS cardinalities, the quantity the
+// closure stage grows.
+func totalRhsSize(fds *fd.Set) int64 {
+	var sum int64
+	for _, f := range fds.FDs {
+		sum += int64(f.Rhs.Cardinality())
+	}
+	return sum
 }
 
 func foreignKeySets(t *Table) []*bitset.Set {
@@ -265,9 +355,13 @@ func rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
 
 // selectPrimaryKey implements component (7): discover all minimal keys
 // of the table (DUCC-style UCC discovery), drop keys with nulls, rank
-// them (Section 7.1), and let the decider choose.
-func selectPrimaryKey(t *Table, decider Decider) {
-	uccs := ucc.Discover(t.Data, ucc.Options{})
+// them (Section 7.1), and let the decider choose. The UCC discovery
+// reports its work counters to obs under the primary-key stage.
+func selectPrimaryKey(ctx context.Context, t *Table, decider Decider, obs observe.Observer) error {
+	uccs, err := ucc.DiscoverContext(ctx, t.Data, ucc.Options{Observer: obs})
+	if err != nil {
+		return err
+	}
 	var candidates []RankedKey
 	for _, localKey := range uccs {
 		if localKey.IsEmpty() {
@@ -285,7 +379,7 @@ func selectPrimaryKey(t *Table, decider Decider) {
 		})
 	}
 	if len(candidates) == 0 {
-		return
+		return nil
 	}
 	sortRankedKeys(candidates)
 	if choice := decider.ChoosePrimaryKey(t, candidates); choice >= 0 && choice < len(candidates) {
@@ -294,11 +388,12 @@ func selectPrimaryKey(t *Table, decider Decider) {
 		// derivation step missed it (it finds only FD-derivable keys).
 		for _, k := range t.Keys {
 			if k.Equal(t.PrimaryKey) {
-				return
+				return nil
 			}
 		}
 		t.Keys = append(t.Keys, t.PrimaryKey.Clone())
 	}
+	return nil
 }
 
 // VerifyNormalForm re-discovers the FDs of every table instance and

@@ -22,10 +22,12 @@
 package dfd
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/bitset"
 	"normalize/internal/fd"
+	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
 )
@@ -34,62 +36,113 @@ import (
 type Options struct {
 	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
 	MaxLhs int
+	// Observer receives work counters under the fd-discovery stage;
+	// nil means no instrumentation.
+	Observer observe.Observer
 }
 
 // Discover returns all minimal non-trivial FDs of rel, aggregated by
 // left-hand side and deterministically sorted.
 func Discover(rel *relation.Relation, opts Options) *fd.Set {
+	s, _ := DiscoverContext(context.Background(), rel, opts)
+	return s
+}
+
+// DiscoverContext is Discover with cancellation: the per-lattice
+// candidate classification loops poll ctx and the call returns
+// ctx.Err() promptly when the context ends mid-discovery.
+func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) (*fd.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	result := fd.NewSet(n)
 	if n == 0 {
-		return result
+		return result, nil
 	}
-	enc := rel.Encode()
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if enc.NumRows == 0 {
 		result.Add(bitset.New(n), bitset.Full(n))
-		return result.Aggregate().Sort()
+		return result.Aggregate().Sort(), nil
 	}
 	maxLhs := opts.MaxLhs
 	if maxLhs <= 0 || maxLhs > n {
 		maxLhs = n
 	}
 
-	d := &discoverer{enc: enc, n: n, plis: make(map[string]*pli.PLI)}
+	d := &discoverer{ctx: ctx, done: ctx.Done(), enc: enc, n: n, plis: make(map[string]*pli.PLI)}
+	defer d.flushCounters(observe.Or(opts.Observer))
 	for a := 0; a < n; a++ {
 		d.plis[bitset.Of(n, a).Key()] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
 	}
 
 	for a := 0; a < n; a++ {
-		for _, lhs := range d.findLhss(a, maxLhs) {
+		lhss, err := d.findLhss(a, maxLhs)
+		if err != nil {
+			return nil, err
+		}
+		for _, lhs := range lhss {
 			result.Add(lhs, bitset.Of(n, a))
 		}
 	}
-	return result.Aggregate().Sort()
+	return result.Aggregate().Sort(), nil
 }
 
 type discoverer struct {
+	ctx  context.Context
+	done <-chan struct{}
 	enc  *relation.Encoded
 	n    int
 	plis map[string]*pli.PLI // PLI cache, keyed by attribute-set key
+
+	plisIntersected   int64
+	candidatesChecked int64
+}
+
+func (d *discoverer) canceled() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *discoverer) flushCounters(obs observe.Observer) {
+	if d.plisIntersected != 0 {
+		obs.Counter(observe.Discovery, observe.CounterPLIsIntersected, d.plisIntersected)
+	}
+	if d.candidatesChecked != 0 {
+		obs.Counter(observe.Discovery, observe.CounterCandidatesChecked, d.candidatesChecked)
+	}
 }
 
 // findLhss discovers the minimal LHSs determining attribute a.
-func (d *discoverer) findLhss(a, maxLhs int) []*bitset.Set {
+func (d *discoverer) findLhss(a, maxLhs int) ([]*bitset.Set, error) {
 	// Attributes available for left-hand sides.
 	universe := bitset.Full(d.n).Remove(a)
 
 	// The empty LHS first: ∅ → a iff the column is constant.
 	if d.enc.Cardinality[a] == 1 {
-		return []*bitset.Set{bitset.New(d.n)}
+		return []*bitset.Set{bitset.New(d.n)}, nil
 	}
 
 	var maxNonDeps []*bitset.Set
 	verified := map[string]bool{} // candidate key → isDep result known true
 
 	for {
+		if d.canceled() {
+			return nil, d.ctx.Err()
+		}
 		candidates := minimalHittingSets(universe, maxNonDeps, d.n, maxLhs)
 		progress := false
-		for _, cand := range candidates {
+		for i, cand := range candidates {
+			if i&15 == 0 && d.canceled() {
+				return nil, d.ctx.Err()
+			}
 			if verified[cand.Key()] {
 				continue
 			}
@@ -111,7 +164,7 @@ func (d *discoverer) findLhss(a, maxLhs int) []*bitset.Set {
 			sort.Slice(candidates, func(i, j int) bool {
 				return candidates[i].String() < candidates[j].String()
 			})
-			return candidates
+			return candidates, nil
 		}
 	}
 }
@@ -122,6 +175,9 @@ func (d *discoverer) findLhss(a, maxLhs int) []*bitset.Set {
 func (d *discoverer) maximize(x *bitset.Set, a int, universe *bitset.Set) *bitset.Set {
 	cur := x.Clone()
 	universe.ForEach(func(b int) bool {
+		if d.canceled() {
+			return false // caller's loop re-polls and returns ctx.Err()
+		}
 		if cur.Contains(b) {
 			return true
 		}
@@ -136,6 +192,7 @@ func (d *discoverer) maximize(x *bitset.Set, a int, universe *bitset.Set) *bitse
 
 // isDep checks X → a via stripped-partition refinement, with PLI reuse.
 func (d *discoverer) isDep(x *bitset.Set, a int) bool {
+	d.candidatesChecked++
 	if x.IsEmpty() {
 		return d.enc.Cardinality[a] == 1
 	}
@@ -166,6 +223,7 @@ func (d *discoverer) pliFor(x *bitset.Set) *pli.PLI {
 		}
 		if !p.IsUnique() {
 			p = p.Intersect(d.plis[bitset.Of(d.n, b).Key()])
+			d.plisIntersected++
 		}
 		d.plis[cur.Key()] = p
 	}

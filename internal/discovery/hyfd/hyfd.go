@@ -19,15 +19,26 @@
 // set of minimal, non-trivial FDs (optionally bounded by MaxLhs), which
 // the optimized closure algorithm of the normalization pipeline relies
 // on.
+//
+// DiscoverContext supports cancellation: the sampling, induction, and
+// validation loops poll the context (including the parallel validation
+// workers, which wind down without leaking goroutines) and the call
+// returns ctx.Err() promptly. Work counters — agree sets sampled, FD
+// candidates induced, PLIs intersected, candidates checked, violations
+// found — are reported to Options.Observer under the fd-discovery
+// stage when the run finishes or is cancelled.
 package hyfd
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"normalize/internal/bitset"
 	"normalize/internal/fd"
+	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
@@ -43,6 +54,9 @@ type Options struct {
 	// Parallel enables concurrent candidate validation across worker
 	// goroutines.
 	Parallel bool
+	// Observer receives per-stage work counters (under the
+	// fd-discovery stage); nil means no instrumentation.
+	Observer observe.Observer
 	// sampleRounds overrides the number of initial sampling window
 	// rounds (for tests); 0 means the default.
 	sampleRounds int
@@ -52,15 +66,29 @@ type Options struct {
 // sides of at most opts.MaxLhs attributes, aggregated by left-hand side
 // and deterministically sorted.
 func Discover(rel *relation.Relation, opts Options) *fd.Set {
+	s, _ := DiscoverContext(context.Background(), rel, opts)
+	return s
+}
+
+// DiscoverContext is Discover with cancellation: when ctx ends
+// mid-discovery the hot loops notice within the pipeline's ~100ms
+// latency contract and the call returns ctx.Err().
+func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) (*fd.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	result := fd.NewSet(n)
 	if n == 0 {
-		return result
+		return result, nil
 	}
-	enc := rel.Encode()
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if enc.NumRows == 0 {
 		result.Add(bitset.New(n), bitset.Full(n))
-		return result.Aggregate().Sort()
+		return result.Aggregate().Sort(), nil
 	}
 	maxLhs := opts.MaxLhs
 	if maxLhs <= 0 || maxLhs > n {
@@ -68,13 +96,18 @@ func Discover(rel *relation.Relation, opts Options) *fd.Set {
 	}
 
 	d := &discoverer{
+		ctx:    ctx,
+		done:   ctx.Done(),
 		enc:    enc,
 		n:      n,
 		maxLhs: maxLhs,
 		tree:   fd.NewTree(n),
 		opts:   opts,
 	}
-	d.buildPLIs()
+	defer d.flushCounters(observe.Or(opts.Observer))
+	if err := d.buildPLIs(); err != nil {
+		return nil, err
+	}
 
 	// Positive cover starts at the most general hypothesis: every
 	// attribute is constant (∅ → A for all A).
@@ -88,10 +121,14 @@ func Discover(rel *relation.Relation, opts Options) *fd.Set {
 	if rounds == 0 {
 		rounds = 3
 	}
-	d.sampleAndInduct(rounds)
-	d.validate()
+	if err := d.sampleAndInduct(rounds); err != nil {
+		return nil, err
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
 
-	return minimize(d.tree.ToSet()).Aggregate().Sort()
+	return minimize(d.tree.ToSet()).Aggregate().Sort(), nil
 }
 
 // minimize drops FDs that have a generalization in the same set. The
@@ -120,6 +157,8 @@ func minimize(s *fd.Set) *fd.Set {
 }
 
 type discoverer struct {
+	ctx      context.Context
+	done     <-chan struct{}
 	enc      *relation.Encoded
 	n        int
 	maxLhs   int
@@ -128,23 +167,67 @@ type discoverer struct {
 	inverted [][]int // row → cluster per attribute, shared by workers
 	sampler  *sampler
 	opts     Options
+
+	// Work counters, flushed to the observer when discovery returns.
+	// The atomics are shared with the parallel validation workers; the
+	// plain fields are only touched by the coordinating goroutine.
+	agreeSets         int64
+	fdsInduced        int64
+	violationsFound   int64
+	plisIntersected   atomic.Int64
+	candidatesChecked atomic.Int64
 }
 
-func (d *discoverer) buildPLIs() {
+// flushCounters reports the accumulated work to the observer under the
+// fd-discovery stage. Called on every exit path, including
+// cancellation, so interrupted runs still surface partial telemetry.
+func (d *discoverer) flushCounters(obs observe.Observer) {
+	flush := func(name string, v int64) {
+		if v != 0 {
+			obs.Counter(observe.Discovery, name, v)
+		}
+	}
+	flush(observe.CounterAgreeSets, d.agreeSets)
+	flush(observe.CounterFDsInduced, d.fdsInduced)
+	flush(observe.CounterViolationsFound, d.violationsFound)
+	flush(observe.CounterPLIsIntersected, d.plisIntersected.Load())
+	flush(observe.CounterCandidatesChecked, d.candidatesChecked.Load())
+}
+
+// canceled is the non-blocking cancellation poll of the hot loops.
+func (d *discoverer) canceled() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *discoverer) buildPLIs() error {
 	d.plis = make([]*pli.PLI, d.n)
 	d.inverted = make([][]int, d.n)
 	for a := 0; a < d.n; a++ {
+		if d.canceled() {
+			return d.ctx.Err()
+		}
 		d.plis[a] = pli.FromColumn(d.enc.Columns[a], d.enc.Cardinality[a])
 		d.inverted[a] = d.plis[a].Inverted()
 	}
+	return nil
 }
 
 // sampleAndInduct runs the sampler for the given number of window
 // rounds and folds every new agree set into the positive cover.
-func (d *discoverer) sampleAndInduct(rounds int) {
-	for _, s := range d.sampler.run(rounds) {
+func (d *discoverer) sampleAndInduct(rounds int) error {
+	for i, s := range d.sampler.run(rounds) {
+		if i&63 == 0 && d.canceled() {
+			return d.ctx.Err()
+		}
+		d.agreeSets++
 		d.induct(s)
 	}
+	return nil
 }
 
 // induct updates the candidate tree with the non-FD evidence of one
@@ -175,6 +258,7 @@ func (d *discoverer) induct(agree *bitset.Set) {
 				}
 				if !d.tree.ContainsGeneralization(ext, a) {
 					d.tree.Add(ext, a)
+					d.fdsInduced++
 				}
 				return true
 			})
@@ -214,9 +298,12 @@ type verdict struct {
 // level). A level with a high violation ratio triggers another sampling
 // round first — the HyFD switching heuristic: sampling prunes many
 // candidates per comparison, validation proves the survivors.
-func (d *discoverer) validate() {
+func (d *discoverer) validate() error {
 	const switchRatio = 0.1
 	for level := 0; level <= d.tree.MaxLevel() && level <= d.maxLhs; level++ {
+		if d.canceled() {
+			return d.ctx.Err()
+		}
 		var cands []candidate
 		d.tree.Level(level, func(lhs, rhs *bitset.Set) {
 			cands = append(cands, candidate{lhs: lhs, rhs: rhs})
@@ -225,13 +312,20 @@ func (d *discoverer) validate() {
 			continue
 		}
 		verdicts := d.check(cands)
+		if d.canceled() {
+			return d.ctx.Err()
+		}
 		total, invalid := 0, 0
-		for _, v := range verdicts {
+		for i, v := range verdicts {
+			if i&15 == 0 && d.canceled() {
+				return d.ctx.Err()
+			}
 			total += v.cand.rhs.Cardinality()
 			if v.invalid == nil {
 				continue
 			}
 			invalid += v.invalid.Cardinality()
+			d.violationsFound += int64(v.invalid.Cardinality())
 			// Feed the violating pairs back as non-FD evidence; the
 			// inductor removes the refuted candidates and specializes
 			// them one level up. (A single pass per level suffices:
@@ -244,17 +338,25 @@ func (d *discoverer) validate() {
 		// Switching heuristic: if validation found mostly garbage,
 		// cheaper sampling likely prunes the next levels better.
 		if invalid > 0 && float64(invalid)/float64(total) > switchRatio && d.sampler.hasMore() {
-			d.sampleAndInduct(2)
+			if err := d.sampleAndInduct(2); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // check validates the candidates of one level against the data,
-// optionally in parallel.
+// optionally in parallel. On cancellation the remaining candidates are
+// skipped (workers drain the feed without doing work and exit), and the
+// caller re-checks the context before trusting the verdicts.
 func (d *discoverer) check(cands []candidate) []verdict {
 	out := make([]verdict, len(cands))
 	if !d.opts.Parallel || len(cands) < 8 {
 		for i, c := range cands {
+			if d.canceled() {
+				return out
+			}
 			out[i] = d.checkOne(c)
 		}
 		return out
@@ -267,6 +369,9 @@ func (d *discoverer) check(cands []candidate) []verdict {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if d.canceled() {
+					continue // keep draining so the feeder never blocks
+				}
 				out[i] = d.checkOne(cands[i])
 			}
 		}()
@@ -282,6 +387,7 @@ func (d *discoverer) check(cands []candidate) []verdict {
 // checkOne validates a single candidate: it materializes the LHS
 // partition and tests refinement of every RHS column.
 func (d *discoverer) checkOne(c candidate) verdict {
+	d.candidatesChecked.Add(1)
 	v := verdict{cand: c}
 	if c.lhs.IsEmpty() {
 		// ∅ → A means column A is constant.
@@ -336,6 +442,7 @@ func (d *discoverer) pliFor(lhs *bitset.Set) *pli.PLI {
 			break
 		}
 		p = p.IntersectInverted(d.inverted[a])
+		d.plisIntersected.Add(1)
 	}
 	return p
 }

@@ -1,6 +1,7 @@
 package ind
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -112,10 +113,20 @@ type CompositeKey struct {
 // produces them — link tables such as TPC-H's partsupp(partkey,
 // suppkey).
 func SuggestCompositeForeignKeys(rels []*relation.Relation, keys []CompositeKey) []CompositeFK {
+	out, _ := SuggestCompositeForeignKeysContext(context.Background(), rels, keys)
+	return out
+}
+
+// SuggestCompositeForeignKeysContext is SuggestCompositeForeignKeys
+// with cancellation: the per-key assignment validation loop polls ctx
+// (each CheckComposite materializes full tuple maps) and returns
+// ctx.Err() promptly when the context ends.
+func SuggestCompositeForeignKeysContext(ctx context.Context, rels []*relation.Relation, keys []CompositeKey) ([]CompositeFK, error) {
 	const (
 		minNameSim = 0.5
 		maxCombos  = 64
 	)
+	done := ctx.Done()
 	byName := make(map[string]*relation.Relation, len(rels))
 	for _, r := range rels {
 		byName[r.Name] = r
@@ -155,6 +166,9 @@ func SuggestCompositeForeignKeys(rels []*relation.Relation, keys []CompositeKey)
 			}
 			assignments := enumerate(cands, maxCombos)
 			for _, depCols := range assignments {
+				if canceled(done) {
+					return nil, ctx.Err()
+				}
 				if hasDuplicates(depCols) {
 					continue
 				}
@@ -180,7 +194,7 @@ func SuggestCompositeForeignKeys(rels []*relation.Relation, keys []CompositeKey)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
-	return out
+	return out, nil
 }
 
 // enumerate yields up to limit assignments picking one column per slot.

@@ -15,6 +15,7 @@
 package ind
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/relation"
@@ -56,15 +57,30 @@ type column struct {
 // key semantics; an attribute with only nulls is not reported as
 // dependent.
 func Discover(rels []*relation.Relation, opts Options) []IND {
+	out, _ := DiscoverContext(context.Background(), rels, opts)
+	return out
+}
+
+// DiscoverContext is Discover with cancellation: both the per-attribute
+// value-set construction and the quadratic candidate sweep poll ctx and
+// return ctx.Err() promptly when the context ends.
+func DiscoverContext(ctx context.Context, rels []*relation.Relation, opts Options) ([]IND, error) {
 	minValues := opts.MinValues
 	if minValues < 1 {
 		minValues = 1
 	}
+	done := ctx.Done()
 	var cols []column
 	for _, rel := range rels {
 		for c, name := range rel.Attrs {
+			if canceled(done) {
+				return nil, ctx.Err()
+			}
 			vals := make(map[string]struct{})
-			for _, row := range rel.Rows {
+			for r, row := range rel.Rows {
+				if r&1023 == 0 && canceled(done) {
+					return nil, ctx.Err()
+				}
 				if !relation.IsNull(row[c]) {
 					vals[row[c]] = struct{}{}
 				}
@@ -84,6 +100,11 @@ func Discover(rels []*relation.Relation, opts Options) []IND {
 		for j, ref := range cols {
 			if i == j {
 				continue
+			}
+			// Each inclusion check below scans the full dependent value
+			// set; poll per candidate pair.
+			if j&15 == 0 && canceled(done) {
+				return nil, ctx.Err()
 			}
 			if !opts.IncludeSelf && dep.attr.Relation == ref.attr.Relation {
 				continue
@@ -106,7 +127,18 @@ func Discover(rels []*relation.Relation, opts Options) []IND {
 		}
 		return lessAttr(out[a].Referenced, out[b].Referenced)
 	})
-	return out
+	return out, nil
+}
+
+// canceled is the non-blocking poll of a context's done channel (a nil
+// channel — context.Background — never reports cancellation).
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 func included(a, b map[string]struct{}) bool {

@@ -18,6 +18,7 @@
 package mvd
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -109,10 +110,18 @@ type Options struct {
 // Discover returns all non-trivial MVDs X ↠ Y | Z of the relation with
 // |X| ≤ MaxLhs, where both Y and Z are non-empty and each {Y, Z}
 // partition is reported once (Y holds the smallest attribute outside
-// X). LHS-minimal MVDs come first; an MVD is LHS-minimal if no reported
-// X' ⊂ X has the same partition restricted... — callers that only need
-// 4NF violations can stop at the first hit via DiscoverFirst.
+// X), in ascending LHS-size order.
 func Discover(rel *relation.Relation, opts Options) ([]*MVD, error) {
+	return DiscoverContext(context.Background(), rel, opts)
+}
+
+// DiscoverContext is Discover with cancellation: the exhaustive lattice
+// enumeration polls ctx per LHS and per bipartition batch and returns
+// ctx.Err() promptly when the context ends.
+func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) ([]*MVD, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	maxAttrs := opts.MaxAttrs
 	if maxAttrs == 0 {
@@ -126,26 +135,46 @@ func Discover(rel *relation.Relation, opts Options) ([]*MVD, error) {
 	if maxLhs <= 0 || maxLhs > n {
 		maxLhs = n
 	}
-	enc := rel.Encode()
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 	var out []*MVD
-	forEachLhs(n, maxLhs, func(x *bitset.Set) {
-		out = append(out, validPartitions(enc, n, x)...)
+	forEachLhs(n, maxLhs, func(x *bitset.Set) bool {
+		if canceled(done) {
+			return false
+		}
+		mvds, ok := validPartitions(done, enc, n, x)
+		if !ok {
+			return false
+		}
+		out = append(out, mvds...)
+		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // validPartitions enumerates the {Y, Z} bipartitions of R \ X and
-// returns those forming valid MVDs.
-func validPartitions(enc *relation.Encoded, n int, x *bitset.Set) []*MVD {
+// returns those forming valid MVDs; ok is false when the enumeration
+// was abandoned because done fired.
+func validPartitions(done <-chan struct{}, enc *relation.Encoded, n int, x *bitset.Set) (out []*MVD, ok bool) {
 	rest := bitset.Full(n).DifferenceWith(x)
 	restAttrs := rest.Elements()
 	if len(restAttrs) < 2 {
-		return nil // no non-trivial bipartition
+		return nil, true // no non-trivial bipartition
 	}
 	anchor := restAttrs[0] // Y always holds the smallest outside attr
 	free := restAttrs[1:]
-	var out []*MVD
 	for mask := 0; mask < 1<<uint(len(free)); mask++ {
+		// Each Holds check scans every row group; poll per bipartition
+		// batch to keep cancellation within the latency contract.
+		if mask&15 == 0 && canceled(done) {
+			return nil, false
+		}
 		y := bitset.Of(n, anchor)
 		for i, a := range free {
 			if mask&(1<<uint(i)) != 0 {
@@ -160,21 +189,38 @@ func validPartitions(enc *relation.Encoded, n int, x *bitset.Set) []*MVD {
 			out = append(out, &MVD{Lhs: x.Clone(), Rhs: y, Complement: z})
 		}
 	}
-	return out
+	return out, true
 }
 
-func forEachLhs(n, maxSize int, f func(*bitset.Set)) {
-	var rec func(start int, cur []int, want int)
-	rec = func(start int, cur []int, want int) {
+// forEachLhs enumerates attribute sets in ascending size order; the
+// callback returns false to abort the enumeration.
+func forEachLhs(n, maxSize int, f func(*bitset.Set) bool) {
+	var rec func(start int, cur []int, want int) bool
+	rec = func(start int, cur []int, want int) bool {
 		if len(cur) == want {
-			f(bitset.Of(n, cur...))
-			return
+			return f(bitset.Of(n, cur...))
 		}
 		for e := start; e < n; e++ {
-			rec(e+1, append(cur, e), want)
+			if !rec(e+1, append(cur, e), want) {
+				return false
+			}
 		}
+		return true
 	}
 	for size := 0; size <= maxSize; size++ {
-		rec(0, make([]int, 0, size), size)
+		if !rec(0, make([]int, 0, size), size) {
+			return
+		}
+	}
+}
+
+// canceled is the non-blocking poll of a context's done channel (a nil
+// channel — context.Background — never reports cancellation).
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
 	}
 }

@@ -1,0 +1,43 @@
+package tane
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"normalize/internal/datagen"
+)
+
+// TestDiscoverContextPreCancelled: a context cancelled before the call
+// must abort the lattice traversal immediately.
+func TestDiscoverContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := datagen.Horse(1)
+	_, err := DiscoverContext(ctx, ds.Denormalized, Options{MaxLhs: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDiscoverContextCancelMidRun: TANE's level-wise sweep over a
+// Plista-sized relation runs for a long time; a cancellation landing
+// mid-run must surface in under one second.
+func TestDiscoverContextCancelMidRun(t *testing.T) {
+	ds := datagen.Plista(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelledAt time.Time
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancelledAt = time.Now()
+		cancel()
+	}()
+	_, err := DiscoverContext(ctx, ds.Denormalized, Options{MaxLhs: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (the sweep normally runs for seconds)", err)
+	}
+	if latency := time.Since(cancelledAt); latency > time.Second {
+		t.Errorf("cancellation surfaced %v after cancel, contract is < 1s", latency)
+	}
+}

@@ -8,13 +8,19 @@
 // the FD-discovery step (component 1 of Normalize); the default
 // discovery algorithm is the faster HyFD-style hybrid in the sibling
 // package hyfd. TANE also serves as a correctness cross-check in tests.
+//
+// DiscoverContext supports cancellation: the level-wise loops — FD
+// emission per node and the PLI-intersecting candidate generation —
+// poll the context and return ctx.Err() promptly.
 package tane
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/bitset"
 	"normalize/internal/fd"
+	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
 )
@@ -23,6 +29,9 @@ import (
 type Options struct {
 	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
 	MaxLhs int
+	// Observer receives work counters under the fd-discovery stage;
+	// nil means no instrumentation.
+	Observer observe.Observer
 }
 
 // node is one lattice element X with its stripped partition, partition
@@ -40,7 +49,18 @@ type node struct {
 // Discover returns all minimal non-trivial FDs of rel, aggregated by
 // left-hand side and deterministically sorted.
 func Discover(rel *relation.Relation, opts Options) *fd.Set {
-	enc := rel.Encode()
+	s, _ := DiscoverContext(context.Background(), rel, opts)
+	return s
+}
+
+// DiscoverContext is Discover with cancellation: the level-wise lattice
+// loops poll ctx and the call returns ctx.Err() promptly when the
+// context ends mid-discovery.
+func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) (*fd.Set, error) {
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	maxLhs := opts.MaxLhs
 	if maxLhs <= 0 || maxLhs > n {
@@ -48,13 +68,15 @@ func Discover(rel *relation.Relation, opts Options) *fd.Set {
 	}
 	result := fd.NewSet(n)
 	if n == 0 {
-		return result
+		return result, nil
 	}
 	if enc.NumRows == 0 {
 		// Vacuously, ∅ determines every attribute.
 		result.Add(bitset.New(n), bitset.Full(n))
-		return result.Aggregate().Sort()
+		return result.Aggregate().Sort(), nil
 	}
+	d := &discoverer{ctx: ctx, done: ctx.Done()}
+	defer d.flushCounters(observe.Or(opts.Observer))
 
 	emptyErr := enc.NumRows - 1 // e(∅): a single cluster holding all rows
 
@@ -76,22 +98,60 @@ func Discover(rel *relation.Relation, opts Options) *fd.Set {
 	// X\{A} → A for ℓ-sized X), so the bound requires processing level
 	// maxLhs+1 before stopping.
 	for size := 1; len(level) > 0; size++ {
-		computeDependencies(level, result, n)
+		if err := d.computeDependencies(level, result, n); err != nil {
+			return nil, err
+		}
 		if size > maxLhs {
 			break
 		}
 		survivors := prune(level)
-		level = generateNextLevel(survivors, n)
+		var err error
+		level, err = d.generateNextLevel(survivors, n)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return result.Aggregate().Sort()
+	return result.Aggregate().Sort(), nil
+}
+
+// discoverer bundles the cancellation state and work counters of one
+// DiscoverContext run.
+type discoverer struct {
+	ctx  context.Context
+	done <-chan struct{}
+
+	plisIntersected   int64
+	candidatesChecked int64
+}
+
+func (d *discoverer) canceled() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *discoverer) flushCounters(obs observe.Observer) {
+	if d.plisIntersected != 0 {
+		obs.Counter(observe.Discovery, observe.CounterPLIsIntersected, d.plisIntersected)
+	}
+	if d.candidatesChecked != 0 {
+		obs.Counter(observe.Discovery, observe.CounterCandidatesChecked, d.candidatesChecked)
+	}
 }
 
 // computeDependencies implements TANE's COMPUTE_DEPENDENCIES: for each
 // X and each A ∈ C⁺(X) ∩ X, the FD X\{A} → A is valid and minimal iff
 // e(X\{A}) = e(X). At level 1 this reduces to the constant-column check
 // ∅ → A.
-func computeDependencies(level []*node, result *fd.Set, n int) {
-	for _, nd := range level {
+func (d *discoverer) computeDependencies(level []*node, result *fd.Set, n int) error {
+	for i, nd := range level {
+		if i&63 == 0 && d.canceled() {
+			return d.ctx.Err()
+		}
+		d.candidatesChecked++
 		candidates := nd.cplus.Intersect(nd.set)
 		candidates.ForEach(func(a int) bool {
 			pe, ok := nd.parentErrs[a]
@@ -107,6 +167,7 @@ func computeDependencies(level []*node, result *fd.Set, n int) {
 			return true
 		})
 	}
+	return nil
 }
 
 // prune implements the C⁺ pruning of TANE's base algorithm: nodes with
@@ -132,7 +193,7 @@ func prune(level []*node) map[string]*node {
 // generation. Two surviving nodes sharing all attributes but the last
 // combine into a child; the child is kept only if every |X|-subset
 // survived (apriori), and inherits C⁺(X) = ∩_{B∈X} C⁺(X\{B}).
-func generateNextLevel(survivors map[string]*node, n int) []*node {
+func (d *discoverer) generateNextLevel(survivors map[string]*node, n int) ([]*node, error) {
 	nodes := make([]*node, 0, len(survivors))
 	for _, nd := range survivors {
 		nodes = append(nodes, nd)
@@ -149,10 +210,19 @@ func generateNextLevel(survivors map[string]*node, n int) []*node {
 
 	var next []*node
 	for i := 0; i < len(nodes); i++ {
+		if d.canceled() {
+			return nil, d.ctx.Err()
+		}
 		for j := i + 1; j < len(nodes); j++ {
 			a, b := nodes[i], nodes[j]
 			if !samePrefix(a.attrs, b.attrs) {
 				break
+			}
+			// The child's partition intersection below is the hot
+			// operation of the level-wise sweep; poll per candidate so
+			// cancellation lands within the latency contract.
+			if j&31 == 0 && d.canceled() {
+				return nil, d.ctx.Err()
 			}
 			attrs := append(append(make([]int, 0, len(a.attrs)+1), a.attrs...), b.attrs[len(b.attrs)-1])
 			set := a.set.Union(b.set)
@@ -180,11 +250,12 @@ func generateNextLevel(survivors map[string]*node, n int) []*node {
 				cplus:      cplus,
 				parentErrs: parentErrs,
 			}
+			d.plisIntersected++
 			child.err = child.part.Error()
 			next = append(next, child)
 		}
 	}
-	return next
+	return next, nil
 }
 
 // samePrefix reports whether two equal-length attribute lists agree on

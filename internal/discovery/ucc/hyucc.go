@@ -1,9 +1,11 @@
 package ucc
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
@@ -19,15 +21,32 @@ import (
 // option for larger relations and as a cross-check of the level-wise
 // implementation.
 func DiscoverHybrid(rel *relation.Relation, opts Options) []*bitset.Set {
+	s, _ := DiscoverHybridContext(context.Background(), rel, opts)
+	return s
+}
+
+// DiscoverHybridContext is DiscoverHybrid with cancellation: both the
+// sampling sweep and the level-wise validation loop poll ctx and return
+// ctx.Err() promptly when the context ends mid-discovery.
+func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Options) ([]*bitset.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	maxSize := opts.MaxSize
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n
 	}
-	enc := rel.Encode()
-	if enc.NumRows <= 1 {
-		return []*bitset.Set{bitset.New(n)}
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
 	}
+	if enc.NumRows <= 1 {
+		return []*bitset.Set{bitset.New(n)}, nil
+	}
+	var c counters
+	defer c.flush(observe.Or(opts.Observer))
+	done := ctx.Done()
 
 	plis := make([]*pli.PLI, n)
 	inverted := make([][]int, n)
@@ -84,8 +103,16 @@ func DiscoverHybrid(rel *relation.Relation, opts Options) []*bitset.Set {
 	agreeSeen := map[string]bool{}
 	for a := 0; a < n; a++ {
 		for _, cluster := range plis[a].Clusters() {
+			if canceled(done) {
+				return nil, ctx.Err()
+			}
 			for w := 1; w <= 2; w++ {
 				for i := 0; i+w < len(cluster); i++ {
+					// Induction over a large cluster is the hot part of the
+					// sampling sweep; poll per pair batch.
+					if i&63 == 0 && canceled(done) {
+						return nil, ctx.Err()
+					}
 					s := agreeSet(enc, n, cluster[i], cluster[i+w])
 					if k := s.Key(); !agreeSeen[k] {
 						agreeSeen[k] = true
@@ -115,8 +142,11 @@ func DiscoverHybrid(rel *relation.Relation, opts Options) []*bitset.Set {
 		if level > maxLevel {
 			break
 		}
-		for _, cand := range todo {
-			if r1, r2 := firstDuplicate(enc, plis, inverted, cand); r1 >= 0 {
+		for i, cand := range todo {
+			if i&15 == 0 && canceled(done) {
+				return nil, ctx.Err()
+			}
+			if r1, r2 := firstDuplicate(enc, plis, inverted, cand, &c); r1 >= 0 {
 				induct(agreeSet(enc, n, r1, r2))
 				continue
 			}
@@ -142,12 +172,13 @@ func DiscoverHybrid(rel *relation.Relation, opts Options) []*bitset.Set {
 		minimal.Insert(s)
 		out = append(out, s)
 	}
-	return out
+	c.uccsFound += int64(len(out))
+	return out, nil
 }
 
 // firstDuplicate returns a pair of rows agreeing on all attributes of
 // the candidate, or (-1, -1) when the candidate is unique.
-func firstDuplicate(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set) (int, int) {
+func firstDuplicate(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set, c *counters) (int, int) {
 	if cand.IsEmpty() {
 		if enc.NumRows > 1 {
 			return 0, 1
@@ -161,6 +192,7 @@ func firstDuplicate(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, ca
 			return -1, -1
 		}
 		p = p.IntersectInverted(inverted[a])
+		c.plisIntersected++
 	}
 	for _, cluster := range p.Clusters() {
 		return cluster[0], cluster[1]

@@ -7,12 +7,20 @@
 // lattice search with stripped partitions — apriori generation plus
 // minimality pruning over a set-trie — is entirely sufficient, and is
 // what this package implements.
+//
+// DiscoverContext and DiscoverHybridContext support cancellation: the
+// lattice and validation loops poll the context and return ctx.Err()
+// promptly. Work counters are reported to Options.Observer under the
+// primary-key-selection stage (the pipeline component this package
+// serves).
 package ucc
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
@@ -22,6 +30,9 @@ import (
 type Options struct {
 	// MaxSize bounds the size of reported UCCs; 0 means unbounded.
 	MaxSize int
+	// Observer receives work counters under the primary-key-selection
+	// stage; nil means no instrumentation.
+	Observer observe.Observer
 }
 
 type node struct {
@@ -30,19 +41,50 @@ type node struct {
 	part  *pli.PLI
 }
 
+// counters accumulates the work of one discovery run and flushes it to
+// an observer on return.
+type counters struct {
+	plisIntersected int64
+	uccsFound       int64
+}
+
+func (c *counters) flush(obs observe.Observer) {
+	if c.plisIntersected != 0 {
+		obs.Counter(observe.PrimaryKey, observe.CounterPLIsIntersected, c.plisIntersected)
+	}
+	if c.uccsFound != 0 {
+		obs.Counter(observe.PrimaryKey, observe.CounterUCCsDiscovered, c.uccsFound)
+	}
+}
+
 // Discover returns all minimal unique column combinations of rel in
 // ascending size order. An empty relation (or one with at most one row)
 // has the empty set as its only minimal UCC.
 func Discover(rel *relation.Relation, opts Options) []*bitset.Set {
+	s, _ := DiscoverContext(context.Background(), rel, opts)
+	return s
+}
+
+// DiscoverContext is Discover with cancellation: the level-wise lattice
+// loop polls ctx and returns ctx.Err() promptly when the context ends.
+func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) ([]*bitset.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := rel.NumAttrs()
 	maxSize := opts.MaxSize
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n
 	}
-	enc := rel.Encode()
-	if enc.NumRows <= 1 {
-		return []*bitset.Set{bitset.New(n)}
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
 	}
+	if enc.NumRows <= 1 {
+		return []*bitset.Set{bitset.New(n)}, nil
+	}
+	var c counters
+	defer c.flush(observe.Or(opts.Observer))
 
 	var result []*bitset.Set
 	var minimal settrie.Trie
@@ -59,17 +101,24 @@ func Discover(rel *relation.Relation, opts Options) []*bitset.Set {
 		level = append(level, &node{attrs: []int{a}, set: s, part: p})
 	}
 
+	done := ctx.Done()
 	for size := 1; len(level) > 0 && size < maxSize; size++ {
-		level = nextLevel(level, &minimal, &result, n)
+		var err error
+		level, err = nextLevel(ctx, done, level, &minimal, &result, n, &c)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return result
+	c.uccsFound += int64(len(result))
+	return result, nil
 }
 
 // nextLevel combines prefix-block pairs of non-unique nodes; candidates
 // containing a known UCC are skipped, unique candidates become minimal
 // UCCs (minimal because all their subsets are non-unique), and the
 // remaining candidates form the next level.
-func nextLevel(level []*node, minimal *settrie.Trie, result *[]*bitset.Set, n int) []*node {
+func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
+	minimal *settrie.Trie, result *[]*bitset.Set, n int, c *counters) ([]*node, error) {
 	sort.Slice(level, func(i, j int) bool {
 		a, b := level[i].attrs, level[j].attrs
 		for k := range a {
@@ -86,10 +135,18 @@ func nextLevel(level []*node, minimal *settrie.Trie, result *[]*bitset.Set, n in
 
 	var next []*node
 	for i := 0; i < len(level); i++ {
+		if canceled(done) {
+			return nil, ctx.Err()
+		}
 		for j := i + 1; j < len(level); j++ {
 			a, b := level[i], level[j]
 			if !samePrefix(a.attrs, b.attrs) {
 				break
+			}
+			// The candidate's partition intersection below is the hot
+			// operation; poll per candidate pair batch.
+			if j&31 == 0 && canceled(done) {
+				return nil, ctx.Err()
 			}
 			set := a.set.Union(b.set)
 			if minimal.ContainsSubsetOf(set) {
@@ -109,6 +166,7 @@ func nextLevel(level []*node, minimal *settrie.Trie, result *[]*bitset.Set, n in
 				continue
 			}
 			part := a.part.Intersect(b.part)
+			c.plisIntersected++
 			attrs := append(append(make([]int, 0, len(a.attrs)+1), a.attrs...), b.attrs[len(b.attrs)-1])
 			if part.IsUnique() {
 				*result = append(*result, set)
@@ -118,7 +176,16 @@ func nextLevel(level []*node, minimal *settrie.Trie, result *[]*bitset.Set, n in
 			next = append(next, &node{attrs: attrs, set: set, part: part})
 		}
 	}
-	return next
+	return next, nil
+}
+
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 func samePrefix(a, b []int) bool {

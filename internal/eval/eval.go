@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -70,25 +71,34 @@ type Table3Row struct {
 // RunTable3Row executes the per-component measurements of Table 3 for
 // one dataset: FD discovery, both closure variants, key derivation, and
 // violating-FD identification (first calls, like the paper reports).
-func RunTable3Row(spec Spec) Table3Row {
+// The measured components run under ctx and the call returns ctx.Err()
+// promptly when the context ends mid-experiment.
+func RunTable3Row(ctx context.Context, spec Spec) (Table3Row, error) {
 	ds := spec.Gen()
 	rel := ds.Denormalized
 	row := Table3Row{Name: spec.Name, Attrs: rel.NumAttrs(), Records: rel.NumRows()}
 
 	start := time.Now()
-	fds := hyfd.Discover(rel, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
+	fds, err := hyfd.DiscoverContext(ctx, rel, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
+	if err != nil {
+		return row, err
+	}
 	row.Discovery = time.Since(start)
 	row.FDs = fds.CountSingle()
 	row.AvgRhsBefore = fds.AverageRhsSize()
 
 	improved := fds.Clone()
 	start = time.Now()
-	closure.ImprovedParallel(improved, 0)
+	if _, err := closure.ImprovedParallelContext(ctx, improved, 0); err != nil {
+		return row, err
+	}
 	row.ClosureImpr = time.Since(start)
 
 	optimized := fds.Clone()
 	start = time.Now()
-	closure.OptimizedParallel(optimized, 0)
+	if _, err := closure.OptimizedParallelContext(ctx, optimized, 0); err != nil {
+		return row, err
+	}
 	row.ClosureOpt = time.Since(start)
 	row.AvgRhsAfter = optimized.AverageRhsSize()
 
@@ -112,7 +122,7 @@ func RunTable3Row(spec Spec) Table3Row {
 		NullAttrs: nullAttrs,
 	})
 	row.ViolationID = time.Since(start)
-	return row
+	return row, nil
 }
 
 // PrintTable3 renders Table 3 rows in the paper's layout.
@@ -151,10 +161,15 @@ type NaiveRow struct {
 // RunNaiveComparison measures the naive algorithm against the improved
 // and optimized ones. sampleFDs bounds the input size (0 = all FDs):
 // the naive algorithm is cubic, so the paper itself stopped running it
-// on the larger sets.
-func RunNaiveComparison(spec Spec, sampleFDs int) NaiveRow {
+// on the larger sets. The measured algorithms run under ctx — the
+// cubic naive closure in particular is why this experiment wants to be
+// cancellable.
+func RunNaiveComparison(ctx context.Context, spec Spec, sampleFDs int) (NaiveRow, error) {
 	ds := spec.Gen()
-	fds := hyfd.Discover(ds.Denormalized, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
+	fds, err := hyfd.DiscoverContext(ctx, ds.Denormalized, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
+	if err != nil {
+		return NaiveRow{Name: spec.Name}, err
+	}
 	if sampleFDs > 0 && fds.Len() > sampleFDs {
 		fds = SampleFDs(fds, sampleFDs, 1)
 	}
@@ -162,19 +177,25 @@ func RunNaiveComparison(spec Spec, sampleFDs int) NaiveRow {
 
 	in := fds.Clone()
 	start := time.Now()
-	closure.Naive(in)
+	if _, err := closure.NaiveContext(ctx, in); err != nil {
+		return row, err
+	}
 	row.Naive = time.Since(start)
 
 	in = fds.Clone()
 	start = time.Now()
-	closure.Improved(in)
+	if _, err := closure.ImprovedContext(ctx, in); err != nil {
+		return row, err
+	}
 	row.Improved = time.Since(start)
 
 	in = fds.Clone()
 	start = time.Now()
-	closure.Optimized(in)
+	if _, err := closure.OptimizedContext(ctx, in); err != nil {
+		return row, err
+	}
 	row.Optimized = time.Since(start)
-	return row
+	return row, nil
 }
 
 // PrintNaive renders the naive-closure comparison.
@@ -211,25 +232,35 @@ type Figure2Point struct {
 
 // RunFigure2 sweeps the number of input FDs (random samples from the
 // MusicBrainz FD set, attributes held constant) and measures the
-// improved and optimized closure algorithms, reproducing Figure 2.
-func RunFigure2(steps int) []Figure2Point {
+// improved and optimized closure algorithms, reproducing Figure 2. A
+// cancelled ctx ends the sweep promptly; the points completed so far
+// are returned alongside ctx.Err(), so a partial sweep is still
+// reportable.
+func RunFigure2(ctx context.Context, steps int) ([]Figure2Point, error) {
 	ds := datagen.MusicBrainz(24, 1)
-	full := hyfd.Discover(ds.Denormalized, hyfd.Options{Parallel: true})
+	full, err := hyfd.DiscoverContext(ctx, ds.Denormalized, hyfd.Options{Parallel: true})
+	if err != nil {
+		return nil, err
+	}
 	var points []Figure2Point
 	for i := 1; i <= steps; i++ {
 		n := full.Len() * i / steps
 		sample := SampleFDs(full, n, int64(i))
 		imp := sample.Clone()
 		start := time.Now()
-		closure.ImprovedParallel(imp, 0)
+		if _, err := closure.ImprovedParallelContext(ctx, imp, 0); err != nil {
+			return points, err
+		}
 		impT := time.Since(start)
 		opt := sample.Clone()
 		start = time.Now()
-		closure.OptimizedParallel(opt, 0)
+		if _, err := closure.OptimizedParallelContext(ctx, opt, 0); err != nil {
+			return points, err
+		}
 		optT := time.Since(start)
 		points = append(points, Figure2Point{FDs: sample.CountSingle(), Improved: impT, Optimized: optT})
 	}
-	return points
+	return points, nil
 }
 
 // PrintFigure2 renders the sweep as the series of Figure 2.
@@ -259,9 +290,10 @@ type TableMatch struct {
 }
 
 // RunReconstruction normalizes a denormalized dataset and matches the
-// result against the original schema (Figures 3 and 4).
-func RunReconstruction(ds *datagen.Dataset, maxLhs int) (*Reconstruction, error) {
-	res, err := core.NormalizeRelation(ds.Denormalized, core.Options{MaxLhs: maxLhs})
+// result against the original schema (Figures 3 and 4). The pipeline
+// run is cancellable through ctx.
+func RunReconstruction(ctx context.Context, ds *datagen.Dataset, maxLhs int) (*Reconstruction, error) {
+	res, err := core.NormalizeRelationContext(ctx, ds.Denormalized, core.Options{MaxLhs: maxLhs})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,10 @@ func tinySpec() Spec {
 }
 
 func TestRunTable3RowShape(t *testing.T) {
-	row := RunTable3Row(tinySpec())
+	row, err := RunTable3Row(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if row.Attrs != 52 {
 		t.Errorf("attrs = %d", row.Attrs)
 	}
@@ -39,7 +43,10 @@ func TestRunTable3RowShape(t *testing.T) {
 }
 
 func TestRunNaiveComparisonOrdering(t *testing.T) {
-	row := RunNaiveComparison(tinySpec(), 1500)
+	row, err := RunNaiveComparison(context.Background(), tinySpec(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The cubic baseline must not beat the optimized algorithm on a
 	// non-trivial input (the paper's headline result). Timing on tiny
 	// inputs jitters, so allow a generous margin; the full-size
@@ -82,7 +89,7 @@ func TestSampleFDs(t *testing.T) {
 }
 
 func TestRunReconstructionTiny(t *testing.T) {
-	rec, err := RunReconstruction(datagen.TPCH(0.0001, 1), 3)
+	rec, err := RunReconstruction(context.Background(), datagen.TPCH(0.0001, 1), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,314 @@
+// Package observe is the pluggable instrumentation layer of the
+// normalization pipeline. Every stage of Figure 1 — FD discovery,
+// closure calculation, key derivation, violation detection,
+// violating-FD selection, decomposition, and primary-key selection —
+// reports its lifecycle (start, finish with wall-time) and per-stage
+// work counters (FDs induced, PLIs intersected, violations found,
+// candidates scored, …) to an Observer.
+//
+// The zero-cost default is the no-op observer; Logging streams events
+// as text lines, Recorder accumulates them for later inspection (the
+// cmd front ends use it to print partial telemetry after Ctrl-C), and
+// Multi fans events out to several observers at once.
+//
+// Observers may be invoked from multiple goroutines concurrently (the
+// discovery and closure components run parallel workers), so every
+// implementation must be safe for concurrent use. The implementations
+// in this package are.
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage identifies one pipeline stage, named after the components of
+// the paper's Figure 1.
+type Stage string
+
+// The seven pipeline stages in Figure 1 order.
+const (
+	Discovery     Stage = "fd-discovery"
+	Closure       Stage = "closure"
+	KeyDerivation Stage = "key-derivation"
+	Violation     Stage = "violation-detection"
+	Selection     Stage = "violating-fd-selection"
+	Decomposition Stage = "decomposition"
+	PrimaryKey    Stage = "primary-key-selection"
+)
+
+// Stages returns the pipeline stages in Figure 1 order.
+func Stages() []Stage {
+	return []Stage{Discovery, Closure, KeyDerivation, Violation,
+		Selection, Decomposition, PrimaryKey}
+}
+
+// Counter names emitted by the pipeline and its substrate packages.
+// The set is open — observers should treat names as opaque labels —
+// but these are the ones the built-in components report.
+const (
+	CounterFDsDiscovered     = "fds_discovered"
+	CounterFDsInduced        = "fds_induced"
+	CounterAgreeSets         = "agree_sets_sampled"
+	CounterPLIsIntersected   = "plis_intersected"
+	CounterCandidatesChecked = "candidates_checked"
+	CounterRhsAttrsAdded     = "rhs_attrs_added"
+	CounterKeysDerived       = "keys_derived"
+	CounterViolationsFound   = "violations_found"
+	CounterCandidatesScored  = "candidates_scored"
+	CounterDecompositions    = "decompositions"
+	CounterRowsMaterialized  = "rows_materialized"
+	CounterUCCsDiscovered    = "uccs_discovered"
+)
+
+// Observer receives instrumentation events from the pipeline.
+// StageStart and StageFinish bracket one execution of a stage (stages
+// inside the decomposition loop run once per table, so a run usually
+// sees several key-derivation/violation/selection spans); Counter
+// reports work done under a stage and may arrive at any time between
+// the stage's start and finish. Implementations must be safe for
+// concurrent use.
+type Observer interface {
+	StageStart(stage Stage)
+	Counter(stage Stage, name string, delta int64)
+	StageFinish(stage Stage, elapsed time.Duration)
+}
+
+// Or returns obs if non-nil and the no-op observer otherwise, so
+// callers can hold a never-nil observer.
+func Or(obs Observer) Observer {
+	if obs == nil {
+		return Nop{}
+	}
+	return obs
+}
+
+// Nop is the no-op observer, the default when none is configured.
+type Nop struct{}
+
+// StageStart does nothing.
+func (Nop) StageStart(Stage) {}
+
+// Counter does nothing.
+func (Nop) Counter(Stage, string, int64) {}
+
+// StageFinish does nothing.
+func (Nop) StageFinish(Stage, time.Duration) {}
+
+// Multi fans every event out to all wrapped observers, in order.
+type Multi []Observer
+
+// StageStart forwards to every observer.
+func (m Multi) StageStart(stage Stage) {
+	for _, o := range m {
+		o.StageStart(stage)
+	}
+}
+
+// Counter forwards to every observer.
+func (m Multi) Counter(stage Stage, name string, delta int64) {
+	for _, o := range m {
+		o.Counter(stage, name, delta)
+	}
+}
+
+// StageFinish forwards to every observer.
+func (m Multi) StageFinish(stage Stage, elapsed time.Duration) {
+	for _, o := range m {
+		o.StageFinish(stage, elapsed)
+	}
+}
+
+// EventKind discriminates recorded observer callbacks.
+type EventKind int
+
+// The three observer callback kinds.
+const (
+	KindStart EventKind = iota
+	KindCounter
+	KindFinish
+)
+
+// Event is one recorded observer callback.
+type Event struct {
+	Kind    EventKind
+	Stage   Stage
+	Name    string        // counter name, for KindCounter
+	Delta   int64         // counter increment, for KindCounter
+	Elapsed time.Duration // stage wall-time, for KindFinish
+	At      time.Time     // when the callback arrived
+}
+
+// Recorder records every event for later inspection. Useful in tests
+// and to print partial telemetry after a cancelled run.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// StageStart records a start event.
+func (r *Recorder) StageStart(stage Stage) {
+	r.record(Event{Kind: KindStart, Stage: stage, At: time.Now()})
+}
+
+// Counter records a counter event.
+func (r *Recorder) Counter(stage Stage, name string, delta int64) {
+	r.record(Event{Kind: KindCounter, Stage: stage, Name: name, Delta: delta, At: time.Now()})
+}
+
+// StageFinish records a finish event.
+func (r *Recorder) StageFinish(stage Stage, elapsed time.Duration) {
+	r.record(Event{Kind: KindFinish, Stage: stage, Elapsed: elapsed, At: time.Now()})
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// StageTotal aggregates the recorded events of one stage.
+type StageTotal struct {
+	Stage    Stage
+	Spans    int           // completed start/finish pairs
+	Open     int           // started but not finished (cancelled mid-stage)
+	Elapsed  time.Duration // summed wall-time of completed spans
+	Counters map[string]int64
+}
+
+// Totals aggregates events per stage, in Figure 1 order for the known
+// pipeline stages followed by any other stages in first-seen order.
+func (r *Recorder) Totals() []StageTotal {
+	r.mu.Lock()
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+
+	byStage := make(map[Stage]*StageTotal)
+	var order []Stage
+	get := func(s Stage) *StageTotal {
+		t, ok := byStage[s]
+		if !ok {
+			t = &StageTotal{Stage: s, Counters: map[string]int64{}}
+			byStage[s] = t
+			order = append(order, s)
+		}
+		return t
+	}
+	for _, e := range events {
+		t := get(e.Stage)
+		switch e.Kind {
+		case KindStart:
+			t.Open++
+		case KindCounter:
+			t.Counters[e.Name] += e.Delta
+		case KindFinish:
+			if t.Open > 0 {
+				t.Open--
+			}
+			t.Spans++
+			t.Elapsed += e.Elapsed
+		}
+	}
+
+	rank := make(map[Stage]int, len(order))
+	for i, s := range Stages() {
+		rank[s] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, iok := rank[order[i]]
+		rj, jok := rank[order[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		default:
+			return false // unknown stages keep first-seen order after known ones
+		}
+	})
+	out := make([]StageTotal, 0, len(order))
+	for _, s := range order {
+		out = append(out, *byStage[s])
+	}
+	return out
+}
+
+// Summary writes a per-stage telemetry table: spans, summed wall-time,
+// and the aggregated counters. Stages cancelled mid-span are marked.
+func (r *Recorder) Summary(w io.Writer) {
+	totals := r.Totals()
+	if len(totals) == 0 {
+		fmt.Fprintln(w, "  (no stages recorded)")
+		return
+	}
+	for _, t := range totals {
+		open := ""
+		if t.Open > 0 {
+			open = "  [interrupted]"
+		}
+		fmt.Fprintf(w, "  %-24s %3dx %12s%s\n", t.Stage, t.Spans, fmtElapsed(t.Elapsed), open)
+		names := make([]string, 0, len(t.Counters))
+		for n := range t.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "      %-24s %d\n", n, t.Counters[n])
+		}
+	}
+}
+
+func fmtElapsed(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Logging writes one line per event to W, prefixed with "observe:".
+// It is the simplest useful Observer implementation and doubles as the
+// reference for writing custom ones.
+type Logging struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogging returns an observer streaming events as text lines to w.
+func NewLogging(w io.Writer) *Logging {
+	return &Logging{w: w}
+}
+
+// StageStart logs a stage start.
+func (l *Logging) StageStart(stage Stage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "observe: %s start\n", stage)
+}
+
+// Counter logs a counter increment.
+func (l *Logging) Counter(stage Stage, name string, delta int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "observe: %s %s += %d\n", stage, name, delta)
+}
+
+// StageFinish logs a stage finish with its wall-time.
+func (l *Logging) StageFinish(stage Stage, elapsed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "observe: %s finish in %s\n", stage, fmtElapsed(elapsed))
+}

@@ -1,0 +1,116 @@
+package observe
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderTotals(t *testing.T) {
+	r := &Recorder{}
+	r.StageStart(Closure)
+	r.Counter(Closure, CounterRhsAttrsAdded, 7)
+	r.StageFinish(Closure, 5*time.Millisecond)
+	r.StageStart(Discovery)
+	r.Counter(Discovery, CounterFDsDiscovered, 12)
+	r.Counter(Discovery, CounterFDsDiscovered, 3)
+	r.StageFinish(Discovery, 2*time.Millisecond)
+	r.StageStart(Decomposition) // never finished: interrupted
+
+	totals := r.Totals()
+	if len(totals) != 3 {
+		t.Fatalf("got %d stage totals, want 3", len(totals))
+	}
+	// Figure 1 order, not arrival order.
+	if totals[0].Stage != Discovery || totals[1].Stage != Closure || totals[2].Stage != Decomposition {
+		t.Fatalf("stage order = %v %v %v", totals[0].Stage, totals[1].Stage, totals[2].Stage)
+	}
+	if totals[0].Counters[CounterFDsDiscovered] != 15 {
+		t.Errorf("discovery counter = %d, want 15", totals[0].Counters[CounterFDsDiscovered])
+	}
+	if totals[1].Elapsed != 5*time.Millisecond || totals[1].Spans != 1 {
+		t.Errorf("closure total = %+v", totals[1])
+	}
+	if totals[2].Open != 1 || totals[2].Spans != 0 {
+		t.Errorf("interrupted stage total = %+v", totals[2])
+	}
+}
+
+func TestRecorderSummaryMarksInterrupted(t *testing.T) {
+	r := &Recorder{}
+	r.StageStart(Discovery)
+	r.Counter(Discovery, CounterAgreeSets, 4)
+	var buf bytes.Buffer
+	r.Summary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, string(Discovery)) || !strings.Contains(out, "[interrupted]") {
+		t.Fatalf("summary missing interrupted marker:\n%s", out)
+	}
+	if !strings.Contains(out, CounterAgreeSets) {
+		t.Fatalf("summary missing counters:\n%s", out)
+	}
+}
+
+func TestRecorderConcurrentSafe(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter(Discovery, CounterPLIsIntersected, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	totals := r.Totals()
+	if totals[0].Counters[CounterPLIsIntersected] != 800 {
+		t.Fatalf("lost counter increments: %d", totals[0].Counters[CounterPLIsIntersected])
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi{a, b}
+	m.StageStart(Closure)
+	m.Counter(Closure, CounterRhsAttrsAdded, 1)
+	m.StageFinish(Closure, time.Millisecond)
+	if len(a.Events()) != 3 || len(b.Events()) != 3 {
+		t.Fatalf("events not fanned out: %d / %d", len(a.Events()), len(b.Events()))
+	}
+}
+
+func TestLoggingLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogging(&buf)
+	l.StageStart(KeyDerivation)
+	l.Counter(KeyDerivation, CounterKeysDerived, 2)
+	l.StageFinish(KeyDerivation, 3*time.Millisecond)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "observe: "+string(KeyDerivation)) {
+			t.Errorf("unexpected line %q", l)
+		}
+	}
+}
+
+func TestOrDefaultsToNop(t *testing.T) {
+	obs := Or(nil)
+	if _, ok := obs.(Nop); !ok {
+		t.Fatalf("Or(nil) = %T, want Nop", obs)
+	}
+	rec := &Recorder{}
+	if Or(rec) != rec {
+		t.Fatal("Or must pass through non-nil observers")
+	}
+	// Nop must be callable without effect.
+	obs.StageStart(Discovery)
+	obs.Counter(Discovery, "x", 1)
+	obs.StageFinish(Discovery, 0)
+}

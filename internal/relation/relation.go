@@ -10,6 +10,7 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -297,6 +298,15 @@ type Encoded struct {
 
 // Encode dictionary-encodes the relation.
 func (r *Relation) Encode() *Encoded {
+	e, _ := r.EncodeContext(context.Background())
+	return e
+}
+
+// EncodeContext is Encode with cancellation: encoding a wide relation is
+// the first non-trivial cost of every discovery algorithm, so it polls
+// ctx between row blocks and returns ctx.Err() when cancelled.
+func (r *Relation) EncodeContext(ctx context.Context) (*Encoded, error) {
+	done := ctx.Done()
 	e := &Encoded{
 		NumRows:     len(r.Rows),
 		Columns:     make([][]int, len(r.Attrs)),
@@ -307,6 +317,13 @@ func (r *Relation) Encode() *Encoded {
 		codes := make(map[string]int)
 		col := make([]int, len(r.Rows))
 		for i, row := range r.Rows {
+			if i&1023 == 0 {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			v := row[c]
 			if IsNull(v) {
 				e.HasNull[c] = true
@@ -321,5 +338,5 @@ func (r *Relation) Encode() *Encoded {
 		e.Columns[c] = col
 		e.Cardinality[c] = len(codes)
 	}
-	return e
+	return e, nil
 }

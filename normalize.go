@@ -39,6 +39,7 @@
 package normalize
 
 import (
+	"context"
 	"io"
 
 	"normalize/internal/core"
@@ -130,15 +131,31 @@ const (
 	ClosureNaive = core.ClosureNaive
 )
 
-// Normalize runs the full pipeline on one relation instance.
+// Normalize runs the full pipeline on one relation instance. It is a
+// thin wrapper over NormalizeContext with context.Background().
 func Normalize(rel *Relation, opts Options) (*Result, error) {
 	return core.NormalizeRelation(rel, opts)
+}
+
+// NormalizeContext is Normalize with cancellation and instrumentation:
+// every pipeline stage polls ctx — a cancelled run returns ctx.Err()
+// promptly (within ~100ms even mid-discovery) — and reports stage
+// spans plus work counters to Options.Observer. A recording observer
+// captures partial telemetry even for cancelled runs; see Observer.
+func NormalizeContext(ctx context.Context, rel *Relation, opts Options) (*Result, error) {
+	return core.NormalizeRelationContext(ctx, rel, opts)
 }
 
 // NormalizeAll normalizes each relation of a dataset independently and
 // concatenates the resulting tables.
 func NormalizeAll(rels []*Relation, opts Options) (*Result, error) {
 	return core.NormalizeRelations(rels, opts)
+}
+
+// NormalizeAllContext is NormalizeAll with cancellation and
+// instrumentation; see NormalizeContext.
+func NormalizeAllContext(ctx context.Context, rels []*Relation, opts Options) (*Result, error) {
+	return core.NormalizeRelationsContext(ctx, rels, opts)
 }
 
 // VerifyNormalForm re-discovers the FDs of a table instance and checks
@@ -166,10 +183,22 @@ func Normalize4NF(rel *Relation, opts FourNFOptions) ([]*Relation, error) {
 	return core.Normalize4NF(rel, opts)
 }
 
+// Normalize4NFContext is Normalize4NF with cancellation: the
+// exponential MVD discovery polls ctx and the call returns ctx.Err()
+// promptly when the context ends.
+func Normalize4NFContext(ctx context.Context, rel *Relation, opts FourNFOptions) ([]*Relation, error) {
+	return core.Normalize4NFContext(ctx, rel, opts)
+}
+
 // Verify4NF reports nil iff the relation contains no non-trivial
 // multivalued dependency whose left-hand side is not a superkey.
 func Verify4NF(rel *Relation, opts FourNFOptions) error {
 	return core.Verify4NF(rel, opts)
+}
+
+// Verify4NFContext is Verify4NF with cancellation.
+func Verify4NFContext(ctx context.Context, rel *Relation, opts FourNFOptions) error {
+	return core.Verify4NFContext(ctx, rel, opts)
 }
 
 // IND is a unary inclusion dependency between attributes of (usually
@@ -183,6 +212,13 @@ type FKSuggestion = ind.FKCandidate
 // given relations (nulls ignored on the dependent side).
 func DiscoverINDs(rels []*Relation) []IND {
 	return ind.Discover(rels, ind.Options{})
+}
+
+// DiscoverINDsContext is DiscoverINDs with cancellation: the quadratic
+// candidate sweep polls ctx and returns ctx.Err() promptly when the
+// context ends.
+func DiscoverINDsContext(ctx context.Context, rels []*Relation) ([]IND, error) {
+	return ind.DiscoverContext(ctx, rels, ind.Options{})
 }
 
 // SuggestForeignKeys proposes foreign keys between the tables of a

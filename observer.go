@@ -1,0 +1,72 @@
+package normalize
+
+import (
+	"io"
+
+	"normalize/internal/observe"
+)
+
+// Observer receives instrumentation events from a normalization run:
+// stage start/finish spans (with wall-clock durations) and work
+// counters from every pipeline component. Set it via Options.Observer
+// and pass the options to NormalizeContext (or Normalize).
+//
+// Implementations must be safe for concurrent use — parallel discovery
+// workers report counters concurrently. All provided implementations
+// (RecordingObserver, NewLoggingObserver, MultiObserver) are.
+type Observer = observe.Observer
+
+// Stage identifies one pipeline component of Figure 1 in observer
+// events.
+type Stage = observe.Stage
+
+// Pipeline stages, in the order of the paper's Figure 1.
+const (
+	// StageDiscovery is component (1), FD discovery.
+	StageDiscovery = observe.Discovery
+	// StageClosure is component (2), the closure calculation.
+	StageClosure = observe.Closure
+	// StageKeyDerivation is component (3), key derivation.
+	StageKeyDerivation = observe.KeyDerivation
+	// StageViolation is component (4), violation detection.
+	StageViolation = observe.Violation
+	// StageSelection is component (5), violating-FD selection; its span
+	// includes the Decider call, so interactive runs expose the human
+	// decision time here.
+	StageSelection = observe.Selection
+	// StageDecomposition is component (6), the decomposition step.
+	StageDecomposition = observe.Decomposition
+	// StagePrimaryKey is component (7), primary key selection.
+	StagePrimaryKey = observe.PrimaryKey
+)
+
+// Stages returns all pipeline stages in Figure-1 order.
+func Stages() []Stage {
+	return observe.Stages()
+}
+
+// RecordingObserver records events in memory and aggregates them into
+// per-stage totals; its Summary method renders a telemetry table
+// marking stages that were interrupted (started but never finished,
+// e.g. by cancellation).
+type RecordingObserver = observe.Recorder
+
+// NewRecordingObserver returns an empty RecordingObserver.
+func NewRecordingObserver() *RecordingObserver {
+	return &observe.Recorder{}
+}
+
+// ObserverEvent is one recorded instrumentation event.
+type ObserverEvent = observe.Event
+
+// StageTotal aggregates the recorded events of one stage.
+type StageTotal = observe.StageTotal
+
+// NewLoggingObserver returns an Observer that writes one line per
+// event to w — a cheap way to stream pipeline progress to stderr.
+func NewLoggingObserver(w io.Writer) Observer {
+	return observe.NewLogging(w)
+}
+
+// MultiObserver fans events out to several observers.
+type MultiObserver = observe.Multi

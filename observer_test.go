@@ -1,0 +1,152 @@
+package normalize
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"normalize/internal/observe"
+)
+
+// TestObserverStageLifecycle runs the quickstart dataset through
+// NormalizeContext with a recording observer and asserts the
+// instrumentation contract: every pipeline stage fires, every started
+// span finishes (ordered start-before-finish), event timestamps are
+// monotonic, and the Figure-1 stages appear in pipeline order.
+func TestObserverStageLifecycle(t *testing.T) {
+	rec := NewRecordingObserver()
+	res, err := NormalizeContext(context.Background(), addressRelation(t), Options{Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables")
+	}
+
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("observer recorded nothing")
+	}
+
+	// Timestamps arrive in monotonic (non-decreasing) order.
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatalf("event %d at %v precedes event %d at %v",
+				i, events[i].At, i-1, events[i-1].At)
+		}
+	}
+
+	// Every stage fires, starts and finishes balance, and each span's
+	// start precedes its finish.
+	open := map[Stage]int{}
+	firstStart := map[Stage]int{}
+	for i, e := range events {
+		switch e.Kind {
+		case observe.KindStart:
+			if _, seen := firstStart[e.Stage]; !seen {
+				firstStart[e.Stage] = i
+			}
+			open[e.Stage]++
+		case observe.KindFinish:
+			if open[e.Stage] == 0 {
+				t.Fatalf("stage %s finished at event %d without a start", e.Stage, i)
+			}
+			open[e.Stage]--
+			if e.Elapsed < 0 {
+				t.Fatalf("stage %s reported negative elapsed %v", e.Stage, e.Elapsed)
+			}
+		}
+	}
+	for _, stage := range Stages() {
+		if _, ok := firstStart[stage]; !ok {
+			t.Errorf("stage %s never fired", stage)
+		}
+		if open[stage] != 0 {
+			t.Errorf("stage %s has %d unfinished span(s) after a successful run", stage, open[stage])
+		}
+	}
+
+	// The first occurrences follow the pipeline order of Figure 1.
+	order := Stages()
+	for i := 1; i < len(order); i++ {
+		if firstStart[order[i-1]] > firstStart[order[i]] {
+			t.Errorf("stage %s first fired after %s, want pipeline order", order[i-1], order[i])
+		}
+	}
+
+	// Work counters from the sub-packages arrived under their stages.
+	totals := rec.Totals()
+	byStage := map[Stage]map[string]int64{}
+	for _, tot := range totals {
+		byStage[tot.Stage] = tot.Counters
+	}
+	if byStage[StageDiscovery][observe.CounterFDsDiscovered] == 0 {
+		t.Error("discovery stage reported no FDs")
+	}
+	if byStage[StagePrimaryKey][observe.CounterUCCsDiscovered] == 0 {
+		t.Error("primary-key stage reported no UCCs")
+	}
+
+	var buf bytes.Buffer
+	rec.Summary(&buf)
+	if strings.Contains(buf.String(), "[interrupted]") {
+		t.Errorf("successful run marked interrupted:\n%s", buf.String())
+	}
+}
+
+// TestNormalizeContextPreCancelled: the public entry point honours an
+// already-cancelled context before starting any stage, so no span is
+// ever opened. (The interrupted-span rendering of a run cancelled
+// mid-stage is asserted by the pipeline tests in internal/core.)
+func TestNormalizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := NewRecordingObserver()
+	_, err := NormalizeContext(ctx, addressRelation(t), Options{Observer: rec})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if events := rec.Events(); len(events) != 0 {
+		t.Errorf("pre-cancelled run recorded %d events, want none", len(events))
+	}
+}
+
+// TestContextWrappersCompile pins the compatibility contract: the plain
+// functions remain thin wrappers and the Context variants accept a
+// deadline.
+func TestContextWrappersCompile(t *testing.T) {
+	rel := addressRelation(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	if _, err := DiscoverFDsContext(ctx, rel, HyFD, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscoverKeysContext(ctx, rel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscoverKeysHybridContext(ctx, rel); err != nil {
+		t.Fatal(err)
+	}
+	fds := DiscoverFDs(rel, HyFD, 0)
+	if _, err := ExtendFDsContext(ctx, fds, ClosureOptimized); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscoverINDsContext(ctx, []*Relation{rel}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NormalizeAllContext(ctx, []*Relation{rel}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize4NFContext(ctx, rel, FourNFOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify4NFContext(ctx, rel, FourNFOptions{}); err == nil {
+		// The denormalized address relation is not in 4NF; any error is
+		// fine as long as the call ran — but nil would be surprising.
+		t.Log("address relation verified as 4NF; acceptable but unexpected")
+	}
+}
