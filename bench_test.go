@@ -29,6 +29,18 @@ import (
 	"normalize/internal/violation"
 )
 
+// mustDS adapts a (Dataset, error) generator return for use in a
+// benchmark expression, failing the benchmark on a generation error.
+func mustDS(tb testing.TB) func(*datagen.Dataset, error) *datagen.Dataset {
+	return func(ds *datagen.Dataset, err error) *datagen.Dataset {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return ds
+	}
+}
+
 // benchCache lazily generates each dataset and its discovered FD cover
 // exactly once per `go test` process.
 type benchEntry struct {
@@ -49,7 +61,11 @@ func cached(name string, spec eval.Spec) *benchEntry {
 	}
 	benchCacheMu.Unlock()
 	e.once.Do(func() {
-		e.ds = spec.Gen()
+		ds, err := spec.Gen()
+		if err != nil {
+			panic(err)
+		}
+		e.ds = ds
 		e.fds = hyfd.Discover(e.ds.Denormalized, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
 	})
 	return e
@@ -185,7 +201,7 @@ func BenchmarkFigure2(b *testing.B) {
 // --- Figures 3 and 4: end-to-end schema reconstruction ---------------
 
 func BenchmarkFigure3TPCH(b *testing.B) {
-	ds := datagen.TPCH(0.0002, 1)
+	ds := mustDS(b)(datagen.TPCH(0.0002, 1))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NormalizeRelation(ds.Denormalized, core.Options{MaxLhs: 3}); err != nil {
 			b.Fatal(err)
@@ -194,7 +210,7 @@ func BenchmarkFigure3TPCH(b *testing.B) {
 }
 
 func BenchmarkFigure4MusicBrainz(b *testing.B) {
-	ds := datagen.MusicBrainz(12, 1)
+	ds := mustDS(b)(datagen.MusicBrainz(12, 1))
 	for i := 0; i < b.N; i++ {
 		if _, err := core.NormalizeRelation(ds.Denormalized, core.Options{MaxLhs: 3}); err != nil {
 			b.Fatal(err)
@@ -247,7 +263,7 @@ func BenchmarkAblationParallelClosure(b *testing.B) {
 // BenchmarkAblationBloomVsExact isolates design decision 5: the Bloom
 // estimate versus exact distinct counting in the duplication score.
 func BenchmarkAblationBloomVsExact(b *testing.B) {
-	ds := datagen.TPCH(0.0005, 1)
+	ds := mustDS(b)(datagen.TPCH(0.0005, 1))
 	rel := ds.Denormalized
 	f := &fd.FD{
 		Lhs: bitset.Of(rel.NumAttrs(), 1),
@@ -300,7 +316,7 @@ func BenchmarkAblationKeyTrie(b *testing.B) {
 // algorithms on the same mid-size input (bounded LHS keeps the
 // lattice-based algorithms comparable).
 func BenchmarkAblationDiscoveryAlgorithms(b *testing.B) {
-	rel := datagen.TPCH(0.0001, 1).Denormalized
+	rel := mustDS(b)(datagen.TPCH(0.0001, 1)).Denormalized
 	b.Run("hyfd", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			hyfd.Discover(rel, hyfd.Options{MaxLhs: 2})
@@ -321,7 +337,7 @@ func BenchmarkAblationDiscoveryAlgorithms(b *testing.B) {
 // BenchmarkAblationUCCAlgorithms compares level-wise and hybrid UCC
 // discovery (component 7's substrate).
 func BenchmarkAblationUCCAlgorithms(b *testing.B) {
-	rel := datagen.TPCH(0.0001, 1).Denormalized.ProjectSet("slice",
+	rel := mustDS(b)(datagen.TPCH(0.0001, 1)).Denormalized.ProjectSet("slice",
 		bitset.Of(52, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)).Dedup()
 	b.Run("levelwise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -40,6 +40,7 @@ func main() {
 	defer stop()
 
 	interrupted := false
+	partial := false
 	run := func(name string, f func() error) {
 		if interrupted || (*exp != name && *exp != "all") {
 			return
@@ -47,13 +48,27 @@ func main() {
 		fmt.Printf("=== %s ===\n", name)
 		err := f()
 		fmt.Println()
-		if errors.Is(err, context.Canceled) {
+		var pe *core.PartialError
+		switch {
+		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "interrupted; partial results above")
 			interrupted = true
-		} else if err != nil {
+		case errors.As(err, &pe):
+			// A budget trip or isolated stage failure inside one
+			// experiment: its partial results are printed above; finish
+			// the remaining experiments and exit with the distinct
+			// partial-result status.
+			fmt.Fprintf(os.Stderr, "%s produced a partial result: %v\n", name, err)
+			partial = true
+		case err != nil:
 			log.Fatal(err)
 		}
 	}
+	defer func() {
+		if partial {
+			os.Exit(3)
+		}
+	}()
 
 	run("table3", func() error {
 		var rows []eval.Table3Row
@@ -92,31 +107,45 @@ func main() {
 	})
 
 	run("figure3", func() error {
-		rec, err := eval.RunReconstruction(ctx, datagen.TPCH(0.0005, 1), 3)
+		ds, err := datagen.TPCH(0.0005, 1)
 		if err != nil {
 			return err
 		}
-		eval.PrintReconstruction(os.Stdout, rec)
-		return nil
+		rec, err := eval.RunReconstruction(ctx, ds, 3)
+		if rec != nil {
+			eval.PrintReconstruction(os.Stdout, rec)
+		}
+		return err
 	})
 
 	run("figure4", func() error {
-		rec, err := eval.RunReconstruction(ctx, datagen.MusicBrainz(24, 1), 3)
+		ds, err := datagen.MusicBrainz(24, 1)
 		if err != nil {
 			return err
 		}
-		eval.PrintReconstruction(os.Stdout, rec)
-		return nil
+		rec, err := eval.RunReconstruction(ctx, ds, 3)
+		if rec != nil {
+			eval.PrintReconstruction(os.Stdout, rec)
+		}
+		return err
 	})
 
 	run("conformance", func() error {
+		tpch, err := datagen.TPCH(0.0002, 1)
+		if err != nil {
+			return err
+		}
+		mb, err := datagen.MusicBrainz(12, 1)
+		if err != nil {
+			return err
+		}
 		specs := []struct {
 			name   string
 			ds     *datagen.Dataset
 			maxLhs int // 0 = unpruned; verification applies the same bound
 		}{
-			{"TPC-H", datagen.TPCH(0.0002, 1), 3},
-			{"MusicBrainz", datagen.MusicBrainz(12, 1), 0},
+			{"TPC-H", tpch, 3},
+			{"MusicBrainz", mb, 0},
 			{"Horse", datagen.Horse(1), 0},
 		}
 		for _, s := range specs {

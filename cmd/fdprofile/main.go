@@ -8,7 +8,11 @@
 // right-hand sides (the closure F⁺ of the paper's Section 4).
 //
 // Ctrl-C cancels a running profile gracefully: the process prints the
-// stage telemetry collected so far and exits with status 130.
+// stage telemetry collected so far and exits with status 130. -timeout
+// bounds the profile's wall-clock time the same way (exit status 3, so
+// scripts can tell an expired budget from an interactive interrupt),
+// and -lenient loads malformed CSV by skipping bad rows instead of
+// aborting.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 	extend := flag.Bool("extend", false, "maximize right-hand sides (closure F+)")
 	showKeys := flag.Bool("keys", false, "also discover minimal candidate keys")
 	asJSON := flag.Bool("json", false, "emit the FDs as JSON instead of text")
+	timeout := flag.Duration("timeout", 0, "bound the profile's wall-clock time (0 = none)")
+	lenient := flag.Bool("lenient", false, "skip malformed CSV rows instead of aborting")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: fdprofile [flags] file.csv")
@@ -40,8 +46,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	rel, err := normalize.ReadCSVFile(flag.Arg(0))
+	var rel *normalize.Relation
+	var err error
+	if *lenient {
+		var skipped []normalize.RowError
+		rel, skipped, err = normalize.ReadCSVFileLenient(flag.Arg(0))
+		for _, re := range skipped {
+			fmt.Fprintf(os.Stderr, "fdprofile: skipped %v\n", re)
+		}
+	} else {
+		rel, err = normalize.ReadCSVFile(flag.Arg(0))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,13 +82,19 @@ func main() {
 	// interrupted run still reports what it finished.
 	rec := normalize.NewRecordingObserver()
 	interrupted := func(err error) {
-		if !errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "fdprofile: timeout; partial stage telemetry:")
+			rec.Summary(os.Stderr)
+			os.Exit(3)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "fdprofile: interrupted; partial stage telemetry:")
+			rec.Summary(os.Stderr)
+			stop()
+			os.Exit(130)
+		default:
 			log.Fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "fdprofile: interrupted; partial stage telemetry:")
-		rec.Summary(os.Stderr)
-		stop()
-		os.Exit(130)
 	}
 
 	rec.StageStart(normalize.StageDiscovery)

@@ -15,6 +15,15 @@
 // marked) and exits with status 130. -telemetry prints the same
 // per-stage summary after successful runs too, and -trace streams
 // every pipeline event to stderr as it happens.
+//
+// -timeout bounds the run's wall-clock time and -max-rows, -max-fds,
+// and -max-memory bound its resources; when a ceiling trips, the
+// pipeline degrades (sampling, pruning, early stop) instead of failing
+// and the degradation report is printed. A run that stopped early but
+// produced a usable partial schema exits with status 3 — distinct from
+// both hard failure (1) and Ctrl-C (130) — after writing that partial
+// schema normally. -lenient loads malformed CSV by skipping bad rows
+// (reported on stderr) instead of aborting.
 package main
 
 import (
@@ -46,6 +55,11 @@ func main() {
 	interactive := flag.Bool("interactive", false, "choose decompositions and keys interactively")
 	telemetry := flag.Bool("telemetry", false, "print per-stage telemetry after the run")
 	trace := flag.Bool("trace", false, "stream pipeline events to stderr as they happen")
+	timeout := flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none); an expired run keeps its partial result")
+	maxRows := flag.Int("max-rows", 0, "operate on at most this many rows, sampling deterministically (0 = all)")
+	maxFDs := flag.Int("max-fds", 0, "cap the FD candidates discovery may retain (0 = unlimited)")
+	maxMemory := flag.Int64("max-memory", 0, "approximate memory ceiling in bytes for retained state (0 = unlimited)")
+	lenient := flag.Bool("lenient", false, "skip malformed CSV rows instead of aborting")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("usage: normalize [flags] file.csv...")
@@ -60,7 +74,16 @@ func main() {
 		observer = normalize.MultiObserver{rec, normalize.NewLoggingObserver(os.Stderr)}
 	}
 
-	opts := normalize.Options{MaxLhs: *maxLhs, Observer: observer}
+	opts := normalize.Options{
+		MaxLhs:   *maxLhs,
+		Observer: observer,
+		Timeout:  *timeout,
+		Budget: normalize.Budget{
+			MaxRows:        *maxRows,
+			MaxFDs:         *maxFDs,
+			MaxMemoryBytes: *maxMemory,
+		},
+	}
 	switch *mode {
 	case "bcnf":
 	case "3nf":
@@ -89,7 +112,17 @@ func main() {
 
 	var rels []*normalize.Relation
 	for _, path := range flag.Args() {
-		rel, err := normalize.ReadCSVFile(path)
+		var rel *normalize.Relation
+		var err error
+		if *lenient {
+			var skipped []normalize.RowError
+			rel, skipped, err = normalize.ReadCSVFileLenient(path)
+			for _, re := range skipped {
+				fmt.Fprintf(os.Stderr, "normalize: %s: skipped %v\n", path, re)
+			}
+		} else {
+			rel, err = normalize.ReadCSVFile(path)
+		}
 		if err != nil {
 			log.Fatalf("read %s: %v", path, err)
 		}
@@ -97,16 +130,30 @@ func main() {
 	}
 
 	res, err := normalize.NormalizeAllContext(ctx, rels, opts)
-	if errors.Is(err, context.Canceled) {
-		// Graceful Ctrl-C: report what the pipeline got done before the
-		// cancellation hit (interrupted stages are marked).
-		fmt.Fprintln(os.Stderr, "normalize: interrupted; partial stage telemetry:")
-		rec.Summary(os.Stderr)
-		stop()
-		os.Exit(130)
-	}
+	partial := false
 	if err != nil {
-		log.Fatal(err)
+		var pe *normalize.PartialError
+		switch {
+		case errors.As(err, &pe) && res != nil && !errors.Is(err, context.Canceled):
+			// Timeout, budget exhaustion, or an isolated stage crash: the
+			// partial schema is still usable — report, write it, and exit
+			// with the distinct partial-result status at the end.
+			fmt.Fprintf(os.Stderr, "normalize: %v\n", err)
+			partial = true
+		case errors.Is(err, context.Canceled):
+			// Graceful Ctrl-C: report what the pipeline got done before
+			// the cancellation hit (interrupted stages are marked).
+			fmt.Fprintln(os.Stderr, "normalize: interrupted; partial stage telemetry:")
+			rec.Summary(os.Stderr)
+			stop()
+			os.Exit(130)
+		default:
+			log.Fatal(err)
+		}
+	}
+	if len(res.Degradations) > 0 {
+		fmt.Fprintln(os.Stderr, "normalize: run degraded to stay within budget:")
+		fmt.Fprint(os.Stderr, normalize.FormatDegradations(res.Degradations))
 	}
 
 	fmt.Printf("-- %d input relation(s), %d FDs discovered in %v, %d decompositions\n",
@@ -161,6 +208,10 @@ func main() {
 	if *telemetry {
 		fmt.Fprintln(os.Stderr, "-- per-stage telemetry:")
 		rec.Summary(os.Stderr)
+	}
+
+	if partial {
+		os.Exit(3)
 	}
 }
 

@@ -10,16 +10,17 @@ type Dataset = datagen.Dataset
 // GenerateTPCH builds the eight TPC-H relations at the given scale
 // factor (1.0 = the official SF1 cardinalities) and their denormalized
 // 52-attribute universal relation — the preparation step of the paper's
-// effectiveness evaluation (Figure 3).
-func GenerateTPCH(scaleFactor float64, seed int64) *Dataset {
+// effectiveness evaluation (Figure 3). The error reports a failed
+// denormalizing join.
+func GenerateTPCH(scaleFactor float64, seed int64) (*Dataset, error) {
 	return datagen.TPCH(scaleFactor, seed)
 }
 
 // GenerateMusicBrainz builds a synthetic music encyclopedia with the
 // same 11-table, non-snowflake core as the MusicBrainz selection the
 // paper denormalizes (Figure 4). The scale parameter is the number of
-// artists.
-func GenerateMusicBrainz(artists int, seed int64) *Dataset {
+// artists. The error reports a failed denormalizing join.
+func GenerateMusicBrainz(artists int, seed int64) (*Dataset, error) {
 	return datagen.MusicBrainz(artists, seed)
 }
 

@@ -21,7 +21,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
-	ds := normalize.GenerateMusicBrainz(*artists, *seed)
+	ds, err := normalize.GenerateMusicBrainz(*artists, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Original MusicBrainz core schema:")
 	for _, r := range ds.Original {
 		fmt.Printf("  %-19s %2d attributes, %5d rows\n", r.Name, r.NumAttrs(), r.NumRows())

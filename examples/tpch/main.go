@@ -22,7 +22,10 @@ func main() {
 	maxLhs := flag.Int("maxlhs", 3, "prune FDs with larger left-hand sides (0 = none; Section 4.3)")
 	flag.Parse()
 
-	ds := normalize.GenerateTPCH(*scale, *seed)
+	ds, err := normalize.GenerateTPCH(*scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Original TPC-H schema:")
 	for _, r := range ds.Original {
 		fmt.Printf("  %-9s %3d attributes, %6d rows\n", r.Name, r.NumAttrs(), r.NumRows())

@@ -12,7 +12,7 @@ import (
 
 // datasets returns small instances of every generator, with the
 // discovery pruning each needs (see DESIGN.md §2).
-func datasets() []struct {
+func datasets(tb testing.TB) []struct {
 	name   string
 	ds     *Dataset
 	maxLhs int
@@ -22,10 +22,22 @@ func datasets() []struct {
 		ds     *Dataset
 		maxLhs int
 	}{
-		{"tpch", GenerateTPCH(0.0001, 1), 3},
-		{"musicbrainz", GenerateMusicBrainz(8, 1), 3},
+		{"tpch", mustGen(tb)(GenerateTPCH(0.0001, 1)), 3},
+		{"musicbrainz", mustGen(tb)(GenerateMusicBrainz(8, 1)), 3},
 		{"horse", GenerateHorse(1), 2},
 		{"plista", GeneratePlista(1), 2},
+	}
+}
+
+// mustGen adapts a (Dataset, error) generator return for use in an
+// expression, failing the test on a generation error.
+func mustGen(tb testing.TB) func(*Dataset, error) *Dataset {
+	return func(ds *Dataset, err error) *Dataset {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return ds
 	}
 }
 
@@ -33,7 +45,7 @@ func TestIntegrationBCNFAndIntegrity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generated datasets")
 	}
-	for _, c := range datasets() {
+	for _, c := range datasets(t) {
 		t.Run(c.name, func(t *testing.T) {
 			res, err := Normalize(c.ds.Denormalized, Options{MaxLhs: c.maxLhs})
 			if err != nil {
@@ -58,7 +70,7 @@ func TestIntegrationLosslessJoin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generated datasets")
 	}
-	for _, c := range datasets() {
+	for _, c := range datasets(t) {
 		t.Run(c.name, func(t *testing.T) {
 			orig := c.ds.Denormalized
 			res, err := Normalize(orig, Options{MaxLhs: c.maxLhs})
@@ -126,7 +138,7 @@ func TestIntegrationDiscoveryAlgorithmsAgree(t *testing.T) {
 	}
 	// A mid-size slice of TPC-H exercises all three algorithms on a
 	// realistic FD structure (bounded LHS keeps TANE and DFD tractable).
-	rel := GenerateTPCH(0.00005, 2).Denormalized
+	rel := mustGen(t)(GenerateTPCH(0.00005, 2)).Denormalized
 	hy := DiscoverFDs(rel, HyFD, 2)
 	ta := DiscoverFDs(rel, TANE, 2)
 	df := DiscoverFDs(rel, DFD, 2)
@@ -145,7 +157,7 @@ func TestIntegrationStatsPlausible(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generated datasets")
 	}
-	ds := GenerateTPCH(0.0001, 1)
+	ds := mustGen(t)(GenerateTPCH(0.0001, 1))
 	res, err := Normalize(ds.Denormalized, Options{MaxLhs: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +181,7 @@ func TestIntegrationSchemaArtifacts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generated datasets")
 	}
-	res, err := Normalize(GenerateTPCH(0.0001, 1).Denormalized, Options{MaxLhs: 3})
+	res, err := Normalize(mustGen(t)(GenerateTPCH(0.0001, 1)).Denormalized, Options{MaxLhs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+// Package budget provides the resource-accounting substrate of the
+// pipeline's graceful-degradation layer. The paper's only concession to
+// resource exhaustion is Section 4.3's max-LHS pruning; a production
+// deployment needs the trade-off to be an enforceable contract instead:
+// a Tracker carries hard ceilings on the number of retained FDs and on
+// the approximate memory footprint of the profiling data structures,
+// and the discovery/closure hot loops charge their work against it.
+// When a ceiling is crossed the charging call returns a typed
+// *Exceeded error, which the pipeline layer converts into a
+// deterministic degradation (tighten MaxLhs, fall back to a cheaper
+// algorithm, stop decomposing) rather than an OOM kill.
+//
+// A nil *Tracker is valid everywhere and enforces nothing, so substrate
+// packages thread the tracker unconditionally without nil checks.
+package budget
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Resource names used in Exceeded errors and degradation reports.
+const (
+	ResourceRows   = "max-rows"
+	ResourceFDs    = "max-fds"
+	ResourceMemory = "max-memory"
+)
+
+// Exceeded reports that charging work against a Tracker crossed one of
+// its ceilings. It is returned by the charging methods and travels up
+// the discovery/closure error paths into the pipeline, which matches it
+// with errors.As to choose a degradation instead of failing the run.
+type Exceeded struct {
+	Resource string // ResourceRows, ResourceFDs, or ResourceMemory
+	Limit    int64
+	Used     int64 // the amount that crossed the limit
+}
+
+// Error renders the trip for logs and degradation reports.
+func (e *Exceeded) Error() string {
+	return fmt.Sprintf("budget exceeded: %s limit %d reached (at %d)", e.Resource, e.Limit, e.Used)
+}
+
+// Tracker enforces FD-count and approximate-memory ceilings. All
+// methods are safe for concurrent use (parallel discovery workers
+// charge concurrently) and are valid on a nil receiver, which enforces
+// nothing.
+//
+// The memory figure is an approximation derived from the same work
+// counters the Observer layer reports — retained FD candidates, encoded
+// input columns, cached partitions — not a malloc-level measurement. It
+// deliberately tracks the structures whose growth the paper identifies
+// as the memory hazard (the exploding FD set), so a ceiling of, say,
+// 256 MiB bounds the profiling state even when the Go heap briefly
+// peaks higher.
+type Tracker struct {
+	maxFDs int64
+	maxMem int64
+	fds    atomic.Int64
+	mem    atomic.Int64
+}
+
+// NewTracker returns a tracker with the given ceilings; a zero (or
+// negative) ceiling means unlimited for that resource. NewTracker(0, 0)
+// returns nil — the universal "no budget" tracker — so callers can
+// construct one directly from zero-value options.
+func NewTracker(maxFDs int, maxMemoryBytes int64) *Tracker {
+	if maxFDs <= 0 && maxMemoryBytes <= 0 {
+		return nil
+	}
+	return &Tracker{maxFDs: int64(maxFDs), maxMem: maxMemoryBytes}
+}
+
+// AddFDs charges n retained FD candidates (n may be negative when a
+// caller refunds evicted candidates) and returns *Exceeded when the
+// count crosses the ceiling.
+func (t *Tracker) AddFDs(n int64) error {
+	if t == nil {
+		return nil
+	}
+	used := t.fds.Add(n)
+	if t.maxFDs > 0 && used > t.maxFDs {
+		return &Exceeded{Resource: ResourceFDs, Limit: t.maxFDs, Used: used}
+	}
+	return nil
+}
+
+// Grow charges bytes of approximate memory and returns *Exceeded when
+// the footprint crosses the ceiling.
+func (t *Tracker) Grow(bytes int64) error {
+	if t == nil {
+		return nil
+	}
+	used := t.mem.Add(bytes)
+	if t.maxMem > 0 && used > t.maxMem {
+		return &Exceeded{Resource: ResourceMemory, Limit: t.maxMem, Used: used}
+	}
+	return nil
+}
+
+// FDs returns the currently charged FD count (0 on nil).
+func (t *Tracker) FDs() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.fds.Load()
+}
+
+// Memory returns the currently charged approximate bytes (0 on nil).
+func (t *Tracker) Memory() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.mem.Load()
+}
+
+// Reset zeroes the charged amounts, keeping the ceilings; the pipeline
+// resets between degradation-ladder attempts so each retry is measured
+// against the full budget.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.fds.Store(0)
+	t.mem.Store(0)
+}
+
+// FDBytes approximates the retained size of one FD candidate over an
+// n-attribute universe: two bitsets of ⌈n/64⌉ words plus per-object
+// overhead. Discovery packages use it to convert candidate counts into
+// memory charges.
+func FDBytes(n int) int64 {
+	words := int64((n + 63) / 64)
+	return 2*8*words + 64
+}

@@ -1,0 +1,96 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilTrackerIsUnlimited(t *testing.T) {
+	var tr *Tracker
+	if tr := NewTracker(0, 0); tr != nil {
+		t.Fatal("NewTracker(0,0) should return the nil (unlimited) tracker")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.AddFDs(1 << 40); err != nil {
+			t.Fatalf("nil tracker returned %v", err)
+		}
+		if err := tr.Grow(1 << 40); err != nil {
+			t.Fatalf("nil tracker returned %v", err)
+		}
+	}
+	if tr.FDs() != 0 || tr.Memory() != 0 {
+		t.Error("nil tracker should report zero usage")
+	}
+	tr.Reset() // must not panic
+}
+
+func TestFDCeiling(t *testing.T) {
+	tr := NewTracker(10, 0)
+	for i := 0; i < 10; i++ {
+		if err := tr.AddFDs(1); err != nil {
+			t.Fatalf("charge %d tripped early: %v", i, err)
+		}
+	}
+	err := tr.AddFDs(1)
+	var ex *Exceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *Exceeded", err)
+	}
+	if ex.Resource != ResourceFDs || ex.Limit != 10 || ex.Used != 11 {
+		t.Errorf("exceeded = %+v", ex)
+	}
+	if err := tr.Grow(1 << 30); err != nil {
+		t.Errorf("memory unlimited on this tracker, got %v", err)
+	}
+}
+
+func TestMemoryCeilingAndRefund(t *testing.T) {
+	tr := NewTracker(0, 100)
+	if err := tr.Grow(90); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Grow(20); err == nil {
+		t.Fatal("110 > 100 should trip")
+	}
+	tr.Grow(-40) // refund below the ceiling again
+	if err := tr.Grow(20); err != nil {
+		t.Fatalf("after refund, 90 <= 100 should pass: %v", err)
+	}
+	tr.Reset()
+	if tr.Memory() != 0 || tr.FDs() != 0 {
+		t.Error("Reset did not zero usage")
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	tr := NewTracker(100_000, 0)
+	var wg sync.WaitGroup
+	trips := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20_000; i++ {
+				if err := tr.AddFDs(1); err != nil {
+					trips[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range trips {
+		total += n
+	}
+	// 160k charges against a 100k ceiling: exactly 60k must trip.
+	if total != 60_000 {
+		t.Errorf("trips = %d, want 60000", total)
+	}
+}
+
+func TestFDBytesScalesWithUniverse(t *testing.T) {
+	if FDBytes(1) <= 0 || FDBytes(64) >= FDBytes(65) {
+		t.Errorf("FDBytes not monotone: %d vs %d", FDBytes(64), FDBytes(65))
+	}
+}

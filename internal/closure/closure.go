@@ -23,14 +23,24 @@
 // the lookup tries are immutable after construction (the paper makes
 // the same observation in Section 4.3).
 //
-// Each algorithm comes in two flavours: the plain function (Naive,
-// Improved, OptimizedParallel, …) and a Context variant taking a
-// context.Context first. The Context variants poll for cancellation
-// inside the FD loops (every cancelCheckMask+1 FDs) and return
-// ctx.Err() promptly — within the ~100ms latency contract of the
+// Each algorithm comes in three flavours: the plain function (Naive,
+// Improved, OptimizedParallel, …), a Context variant taking a
+// context.Context first, and a Budget variant additionally charging the
+// RHS growth against a budget.Tracker. The Context variants poll for
+// cancellation inside the FD loops (every cancelCheckMask+1 FDs) and
+// return ctx.Err() promptly — within the ~100ms latency contract of the
 // pipeline — leaving the input set in an unspecified partially-extended
-// state. The plain functions are thin wrappers over the Context ones
-// with context.Background().
+// state. A budget trip surfaces the same way, as a *budget.Exceeded
+// error with the set partially extended; because every RHS attribute
+// already added is a sound consequence of the input FDs, the partial
+// state remains a valid (merely incomplete) extension, which is what
+// lets the pipeline degrade gracefully instead of discarding the work.
+// The plain functions are thin wrappers with context.Background() and
+// no budget.
+//
+// Worker goroutines of the parallel variants recover their own panics
+// into errors (internal/guard), so a crash in one worker surfaces as an
+// error from the call instead of killing the process.
 package closure
 
 import (
@@ -39,7 +49,9 @@ import (
 	"sync"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/fd"
+	"normalize/internal/guard"
 	"normalize/internal/settrie"
 )
 
@@ -61,6 +73,12 @@ func Naive(fds *fd.Set) *fd.Set {
 // pass loop and returns ctx.Err() (with fds partially extended) when
 // the context ends.
 func NaiveContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
+	return NaiveBudget(ctx, fds, nil)
+}
+
+// NaiveBudget is NaiveContext charging RHS growth against tr; on a trip
+// it returns the *budget.Exceeded error with fds partially extended.
+func NaiveBudget(ctx context.Context, fds *fd.Set, tr *budget.Tracker) (*fd.Set, error) {
 	done := ctx.Done()
 	for {
 		changed := false
@@ -81,8 +99,11 @@ func NaiveContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
 				before := f.Rhs.Cardinality()
 				f.Rhs.UnionWith(other.Rhs)
 				f.Rhs.DifferenceWith(f.Lhs)
-				if f.Rhs.Cardinality() != before {
+				if grown := f.Rhs.Cardinality() - before; grown > 0 {
 					changed = true
+					if err := tr.Grow(8 * int64(grown)); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -117,7 +138,7 @@ func Improved(fds *fd.Set) *fd.Set {
 
 // ImprovedContext is Improved with cancellation.
 func ImprovedContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
-	if err := improvedRange(ctx, fds, lhsTries(fds), 0, len(fds.FDs)); err != nil {
+	if err := improvedRange(ctx, fds, lhsTries(fds), nil, 0, len(fds.FDs)); err != nil {
 		return nil, err
 	}
 	return fds, nil
@@ -133,13 +154,20 @@ func ImprovedParallel(fds *fd.Set, workers int) *fd.Set {
 // workers poll the context and wind down promptly (no goroutine is
 // leaked) before the call returns ctx.Err().
 func ImprovedParallelContext(ctx context.Context, fds *fd.Set, workers int) (*fd.Set, error) {
-	if err := parallelize(ctx, fds, lhsTries(fds), workers, improvedRange); err != nil {
+	return ImprovedParallelBudget(ctx, fds, workers, nil)
+}
+
+// ImprovedParallelBudget is ImprovedParallelContext charging RHS growth
+// against tr; a trip returns *budget.Exceeded with fds partially (but
+// soundly) extended.
+func ImprovedParallelBudget(ctx context.Context, fds *fd.Set, workers int, tr *budget.Tracker) (*fd.Set, error) {
+	if err := parallelize(ctx, fds, lhsTries(fds), tr, workers, improvedRange); err != nil {
 		return nil, err
 	}
 	return fds, nil
 }
 
-func improvedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, hi int) error {
+func improvedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, tr *budget.Tracker, lo, hi int) error {
 	n := fds.NumAttrs
 	done := ctx.Done()
 	for i, f := range fds.FDs[lo:hi] {
@@ -147,6 +175,7 @@ func improvedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, 
 			return ctx.Err()
 		}
 		known := f.Lhs.Union(f.Rhs)
+		grown := 0
 		for {
 			changed := false
 			for attr := 0; attr < n; attr++ {
@@ -157,10 +186,16 @@ func improvedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, 
 					f.Rhs.Add(attr)
 					known.Add(attr)
 					changed = true
+					grown++
 				}
 			}
 			if !changed {
 				break
+			}
+		}
+		if grown > 0 {
+			if err := tr.Grow(8 * int64(grown)); err != nil {
+				return err
 			}
 		}
 	}
@@ -176,7 +211,7 @@ func Optimized(fds *fd.Set) *fd.Set {
 
 // OptimizedContext is Optimized with cancellation.
 func OptimizedContext(ctx context.Context, fds *fd.Set) (*fd.Set, error) {
-	if err := optimizedRange(ctx, fds, lhsTries(fds), 0, len(fds.FDs)); err != nil {
+	if err := optimizedRange(ctx, fds, lhsTries(fds), nil, 0, len(fds.FDs)); err != nil {
 		return nil, err
 	}
 	return fds, nil
@@ -191,25 +226,39 @@ func OptimizedParallel(fds *fd.Set, workers int) *fd.Set {
 // OptimizedParallelContext is OptimizedParallel with cancellation; see
 // ImprovedParallelContext for the worker wind-down guarantee.
 func OptimizedParallelContext(ctx context.Context, fds *fd.Set, workers int) (*fd.Set, error) {
-	if err := parallelize(ctx, fds, lhsTries(fds), workers, optimizedRange); err != nil {
+	return OptimizedParallelBudget(ctx, fds, workers, nil)
+}
+
+// OptimizedParallelBudget is OptimizedParallelContext charging RHS
+// growth against tr; a trip returns *budget.Exceeded with fds partially
+// (but soundly) extended.
+func OptimizedParallelBudget(ctx context.Context, fds *fd.Set, workers int, tr *budget.Tracker) (*fd.Set, error) {
+	if err := parallelize(ctx, fds, lhsTries(fds), tr, workers, optimizedRange); err != nil {
 		return nil, err
 	}
 	return fds, nil
 }
 
-func optimizedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo, hi int) error {
+func optimizedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, tr *budget.Tracker, lo, hi int) error {
 	n := fds.NumAttrs
 	done := ctx.Done()
 	for i, f := range fds.FDs[lo:hi] {
 		if i&cancelCheckMask == 0 && canceled(done) {
 			return ctx.Err()
 		}
+		grown := 0
 		for attr := 0; attr < n; attr++ {
 			if f.Rhs.Contains(attr) || f.Lhs.Contains(attr) {
 				continue
 			}
 			if tries[attr].ContainsSubsetOf(f.Lhs) {
 				f.Rhs.Add(attr)
+				grown++
+			}
+		}
+		if grown > 0 {
+			if err := tr.Grow(8 * int64(grown)); err != nil {
+				return err
 			}
 		}
 	}
@@ -217,10 +266,12 @@ func optimizedRange(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, lo,
 }
 
 // parallelize splits [0, len(fds.FDs)) into contiguous worker ranges
-// and returns the first range error (cancellation) after every worker
-// has exited.
-func parallelize(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, workers int,
-	run func(context.Context, *fd.Set, []*settrie.Trie, int, int) error) error {
+// and returns the first range error (cancellation, budget trip, or a
+// recovered worker panic) after every worker has exited. Workers run
+// under guard.Run, so a panic in one range cannot kill the process; it
+// surfaces as a *guard.PanicError from the call.
+func parallelize(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, tr *budget.Tracker, workers int,
+	run func(context.Context, *fd.Set, []*settrie.Trie, *budget.Tracker, int, int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -229,7 +280,7 @@ func parallelize(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, worker
 		workers = total
 	}
 	if workers <= 1 {
-		return run(ctx, fds, tries, 0, total)
+		return guard.Run("closure", func() error { return run(ctx, fds, tries, tr, 0, total) })
 	}
 	var wg sync.WaitGroup
 	chunk := (total + workers - 1) / workers
@@ -243,7 +294,9 @@ func parallelize(ctx context.Context, fds *fd.Set, tries []*settrie.Trie, worker
 		wg.Add(1)
 		go func(slot, lo, hi int) {
 			defer wg.Done()
-			errs[slot] = run(ctx, fds, tries, lo, hi)
+			errs[slot] = guard.Run("closure worker", func() error {
+				return run(ctx, fds, tries, tr, lo, hi)
+			})
 		}(slot, lo, hi)
 		slot++
 	}

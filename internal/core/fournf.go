@@ -6,8 +6,10 @@ import (
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/discovery/bruteforce"
 	"normalize/internal/discovery/mvd"
+	"normalize/internal/observe"
 	"normalize/internal/relation"
 )
 
@@ -17,6 +19,13 @@ type FourNFOptions struct {
 	MaxLhs int
 	// MaxAttrs guards the exponential MVD discovery (default 16).
 	MaxAttrs int
+	// Budget, when non-nil, charges the MVD discovery of every worklist
+	// relation against run-wide ceilings. A trip stops the refinement
+	// gracefully: the remaining relations are kept unrefined (the
+	// result stays lossless) and the call returns them together with a
+	// *PartialError wrapping the *budget.Exceeded trip. A panic inside
+	// MVD discovery degrades the same way.
+	Budget *budget.Tracker
 }
 
 // Normalize4NF decomposes a relation instance into Fourth Normal Form:
@@ -52,13 +61,31 @@ func Normalize4NFContext(ctx context.Context, rel *relation.Relation, opts FourN
 	}
 	work := []*relation.Relation{relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()}
 	var done []*relation.Relation
+	var stopped error // first budget trip or recovered panic
 	used := map[string]bool{rel.Name: true}
 	for len(work) > 0 {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
-		v, err := firstViolatingMVD(ctx, cur, opts)
+		var v *mvd.MVD
+		err := runStage(observe.Decomposition, func() error {
+			var ferr error
+			v, ferr = firstViolatingMVD(ctx, cur, opts)
+			return ferr
+		})
 		if err != nil {
-			return nil, err
+			if _, trip := isBudgetTrip(err); !trip && !isPanic(err) {
+				return nil, err // context end or a hard discovery error
+			}
+			// Graceful stop: every prefix of the 4NF worklist is a
+			// lossless decomposition, so keep the remaining relations
+			// unrefined and report the cause once, at the end.
+			if stopped == nil {
+				stopped = err
+			}
+			done = append(done, cur)
+			done = append(done, work...)
+			work = nil
+			continue
 		}
 		if v == nil {
 			done = append(done, cur)
@@ -69,6 +96,9 @@ func Normalize4NFContext(ctx context.Context, rel *relation.Relation, opts FourN
 		work = append(work, left, right)
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].Name < done[j].Name })
+	if stopped != nil {
+		return done, &PartialError{Stage: observe.Decomposition, Cause: stopped}
+	}
 	return done, nil
 }
 
@@ -80,7 +110,7 @@ func firstViolatingMVD(ctx context.Context, rel *relation.Relation, opts FourNFO
 	if n < 3 {
 		return nil, nil // no non-trivial bipartition can violate 4NF
 	}
-	mvds, err := mvd.DiscoverContext(ctx, rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs})
+	mvds, err := mvd.DiscoverContext(ctx, rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs, Budget: opts.Budget})
 	if err != nil {
 		return nil, err
 	}

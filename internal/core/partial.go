@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"normalize/internal/budget"
+	"normalize/internal/guard"
+	"normalize/internal/observe"
+)
+
+// Budget bounds the resources one normalization run may consume. The
+// zero value means unlimited. Ceilings are approximations derived from
+// the pipeline's work counters (retained FD candidates, encoded
+// columns, position list indices) rather than allocator-level
+// measurements; they exist so a pathological input degrades the run
+// deterministically instead of exhausting the process (the operational
+// reading of Section 4.3's "results must fit in memory" constraint).
+type Budget struct {
+	// MaxRows caps the number of rows the pipeline operates on. A wider
+	// input is reduced upfront by deterministic stride sampling; the
+	// entire run — including the materialized output tables — then works
+	// on the sample, so the decomposition remains lossless with respect
+	// to the data it reports.
+	MaxRows int
+	// MaxFDs caps the number of FD candidates discovery may retain.
+	MaxFDs int
+	// MaxMemoryBytes caps the approximate memory footprint of retained
+	// intermediate state across all stages.
+	MaxMemoryBytes int64
+}
+
+// IsZero reports whether the budget imposes no limits.
+func (b Budget) IsZero() bool {
+	return b.MaxRows <= 0 && b.MaxFDs <= 0 && b.MaxMemoryBytes <= 0
+}
+
+// tracker builds the shared charge tracker for the non-row ceilings;
+// nil (unlimited) when neither is set.
+func (b Budget) tracker() *budget.Tracker {
+	return budget.NewTracker(b.MaxFDs, b.MaxMemoryBytes)
+}
+
+// Degradation records one deliberate quality reduction the pipeline
+// applied to stay inside its budget (or to survive a stage crash). The
+// ladder is deterministic: the same input under the same Options
+// produces the same degradations in the same order.
+type Degradation struct {
+	// Stage is the pipeline stage that degraded.
+	Stage observe.Stage
+	// Budget names the tripped resource ("max-rows", "max-fds",
+	// "max-memory"), or "panic" when a stage crash forced the
+	// degradation.
+	Budget string
+	// Action is the remedy applied, e.g. "sampled rows", "tightened
+	// max-lhs", "improved-closure fallback", "partial closure accepted",
+	// "stopped decomposing", "table accepted undecomposed",
+	// "primary-key selection skipped".
+	Action string
+	// Detail is a human-readable elaboration with the numbers involved.
+	Detail string
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s: %s (%s): %s", d.Stage, d.Action, d.Budget, d.Detail)
+}
+
+// FormatDegradations renders a degradation report, one line per entry,
+// for the cmd front ends.
+func FormatDegradations(ds []Degradation) string {
+	if len(ds) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "  degraded %s\n", d)
+	}
+	return b.String()
+}
+
+// PartialError reports that a run stopped early — context end, budget
+// exhaustion past the degradation ladder, or a stage crash — but still
+// produced a usable partial result. The *Result returned alongside is
+// non-nil and its Tables are always a lossless decomposition of the
+// data the run operated on (tables the pipeline did not finish
+// processing are included undecomposed).
+//
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled),
+// errors.Is(err, context.DeadlineExceeded), errors.As for
+// *budget.Exceeded, *StageError, and *guard.PanicError all see through
+// the wrapper.
+type PartialError struct {
+	// Stage is the pipeline stage that was running when the run stopped.
+	Stage observe.Stage
+	// Cause is the underlying error: a context error, *budget.Exceeded,
+	// or *StageError wrapping a recovered panic.
+	Cause error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("normalize: partial result: stopped during %s: %v", e.Stage, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *PartialError) Unwrap() error { return e.Cause }
+
+// StageError attributes a stage-internal failure — typically a
+// recovered panic — to the pipeline stage it occurred in.
+type StageError struct {
+	Stage observe.Stage
+	Err   error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the wrapped error (e.g. *guard.PanicError).
+func (e *StageError) Unwrap() error { return e.Err }
+
+// runStage executes one stage body under panic isolation: a panic on
+// the calling goroutine (the stage code itself or an observer seam
+// invoked from it) becomes a stage-attributed *StageError carrying the
+// recovered value and stack; worker-goroutine panics arrive already
+// converted by the substrate packages and are re-attributed here.
+func runStage(stage observe.Stage, fn func() error) error {
+	err := guard.Run(string(stage), fn)
+	if err == nil {
+		return nil
+	}
+	var pe *guard.PanicError
+	if errors.As(err, &pe) {
+		var se *StageError
+		if errors.As(err, &se) {
+			return err // already attributed by a nested runStage
+		}
+		return &StageError{Stage: stage, Err: err}
+	}
+	return err
+}
+
+// isBudgetTrip reports whether err is (or wraps) a budget ceiling trip,
+// returning the typed trip for degradation reporting.
+func isBudgetTrip(err error) (*budget.Exceeded, bool) {
+	var ex *budget.Exceeded
+	if errors.As(err, &ex) {
+		return ex, true
+	}
+	return nil, false
+}
+
+// isPanic reports whether err is (or wraps) a recovered panic.
+func isPanic(err error) bool {
+	var pe *guard.PanicError
+	return errors.As(err, &pe)
+}
+
+// asStageError is errors.As for *StageError, named for readability at
+// the call sites in the pipeline.
+func asStageError(err error, target **StageError) bool {
+	return errors.As(err, target)
+}
+
+// stopResource classifies an early-stop cause for the degradation
+// report: the tripped budget resource, "timeout", "canceled", "panic",
+// or "error".
+func stopResource(cause error) string {
+	if ex, ok := isBudgetTrip(cause); ok {
+		return ex.Resource
+	}
+	switch {
+	case errors.Is(cause, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(cause, context.Canceled):
+		return "canceled"
+	case isPanic(cause):
+		return "panic"
+	default:
+		return "error"
+	}
+}

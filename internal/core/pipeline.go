@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/closure"
 	"normalize/internal/discovery/hyfd"
 	"normalize/internal/discovery/ucc"
@@ -45,9 +46,23 @@ type Options struct {
 	Workers int
 	// Closure selects the closure algorithm (optimized by default).
 	Closure ClosureAlgorithm
+	// Timeout bounds the wall-clock duration of one normalization run
+	// (0 = unbounded). It composes with the caller's context: whichever
+	// deadline is earlier wins. An expired run returns the partial
+	// result accumulated so far together with a *PartialError wrapping
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Budget bounds the resources of one run; the zero value is
+	// unlimited. Tripping a ceiling degrades the run deterministically
+	// (see Result.Degradations) before giving up; when the ladder is
+	// exhausted the run returns its partial result with a
+	// *PartialError wrapping the *budget.Exceeded trip.
+	Budget Budget
 	// Discover overrides the FD discovery step; nil uses HyFD. The
 	// returned set must be the complete set of minimal FDs (subject to
-	// MaxLhs) when the optimized closure is selected.
+	// MaxLhs) when the optimized closure is selected. Custom discovery
+	// functions do not see Budget's FD/memory ceilings (only the
+	// built-in HyFD path does); row sampling still applies.
 	Discover func(rel *relation.Relation) *fd.Set
 	// DiscoverContext is the cancellable form of Discover and takes
 	// precedence over it when both are set.
@@ -84,6 +99,12 @@ type Stats struct {
 type Result struct {
 	Tables []*Table
 	Stats  Stats
+	// Degradations lists the quality reductions the run applied to stay
+	// inside its budget or to survive stage crashes, in the order they
+	// occurred. Empty for an undegraded run. A run can complete (nil
+	// error) with degradations; a run that stopped early additionally
+	// returns a *PartialError.
+	Degradations []Degradation
 }
 
 // NormalizeRelation runs the full pipeline of Figure 1 on one relation
@@ -93,13 +114,30 @@ func NormalizeRelation(rel *relation.Relation, opts Options) (*Result, error) {
 	return NormalizeRelationContext(context.Background(), rel, opts)
 }
 
-// NormalizeRelationContext is NormalizeRelation with cancellation and
-// instrumentation: every pipeline component polls ctx (the call returns
-// ctx.Err() promptly — within ~100ms — when the context ends
-// mid-pipeline) and reports stage spans plus work counters to
-// opts.Observer. A stage whose span never finishes was interrupted; the
-// observe.Recorder marks it as such, so partial telemetry of a
-// cancelled run remains meaningful.
+// NormalizeRelationContext is NormalizeRelation with cancellation,
+// instrumentation, and graceful degradation.
+//
+// Cancellation: every pipeline component polls ctx (the call returns
+// promptly — within ~100ms — when the context ends mid-pipeline) and
+// reports stage spans plus work counters to opts.Observer. A stage
+// whose span never finishes was interrupted; the observe.Recorder
+// marks it as such, so partial telemetry of a cancelled run remains
+// meaningful.
+//
+// Partial results: when the run stops early — context end, Timeout,
+// budget ladder exhausted, stage panic — the error is a *PartialError
+// and the returned *Result is still non-nil and usable: its Tables are
+// a lossless decomposition of the (possibly sampled) input, with
+// not-yet-processed tables included undecomposed. Only a context that
+// is already dead on entry, an empty relation, or a failing custom
+// discovery function yield a nil result.
+//
+// Panic isolation: every stage boundary recovers panics (from the
+// stage itself, its worker goroutines, or an observer seam) and
+// converts them into stage-attributed *StageError values carrying the
+// recovered value and stack. A panic in a per-table stage of the
+// decomposition loop only costs that table its further decomposition;
+// the run continues and reports the crash through the *PartialError.
 func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -107,122 +145,166 @@ func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts 
 	if rel.NumAttrs() == 0 {
 		return nil, fmt.Errorf("normalize %s: relation has no attributes", rel.Name)
 	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	decider := opts.Decider
 	if decider == nil {
 		decider = AutoDecider{}
 	}
-	obs := observe.Or(opts.Observer)
-
-	res := &Result{}
-	res.Stats.Attrs = rel.NumAttrs()
-	res.Stats.Records = rel.NumRows()
-
-	// (1) FD discovery.
-	obs.StageStart(observe.Discovery)
-	start := time.Now()
-	var fds *fd.Set
-	var err error
-	switch {
-	case opts.DiscoverContext != nil:
-		fds, err = opts.DiscoverContext(ctx, rel)
-	case opts.Discover != nil:
-		fds = opts.Discover(rel)
-	default:
-		fds, err = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
-			MaxLhs: opts.MaxLhs, Parallel: true, Observer: opts.Observer,
-		})
+	p := &run{
+		opts:    opts,
+		obs:     observe.Or(opts.Observer),
+		decider: decider,
+		tr:      opts.Budget.tracker(),
+		res:     &Result{},
 	}
-	if err != nil {
-		return nil, err // discovery span stays open: interrupted
-	}
-	res.Stats.Discovery = time.Since(start)
-	res.Stats.NumFDs = fds.CountSingle()
-	res.Stats.AvgRhsBefore = fds.AverageRhsSize()
-	obs.Counter(observe.Discovery, observe.CounterFDsDiscovered, int64(res.Stats.NumFDs))
-	obs.StageFinish(observe.Discovery, res.Stats.Discovery)
+	p.res.Stats.Attrs = rel.NumAttrs()
+	p.res.Stats.Records = rel.NumRows()
 
-	// (2) Closure calculation.
-	obs.StageStart(observe.Closure)
-	start = time.Now()
-	rhsBefore := totalRhsSize(fds)
-	switch opts.Closure {
-	case ClosureImproved:
-		_, err = closure.ImprovedParallelContext(ctx, fds, opts.Workers)
-	case ClosureNaive:
-		_, err = closure.NaiveContext(ctx, fds)
-	default:
-		_, err = closure.OptimizedParallelContext(ctx, fds, opts.Workers)
+	// Budget rung 0: a row ceiling reduces the input upfront by
+	// deterministic stride sampling. The whole run — including the
+	// materialized output — operates on the sample, so the resulting
+	// decomposition is lossless with respect to the data it reports.
+	if max := opts.Budget.MaxRows; max > 0 && rel.NumRows() > max {
+		sampled := sampleRows(rel, max)
+		p.degrade(observe.Discovery, budget.ResourceRows, "sampled rows",
+			fmt.Sprintf("%d of %d rows retained by stride sampling", sampled.NumRows(), rel.NumRows()))
+		rel = sampled
 	}
-	if err != nil {
-		return nil, err // closure span stays open: interrupted
-	}
-	res.Stats.Closure = time.Since(start)
-	res.Stats.AvgRhsAfter = fds.AverageRhsSize()
-	obs.Counter(observe.Closure, observe.CounterRhsAttrsAdded, totalRhsSize(fds)-rhsBefore)
-	obs.StageFinish(observe.Closure, res.Stats.Closure)
 
-	// Root table over the whole relation, set semantics.
-	n := rel.NumAttrs()
-	nullAttrs := bitset.New(n)
-	for c := 0; c < n; c++ {
-		if rel.HasNull(c) {
-			nullAttrs.Add(c)
+	return p.normalize(ctx, rel)
+}
+
+// run carries the state of one NormalizeRelationContext invocation.
+type run struct {
+	opts    Options
+	obs     observe.Observer
+	decider Decider
+	tr      *budget.Tracker
+	res     *Result
+
+	// firstStageErr remembers the first tolerated stage crash so a run
+	// that continued past per-table panics still reports them.
+	firstStageErr *StageError
+}
+
+func (p *run) degrade(stage observe.Stage, resource, action, detail string) {
+	p.res.Degradations = append(p.res.Degradations, Degradation{
+		Stage: stage, Budget: resource, Action: action, Detail: detail,
+	})
+}
+
+// noteStageErr records a tolerated stage crash (first one wins).
+func (p *run) noteStageErr(err error) {
+	if p.firstStageErr != nil {
+		return
+	}
+	var se *StageError
+	if asStageError(err, &se) {
+		p.firstStageErr = se
+	}
+}
+
+// partial finalizes an early stop: any tables passed in flush are
+// appended undecomposed (preserving the worklist invariant that
+// res.Tables plus the outstanding worklist is a lossless
+// decomposition), the stop itself is recorded as a degradation, and
+// the cause is wrapped in a *PartialError.
+func (p *run) partial(stage observe.Stage, cause error, flush ...*Table) (*Result, error) {
+	for _, t := range flush {
+		if t != nil {
+			p.res.Tables = append(p.res.Tables, t)
 		}
 	}
-	data := relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()
-	root := &Table{
-		Name:        rel.Name,
-		Attrs:       bitset.Full(n),
-		Data:        data,
-		FDs:         fds,
-		NullAttrs:   nullAttrs,
-		universe:    n,
-		sourceAttrs: rel.Attrs,
+	p.degrade(stage, stopResource(cause), "run stopped early",
+		fmt.Sprintf("partial result with %d tables: %v", len(p.res.Tables), cause))
+	return p.res, &PartialError{Stage: stage, Cause: cause}
+}
+
+func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, error) {
+	res := p.res
+	obs := p.obs
+
+	// (1) FD discovery, with the budget degradation ladder.
+	fds, rel, err := p.discoverFDs(ctx, rel)
+	if err != nil {
+		// Lossless trivially: the sole table is the input itself.
+		return p.partial(observe.Discovery, err, p.buildRoot(rel, fd.NewSet(rel.NumAttrs())))
 	}
+
+	// (2) Closure calculation.
+	if err := p.computeClosure(ctx, fds); err != nil {
+		return p.partial(observe.Closure, err, p.buildRoot(rel, fds))
+	}
+
+	root := p.buildRoot(rel, fds)
 	usedNames := map[string]bool{root.Name: true}
 
 	// (3)–(6) loop: key derivation, violation detection, selection,
-	// decomposition.
+	// decomposition. Invariant: res.Tables ∪ worklist is at all times a
+	// lossless decomposition of the (possibly sampled) input, so an
+	// early stop can always flush the worklist into a usable result.
 	done := ctx.Done()
 	worklist := []*Table{root}
 	firstKey, firstViolation := true, true
 	for len(worklist) > 0 {
 		select {
 		case <-done:
-			return nil, ctx.Err()
+			return p.partial(observe.KeyDerivation, ctx.Err(), worklist...)
 		default:
 		}
 		t := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 
-		obs.StageStart(observe.KeyDerivation)
-		start = time.Now()
-		t.Keys = keys.Derive(t.FDs, t.Attrs)
-		if firstKey {
-			res.Stats.KeyDerivation = time.Since(start)
-			res.Stats.NumFDKeys = len(t.Keys)
-			firstKey = false
-		}
-		obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
-		obs.StageFinish(observe.KeyDerivation, time.Since(start))
-
-		obs.StageStart(observe.Violation)
-		start = time.Now()
-		viol := violation.Detect(violation.Input{
-			FDs:         t.FDs,
-			Keys:        t.Keys,
-			RelAttrs:    t.Attrs,
-			NullAttrs:   t.NullAttrs,
-			PrimaryKey:  t.PrimaryKey,
-			ForeignKeys: foreignKeySets(t),
-			Mode:        opts.Mode,
+		var start time.Time
+		kerr := runStage(observe.KeyDerivation, func() error {
+			obs.StageStart(observe.KeyDerivation)
+			start = time.Now()
+			t.Keys = keys.Derive(t.FDs, t.Attrs)
+			if firstKey {
+				res.Stats.KeyDerivation = time.Since(start)
+				res.Stats.NumFDKeys = len(t.Keys)
+				firstKey = false
+			}
+			obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
+			obs.StageFinish(observe.KeyDerivation, time.Since(start))
+			return nil
 		})
-		if firstViolation {
-			res.Stats.Violation = time.Since(start)
-			firstViolation = false
+		if p.acceptOnCrash(kerr, t) {
+			continue
+		} else if kerr != nil {
+			return p.partial(observe.KeyDerivation, kerr, append([]*Table{t}, worklist...)...)
 		}
-		obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
-		obs.StageFinish(observe.Violation, time.Since(start))
+
+		var viol []*fd.FD
+		verr := runStage(observe.Violation, func() error {
+			obs.StageStart(observe.Violation)
+			start = time.Now()
+			viol = violation.Detect(violation.Input{
+				FDs:         t.FDs,
+				Keys:        t.Keys,
+				RelAttrs:    t.Attrs,
+				NullAttrs:   t.NullAttrs,
+				PrimaryKey:  t.PrimaryKey,
+				ForeignKeys: foreignKeySets(t),
+				Mode:        p.opts.Mode,
+			})
+			if firstViolation {
+				res.Stats.Violation = time.Since(start)
+				firstViolation = false
+			}
+			obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
+			obs.StageFinish(observe.Violation, time.Since(start))
+			return nil
+		})
+		if p.acceptOnCrash(verr, t) {
+			continue
+		} else if verr != nil {
+			return p.partial(observe.Violation, verr, append([]*Table{t}, worklist...)...)
+		}
 
 		if len(viol) == 0 {
 			res.Tables = append(res.Tables, t)
@@ -231,52 +313,310 @@ func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts 
 
 		// The selection span deliberately includes the decider call, so
 		// interactive runs expose the human decision time per split.
-		obs.StageStart(observe.Selection)
-		start = time.Now()
-		ranked := rankViolatingFDs(t, viol)
-		obs.Counter(observe.Selection, observe.CounterCandidatesScored, int64(len(ranked)))
-		choice, pruneRhs := decider.ChooseViolatingFD(t, ranked)
-		obs.StageFinish(observe.Selection, time.Since(start))
-		if choice < 0 || choice >= len(ranked) {
-			// The user rejected every split: accept the table as is.
+		var chosen *fd.FD
+		serr := runStage(observe.Selection, func() error {
+			obs.StageStart(observe.Selection)
+			start = time.Now()
+			ranked := rankViolatingFDs(t, viol)
+			obs.Counter(observe.Selection, observe.CounterCandidatesScored, int64(len(ranked)))
+			choice, pruneRhs := p.decider.ChooseViolatingFD(t, ranked)
+			obs.StageFinish(observe.Selection, time.Since(start))
+			if choice < 0 || choice >= len(ranked) {
+				return nil // the user rejected every split
+			}
+			c := ranked[choice].FD.Clone()
+			if pruneRhs != nil {
+				c.Rhs.DifferenceWith(pruneRhs)
+			}
+			if !c.Rhs.IsEmpty() {
+				chosen = c
+			}
+			return nil
+		})
+		if p.acceptOnCrash(serr, t) {
+			continue
+		} else if serr != nil {
+			return p.partial(observe.Selection, serr, append([]*Table{t}, worklist...)...)
+		}
+		if chosen == nil {
+			// No split chosen: accept the table as is.
 			res.Tables = append(res.Tables, t)
 			continue
 		}
-		chosen := ranked[choice].FD.Clone()
-		if pruneRhs != nil {
-			chosen.Rhs.DifferenceWith(pruneRhs)
-		}
-		if chosen.Rhs.IsEmpty() {
-			res.Tables = append(res.Tables, t)
+
+		derr := runStage(observe.Decomposition, func() error {
+			obs.StageStart(observe.Decomposition)
+			start = time.Now()
+			r1, r2, err := DecomposeContext(ctx, t, chosen, usedNames)
+			if err != nil {
+				return err // span stays open: interrupted
+			}
+			rows := int64(r1.Data.NumRows() + r2.Data.NumRows())
+			res.Stats.Decompositions++
+			obs.Counter(observe.Decomposition, observe.CounterDecompositions, 1)
+			obs.Counter(observe.Decomposition, observe.CounterRowsMaterialized, rows)
+			obs.StageFinish(observe.Decomposition, time.Since(start))
+			worklist = append(worklist, r1, r2)
+			// The two projections retain their materialized instances;
+			// approximate a string header per cell.
+			return p.tr.Grow(16 * rows * int64(t.Data.NumAttrs()))
+		})
+		switch {
+		case derr == nil:
+		case p.acceptOnCrash(derr, t):
 			continue
+		default:
+			if ex, ok := isBudgetTrip(derr); ok {
+				// The trip fires after the split landed on the worklist,
+				// so t is already replaced by its two halves. Every
+				// prefix of the decomposition loop is lossless: stop
+				// splitting and flush what remains.
+				p.degrade(observe.Decomposition, ex.Resource, "stopped decomposing",
+					fmt.Sprintf("budget %s at %d/%d; remaining tables kept undecomposed", ex.Resource, ex.Used, ex.Limit))
+				return p.partial(observe.Decomposition, derr, worklist...)
+			}
+			// Context end mid-split: the halves were never enqueued, so
+			// t itself must be flushed alongside the worklist.
+			return p.partial(observe.Decomposition, derr, append([]*Table{t}, worklist...)...)
 		}
-		obs.StageStart(observe.Decomposition)
-		start = time.Now()
-		r1, r2, err := DecomposeContext(ctx, t, chosen, usedNames)
-		if err != nil {
-			return nil, err // decomposition span stays open: interrupted
-		}
-		res.Stats.Decompositions++
-		obs.Counter(observe.Decomposition, observe.CounterDecompositions, 1)
-		obs.Counter(observe.Decomposition, observe.CounterRowsMaterialized,
-			int64(r1.Data.NumRows()+r2.Data.NumRows()))
-		obs.StageFinish(observe.Decomposition, time.Since(start))
-		worklist = append(worklist, r1, r2)
 	}
 
 	// (7) Primary key selection for tables that never received one.
-	obs.StageStart(observe.PrimaryKey)
-	start = time.Now()
-	for _, t := range res.Tables {
-		if t.PrimaryKey != nil {
-			continue
+	perr := runStage(observe.PrimaryKey, func() error {
+		obs.StageStart(observe.PrimaryKey)
+		start := time.Now()
+		for _, t := range res.Tables {
+			if t.PrimaryKey != nil {
+				continue
+			}
+			if err := selectPrimaryKey(ctx, t, p.decider, p.opts.Observer, p.tr); err != nil {
+				if ex, ok := isBudgetTrip(err); ok {
+					// Keys are decorative at this point — the schema is
+					// final — so a trip skips the remaining tables.
+					p.degrade(observe.PrimaryKey, ex.Resource, "primary-key selection skipped",
+						fmt.Sprintf("budget %s at %d/%d; remaining tables keep derived keys only", ex.Resource, ex.Used, ex.Limit))
+					break
+				}
+				return err // span stays open: interrupted
+			}
 		}
-		if err := selectPrimaryKey(ctx, t, decider, opts.Observer); err != nil {
-			return nil, err // primary-key span stays open: interrupted
+		obs.StageFinish(observe.PrimaryKey, time.Since(start))
+		return nil
+	})
+	if perr != nil {
+		if isPanic(perr) {
+			p.degrade(observe.PrimaryKey, "panic", "primary-key selection skipped", perr.Error())
+			p.noteStageErr(perr)
+		} else {
+			return p.partial(observe.PrimaryKey, perr)
 		}
 	}
-	obs.StageFinish(observe.PrimaryKey, time.Since(start))
+
+	if p.firstStageErr != nil {
+		return res, &PartialError{Stage: p.firstStageErr.Stage, Cause: p.firstStageErr}
+	}
 	return res, nil
+}
+
+// acceptOnCrash handles a tolerated per-table stage crash: the table is
+// accepted into the result undecomposed (sound — it is part of a
+// lossless decomposition already) and the crash is recorded for the
+// final *PartialError. Reports false for nil and non-panic errors.
+func (p *run) acceptOnCrash(err error, t *Table) bool {
+	if err == nil || !isPanic(err) {
+		return false
+	}
+	var se *StageError
+	stage := observe.Stage("unknown")
+	if asStageError(err, &se) {
+		stage = se.Stage
+	}
+	p.degrade(stage, "panic", "table accepted undecomposed",
+		fmt.Sprintf("table %s: %v", t.Name, err))
+	p.noteStageErr(err)
+	p.res.Tables = append(p.res.Tables, t)
+	return true
+}
+
+// discoverFDs runs component (1) under the budget degradation ladder:
+// on a budget trip it tightens MaxLhs rung by rung (Section 4.3's
+// pruning — the result stays a complete cover within the bound), then
+// halves the rows by stride sampling, resetting the tracker between
+// attempts; the ladder is deterministic. It returns the discovered set
+// and the (possibly re-sampled) relation the rest of the run must use.
+func (p *run) discoverFDs(ctx context.Context, rel *relation.Relation) (*fd.Set, *relation.Relation, error) {
+	obs := p.obs
+	res := p.res
+	builtin := p.opts.DiscoverContext == nil && p.opts.Discover == nil
+	maxLhs := p.opts.MaxLhs
+	rungs := lhsLadder(maxLhs, rel.NumAttrs())
+	halvings := 0
+
+	for {
+		var fds *fd.Set
+		err := runStage(observe.Discovery, func() error {
+			obs.StageStart(observe.Discovery)
+			start := time.Now()
+			var derr error
+			switch {
+			case p.opts.DiscoverContext != nil:
+				fds, derr = p.opts.DiscoverContext(ctx, rel)
+			case p.opts.Discover != nil:
+				fds = p.opts.Discover(rel)
+			default:
+				fds, derr = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
+					MaxLhs: maxLhs, Parallel: true,
+					Observer: p.opts.Observer, Budget: p.tr,
+				})
+			}
+			if derr != nil {
+				if _, ok := isBudgetTrip(derr); ok {
+					// The stage ends here (degraded), not interrupted:
+					// close its span before the ladder retries.
+					obs.StageFinish(observe.Discovery, time.Since(start))
+				}
+				return derr // otherwise the span stays open: interrupted
+			}
+			res.Stats.Discovery = time.Since(start)
+			res.Stats.NumFDs = fds.CountSingle()
+			res.Stats.AvgRhsBefore = fds.AverageRhsSize()
+			obs.Counter(observe.Discovery, observe.CounterFDsDiscovered, int64(res.Stats.NumFDs))
+			obs.StageFinish(observe.Discovery, res.Stats.Discovery)
+			return nil
+		})
+		if err == nil {
+			return fds, rel, nil
+		}
+		ex, trip := isBudgetTrip(err)
+		if !trip {
+			return nil, rel, err // context end, panic, or custom-discovery failure
+		}
+		p.tr.Reset()
+		switch {
+		case builtin && len(rungs) > 0:
+			maxLhs = rungs[0]
+			rungs = rungs[1:]
+			p.degrade(observe.Discovery, ex.Resource, "tightened max-lhs",
+				fmt.Sprintf("budget %s at %d/%d; retrying with max-lhs %d", ex.Resource, ex.Used, ex.Limit, maxLhs))
+		case rel.NumRows() > 1 && halvings < 3:
+			halvings++
+			sampled := sampleRows(rel, rel.NumRows()/2)
+			p.degrade(observe.Discovery, ex.Resource, "halved rows",
+				fmt.Sprintf("budget %s at %d/%d; retrying on %d of %d rows", ex.Resource, ex.Used, ex.Limit, sampled.NumRows(), rel.NumRows()))
+			rel = sampled
+		default:
+			return nil, rel, err // ladder exhausted
+		}
+	}
+}
+
+// computeClosure runs component (2). Degradations: a panic in the
+// optimized algorithm falls back to the improved one (which accepts
+// arbitrary — including partially extended — FD sets); a budget trip
+// accepts the partially extended cover, which is sound because closure
+// extension only ever adds implied attributes to right-hand sides.
+func (p *run) computeClosure(ctx context.Context, fds *fd.Set) error {
+	obs := p.obs
+	res := p.res
+	algo := p.opts.Closure
+	for {
+		err := runStage(observe.Closure, func() error {
+			obs.StageStart(observe.Closure)
+			start := time.Now()
+			rhsBefore := totalRhsSize(fds)
+			var cerr error
+			switch algo {
+			case ClosureImproved:
+				_, cerr = closure.ImprovedParallelBudget(ctx, fds, p.opts.Workers, p.tr)
+			case ClosureNaive:
+				_, cerr = closure.NaiveBudget(ctx, fds, p.tr)
+			default:
+				_, cerr = closure.OptimizedParallelBudget(ctx, fds, p.opts.Workers, p.tr)
+			}
+			if ex, ok := isBudgetTrip(cerr); ok {
+				p.degrade(observe.Closure, ex.Resource, "partial closure accepted",
+					fmt.Sprintf("budget %s at %d/%d; cover left partially extended (sound)", ex.Resource, ex.Used, ex.Limit))
+				cerr = nil
+			}
+			if cerr != nil {
+				return cerr // span stays open: interrupted
+			}
+			res.Stats.Closure = time.Since(start)
+			res.Stats.AvgRhsAfter = fds.AverageRhsSize()
+			obs.Counter(observe.Closure, observe.CounterRhsAttrsAdded, totalRhsSize(fds)-rhsBefore)
+			obs.StageFinish(observe.Closure, res.Stats.Closure)
+			return nil
+		})
+		if err == nil {
+			return nil
+		}
+		if isPanic(err) && algo == ClosureOptimized {
+			// The optimized algorithm assumes a complete minimal cover; a
+			// crash mid-extension leaves an arbitrary set, exactly what
+			// the improved algorithm is specified for.
+			p.degrade(observe.Closure, "panic", "improved-closure fallback", err.Error())
+			p.noteStageErr(err)
+			algo = ClosureImproved
+			continue
+		}
+		return err
+	}
+}
+
+// buildRoot materializes the root table over the whole (possibly
+// sampled) relation, set semantics.
+func (p *run) buildRoot(rel *relation.Relation, fds *fd.Set) *Table {
+	n := rel.NumAttrs()
+	nullAttrs := bitset.New(n)
+	for c := 0; c < n; c++ {
+		if rel.HasNull(c) {
+			nullAttrs.Add(c)
+		}
+	}
+	data := relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()
+	return &Table{
+		Name:        rel.Name,
+		Attrs:       bitset.Full(n),
+		Data:        data,
+		FDs:         fds,
+		NullAttrs:   nullAttrs,
+		universe:    n,
+		sourceAttrs: rel.Attrs,
+	}
+}
+
+// sampleRows reduces rel to at most max rows by deterministic stride
+// sampling (every k-th row starting at the first).
+func sampleRows(rel *relation.Relation, max int) *relation.Relation {
+	if max < 1 {
+		max = 1
+	}
+	if rel.NumRows() <= max {
+		return rel
+	}
+	stride := (rel.NumRows() + max - 1) / max
+	rows := make([][]string, 0, max)
+	for i := 0; i < rel.NumRows() && len(rows) < max; i += stride {
+		rows = append(rows, rel.Rows[i])
+	}
+	return relation.MustNew(rel.Name, rel.Attrs, rows)
+}
+
+// lhsLadder returns the MaxLhs degradation rungs strictly tighter than
+// the configured start (0 = unbounded).
+func lhsLadder(start, n int) []int {
+	cur := start
+	if cur <= 0 || cur > n {
+		cur = n
+	}
+	var rungs []int
+	for _, r := range []int{4, 2, 1} {
+		if r < cur {
+			rungs = append(rungs, r)
+			cur = r
+		}
+	}
+	return rungs
 }
 
 // NormalizeRelations normalizes every relation of a dataset
@@ -287,24 +627,32 @@ func NormalizeRelations(rels []*relation.Relation, opts Options) (*Result, error
 }
 
 // NormalizeRelationsContext is NormalizeRelations with cancellation and
-// instrumentation; see NormalizeRelationContext.
+// instrumentation; see NormalizeRelationContext. A relation that stops
+// early contributes its partial tables and degradations to the total,
+// and the *PartialError is returned with the accumulated result.
 func NormalizeRelationsContext(ctx context.Context, rels []*relation.Relation, opts Options) (*Result, error) {
 	total := &Result{}
 	for _, rel := range rels {
 		r, err := NormalizeRelationContext(ctx, rel, opts)
+		if r != nil {
+			total.Tables = append(total.Tables, r.Tables...)
+			total.Degradations = append(total.Degradations, r.Degradations...)
+			total.Stats.Attrs += r.Stats.Attrs
+			total.Stats.Records += r.Stats.Records
+			total.Stats.NumFDs += r.Stats.NumFDs
+			total.Stats.NumFDKeys += r.Stats.NumFDKeys
+			total.Stats.Discovery += r.Stats.Discovery
+			total.Stats.Closure += r.Stats.Closure
+			total.Stats.KeyDerivation += r.Stats.KeyDerivation
+			total.Stats.Violation += r.Stats.Violation
+			total.Stats.Decompositions += r.Stats.Decompositions
+		}
 		if err != nil {
+			if r != nil {
+				return total, err
+			}
 			return nil, err
 		}
-		total.Tables = append(total.Tables, r.Tables...)
-		total.Stats.Attrs += r.Stats.Attrs
-		total.Stats.Records += r.Stats.Records
-		total.Stats.NumFDs += r.Stats.NumFDs
-		total.Stats.NumFDKeys += r.Stats.NumFDKeys
-		total.Stats.Discovery += r.Stats.Discovery
-		total.Stats.Closure += r.Stats.Closure
-		total.Stats.KeyDerivation += r.Stats.KeyDerivation
-		total.Stats.Violation += r.Stats.Violation
-		total.Stats.Decompositions += r.Stats.Decompositions
 	}
 	return total, nil
 }
@@ -356,9 +704,10 @@ func rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
 // selectPrimaryKey implements component (7): discover all minimal keys
 // of the table (DUCC-style UCC discovery), drop keys with nulls, rank
 // them (Section 7.1), and let the decider choose. The UCC discovery
-// reports its work counters to obs under the primary-key stage.
-func selectPrimaryKey(ctx context.Context, t *Table, decider Decider, obs observe.Observer) error {
-	uccs, err := ucc.DiscoverContext(ctx, t.Data, ucc.Options{Observer: obs})
+// reports its work counters to obs under the primary-key stage and
+// charges its retained partitions against the run's budget tracker.
+func selectPrimaryKey(ctx context.Context, t *Table, decider Decider, obs observe.Observer, tr *budget.Tracker) error {
+	uccs, err := ucc.DiscoverContext(ctx, t.Data, ucc.Options{Observer: obs, Budget: tr})
 	if err != nil {
 		return err
 	}

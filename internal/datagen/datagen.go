@@ -36,18 +36,21 @@ type Dataset struct {
 	Denormalized *relation.Relation
 }
 
-// joinAll left-folds natural joins over the given relations.
-func joinAll(name string, rels ...*relation.Relation) *relation.Relation {
+// joinAll left-folds natural joins over the given relations. A join
+// failure (disjoint attribute sets, malformed input) is reported as an
+// error rather than a panic so dataset generation composes with the
+// pipeline's no-crash contract.
+func joinAll(name string, rels ...*relation.Relation) (*relation.Relation, error) {
 	out := rels[0]
 	var err error
 	for _, r := range rels[1:] {
 		out, err = out.NaturalJoin(name, r)
 		if err != nil {
-			panic(fmt.Sprintf("datagen join: %v", err))
+			return nil, fmt.Errorf("datagen: join %s ⋈ %s: %w", name, r.Name, err)
 		}
 	}
 	out.Name = name
-	return out
+	return out, nil
 }
 
 // words is a small vocabulary for plausible text values.

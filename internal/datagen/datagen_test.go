@@ -6,8 +6,23 @@ import (
 	"normalize/internal/relation"
 )
 
+// mustDS unwraps a (Dataset, error) generator return, failing the test
+// on a generation error.
+func mustDS(tb testing.TB) func(*Dataset, error) *Dataset {
+	return func(ds *Dataset, err error) *Dataset {
+		tb.Helper()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return ds
+	}
+}
+
 func TestTPCHShape(t *testing.T) {
-	ds := TPCH(0.0001, 1)
+	ds, err := TPCH(0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Original) != 8 {
 		t.Errorf("TPC-H has %d relations, want 8", len(ds.Original))
 	}
@@ -32,12 +47,12 @@ func TestTPCHShape(t *testing.T) {
 }
 
 func TestTPCHDeterministic(t *testing.T) {
-	a := TPCH(0.0001, 7)
-	b := TPCH(0.0001, 7)
+	a := mustDS(t)(TPCH(0.0001, 7))
+	b := mustDS(t)(TPCH(0.0001, 7))
 	if !a.Denormalized.SameRowSet(b.Denormalized) {
 		t.Error("same seed must reproduce the same dataset")
 	}
-	c := TPCH(0.0001, 8)
+	c := mustDS(t)(TPCH(0.0001, 8))
 	if a.Denormalized.SameRowSet(c.Denormalized) {
 		t.Error("different seeds should differ")
 	}
@@ -46,7 +61,7 @@ func TestTPCHDeterministic(t *testing.T) {
 func TestTPCHShippriorityIsRegionDerived(t *testing.T) {
 	// The deliberate flaw injection: regionkey functionally determines
 	// o_shippriority in the universal relation (Figure 3's observation).
-	d := TPCH(0.0002, 3).Denormalized
+	d := mustDS(t)(TPCH(0.0002, 3)).Denormalized
 	rk := d.AttrIndex("regionkey")
 	sp := d.AttrIndex("o_shippriority")
 	if rk < 0 || sp < 0 {
@@ -62,7 +77,10 @@ func TestTPCHShippriorityIsRegionDerived(t *testing.T) {
 }
 
 func TestMusicBrainzShape(t *testing.T) {
-	ds := MusicBrainz(12, 2)
+	ds, err := MusicBrainz(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Original) != 11 {
 		t.Errorf("MusicBrainz has %d relations, want 11 core tables", len(ds.Original))
 	}

@@ -15,7 +15,7 @@ import (
 // fact-table-like top relation (the paper's Figure 4 finding). The
 // scale parameter is the number of artists; the other cardinalities
 // derive from it roughly like in the real dataset.
-func MusicBrainz(artists int, seed int64) *Dataset {
+func MusicBrainz(artists int, seed int64) (*Dataset, error) {
 	if artists < 4 {
 		artists = 4
 	}
@@ -223,9 +223,12 @@ func MusicBrainz(artists int, seed int64) *Dataset {
 	// tables and the area ⋈ place hop make the join explode — the paper
 	// limits record counts for the same reason, so callers should keep
 	// the scale modest.
-	denorm := joinAll("musicbrainz",
+	denorm, err := joinAll("musicbrainz",
 		track, medium, release, group, releaseLabel, label, credit, acn,
 		artist, area, place)
+	if err != nil {
+		return nil, err
+	}
 
 	return &Dataset{
 		Name: "MusicBrainz",
@@ -234,5 +237,5 @@ func MusicBrainz(artists int, seed int64) *Dataset {
 			medium, track, place,
 		},
 		Denormalized: denorm,
-	}
+	}, nil
 }

@@ -19,7 +19,7 @@ import (
 // TPC-H's o_shippriority is constant, and deriving it from the region
 // reproduces the schema flaw the paper observes in Figure 3
 // (shippriority ends up in the REGION relation).
-func TPCH(sf float64, seed int64) *Dataset {
+func TPCH(sf float64, seed int64) (*Dataset, error) {
 	r := rand.New(rand.NewSource(seed))
 
 	numSupp := scaleCount(10000, sf, 5)
@@ -190,8 +190,11 @@ func TPCH(sf float64, seed int64) *Dataset {
 			"l_shipmode", "l_comment"},
 		liRows)
 
-	denorm := joinAll("tpch",
+	denorm, err := joinAll("tpch",
 		lineitem, orders, customer, nation, region, supplier, part, partsupp)
+	if err != nil {
+		return nil, err
+	}
 
 	return &Dataset{
 		Name: "TPC-H",
@@ -199,5 +202,5 @@ func TPCH(sf float64, seed int64) *Dataset {
 			region, nation, supplier, part, partsupp, customer, orders, lineitem,
 		},
 		Denormalized: denorm,
-	}
+	}, nil
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/fd"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
@@ -39,6 +40,11 @@ type Options struct {
 	// Observer receives work counters under the fd-discovery stage;
 	// nil means no instrumentation.
 	Observer observe.Observer
+	// Budget, when non-nil, charges verified dependencies and cached
+	// partitions against run-wide ceilings; a trip aborts discovery
+	// with a *budget.Exceeded error. DFD's memory is dominated by the
+	// PLI cache, so the charge lands on every cache insert.
+	Budget *budget.Tracker
 }
 
 // Discover returns all minimal non-trivial FDs of rel, aggregated by
@@ -73,10 +79,14 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		maxLhs = n
 	}
 
-	d := &discoverer{ctx: ctx, done: ctx.Done(), enc: enc, n: n, plis: make(map[string]*pli.PLI)}
+	d := &discoverer{ctx: ctx, done: ctx.Done(), enc: enc, n: n, tr: opts.Budget, plis: make(map[string]*pli.PLI)}
 	defer d.flushCounters(observe.Or(opts.Observer))
 	for a := 0; a < n; a++ {
-		d.plis[bitset.Of(n, a).Key()] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		d.plis[bitset.Of(n, a).Key()] = p
+		if err := opts.Budget.Grow(8*int64(p.Size()) + 64); err != nil {
+			return nil, err
+		}
 	}
 
 	for a := 0; a < n; a++ {
@@ -92,11 +102,13 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 }
 
 type discoverer struct {
-	ctx  context.Context
-	done <-chan struct{}
-	enc  *relation.Encoded
-	n    int
-	plis map[string]*pli.PLI // PLI cache, keyed by attribute-set key
+	ctx     context.Context
+	done    <-chan struct{}
+	enc     *relation.Encoded
+	n       int
+	tr      *budget.Tracker
+	tripped error               // first budget trip inside an error-less helper
+	plis    map[string]*pli.PLI // PLI cache, keyed by attribute-set key
 
 	plisIntersected   int64
 	candidatesChecked int64
@@ -153,11 +165,20 @@ func (d *discoverer) findLhss(a, maxLhs int) ([]*bitset.Set, error) {
 				// complement, lies inside a non-dependency, and is
 				// therefore a non-dependency itself.
 				verified[cand.Key()] = true
+				if err := d.tr.AddFDs(1); err != nil {
+					return nil, err
+				}
 				continue
+			}
+			if d.tripped != nil {
+				return nil, d.tripped
 			}
 			maxNonDeps = append(maxNonDeps, d.maximize(cand, a, universe))
 			progress = true
 			break // the hitting sets must be regenerated
+		}
+		if d.tripped != nil {
+			return nil, d.tripped
 		}
 		if !progress {
 			// Fixpoint: all candidates are verified minimal deps.
@@ -200,7 +221,10 @@ func (d *discoverer) isDep(x *bitset.Set, a int) bool {
 }
 
 // pliFor returns the cached PLI of x, computing it from the largest
-// cached subset plus single-column intersections when absent.
+// cached subset plus single-column intersections when absent. Each
+// cache insert is charged against the budget; a trip is parked in
+// d.tripped (the refinement-check callers have no error return) and
+// the classification loop in findLhss surfaces it.
 func (d *discoverer) pliFor(x *bitset.Set) *pli.PLI {
 	if p, ok := d.plis[x.Key()]; ok {
 		return p
@@ -226,6 +250,9 @@ func (d *discoverer) pliFor(x *bitset.Set) *pli.PLI {
 			d.plisIntersected++
 		}
 		d.plis[cur.Key()] = p
+		if err := d.tr.Grow(8*int64(p.Size()) + 64); err != nil && d.tripped == nil {
+			d.tripped = err
+		}
 	}
 	return p
 }

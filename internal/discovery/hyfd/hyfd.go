@@ -37,7 +37,9 @@ import (
 	"sync/atomic"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/fd"
+	"normalize/internal/guard"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
@@ -57,6 +59,13 @@ type Options struct {
 	// Observer receives per-stage work counters (under the
 	// fd-discovery stage); nil means no instrumentation.
 	Observer observe.Observer
+	// Budget, when non-nil, is charged for the encoded input and for
+	// every retained FD candidate of the positive cover — the structure
+	// whose growth Section 4.3 identifies as the memory hazard. A trip
+	// aborts discovery with the *budget.Exceeded error; the pipeline
+	// layer reacts by tightening MaxLhs and retrying (its degradation
+	// ladder) instead of running out of memory.
+	Budget *budget.Tracker
 	// sampleRounds overrides the number of initial sampling window
 	// rounds (for tests); 0 means the default.
 	sampleRounds int
@@ -86,6 +95,12 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	// The dictionary-encoded input is the first retained structure; a
+	// memory budget that cannot even hold it trips here, prompting the
+	// pipeline to sample rows instead of thrashing.
+	if err := opts.Budget.Grow(8 * int64(enc.NumRows) * int64(n)); err != nil {
+		return nil, err
+	}
 	if enc.NumRows == 0 {
 		result.Add(bitset.New(n), bitset.Full(n))
 		return result.Aggregate().Sort(), nil
@@ -102,6 +117,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		n:      n,
 		maxLhs: maxLhs,
 		tree:   fd.NewTree(n),
+		tr:     opts.Budget,
 		opts:   opts,
 	}
 	defer d.flushCounters(observe.Or(opts.Observer))
@@ -163,6 +179,7 @@ type discoverer struct {
 	n        int
 	maxLhs   int
 	tree     *fd.Tree
+	tr       *budget.Tracker
 	plis     []*pli.PLI
 	inverted [][]int // row → cluster per attribute, shared by workers
 	sampler  *sampler
@@ -213,6 +230,10 @@ func (d *discoverer) buildPLIs() error {
 		}
 		d.plis[a] = pli.FromColumn(d.enc.Columns[a], d.enc.Cardinality[a])
 		d.inverted[a] = d.plis[a].Inverted()
+		// Each per-attribute index retains roughly two ints per row.
+		if err := d.tr.Grow(16 * int64(d.enc.NumRows)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -225,7 +246,9 @@ func (d *discoverer) sampleAndInduct(rounds int) error {
 			return d.ctx.Err()
 		}
 		d.agreeSets++
-		d.induct(s)
+		if err := d.induct(s); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -236,11 +259,18 @@ func (d *discoverer) sampleAndInduct(rounds int) error {
 // attribute outside S. Inserts check only for generalizations (like the
 // original HyFD), so the tree may temporarily hold specializations of
 // other candidates; Discover filters the final result for minimality.
-func (d *discoverer) induct(agree *bitset.Set) {
+//
+// Every insert is charged against the budget tracker — this is the loop
+// where the positive cover (and with it the memory footprint) explodes
+// on pathological inputs, so the ceiling is enforced right here. A trip
+// aborts induction with the *budget.Exceeded error.
+func (d *discoverer) induct(agree *bitset.Set) error {
 	violated := d.tree.ViolatedBy(agree)
 	if len(violated) == 0 {
-		return
+		return nil
 	}
+	var tripped error
+	fdBytes := budget.FDBytes(d.n)
 	outside := bitset.Full(d.n).DifferenceWith(agree)
 	for _, v := range violated {
 		d.tree.RemoveRhs(v.Lhs, v.Rhs)
@@ -259,12 +289,24 @@ func (d *discoverer) induct(agree *bitset.Set) {
 				if !d.tree.ContainsGeneralization(ext, a) {
 					d.tree.Add(ext, a)
 					d.fdsInduced++
+					if err := d.tr.AddFDs(1); err != nil {
+						tripped = err
+						return false
+					}
+					if err := d.tr.Grow(fdBytes); err != nil {
+						tripped = err
+						return false
+					}
 				}
 				return true
 			})
-			return true
+			return tripped == nil
 		})
+		if tripped != nil {
+			return tripped
+		}
 	}
+	return nil
 }
 
 // agreeSet computes the attributes on which two rows agree.
@@ -311,7 +353,10 @@ func (d *discoverer) validate() error {
 		if len(cands) == 0 {
 			continue
 		}
-		verdicts := d.check(cands)
+		verdicts, err := d.check(cands)
+		if err != nil {
+			return err
+		}
 		if d.canceled() {
 			return d.ctx.Err()
 		}
@@ -332,7 +377,9 @@ func (d *discoverer) validate() error {
 			// removals only hit refuted candidates, and every insert
 			// lands at a deeper level than the candidate it replaces.)
 			for _, p := range v.pairs {
-				d.induct(d.agreeSet(p[0], p[1]))
+				if err := d.induct(d.agreeSet(p[0], p[1])); err != nil {
+					return err
+				}
 			}
 		}
 		// Switching heuristic: if validation found mostly garbage,
@@ -349,30 +396,49 @@ func (d *discoverer) validate() error {
 // check validates the candidates of one level against the data,
 // optionally in parallel. On cancellation the remaining candidates are
 // skipped (workers drain the feed without doing work and exit), and the
-// caller re-checks the context before trusting the verdicts.
-func (d *discoverer) check(cands []candidate) []verdict {
+// caller re-checks the context before trusting the verdicts. A panic in
+// a worker is recovered inside that goroutine (recover is per-goroutine,
+// so the coordinator's stage guard cannot see it) and surfaces as a
+// *guard.PanicError; the first one wins and the rest of the feed drains.
+func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 	out := make([]verdict, len(cands))
 	if !d.opts.Parallel || len(cands) < 8 {
 		for i, c := range cands {
 			if d.canceled() {
-				return out
+				return out, nil
 			}
-			out[i] = d.checkOne(c)
+			if err := guard.Run("hyfd validation", func() error {
+				out[i] = d.checkOne(c)
+				return nil
+			}); err != nil {
+				return out, err
+			}
 		}
-		return out
+		return out, nil
 	}
 	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		workErr  error
+		poisoned atomic.Bool
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if d.canceled() {
+				if d.canceled() || poisoned.Load() {
 					continue // keep draining so the feeder never blocks
 				}
-				out[i] = d.checkOne(cands[i])
+				if err := guard.Run("hyfd validation worker", func() error {
+					out[i] = d.checkOne(cands[i])
+					return nil
+				}); err != nil {
+					errOnce.Do(func() { workErr = err })
+					poisoned.Store(true)
+				}
 			}
 		}()
 	}
@@ -381,7 +447,7 @@ func (d *discoverer) check(cands []candidate) []verdict {
 	}
 	close(next)
 	wg.Wait()
-	return out
+	return out, workErr
 }
 
 // checkOne validates a single candidate: it materializes the LHS

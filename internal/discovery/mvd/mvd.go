@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/relation"
 )
 
@@ -105,6 +106,10 @@ type Options struct {
 	// MaxAttrs guards against exponential blow-up; relations wider than
 	// this are rejected (default 16).
 	MaxAttrs int
+	// Budget, when non-nil, charges discovered MVDs and per-LHS group
+	// indexes against run-wide ceilings; a trip aborts discovery with a
+	// *budget.Exceeded error.
+	Budget *budget.Tracker
 }
 
 // Discover returns all non-trivial MVDs X ↠ Y | Z of the relation with
@@ -141,17 +146,31 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	}
 	done := ctx.Done()
 	var out []*MVD
+	var tripped error
 	forEachLhs(n, maxLhs, func(x *bitset.Set) bool {
 		if canceled(done) {
+			return false
+		}
+		// Each LHS materializes a row-group index of about one int per
+		// row plus the bipartition sweep's scratch keys.
+		if err := opts.Budget.Grow(8 * int64(enc.NumRows)); err != nil {
+			tripped = err
 			return false
 		}
 		mvds, ok := validPartitions(done, enc, n, x)
 		if !ok {
 			return false
 		}
+		if err := opts.Budget.AddFDs(int64(len(mvds))); err != nil {
+			tripped = err
+			return false
+		}
 		out = append(out, mvds...)
 		return true
 	})
+	if tripped != nil {
+		return nil, tripped
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/fd"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
@@ -32,6 +33,12 @@ type Options struct {
 	// Observer receives work counters under the fd-discovery stage;
 	// nil means no instrumentation.
 	Observer observe.Observer
+	// Budget, when non-nil, charges discovered FDs and retained lattice
+	// partitions against run-wide ceilings; a trip aborts discovery
+	// with a *budget.Exceeded error. TANE's memory is dominated by the
+	// stripped partitions of the current lattice level, so the charge
+	// lands in candidate generation.
+	Budget *budget.Tracker
 }
 
 // node is one lattice element X with its stripped partition, partition
@@ -75,7 +82,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		result.Add(bitset.New(n), bitset.Full(n))
 		return result.Aggregate().Sort(), nil
 	}
-	d := &discoverer{ctx: ctx, done: ctx.Done()}
+	d := &discoverer{ctx: ctx, done: ctx.Done(), tr: opts.Budget}
 	defer d.flushCounters(observe.Or(opts.Observer))
 
 	emptyErr := enc.NumRows - 1 // e(∅): a single cluster holding all rows
@@ -119,6 +126,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 type discoverer struct {
 	ctx  context.Context
 	done <-chan struct{}
+	tr   *budget.Tracker
 
 	plisIntersected   int64
 	candidatesChecked int64
@@ -152,6 +160,7 @@ func (d *discoverer) computeDependencies(level []*node, result *fd.Set, n int) e
 			return d.ctx.Err()
 		}
 		d.candidatesChecked++
+		var tripped error
 		candidates := nd.cplus.Intersect(nd.set)
 		candidates.ForEach(func(a int) bool {
 			pe, ok := nd.parentErrs[a]
@@ -161,11 +170,22 @@ func (d *discoverer) computeDependencies(level []*node, result *fd.Set, n int) e
 			if pe == nd.err { // X\{A} → A holds
 				lhs := nd.set.Clone().Remove(a)
 				result.Add(lhs, bitset.Of(n, a))
+				if err := d.tr.AddFDs(1); err != nil {
+					tripped = err
+					return false
+				}
+				if err := d.tr.Grow(budget.FDBytes(n)); err != nil {
+					tripped = err
+					return false
+				}
 				nd.cplus.Remove(a)
 				nd.cplus.IntersectWith(nd.set) // drop all B ∈ R\X
 			}
 			return true
 		})
+		if tripped != nil {
+			return tripped
+		}
 	}
 	return nil
 }
@@ -251,6 +271,12 @@ func (d *discoverer) generateNextLevel(survivors map[string]*node, n int) ([]*no
 				parentErrs: parentErrs,
 			}
 			d.plisIntersected++
+			// The retained child partition is the dominant allocation of
+			// the level-wise sweep: one int per row the stripped
+			// partition still holds, plus cluster headers.
+			if err := d.tr.Grow(8*int64(child.part.Size()) + 64); err != nil {
+				return nil, err
+			}
 			child.err = child.part.Error()
 			next = append(next, child)
 		}

@@ -53,6 +53,10 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	for a := 0; a < n; a++ {
 		plis[a] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
 		inverted[a] = plis[a].Inverted()
+		// Partition plus inverted index retain about two ints per row.
+		if err := opts.Budget.Grow(16 * int64(enc.NumRows)); err != nil {
+			return nil, err
+		}
 	}
 
 	// Candidate cover: a set-trie of candidate minimal UCCs, starting at
@@ -62,15 +66,16 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 
 	// Sampling: each pair of records agreeing on set S proves every
 	// subset of S non-unique; specialize the violated candidates by one
-	// attribute outside S.
-	induct := func(agree *bitset.Set) {
+	// attribute outside S. Candidate specialization is where the cover
+	// grows, so every fresh insert is charged against the budget.
+	induct := func(agree *bitset.Set) error {
 		var violated []*bitset.Set
 		candidates.SubsetsOf(agree, func(s *bitset.Set) bool {
 			violated = append(violated, s)
 			return true
 		})
 		if len(violated) == 0 {
-			return
+			return nil
 		}
 		outside := bitset.Full(n).DifferenceWith(agree)
 		rebuilt := &settrie.Trie{}
@@ -84,6 +89,7 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 			}
 			return true
 		})
+		var tripped error
 		for _, v := range violated {
 			if v.Cardinality() >= maxSize {
 				continue
@@ -92,11 +98,19 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 				ext := v.Clone().Add(b)
 				if !rebuilt.ContainsSubsetOf(ext) {
 					rebuilt.Insert(ext)
+					if err := opts.Budget.Grow(8*int64((n+63)/64) + 48); err != nil {
+						tripped = err
+						return false
+					}
 				}
 				return true
 			})
+			if tripped != nil {
+				return tripped
+			}
 		}
 		candidates = rebuilt
+		return nil
 	}
 
 	// Sample neighbouring rows within each cluster (window 1 and 2).
@@ -116,7 +130,9 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 					s := agreeSet(enc, n, cluster[i], cluster[i+w])
 					if k := s.Key(); !agreeSeen[k] {
 						agreeSeen[k] = true
-						induct(s)
+						if err := induct(s); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
@@ -147,7 +163,9 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 				return nil, ctx.Err()
 			}
 			if r1, r2 := firstDuplicate(enc, plis, inverted, cand, &c); r1 >= 0 {
-				induct(agreeSet(enc, n, r1, r2))
+				if err := induct(agreeSet(enc, n, r1, r2)); err != nil {
+					return nil, err
+				}
 				continue
 			}
 			result = append(result, cand)

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"normalize/internal/bitset"
+	"normalize/internal/budget"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
@@ -33,6 +34,10 @@ type Options struct {
 	// Observer receives work counters under the primary-key-selection
 	// stage; nil means no instrumentation.
 	Observer observe.Observer
+	// Budget, when non-nil, charges retained lattice partitions against
+	// run-wide ceilings; a trip aborts discovery with a
+	// *budget.Exceeded error.
+	Budget *budget.Tracker
 }
 
 type node struct {
@@ -104,7 +109,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	done := ctx.Done()
 	for size := 1; len(level) > 0 && size < maxSize; size++ {
 		var err error
-		level, err = nextLevel(ctx, done, level, &minimal, &result, n, &c)
+		level, err = nextLevel(ctx, done, level, &minimal, &result, n, &c, opts.Budget)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +123,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 // UCCs (minimal because all their subsets are non-unique), and the
 // remaining candidates form the next level.
 func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
-	minimal *settrie.Trie, result *[]*bitset.Set, n int, c *counters) ([]*node, error) {
+	minimal *settrie.Trie, result *[]*bitset.Set, n int, c *counters, tr *budget.Tracker) ([]*node, error) {
 	sort.Slice(level, func(i, j int) bool {
 		a, b := level[i].attrs, level[j].attrs
 		for k := range a {
@@ -172,6 +177,11 @@ func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
 				*result = append(*result, set)
 				minimal.Insert(set)
 				continue
+			}
+			// Non-unique candidates retain their partition for the next
+			// level; that retention is the memory the budget meters.
+			if err := tr.Grow(8*int64(part.Size()) + 64); err != nil {
+				return nil, err
 			}
 			next = append(next, &node{attrs: attrs, set: set, part: part})
 		}

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -29,19 +30,19 @@ import (
 // original (see EXPERIMENTS.md).
 type Spec struct {
 	Name   string
-	Gen    func() *datagen.Dataset
+	Gen    func() (*datagen.Dataset, error)
 	MaxLhs int
 }
 
 // DefaultSpecs are the six datasets of Table 3.
 func DefaultSpecs() []Spec {
 	return []Spec{
-		{Name: "Horse", Gen: func() *datagen.Dataset { return datagen.Horse(1) }},
-		{Name: "Plista", Gen: func() *datagen.Dataset { return datagen.Plista(1) }},
-		{Name: "Amalgam1", Gen: func() *datagen.Dataset { return datagen.Amalgam1(1) }},
-		{Name: "Flight", Gen: func() *datagen.Dataset { return datagen.Flight(1) }},
-		{Name: "MusicBrainz", Gen: func() *datagen.Dataset { return datagen.MusicBrainz(24, 1) }},
-		{Name: "TPC-H", Gen: func() *datagen.Dataset { return datagen.TPCH(0.0005, 1) }, MaxLhs: 4},
+		{Name: "Horse", Gen: func() (*datagen.Dataset, error) { return datagen.Horse(1), nil }},
+		{Name: "Plista", Gen: func() (*datagen.Dataset, error) { return datagen.Plista(1), nil }},
+		{Name: "Amalgam1", Gen: func() (*datagen.Dataset, error) { return datagen.Amalgam1(1), nil }},
+		{Name: "Flight", Gen: func() (*datagen.Dataset, error) { return datagen.Flight(1), nil }},
+		{Name: "MusicBrainz", Gen: func() (*datagen.Dataset, error) { return datagen.MusicBrainz(24, 1) }},
+		{Name: "TPC-H", Gen: func() (*datagen.Dataset, error) { return datagen.TPCH(0.0005, 1) }, MaxLhs: 4},
 	}
 }
 
@@ -74,7 +75,10 @@ type Table3Row struct {
 // The measured components run under ctx and the call returns ctx.Err()
 // promptly when the context ends mid-experiment.
 func RunTable3Row(ctx context.Context, spec Spec) (Table3Row, error) {
-	ds := spec.Gen()
+	ds, err := spec.Gen()
+	if err != nil {
+		return Table3Row{Name: spec.Name}, err
+	}
 	rel := ds.Denormalized
 	row := Table3Row{Name: spec.Name, Attrs: rel.NumAttrs(), Records: rel.NumRows()}
 
@@ -165,7 +169,10 @@ type NaiveRow struct {
 // cubic naive closure in particular is why this experiment wants to be
 // cancellable.
 func RunNaiveComparison(ctx context.Context, spec Spec, sampleFDs int) (NaiveRow, error) {
-	ds := spec.Gen()
+	ds, err := spec.Gen()
+	if err != nil {
+		return NaiveRow{Name: spec.Name}, err
+	}
 	fds, err := hyfd.DiscoverContext(ctx, ds.Denormalized, hyfd.Options{MaxLhs: spec.MaxLhs, Parallel: true})
 	if err != nil {
 		return NaiveRow{Name: spec.Name}, err
@@ -237,7 +244,10 @@ type Figure2Point struct {
 // are returned alongside ctx.Err(), so a partial sweep is still
 // reportable.
 func RunFigure2(ctx context.Context, steps int) ([]Figure2Point, error) {
-	ds := datagen.MusicBrainz(24, 1)
+	ds, err := datagen.MusicBrainz(24, 1)
+	if err != nil {
+		return nil, err
+	}
 	full, err := hyfd.DiscoverContext(ctx, ds.Denormalized, hyfd.Options{Parallel: true})
 	if err != nil {
 		return nil, err
@@ -280,6 +290,9 @@ type Reconstruction struct {
 	Tables  []*core.Table
 	Mapping []TableMatch
 	Stats   core.Stats
+	// Degradations is non-empty when the run degraded to stay inside a
+	// budget or survived a stage failure (see core.Degradation).
+	Degradations []core.Degradation
 }
 
 // TableMatch pairs an original relation with its best reconstruction.
@@ -291,13 +304,19 @@ type TableMatch struct {
 
 // RunReconstruction normalizes a denormalized dataset and matches the
 // result against the original schema (Figures 3 and 4). The pipeline
-// run is cancellable through ctx.
+// run is cancellable through ctx. A run that stops early with a
+// partial result (*core.PartialError) is still matched — the
+// reconstruction of what the pipeline got done is returned alongside
+// the error so the caller can report both.
 func RunReconstruction(ctx context.Context, ds *datagen.Dataset, maxLhs int) (*Reconstruction, error) {
-	res, err := core.NormalizeRelationContext(ctx, ds.Denormalized, core.Options{MaxLhs: maxLhs})
-	if err != nil {
-		return nil, err
+	res, runErr := core.NormalizeRelationContext(ctx, ds.Denormalized, core.Options{MaxLhs: maxLhs})
+	if runErr != nil {
+		var pe *core.PartialError
+		if !errors.As(runErr, &pe) || res == nil {
+			return nil, runErr
+		}
 	}
-	rec := &Reconstruction{Tables: res.Tables, Stats: res.Stats}
+	rec := &Reconstruction{Tables: res.Tables, Stats: res.Stats, Degradations: res.Degradations}
 	for _, orig := range ds.Original {
 		attrs := map[string]bool{}
 		for _, a := range orig.Attrs {
@@ -319,12 +338,16 @@ func RunReconstruction(ctx context.Context, ds *datagen.Dataset, maxLhs int) (*R
 		}
 		rec.Mapping = append(rec.Mapping, TableMatch{Original: orig.Name, Best: best, Jaccard: bestJ})
 	}
-	return rec, nil
+	return rec, runErr
 }
 
 // PrintReconstruction renders the normalized schema and the gold-
 // standard mapping.
 func PrintReconstruction(w io.Writer, rec *Reconstruction) {
+	if len(rec.Degradations) > 0 {
+		fmt.Fprintln(w, "Run degraded:")
+		fmt.Fprint(w, core.FormatDegradations(rec.Degradations))
+	}
 	fmt.Fprintf(w, "Normalized schema (%d tables, %d decompositions, %d FDs):\n",
 		len(rec.Tables), rec.Stats.Decompositions, rec.Stats.NumFDs)
 	for _, t := range rec.Tables {

@@ -13,7 +13,7 @@ import (
 func tinySpec() Spec {
 	return Spec{
 		Name:   "tiny-tpch",
-		Gen:    func() *datagen.Dataset { return datagen.TPCH(0.00005, 1) },
+		Gen:    func() (*datagen.Dataset, error) { return datagen.TPCH(0.00005, 1) },
 		MaxLhs: 2,
 	}
 }
@@ -89,7 +89,11 @@ func TestSampleFDs(t *testing.T) {
 }
 
 func TestRunReconstructionTiny(t *testing.T) {
-	rec, err := RunReconstruction(context.Background(), datagen.TPCH(0.0001, 1), 3)
+	ds, err := datagen.TPCH(0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RunReconstruction(context.Background(), ds, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

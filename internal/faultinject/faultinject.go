@@ -1,0 +1,230 @@
+// Package faultinject is a deterministic fault-injection harness for
+// the normalization pipeline. It exploits the observe.Observer seam:
+// every pipeline stage brackets its work with observer callbacks, so an
+// observer that panics or sleeps at a chosen callback simulates a stage
+// crash or a stall at a precise, reproducible point — without any
+// test hooks in production code paths.
+//
+// Faults are addressed by (stage, hook, occurrence) triples or derived
+// from an integer seed, so a failing seed from a fuzzing or soak run
+// replays exactly. The injector records every fault it fires; tests
+// assert on the record to prove the fault actually landed.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"normalize/internal/observe"
+)
+
+// Hook selects which observer callback a rule arms.
+type Hook int
+
+// The observer callbacks a fault can attach to.
+const (
+	AnyHook Hook = iota
+	Start        // StageStart
+	Counter      // Counter
+	Finish       // StageFinish
+)
+
+func (h Hook) String() string {
+	switch h {
+	case Start:
+		return "start"
+	case Counter:
+		return "counter"
+	case Finish:
+		return "finish"
+	default:
+		return "any"
+	}
+}
+
+// Kind is the fault a rule injects.
+type Kind int
+
+// The supported fault kinds.
+const (
+	// Panic raises a panic with an identifiable value on the goroutine
+	// invoking the observer callback — the stage's own goroutine for
+	// coordinator seams, a worker goroutine for parallel substrates.
+	Panic Kind = iota
+	// Latency blocks the callback for the rule's Latency duration
+	// (interruptible through the injector's Done channel), simulating a
+	// stalled stage for cancel-latency tests.
+	Latency
+)
+
+func (k Kind) String() string {
+	if k == Latency {
+		return "latency"
+	}
+	return "panic"
+}
+
+// Rule arms one fault: the Nth time (1-based) a matching callback
+// arrives, the fault fires. A fired rule is spent.
+type Rule struct {
+	// Stage restricts the rule to one pipeline stage; empty matches any.
+	Stage observe.Stage
+	// Hook restricts the rule to one callback kind; AnyHook matches all.
+	Hook Hook
+	// Nth is the 1-based occurrence that triggers the fault (0 = first).
+	Nth int
+	// Kind selects the fault; Latency uses the Latency field.
+	Kind Kind
+	// Latency is the stall duration for Kind == Latency.
+	Latency time.Duration
+}
+
+// Firing records one injected fault.
+type Firing struct {
+	Rule  Rule
+	Stage observe.Stage
+	Hook  Hook
+	At    time.Time
+}
+
+// PanicValue is the value injected panics carry, so tests can tell an
+// injected crash from a genuine one.
+type PanicValue struct {
+	Stage observe.Stage
+	Hook  Hook
+}
+
+func (v PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s/%s", v.Stage, v.Hook)
+}
+
+// Injector is an observe.Observer that fires the armed rules. Wrap it
+// around a real observer with observe.Multi to keep telemetry. Safe for
+// concurrent use (parallel stages invoke observers from workers).
+type Injector struct {
+	// Done, when non-nil, interrupts latency faults early (wire it to a
+	// test context's Done channel so stalls never outlive the test).
+	Done <-chan struct{}
+
+	mu     sync.Mutex
+	rules  []*armed
+	firing []Firing
+}
+
+type armed struct {
+	rule Rule
+	seen int
+	done bool
+}
+
+// New arms the given rules on a fresh injector.
+func New(rules ...Rule) *Injector {
+	inj := &Injector{}
+	for _, r := range rules {
+		if r.Nth <= 0 {
+			r.Nth = 1
+		}
+		inj.rules = append(inj.rules, &armed{rule: r})
+	}
+	return inj
+}
+
+// FromSeed derives a single deterministic rule from an integer seed:
+// the seed selects the stage, hook, occurrence (1–3), and fault kind
+// via a splitmix-style hash. Equal seeds always produce equal rules, so
+// a failing seed reproduces exactly.
+func FromSeed(seed uint64) *Injector {
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	stages := observe.Stages()
+	r := Rule{
+		Stage: stages[next()%uint64(len(stages))],
+		Hook:  Hook(next() % 4),
+		Nth:   int(next()%3) + 1,
+		Kind:  Kind(next() % 2),
+	}
+	if r.Kind == Latency {
+		r.Latency = time.Duration(next()%400+100) * time.Millisecond
+	}
+	return New(r)
+}
+
+// Rules returns the armed rules (spent or not), for logging.
+func (inj *Injector) Rules() []Rule {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]Rule, len(inj.rules))
+	for i, a := range inj.rules {
+		out[i] = a.rule
+	}
+	return out
+}
+
+// Fired returns the faults that have fired so far, in firing order.
+func (inj *Injector) Fired() []Firing {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Firing(nil), inj.firing...)
+}
+
+// StageStart implements observe.Observer.
+func (inj *Injector) StageStart(stage observe.Stage) { inj.hit(stage, Start) }
+
+// Counter implements observe.Observer.
+func (inj *Injector) Counter(stage observe.Stage, name string, delta int64) {
+	inj.hit(stage, Counter)
+}
+
+// StageFinish implements observe.Observer.
+func (inj *Injector) StageFinish(stage observe.Stage, elapsed time.Duration) {
+	inj.hit(stage, Finish)
+}
+
+// hit advances every matching rule and fires the first that reaches its
+// occurrence count. The injector's lock is released before the fault
+// takes effect so a panic or stall never wedges other observers.
+func (inj *Injector) hit(stage observe.Stage, hook Hook) {
+	inj.mu.Lock()
+	var fire *armed
+	for _, a := range inj.rules {
+		if a.done {
+			continue
+		}
+		if a.rule.Stage != "" && a.rule.Stage != stage {
+			continue
+		}
+		if a.rule.Hook != AnyHook && a.rule.Hook != hook {
+			continue
+		}
+		a.seen++
+		if a.seen >= a.rule.Nth {
+			a.done = true
+			fire = a
+			break
+		}
+	}
+	if fire != nil {
+		inj.firing = append(inj.firing, Firing{Rule: fire.rule, Stage: stage, Hook: hook, At: time.Now()})
+	}
+	done := inj.Done
+	inj.mu.Unlock()
+	if fire == nil {
+		return
+	}
+	switch fire.rule.Kind {
+	case Latency:
+		select {
+		case <-time.After(fire.rule.Latency):
+		case <-done:
+		}
+	default:
+		panic(PanicValue{Stage: stage, Hook: hook})
+	}
+}

@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"normalize/internal/observe"
+)
+
+// TestRuleFiresAtNthOccurrence: a rule armed for the 3rd counter of one
+// stage ignores the first two hits and other stages, then panics with
+// an identifiable value.
+func TestRuleFiresAtNthOccurrence(t *testing.T) {
+	inj := New(Rule{Stage: observe.Closure, Hook: Counter, Nth: 3})
+
+	inj.StageStart(observe.Closure)                 // wrong hook
+	inj.Counter(observe.Discovery, "fds", 1)        // wrong stage
+	inj.Counter(observe.Closure, "fds_extended", 1) // 1st
+	inj.Counter(observe.Closure, "fds_extended", 1) // 2nd
+	if got := inj.Fired(); len(got) != 0 {
+		t.Fatalf("fired early: %v", got)
+	}
+
+	defer func() {
+		v, ok := recover().(PanicValue)
+		if !ok || v.Stage != observe.Closure || v.Hook != Counter {
+			t.Fatalf("recovered %v, want PanicValue{closure, counter}", v)
+		}
+		fired := inj.Fired()
+		if len(fired) != 1 || fired[0].Stage != observe.Closure {
+			t.Fatalf("firing record = %v, want one closure firing", fired)
+		}
+		// A fired rule is spent: the next matching hit must pass through.
+		inj.Counter(observe.Closure, "fds_extended", 1)
+	}()
+	inj.Counter(observe.Closure, "fds_extended", 1) // 3rd: fires
+	t.Fatal("injected panic did not fire")
+}
+
+// TestFromSeedDeterministic: equal seeds arm equal rules; across many
+// seeds both fault kinds and several stages occur.
+func TestFromSeedDeterministic(t *testing.T) {
+	kinds := map[Kind]bool{}
+	stages := map[observe.Stage]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		a, b := FromSeed(seed).Rules(), FromSeed(seed).Rules()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d not deterministic: %v vs %v", seed, a, b)
+		}
+		if len(a) != 1 || a[0].Nth < 1 || a[0].Nth > 3 {
+			t.Fatalf("seed %d: unexpected rule %v", seed, a)
+		}
+		if a[0].Kind == Latency && a[0].Latency <= 0 {
+			t.Fatalf("seed %d: latency rule without duration: %v", seed, a)
+		}
+		kinds[a[0].Kind] = true
+		stages[a[0].Stage] = true
+	}
+	if !kinds[Panic] || !kinds[Latency] {
+		t.Errorf("seeds never produced both kinds: %v", kinds)
+	}
+	if len(stages) < 3 {
+		t.Errorf("seeds covered only stages %v", stages)
+	}
+}
+
+// TestLatencyInterruptedByDone: a long stall returns as soon as the
+// Done channel closes instead of sleeping out its full duration.
+func TestLatencyInterruptedByDone(t *testing.T) {
+	done := make(chan struct{})
+	inj := New(Rule{Kind: Latency, Latency: time.Hour})
+	inj.Done = done
+	close(done)
+
+	start := time.Now()
+	inj.StageStart(observe.Discovery)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stall not interrupted: blocked %v", elapsed)
+	}
+	if len(inj.Fired()) != 1 {
+		t.Fatal("latency fault not recorded")
+	}
+}

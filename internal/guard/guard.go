@@ -1,0 +1,47 @@
+// Package guard converts panics into errors at subsystem boundaries.
+// The normalization pipeline is meant to run inside long-lived server
+// processes, where a panic escaping one poisoned stage (or one worker
+// goroutine of a parallel stage) must not take the process down; every
+// stage boundary in internal/core and every worker spawn point in the
+// parallel substrate packages wraps its work in Run.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic: the recovered value and the stack of
+// the panicking goroutine survive in the error chain so crash reports
+// stay actionable after the conversion.
+type PanicError struct {
+	Where     string // the boundary that recovered, e.g. a stage name
+	Recovered any    // the value passed to panic
+	Stack     []byte // debug.Stack() captured at recovery
+}
+
+// Error summarizes the panic; the full stack is available via the
+// Stack field (and is included by %+v formatting).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Where, e.Recovered)
+}
+
+// Format renders the captured stack under the %+v verb.
+func (e *PanicError) Format(f fmt.State, verb rune) {
+	if verb == 'v' && f.Flag('+') {
+		fmt.Fprintf(f, "%s\n%s", e.Error(), e.Stack)
+		return
+	}
+	fmt.Fprint(f, e.Error())
+}
+
+// Run executes fn, converting a panic into a *PanicError attributed to
+// where. A normal return passes fn's error through unchanged.
+func Run(where string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Where: where, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,51 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunPassesThroughNormalReturns(t *testing.T) {
+	if err := Run("stage", func() error { return nil }); err != nil {
+		t.Fatalf("nil return became %v", err)
+	}
+	want := errors.New("boom")
+	if err := Run("stage", func() error { return want }); err != want {
+		t.Fatalf("error return changed: %v", err)
+	}
+}
+
+func TestRunConvertsPanics(t *testing.T) {
+	err := Run("fd-discovery", func() error { panic("poisoned") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Where != "fd-discovery" || pe.Recovered != "poisoned" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "guard") {
+		t.Error("stack not captured")
+	}
+	if !strings.Contains(err.Error(), "fd-discovery") || !strings.Contains(err.Error(), "poisoned") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	// %+v includes the stack for crash reports.
+	if !strings.Contains(fmt.Sprintf("%+v", pe), "goroutine") {
+		t.Error("verbose formatting does not include the stack")
+	}
+}
+
+func TestRunConvertsTypedPanics(t *testing.T) {
+	type poison struct{ v int }
+	err := Run("closure", func() error { panic(poison{7}) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if p, ok := pe.Recovered.(poison); !ok || p.v != 7 {
+		t.Errorf("recovered value lost: %#v", pe.Recovered)
+	}
+}

@@ -1,0 +1,162 @@
+package observe
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// stageJSON is the wire form of one aggregated stage in WriteJSON
+// output. Elapsed is exported in both nanoseconds (machine use) and a
+// rendered string (human eyes on a metrics endpoint).
+type stageJSON struct {
+	Stage       string           `json:"stage"`
+	Spans       int              `json:"spans"`
+	Open        int              `json:"open,omitempty"`
+	ElapsedNS   int64            `json:"elapsed_ns"`
+	Elapsed     string           `json:"elapsed"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	Interrupted bool             `json:"interrupted,omitempty"`
+}
+
+// WriteJSON writes the per-stage totals as a JSON array in pipeline
+// order — the machine-readable counterpart of Summary, for scraping a
+// run's telemetry into dashboards or diffing across runs.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	totals := r.Totals()
+	out := make([]stageJSON, 0, len(totals))
+	for _, t := range totals {
+		s := stageJSON{
+			Stage:       string(t.Stage),
+			Spans:       t.Spans,
+			Open:        t.Open,
+			ElapsedNS:   int64(t.Elapsed),
+			Elapsed:     t.Elapsed.String(),
+			Interrupted: t.Open > 0,
+		}
+		if len(t.Counters) > 0 {
+			s.Counters = t.Counters
+		}
+		out = append(out, s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Publisher is an expvar-style metrics exporter: an Observer that keeps
+// live per-stage aggregates and renders them as an expvar.Var (its
+// String method returns JSON), so a pipeline's telemetry can sit at a
+// /debug/vars endpoint next to the runtime's own metrics. Unlike
+// Recorder it retains O(stages) state, not O(events), so it suits
+// long-running processes normalizing many relations.
+//
+// The zero value is ready to use.
+type Publisher struct {
+	mu     sync.Mutex
+	stages map[Stage]*pubStage
+}
+
+type pubStage struct {
+	spans    int
+	open     int
+	elapsed  time.Duration
+	counters map[string]int64
+}
+
+var _ Observer = (*Publisher)(nil)
+var _ expvar.Var = (*Publisher)(nil)
+
+func (p *Publisher) get(stage Stage) *pubStage {
+	if p.stages == nil {
+		p.stages = make(map[Stage]*pubStage)
+	}
+	s, ok := p.stages[stage]
+	if !ok {
+		s = &pubStage{counters: map[string]int64{}}
+		p.stages[stage] = s
+	}
+	return s
+}
+
+// StageStart implements Observer.
+func (p *Publisher) StageStart(stage Stage) {
+	p.mu.Lock()
+	p.get(stage).open++
+	p.mu.Unlock()
+}
+
+// Counter implements Observer.
+func (p *Publisher) Counter(stage Stage, name string, delta int64) {
+	p.mu.Lock()
+	p.get(stage).counters[name] += delta
+	p.mu.Unlock()
+}
+
+// StageFinish implements Observer.
+func (p *Publisher) StageFinish(stage Stage, elapsed time.Duration) {
+	p.mu.Lock()
+	s := p.get(stage)
+	if s.open > 0 {
+		s.open--
+	}
+	s.spans++
+	s.elapsed += elapsed
+	p.mu.Unlock()
+}
+
+// String renders the current aggregates as JSON, satisfying expvar.Var.
+// Stages appear in pipeline order; unknown stages follow alphabetically
+// keyed by name inside the object.
+func (p *Publisher) String() string {
+	p.mu.Lock()
+	type snap struct {
+		stage Stage
+		s     pubStage
+	}
+	snaps := make([]snap, 0, len(p.stages))
+	for stage, s := range p.stages {
+		c := make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			c[k] = v
+		}
+		snaps = append(snaps, snap{stage, pubStage{s.spans, s.open, s.elapsed, c}})
+	}
+	p.mu.Unlock()
+
+	obj := make(map[string]stageJSON, len(snaps))
+	for _, sn := range snaps {
+		j := stageJSON{
+			Stage:       string(sn.stage),
+			Spans:       sn.s.spans,
+			Open:        sn.s.open,
+			ElapsedNS:   int64(sn.s.elapsed),
+			Elapsed:     sn.s.elapsed.String(),
+			Interrupted: sn.s.open > 0,
+		}
+		if len(sn.s.counters) > 0 {
+			j.Counters = sn.s.counters
+		}
+		obj[string(sn.stage)] = j
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return fmt.Sprintf("%q", err.Error())
+	}
+	return string(b)
+}
+
+// Publish registers the publisher under name in the process-wide expvar
+// registry (and thus on the /debug/vars endpoint when one is served).
+// expvar panics on duplicate names, so Publish reports a registration
+// conflict as an error instead.
+func (p *Publisher) Publish(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("observe: expvar %q already registered", name)
+	}
+	expvar.Publish(name, p)
+	return nil
+}

@@ -1,0 +1,97 @@
+package observe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderWriteJSON(t *testing.T) {
+	var r Recorder
+	r.StageStart(Discovery)
+	r.Counter(Discovery, CounterFDsDiscovered, 42)
+	r.StageFinish(Discovery, 1500*time.Millisecond)
+	r.StageStart(Closure) // interrupted: no finish
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Stage       string           `json:"stage"`
+		Spans       int              `json:"spans"`
+		ElapsedNS   int64            `json:"elapsed_ns"`
+		Counters    map[string]int64 `json:"counters"`
+		Interrupted bool             `json:"interrupted"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d stages, want 2:\n%s", len(out), buf.String())
+	}
+	if out[0].Stage != string(Discovery) || out[1].Stage != string(Closure) {
+		t.Errorf("stage order %s, %s not pipeline order", out[0].Stage, out[1].Stage)
+	}
+	if out[0].Spans != 1 || out[0].ElapsedNS != int64(1500*time.Millisecond) {
+		t.Errorf("discovery totals wrong: %+v", out[0])
+	}
+	if out[0].Counters[CounterFDsDiscovered] != 42 {
+		t.Errorf("counter lost: %+v", out[0].Counters)
+	}
+	if !out[1].Interrupted {
+		t.Error("open closure span not marked interrupted")
+	}
+}
+
+func TestRecorderWriteJSONEmpty(t *testing.T) {
+	var r Recorder
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty recorder serialized as %q, want []", s)
+	}
+}
+
+func TestPublisherAggregatesAndRendersJSON(t *testing.T) {
+	var p Publisher
+	p.StageStart(Discovery)
+	p.Counter(Discovery, CounterFDsDiscovered, 7)
+	p.StageFinish(Discovery, 100*time.Millisecond)
+	p.StageStart(Discovery)
+	p.Counter(Discovery, CounterFDsDiscovered, 3)
+	p.StageFinish(Discovery, 50*time.Millisecond)
+
+	var obj map[string]struct {
+		Spans     int              `json:"spans"`
+		ElapsedNS int64            `json:"elapsed_ns"`
+		Counters  map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(p.String()), &obj); err != nil {
+		t.Fatalf("Publisher.String is not JSON: %v\n%s", err, p.String())
+	}
+	d, ok := obj[string(Discovery)]
+	if !ok {
+		t.Fatalf("discovery missing from %s", p.String())
+	}
+	if d.Spans != 2 || d.ElapsedNS != int64(150*time.Millisecond) {
+		t.Errorf("aggregation wrong: %+v", d)
+	}
+	if d.Counters[CounterFDsDiscovered] != 10 {
+		t.Errorf("counters not summed: %+v", d.Counters)
+	}
+}
+
+func TestPublisherPublishConflict(t *testing.T) {
+	var a, b Publisher
+	if err := a.Publish("normalize-test-publisher"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("normalize-test-publisher"); err == nil {
+		t.Error("duplicate expvar registration did not error")
+	}
+}

@@ -1,7 +1,10 @@
 package relation
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,16 +12,38 @@ import (
 	"strings"
 )
 
-// ReadCSV parses a relation from CSV. The first record is the header.
-// Empty fields are nulls. The relation name is derived from the reader
-// only via the name argument.
-func ReadCSV(name string, r io.Reader) (*Relation, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = false
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("read csv header: %w", err)
+// MaxFieldBytes caps the size of a single CSV field. Real-world dumps
+// occasionally contain a run-away field (an unclosed quote swallowing
+// megabytes of file); the cap turns that into a clean row error instead
+// of an opaque allocation spike.
+const MaxFieldBytes = 1 << 20
+
+// utf8BOM is the byte-order mark some exporters prepend to CSV files.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// stripBOM returns r with a leading UTF-8 byte-order mark, if any,
+// consumed — otherwise the header's first attribute name would silently
+// carry three invisible bytes.
+func stripBOM(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(lead, utf8BOM) {
+		br.Discard(len(utf8BOM))
 	}
+	return br
+}
+
+// checkFields reports the first field in rec exceeding MaxFieldBytes.
+func checkFields(rec []string) error {
+	for i, f := range rec {
+		if len(f) > MaxFieldBytes {
+			return fmt.Errorf("field %d is %d bytes, cap is %d", i+1, len(f), MaxFieldBytes)
+		}
+	}
+	return nil
+}
+
+// headerAttrs normalizes a header record into attribute names.
+func headerAttrs(header []string) []string {
 	attrs := make([]string, len(header))
 	for i, h := range header {
 		h = strings.TrimSpace(h)
@@ -27,6 +52,24 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 		}
 		attrs[i] = h
 	}
+	return attrs
+}
+
+// ReadCSV parses a relation from CSV. The first record is the header.
+// Empty fields are nulls. A leading UTF-8 BOM is stripped; any field
+// larger than MaxFieldBytes is an error. The relation name is derived
+// from the reader only via the name argument.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(stripBOM(r))
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	if err := checkFields(header); err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	attrs := headerAttrs(header)
 	var rows [][]string
 	for {
 		rec, err := cr.Read()
@@ -36,11 +79,86 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("read csv row %d: %w", len(rows)+2, err)
 		}
+		if err := checkFields(rec); err != nil {
+			return nil, fmt.Errorf("read csv row %d: %w", len(rows)+2, err)
+		}
 		row := make([]string, len(rec))
 		copy(row, rec)
 		rows = append(rows, row)
 	}
 	return New(name, attrs, rows)
+}
+
+// RowError records one input row that ReadCSVLenient skipped, with the
+// 1-based line number it started on and the reason.
+type RowError struct {
+	Line int
+	Err  error
+}
+
+func (e RowError) Error() string {
+	return fmt.Sprintf("csv line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/errors.As.
+func (e RowError) Unwrap() error { return e.Err }
+
+// ReadCSVLenient parses like ReadCSV but survives malformed rows:
+// ragged records (wrong field count), oversized fields, and quoting
+// errors are recorded as RowErrors and skipped instead of aborting the
+// load. A malformed header is still fatal — without it there is no
+// schema to be lenient about. The returned error is non-nil only for
+// such fatal conditions; a file that loses every data row yields an
+// empty relation plus the full skip list.
+func ReadCSVLenient(name string, r io.Reader) (*Relation, []RowError, error) {
+	cr := csv.NewReader(stripBOM(r))
+	cr.ReuseRecord = false
+	cr.FieldsPerRecord = -1 // field-count checking is ours, per row
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("read csv header: %w", err)
+	}
+	if err := checkFields(header); err != nil {
+		return nil, nil, fmt.Errorf("read csv header: %w", err)
+	}
+	attrs := headerAttrs(header)
+	var (
+		rows    [][]string
+		skipped []RowError
+	)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				// The reader recovers at the next line; remember the row.
+				skipped = append(skipped, RowError{Line: pe.Line, Err: err})
+				continue
+			}
+			return nil, skipped, fmt.Errorf("read csv: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		if len(rec) != len(attrs) {
+			skipped = append(skipped, RowError{Line: line, Err: fmt.Errorf(
+				"ragged row: %d fields, header has %d", len(rec), len(attrs))})
+			continue
+		}
+		if ferr := checkFields(rec); ferr != nil {
+			skipped = append(skipped, RowError{Line: line, Err: ferr})
+			continue
+		}
+		row := make([]string, len(rec))
+		copy(row, rec)
+		rows = append(rows, row)
+	}
+	rel, err := New(name, attrs, rows)
+	if err != nil {
+		return nil, skipped, err
+	}
+	return rel, skipped, nil
 }
 
 // ReadCSVFile reads a relation from a CSV file; the relation is named
@@ -51,9 +169,23 @@ func ReadCSVFile(path string) (*Relation, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return ReadCSV(csvName(path), f)
+}
+
+// ReadCSVFileLenient is ReadCSVLenient over a file, named like
+// ReadCSVFile.
+func ReadCSVFileLenient(path string) (*Relation, []RowError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCSVLenient(csvName(path), f)
+}
+
+func csvName(path string) string {
 	base := filepath.Base(path)
-	name := strings.TrimSuffix(base, filepath.Ext(base))
-	return ReadCSV(name, f)
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
 // WriteCSV writes the relation as CSV with a header row.

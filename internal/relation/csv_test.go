@@ -1,0 +1,126 @@
+package relation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVStripsBOM(t *testing.T) {
+	rel, err := ReadCSV("r", strings.NewReader("\xef\xbb\xbfa,b\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Attrs[0] != "a" {
+		t.Errorf("first attribute = %q, BOM not stripped", rel.Attrs[0])
+	}
+	// A BOM mid-file is data, not markup.
+	rel, err = ReadCSV("r", strings.NewReader("a,b\n\xef\xbb\xbfx,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows[0][0] != "\xef\xbb\xbfx" {
+		t.Errorf("mid-file BOM altered: %q", rel.Rows[0][0])
+	}
+}
+
+func TestReadCSVFieldCap(t *testing.T) {
+	giant := strings.Repeat("x", MaxFieldBytes+1)
+	if _, err := ReadCSV("r", strings.NewReader("a,b\n1,"+giant+"\n")); err == nil {
+		t.Error("oversized field accepted by strict reader")
+	}
+	ok := strings.Repeat("y", 1024)
+	if _, err := ReadCSV("r", strings.NewReader("a,b\n1,"+ok+"\n")); err != nil {
+		t.Errorf("1 KiB field rejected: %v", err)
+	}
+}
+
+func TestReadCSVLenientSkipsRaggedRows(t *testing.T) {
+	in := "a,b,c\n1,2,3\nshort,row\nlong,row,with,extras\n4,5,6\n"
+	rel, skipped, err := ReadCSVLenient("r", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 {
+		t.Fatalf("kept %d rows, want 2 (the well-formed ones)", rel.NumRows())
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want 2 entries", skipped)
+	}
+	if skipped[0].Line != 3 || skipped[1].Line != 4 {
+		t.Errorf("skip lines = %d,%d, want 3,4", skipped[0].Line, skipped[1].Line)
+	}
+	for _, re := range skipped {
+		if !strings.Contains(re.Error(), "ragged row") {
+			t.Errorf("skip reason %q does not mention ragged row", re.Error())
+		}
+	}
+}
+
+func TestReadCSVLenientSkipsOversizedFields(t *testing.T) {
+	giant := strings.Repeat("x", MaxFieldBytes+1)
+	in := "a,b\n1,2\n3," + giant + "\n5,6\n"
+	rel, skipped, err := ReadCSVLenient("r", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 {
+		t.Fatalf("kept %d rows, want 2", rel.NumRows())
+	}
+	if len(skipped) != 1 || skipped[0].Line != 3 {
+		t.Fatalf("skipped = %v, want one entry at line 3", skipped)
+	}
+}
+
+func TestReadCSVLenientRecoversFromQuoteErrors(t *testing.T) {
+	in := "a,b\n1,2\n\"broken,3\n4,5\n"
+	rel, skipped, err := ReadCSVLenient("r", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) == 0 {
+		t.Fatal("malformed quoting produced no row error")
+	}
+	for _, row := range rel.Rows {
+		if row[0] == "1" && row[1] != "2" {
+			t.Errorf("well-formed row corrupted: %v", row)
+		}
+	}
+	if rel.NumRows() == 0 {
+		t.Error("no rows survived around the quote error")
+	}
+}
+
+func TestReadCSVLenientFatalOnBadHeader(t *testing.T) {
+	if _, _, err := ReadCSVLenient("r", strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	giant := strings.Repeat("x", MaxFieldBytes+1)
+	if _, _, err := ReadCSVLenient("r", strings.NewReader("a,"+giant+"\n1,2\n")); err == nil {
+		t.Error("oversized header field accepted")
+	}
+}
+
+func TestReadCSVLenientEmbeddedNULs(t *testing.T) {
+	rel, skipped, err := ReadCSVLenient("r", strings.NewReader("a,b\n\x00,2\nx\x00y,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("NUL bytes are data, not errors; skipped = %v", skipped)
+	}
+	if rel.NumRows() != 2 || rel.Rows[1][0] != "x\x00y" {
+		t.Errorf("NUL bytes altered: %v", rel.Rows)
+	}
+}
+
+func TestRowErrorUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	re := RowError{Line: 7, Err: cause}
+	if !errors.Is(re, cause) {
+		t.Error("RowError does not unwrap to its cause")
+	}
+	if !strings.Contains(re.Error(), "line 7") {
+		t.Errorf("RowError message %q lacks the line", re.Error())
+	}
+}

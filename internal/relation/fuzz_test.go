@@ -14,10 +14,34 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("only_header\n")
 	f.Add("a,b\n\"quoted,comma\",2\n")
 	f.Add("a\n\n")
+	f.Add("\xef\xbb\xbfa,b\n1,2\n")            // UTF-8 BOM
+	f.Add("a,b,c\n1,2\n3,4,5,6\n7,8,9\n")      // ragged rows
+	f.Add("a,b\n\x00,\x00\x00\nx\x00y,z\n")    // embedded NULs
+	f.Add("a,b\n1,\"unclosed\n2,3\n")          // quote swallowing rows
+	f.Add("a,b\n" + strings.Repeat("x", 4096)) // long unterminated field
 	f.Fuzz(func(t *testing.T, data string) {
+		// The lenient reader must never panic and never return fatal for
+		// anything with a readable header; every row it skips is on record.
+		lrel, skipped, lerr := ReadCSVLenient("fuzz", strings.NewReader(data))
+		if lerr == nil {
+			for _, re := range skipped {
+				if re.Err == nil {
+					t.Fatal("RowError with nil cause")
+				}
+			}
+			if lrel == nil {
+				t.Fatal("lenient reader returned nil relation without error")
+			}
+		}
 		rel, err := ReadCSV("fuzz", strings.NewReader(data))
 		if err != nil {
 			return
+		}
+		// Anything the strict reader accepts, the lenient reader keeps in
+		// full: same shape, nothing skipped.
+		if lerr != nil || len(skipped) != 0 || lrel.NumRows() != rel.NumRows() {
+			t.Fatalf("lenient reader diverged on clean input: err=%v skipped=%v rows=%d/%d",
+				lerr, skipped, lrel.NumRows(), rel.NumRows())
 		}
 		var buf bytes.Buffer
 		if err := rel.WriteCSV(&buf); err != nil {

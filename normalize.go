@@ -71,6 +71,25 @@ func ReadCSVFile(path string) (*Relation, error) {
 	return relation.ReadCSVFile(path)
 }
 
+// RowError records one malformed CSV row that ReadCSVLenient skipped:
+// the 1-based line number and the reason (ragged field count, oversized
+// field, or a quoting error).
+type RowError = relation.RowError
+
+// ReadCSVLenient parses like ReadCSV but records-and-skips malformed
+// rows instead of aborting: ragged records, fields over the 1 MiB cap,
+// and quoting errors each produce a RowError while the remaining rows
+// load normally. Only an unreadable header is fatal.
+func ReadCSVLenient(name string, r io.Reader) (*Relation, []RowError, error) {
+	return relation.ReadCSVLenient(name, r)
+}
+
+// ReadCSVFileLenient is ReadCSVLenient over a file, named after the
+// file.
+func ReadCSVFileLenient(path string) (*Relation, []RowError, error) {
+	return relation.ReadCSVFileLenient(path)
+}
+
 // Table is one relation of a normalized schema, with its materialized
 // instance, keys, primary key, and foreign keys.
 type Table = core.Table
@@ -83,13 +102,48 @@ type ForeignKey = core.ForeignKey
 // closure.
 type Options = core.Options
 
-// Result is the outcome of a normalization run: the schema tables and
-// the per-component statistics of the paper's evaluation.
+// Result is the outcome of a normalization run: the schema tables, the
+// per-component statistics of the paper's evaluation, and — when the
+// run had to degrade to stay inside Options.Budget or to survive a
+// stage crash — the Degradations report.
 type Result = core.Result
 
 // Stats carries the per-component runtimes and FD-set characteristics
 // reported in the paper's Table 3.
 type Stats = core.Stats
+
+// Budget bounds the resources one normalization run may consume (rows
+// operated on, FD candidates retained, approximate memory). The zero
+// value is unlimited. When a ceiling trips, the pipeline degrades
+// deterministically — sampling rows, tightening the discovery LHS
+// bound, accepting a partially extended closure, stopping further
+// decomposition — and records each step in Result.Degradations rather
+// than failing. Set it via Options.Budget.
+type Budget = core.Budget
+
+// Degradation records one deliberate quality reduction a run applied to
+// stay inside its Budget or to survive a stage crash.
+type Degradation = core.Degradation
+
+// FormatDegradations renders a degradation report one line per entry,
+// ready for a terminal.
+func FormatDegradations(ds []Degradation) string {
+	return core.FormatDegradations(ds)
+}
+
+// PartialError reports that a run stopped early — timeout,
+// cancellation, budget exhaustion past the degradation ladder, or a
+// stage crash — but still produced a usable result: the *Result
+// returned alongside a *PartialError is non-nil and its tables are a
+// lossless decomposition of the data the run operated on. Unwrap
+// exposes the cause, so errors.Is(err, context.DeadlineExceeded) and
+// errors.As with *StageError both see through it.
+type PartialError = core.PartialError
+
+// StageError attributes a stage-internal failure — typically a
+// recovered panic, with the panic value and stack in its error chain —
+// to the pipeline stage it occurred in.
+type StageError = core.StageError
 
 // Decider is the user-in-the-loop hook: it chooses the violating FD for
 // each decomposition and the primary key for key-less tables.
@@ -142,6 +196,14 @@ func Normalize(rel *Relation, opts Options) (*Result, error) {
 // promptly (within ~100ms even mid-discovery) — and reports stage
 // spans plus work counters to Options.Observer. A recording observer
 // captures partial telemetry even for cancelled runs; see Observer.
+//
+// Runs that stop early — Options.Timeout expiring, ctx ending,
+// Options.Budget exhausted past the degradation ladder, or a stage
+// crash — return a non-nil *Result alongside a *PartialError: the
+// tables produced so far plus the unprocessed remainder undecomposed,
+// always a lossless decomposition, with Result.Degradations explaining
+// what was given up. Only a ctx that is already dead on entry yields a
+// nil result.
 func NormalizeContext(ctx context.Context, rel *Relation, opts Options) (*Result, error) {
 	return core.NormalizeRelationContext(ctx, rel, opts)
 }

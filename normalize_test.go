@@ -118,7 +118,7 @@ func TestPublicAPICompositeForeignKeySuggestion(t *testing.T) {
 	// Normalize the original TPC-H relations independently; the
 	// composite reference lineitem.(partkey, suppkey) → partsupp can
 	// only come from an n-ary inclusion dependency.
-	ds := GenerateTPCH(0.0001, 1)
+	ds := mustGen(t)(GenerateTPCH(0.0001, 1))
 	var lineitem, partsupp *Relation
 	for _, r := range ds.Original {
 		switch r.Name {
@@ -162,10 +162,10 @@ func TestPublicAPICompositeForeignKeySuggestion(t *testing.T) {
 }
 
 func TestPublicAPIGenerators(t *testing.T) {
-	if ds := GenerateTPCH(0.0001, 1); ds.Denormalized.NumAttrs() != 52 {
+	if ds := mustGen(t)(GenerateTPCH(0.0001, 1)); ds.Denormalized.NumAttrs() != 52 {
 		t.Error("TPCH generator shape wrong")
 	}
-	if ds := GenerateMusicBrainz(8, 1); len(ds.Original) != 11 {
+	if ds := mustGen(t)(GenerateMusicBrainz(8, 1)); len(ds.Original) != 11 {
 		t.Error("MusicBrainz generator shape wrong")
 	}
 	if ds := GenerateHorse(1); ds.Denormalized.NumAttrs() != 27 {

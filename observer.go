@@ -48,8 +48,17 @@ func Stages() []Stage {
 // RecordingObserver records events in memory and aggregates them into
 // per-stage totals; its Summary method renders a telemetry table
 // marking stages that were interrupted (started but never finished,
-// e.g. by cancellation).
+// e.g. by cancellation), and its WriteJSON method exports the same
+// totals as JSON for dashboards or cross-run diffing.
 type RecordingObserver = observe.Recorder
+
+// MetricsPublisher is an expvar-style metrics exporter: an Observer
+// keeping live per-stage aggregates (O(stages) state, so it suits
+// long-running processes) whose String method renders JSON. Its
+// Publish method registers it in the process-wide expvar registry, so
+// pipeline telemetry appears on a /debug/vars endpoint next to the
+// runtime's own metrics. The zero value is ready to use.
+type MetricsPublisher = observe.Publisher
 
 // NewRecordingObserver returns an empty RecordingObserver.
 func NewRecordingObserver() *RecordingObserver {

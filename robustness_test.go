@@ -1,0 +1,95 @@
+package normalize
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIBudgetAndPartialError exercises the degradation contract
+// through the public surface: a tiny FD budget forces a partial result
+// whose error unwraps to the typed forms.
+func TestPublicAPIBudgetAndPartialError(t *testing.T) {
+	// An id column plus correlated attributes: even heavily sampled,
+	// discovery retains more than one FD, so a one-FD budget exhausts
+	// the whole degradation ladder.
+	rows := make([][]string, 40)
+	for i := range rows {
+		rows[i] = []string{
+			"id" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			"g" + string(rune('a'+i%5)),
+			"n" + string(rune('a'+i%5)),
+			"c" + string(rune('a'+i%3)),
+		}
+	}
+	rel, err := NewRelation("r", []string{"id", "grp", "grpname", "cat"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Normalize(rel, Options{Budget: Budget{MaxFDs: 1}})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PartialError", err, err)
+	}
+	if res == nil || len(res.Tables) == 0 {
+		t.Fatal("no partial result through the public API")
+	}
+	if len(res.Degradations) == 0 {
+		t.Fatal("no degradation report")
+	}
+	report := FormatDegradations(res.Degradations)
+	if !strings.Contains(report, "degraded") {
+		t.Errorf("FormatDegradations output unexpected: %q", report)
+	}
+}
+
+// TestPublicAPITimeout checks Options.Timeout end to end: the deadline
+// error surfaces via errors.Is and the result is still usable.
+func TestPublicAPITimeout(t *testing.T) {
+	ds := GeneratePlista(1)
+	res, err := NormalizeContext(context.Background(), ds.Denormalized,
+		Options{Timeout: 50 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if res == nil || len(res.Tables) == 0 {
+		t.Fatal("timed-out run lost its partial result")
+	}
+}
+
+// TestPublicAPILenientCSV drives ReadCSVLenient through the package
+// front door.
+func TestPublicAPILenientCSV(t *testing.T) {
+	in := "\xef\xbb\xbfa,b\n1,2\nragged\n3,4\n"
+	rel, skipped, err := ReadCSVLenient("r", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 || rel.Attrs[0] != "a" {
+		t.Errorf("lenient parse wrong: attrs=%v rows=%d", rel.Attrs, rel.NumRows())
+	}
+	if len(skipped) != 1 || skipped[0].Line != 3 {
+		t.Errorf("skipped = %v, want one entry at line 3", skipped)
+	}
+}
+
+// TestPublicAPIMetricsPublisher wires a MetricsPublisher as the run's
+// observer and checks the rendered JSON mentions the stages that ran.
+func TestPublicAPIMetricsPublisher(t *testing.T) {
+	rel, err := NewRelation("r",
+		[]string{"a", "b"},
+		[][]string{{"1", "x"}, {"2", "x"}, {"3", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub MetricsPublisher
+	if _, err := Normalize(rel, Options{Observer: &pub}); err != nil {
+		t.Fatal(err)
+	}
+	out := pub.String()
+	if !strings.Contains(out, string(StageDiscovery)) {
+		t.Errorf("publisher JSON missing discovery stage: %s", out)
+	}
+}
