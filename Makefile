@@ -1,0 +1,33 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); tier-1 is `make check`.
+
+GO ?= go
+
+.PHONY: check test race vet bench-baseline clean
+
+check: vet
+	$(GO) build ./...
+	$(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# bench-baseline snapshots the server's hot-path benchmarks into a
+# machine-readable baseline for regression diffing. -count and -benchtime
+# are overridable: make bench-baseline BENCHTIME=100x
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 1
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
+		./internal/server/ | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_server.json
+	@echo "wrote BENCH_server.json"
+
+clean:
+	rm -f BENCH_server.json

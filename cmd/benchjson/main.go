@@ -1,0 +1,115 @@
+// Benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI and the
+// bench-baseline make target can archive and diff benchmark runs
+// without extra tooling.
+//
+//	go test -bench=. -benchmem -run '^$' ./internal/server/ | go run ./cmd/benchjson
+//
+// The output is an object with the detected goos/goarch/pkg header
+// fields and a "benchmarks" array; each entry carries the benchmark
+// name (parallelism suffix stripped into "procs"), iteration count,
+// and the standard ns/op, B/op, allocs/op, and MB/s metrics when
+// present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+type report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Benchmarks: []benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkBusPublish-8   1971642   608.5 ns/op   392 B/op   5 allocs/op
+func parseBenchLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return benchmark{}, false
+	}
+	var b benchmark
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b.Runs = runs
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			n := int64(v)
+			b.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			b.AllocsPerOp = &n
+		case "MB/s":
+			b.MBPerSec = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkBusPublish-8   \t 1971642\t   608.5 ns/op\t 392 B/op\t  5 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkBusPublish" || b.Procs != 8 || b.Runs != 1971642 {
+		t.Errorf("header fields = %+v", b)
+	}
+	if b.NsPerOp != 608.5 || b.BytesPerOp == nil || *b.BytesPerOp != 392 ||
+		b.AllocsPerOp == nil || *b.AllocsPerOp != 5 {
+		t.Errorf("metrics = %+v", b)
+	}
+
+	if _, ok := parseBenchLine("BenchmarkBroken-8 notanumber 1 ns/op"); ok {
+		t.Error("malformed runs accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkNoMetrics-8 100"); ok {
+		t.Error("line without ns/op accepted")
+	}
+
+	// Throughput variant without -benchmem.
+	b, ok = parseBenchLine("BenchmarkCSV 500 25000 ns/op 120.00 MB/s")
+	if !ok || b.Procs != 0 || b.MBPerSec != 120 || b.BytesPerOp != nil {
+		t.Errorf("throughput line = %+v ok=%v", b, ok)
+	}
+}

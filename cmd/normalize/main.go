@@ -32,7 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,35 +43,66 @@ import (
 	"normalize"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("normalize: ")
-	mode := flag.String("mode", "bcnf", "target normal form: bcnf, 3nf, or 2nf")
-	algo := flag.String("algo", "hyfd", "FD discovery algorithm: hyfd, tane, or dfd")
-	maxLhs := flag.Int("maxlhs", 0, "prune FDs with left-hand sides larger than this (0 = unbounded)")
-	out := flag.String("out", "", "directory for DDL and decomposed CSV files")
-	dot := flag.Bool("dot", false, "print the schema as a Graphviz digraph instead of DDL")
-	asJSON := flag.Bool("json", false, "print the schema as JSON instead of DDL")
-	interactive := flag.Bool("interactive", false, "choose decompositions and keys interactively")
-	telemetry := flag.Bool("telemetry", false, "print per-stage telemetry after the run")
-	trace := flag.Bool("trace", false, "stream pipeline events to stderr as they happen")
-	timeout := flag.Duration("timeout", 0, "bound the run's wall-clock time (0 = none); an expired run keeps its partial result")
-	maxRows := flag.Int("max-rows", 0, "operate on at most this many rows, sampling deterministically (0 = all)")
-	maxFDs := flag.Int("max-fds", 0, "cap the FD candidates discovery may retain (0 = unlimited)")
-	maxMemory := flag.Int64("max-memory", 0, "approximate memory ceiling in bytes for retained state (0 = unlimited)")
-	lenient := flag.Bool("lenient", false, "skip malformed CSV rows instead of aborting")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		log.Fatal("usage: normalize [flags] file.csv...")
-	}
+// Exit-code contract. Scripts and the server's process supervisors
+// depend on these values; the run tests pin them.
+const (
+	// exitOK: the run completed and the full schema was written.
+	exitOK = 0
+	// exitFatal: hard failure — bad flags, unreadable input, or a
+	// pipeline error with no usable result.
+	exitFatal = 1
+	// exitPartial: the run stopped early (timeout, budget trip, or an
+	// isolated stage crash) but produced a usable lossless partial
+	// schema, which was written normally before exiting.
+	exitPartial = 3
+	// exitInterrupt: cancelled by SIGINT/SIGTERM (128+SIGINT, the shell
+	// convention); partial stage telemetry is printed before exiting.
+	exitInterrupt = 130
+)
 
+func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process-global machinery: flags come from
+// args, output goes to the supplied writers, cancellation arrives via
+// ctx, and the exit status is the return value. Tests drive it
+// directly to pin the exit-code contract.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, v ...any) int {
+		fmt.Fprintf(stderr, "normalize: "+format+"\n", v...)
+		return exitFatal
+	}
+
+	fs := flag.NewFlagSet("normalize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "bcnf", "target normal form: bcnf, 3nf, or 2nf")
+	algo := fs.String("algo", "hyfd", "FD discovery algorithm: hyfd, tane, or dfd")
+	maxLhs := fs.Int("maxlhs", 0, "prune FDs with left-hand sides larger than this (0 = unbounded)")
+	out := fs.String("out", "", "directory for DDL and decomposed CSV files")
+	dot := fs.Bool("dot", false, "print the schema as a Graphviz digraph instead of DDL")
+	asJSON := fs.Bool("json", false, "print the schema as JSON instead of DDL")
+	interactive := fs.Bool("interactive", false, "choose decompositions and keys interactively")
+	telemetry := fs.Bool("telemetry", false, "print per-stage telemetry after the run")
+	trace := fs.Bool("trace", false, "stream pipeline events to stderr as they happen")
+	timeout := fs.Duration("timeout", 0, "bound the run's wall-clock time (0 = none); an expired run keeps its partial result")
+	maxRows := fs.Int("max-rows", 0, "operate on at most this many rows, sampling deterministically (0 = all)")
+	maxFDs := fs.Int("max-fds", 0, "cap the FD candidates discovery may retain (0 = unlimited)")
+	maxMemory := fs.Int64("max-memory", 0, "approximate memory ceiling in bytes for retained state (0 = unlimited)")
+	lenient := fs.Bool("lenient", false, "skip malformed CSV rows instead of aborting")
+	if err := fs.Parse(args); err != nil {
+		return exitFatal
+	}
+	if fs.NArg() == 0 {
+		return fail("usage: normalize [flags] file.csv...")
+	}
 
 	rec := normalize.NewRecordingObserver()
 	var observer normalize.Observer = rec
 	if *trace {
-		observer = normalize.MultiObserver{rec, normalize.NewLoggingObserver(os.Stderr)}
+		observer = normalize.MultiObserver{rec, normalize.NewLoggingObserver(stderr)}
 	}
 
 	opts := normalize.Options{
@@ -84,14 +115,9 @@ func main() {
 			MaxMemoryBytes: *maxMemory,
 		},
 	}
-	switch *mode {
-	case "bcnf":
-	case "3nf":
-		opts.Mode = normalize.ThirdNF
-	case "2nf":
-		opts.Mode = normalize.SecondNF
-	default:
-		log.Fatalf("unknown mode %q", *mode)
+	var err error
+	if opts.Mode, err = normalize.ParseMode(*mode); err != nil {
+		return fail("%v", err)
 	}
 	switch *algo {
 	case "hyfd":
@@ -104,27 +130,27 @@ func main() {
 			return normalize.DiscoverFDs(rel, normalize.DFD, *maxLhs)
 		}
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		return fail("unknown algorithm %q", *algo)
 	}
 	if *interactive {
-		opts.Decider = consoleDecider()
+		opts.Decider = consoleDecider(stderr)
 	}
 
 	var rels []*normalize.Relation
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		var rel *normalize.Relation
 		var err error
 		if *lenient {
 			var skipped []normalize.RowError
 			rel, skipped, err = normalize.ReadCSVFileLenient(path)
 			for _, re := range skipped {
-				fmt.Fprintf(os.Stderr, "normalize: %s: skipped %v\n", path, re)
+				fmt.Fprintf(stderr, "normalize: %s: skipped %v\n", path, re)
 			}
 		} else {
 			rel, err = normalize.ReadCSVFile(path)
 		}
 		if err != nil {
-			log.Fatalf("read %s: %v", path, err)
+			return fail("read %s: %v", path, err)
 		}
 		rels = append(rels, rel)
 	}
@@ -138,50 +164,49 @@ func main() {
 			// Timeout, budget exhaustion, or an isolated stage crash: the
 			// partial schema is still usable — report, write it, and exit
 			// with the distinct partial-result status at the end.
-			fmt.Fprintf(os.Stderr, "normalize: %v\n", err)
+			fmt.Fprintf(stderr, "normalize: %v\n", err)
 			partial = true
 		case errors.Is(err, context.Canceled):
 			// Graceful Ctrl-C: report what the pipeline got done before
 			// the cancellation hit (interrupted stages are marked).
-			fmt.Fprintln(os.Stderr, "normalize: interrupted; partial stage telemetry:")
-			rec.Summary(os.Stderr)
-			stop()
-			os.Exit(130)
+			fmt.Fprintln(stderr, "normalize: interrupted; partial stage telemetry:")
+			rec.Summary(stderr)
+			return exitInterrupt
 		default:
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 	}
 	if len(res.Degradations) > 0 {
-		fmt.Fprintln(os.Stderr, "normalize: run degraded to stay within budget:")
-		fmt.Fprint(os.Stderr, normalize.FormatDegradations(res.Degradations))
+		fmt.Fprintln(stderr, "normalize: run degraded to stay within budget:")
+		fmt.Fprint(stderr, normalize.FormatDegradations(res.Degradations))
 	}
 
-	fmt.Printf("-- %d input relation(s), %d FDs discovered in %v, %d decompositions\n",
+	fmt.Fprintf(stdout, "-- %d input relation(s), %d FDs discovered in %v, %d decompositions\n",
 		len(rels), res.Stats.NumFDs, res.Stats.Discovery.Round(1e6), res.Stats.Decompositions)
 	for _, t := range res.Tables {
-		fmt.Printf("-- %s (%d rows)\n", t, t.Data.NumRows())
+		fmt.Fprintf(stdout, "-- %s (%d rows)\n", t, t.Data.NumRows())
 	}
 	ddl := normalize.DDL(res.Tables)
 	switch {
 	case *dot:
-		fmt.Println(normalize.Dot(res.Tables))
+		fmt.Fprintln(stdout, normalize.Dot(res.Tables))
 	case *asJSON:
 		data, err := normalize.SchemaJSON(res)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Println(string(data))
+		fmt.Fprintln(stdout, string(data))
 	default:
-		fmt.Println(ddl)
+		fmt.Fprintln(stdout, ddl)
 	}
 
 	// With several input relations, INDs across their normalized tables
 	// suggest the foreign keys Normalize cannot see within one relation.
 	if len(rels) > 1 {
 		if fks := normalize.SuggestForeignKeys(res.Tables); len(fks) > 0 {
-			fmt.Println("-- suggested cross-relation foreign keys:")
+			fmt.Fprintln(stdout, "-- suggested cross-relation foreign keys:")
 			for _, fk := range fks {
-				fmt.Printf("--   %s.%s -> %s.%s  (score %.2f, coverage %.2f)\n",
+				fmt.Fprintf(stdout, "--   %s.%s -> %s.%s  (score %.2f, coverage %.2f)\n",
 					fk.IND.Dependent.Relation, fk.IND.Dependent.Attribute,
 					fk.IND.Referenced.Relation, fk.IND.Referenced.Attribute,
 					fk.Score, fk.IND.Coverage)
@@ -191,32 +216,33 @@ func main() {
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		if err := os.WriteFile(filepath.Join(*out, "schema.sql"), []byte(ddl), 0o644); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		for _, t := range res.Tables {
 			path := filepath.Join(*out, t.Name+".csv")
 			if err := t.Data.WriteCSVFile(path); err != nil {
-				log.Fatal(err)
+				return fail("%v", err)
 			}
 		}
-		fmt.Printf("-- wrote schema.sql and %d CSV files to %s\n", len(res.Tables), *out)
+		fmt.Fprintf(stdout, "-- wrote schema.sql and %d CSV files to %s\n", len(res.Tables), *out)
 	}
 
 	if *telemetry {
-		fmt.Fprintln(os.Stderr, "-- per-stage telemetry:")
-		rec.Summary(os.Stderr)
+		fmt.Fprintln(stderr, "-- per-stage telemetry:")
+		rec.Summary(stderr)
 	}
 
 	if partial {
-		os.Exit(3)
+		return exitPartial
 	}
+	return exitOK
 }
 
 // consoleDecider reads decomposition and key choices from stdin.
-func consoleDecider() normalize.Decider {
+func consoleDecider(stderr io.Writer) normalize.Decider {
 	in := bufio.NewScanner(os.Stdin)
 	choose := func(n int) int {
 		for in.Scan() {
@@ -224,27 +250,27 @@ func consoleDecider() normalize.Decider {
 			if err == nil && v < n {
 				return v
 			}
-			fmt.Fprintf(os.Stderr, "enter -1..%d: ", n-1)
+			fmt.Fprintf(stderr, "enter -1..%d: ", n-1)
 		}
 		return 0
 	}
 	return normalize.FuncDecider{
 		ViolatingFD: func(t *normalize.Table, ranked []normalize.RankedFD) (int, *normalize.AttrSet) {
-			fmt.Fprintf(os.Stderr, "\n%s violates the target normal form; candidates:\n", t.Name)
+			fmt.Fprintf(stderr, "\n%s violates the target normal form; candidates:\n", t.Name)
 			for i, rf := range ranked {
-				fmt.Fprintf(os.Stderr, "  [%d] %s -> %s (score %.3f)\n", i,
+				fmt.Fprintf(stderr, "  [%d] %s -> %s (score %.3f)\n", i,
 					strings.Join(t.AttrNames(rf.FD.Lhs), ","),
 					strings.Join(t.AttrNames(rf.FD.Rhs), ","), rf.Score)
 			}
-			fmt.Fprint(os.Stderr, "split by [index], -1 keeps the relation: ")
+			fmt.Fprint(stderr, "split by [index], -1 keeps the relation: ")
 			return choose(len(ranked)), nil
 		},
 		PrimaryKey: func(t *normalize.Table, ranked []normalize.RankedKey) int {
-			fmt.Fprintf(os.Stderr, "\nprimary key for %s:\n", t.Name)
+			fmt.Fprintf(stderr, "\nprimary key for %s:\n", t.Name)
 			for i, rk := range ranked {
-				fmt.Fprintf(os.Stderr, "  [%d] %v (score %.3f)\n", i, t.AttrNames(rk.Key), rk.Score)
+				fmt.Fprintf(stderr, "  [%d] %v (score %.3f)\n", i, t.AttrNames(rk.Key), rk.Score)
 			}
-			fmt.Fprint(os.Stderr, "choose [index], -1 for none: ")
+			fmt.Fprint(stderr, "choose [index], -1 for none: ")
 			return choose(len(ranked))
 		},
 	}

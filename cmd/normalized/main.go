@@ -1,0 +1,90 @@
+// Normalized is the long-lived server form of the normalize tool: it
+// serves normalization jobs over HTTP — CSV uploads or built-in
+// dataset generators — on a bounded worker pool with a FIFO queue,
+// live per-stage progress as Server-Sent Events, per-job cancellation,
+// a content-hash result cache, and pipeline metrics on /debug/vars.
+//
+//	normalized [-addr :8080] [-workers N] [-queue N] [-max-body BYTES]
+//	           [-cache N] [-drain-grace DUR] [-quiet]
+//
+// Submit a job, watch it, fetch the result:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"dataset":{"generator":"tpch","scale":0.0001,"seed":1},"options":{"max_lhs":3}}'
+//	curl -N localhost:8080/v1/jobs/$ID/events
+//	curl -s localhost:8080/v1/jobs/$ID/result?format=sql
+//
+// SIGTERM or SIGINT drains gracefully: readiness flips to 503, new
+// submissions are rejected, in-flight jobs get -drain-grace to finish,
+// and whatever still runs afterwards is cancelled — salvaging partial
+// results — before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"normalize/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("normalized: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "normalization worker pool size")
+	queue := flag.Int("queue", 32, "job queue depth (full queue rejects with 503)")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+	cache := flag.Int("cache", 64, "result cache entries (negative disables)")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight jobs may finish on shutdown before being cancelled")
+	quiet := flag.Bool("quiet", false, "disable request logging")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		CacheEntries: *cache,
+		Logf:         log.Printf,
+	}
+	if *quiet {
+		cfg.Logf = nil
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (grace %s)", *drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	srv.Shutdown(drainCtx) // stop accepting, finish or cancel jobs
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("drained, exiting")
+}

@@ -58,18 +58,75 @@ type JSONTable struct {
 	Rows        int              `json:"rows"`
 }
 
-// JSONSchema is a serialized normalization result.
-type JSONSchema struct {
-	Tables         []JSONTable `json:"tables"`
-	Decompositions int         `json:"decompositions"`
-	DiscoveredFDs  int         `json:"discoveredFDs"`
+// JSONDegradation is one serialized quality reduction a run applied to
+// stay inside its budget or survive a stage crash.
+type JSONDegradation struct {
+	Stage  string `json:"stage"`
+	Budget string `json:"budget"`
+	Action string `json:"action"`
+	Detail string `json:"detail,omitempty"`
 }
 
-// Schema serializes a normalization result.
+// JSONStats carries the per-component measurements of the paper's
+// Table 3 in wire form (durations in nanoseconds).
+type JSONStats struct {
+	Attrs         int     `json:"attrs"`
+	Records       int     `json:"records"`
+	NumFDs        int     `json:"numFDs"`
+	NumFDKeys     int     `json:"numFDKeys"`
+	AvgRhsBefore  float64 `json:"avgRhsBefore"`
+	AvgRhsAfter   float64 `json:"avgRhsAfter"`
+	DiscoveryNS   int64   `json:"discoveryNS"`
+	ClosureNS     int64   `json:"closureNS"`
+	KeyDerivNS    int64   `json:"keyDerivationNS"`
+	ViolationNS   int64   `json:"violationNS"`
+	Decomposition int     `json:"decompositions"`
+}
+
+// JSONSchema is a serialized normalization result.
+type JSONSchema struct {
+	Tables         []JSONTable       `json:"tables"`
+	Decompositions int               `json:"decompositions"`
+	DiscoveredFDs  int               `json:"discoveredFDs"`
+	Stats          *JSONStats        `json:"stats,omitempty"`
+	Degradations   []JSONDegradation `json:"degradations,omitempty"`
+}
+
+// Degradations serializes a degradation report in wire form; callers
+// embedding results in job payloads use it alongside Schema.
+func Degradations(ds []core.Degradation) []JSONDegradation {
+	out := make([]JSONDegradation, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, JSONDegradation{
+			Stage:  string(d.Stage),
+			Budget: d.Budget,
+			Action: d.Action,
+			Detail: d.Detail,
+		})
+	}
+	return out
+}
+
+// Schema serializes a normalization result, including the run's stats
+// and — when the run degraded — the degradation report.
 func Schema(res *core.Result) ([]byte, error) {
 	out := JSONSchema{
 		Decompositions: res.Stats.Decompositions,
 		DiscoveredFDs:  res.Stats.NumFDs,
+		Stats: &JSONStats{
+			Attrs:         res.Stats.Attrs,
+			Records:       res.Stats.Records,
+			NumFDs:        res.Stats.NumFDs,
+			NumFDKeys:     res.Stats.NumFDKeys,
+			AvgRhsBefore:  res.Stats.AvgRhsBefore,
+			AvgRhsAfter:   res.Stats.AvgRhsAfter,
+			DiscoveryNS:   int64(res.Stats.Discovery),
+			ClosureNS:     int64(res.Stats.Closure),
+			KeyDerivNS:    int64(res.Stats.KeyDerivation),
+			ViolationNS:   int64(res.Stats.Violation),
+			Decomposition: res.Stats.Decompositions,
+		},
+		Degradations: Degradations(res.Degradations),
 	}
 	for _, t := range res.Tables {
 		jt := JSONTable{

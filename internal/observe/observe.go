@@ -122,6 +122,36 @@ func (m Multi) StageFinish(stage Stage, elapsed time.Duration) {
 	}
 }
 
+// Func adapts plain functions to the Observer interface; nil fields
+// are skipped. Like any Observer the functions must be safe for
+// concurrent use — parallel pipeline workers invoke them concurrently.
+type Func struct {
+	OnStageStart  func(stage Stage)
+	OnCounter     func(stage Stage, name string, delta int64)
+	OnStageFinish func(stage Stage, elapsed time.Duration)
+}
+
+// StageStart forwards to OnStageStart when set.
+func (f Func) StageStart(stage Stage) {
+	if f.OnStageStart != nil {
+		f.OnStageStart(stage)
+	}
+}
+
+// Counter forwards to OnCounter when set.
+func (f Func) Counter(stage Stage, name string, delta int64) {
+	if f.OnCounter != nil {
+		f.OnCounter(stage, name, delta)
+	}
+}
+
+// StageFinish forwards to OnStageFinish when set.
+func (f Func) StageFinish(stage Stage, elapsed time.Duration) {
+	if f.OnStageFinish != nil {
+		f.OnStageFinish(stage, elapsed)
+	}
+}
+
 // EventKind discriminates recorded observer callbacks.
 type EventKind int
 
@@ -144,9 +174,16 @@ type Event struct {
 
 // Recorder records every event for later inspection. Useful in tests
 // and to print partial telemetry after a cancelled run.
+//
+// Per-stage totals are maintained incrementally as events arrive, so a
+// concurrent scrape (Totals, Summary, WriteJSON) holds the lock for
+// O(stages), not O(events) — a long-lived server can poll a recorder
+// mid-run without stalling the pipeline's hot append path.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	totals map[Stage]*StageTotal
+	order  []Stage // stages in first-seen order
 }
 
 // StageStart records a start event.
@@ -167,6 +204,27 @@ func (r *Recorder) StageFinish(stage Stage, elapsed time.Duration) {
 func (r *Recorder) record(e Event) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
+	t, ok := r.totals[e.Stage]
+	if !ok {
+		if r.totals == nil {
+			r.totals = make(map[Stage]*StageTotal)
+		}
+		t = &StageTotal{Stage: e.Stage, Counters: map[string]int64{}}
+		r.totals[e.Stage] = t
+		r.order = append(r.order, e.Stage)
+	}
+	switch e.Kind {
+	case KindStart:
+		t.Open++
+	case KindCounter:
+		t.Counters[e.Name] += e.Delta
+	case KindFinish:
+		if t.Open > 0 {
+			t.Open--
+		}
+		t.Spans++
+		t.Elapsed += e.Elapsed
+	}
 	r.mu.Unlock()
 }
 
@@ -188,37 +246,22 @@ type StageTotal struct {
 
 // Totals aggregates events per stage, in Figure 1 order for the known
 // pipeline stages followed by any other stages in first-seen order.
+// The aggregates are maintained incrementally, so the call is O(stages)
+// regardless of how many events were recorded and is safe (and cheap)
+// to invoke concurrently with an active run.
 func (r *Recorder) Totals() []StageTotal {
 	r.mu.Lock()
-	events := append([]Event(nil), r.events...)
+	order := append([]Stage(nil), r.order...)
+	byStage := make(map[Stage]*StageTotal, len(order))
+	for s, t := range r.totals {
+		counters := make(map[string]int64, len(t.Counters))
+		for k, v := range t.Counters {
+			counters[k] = v
+		}
+		byStage[s] = &StageTotal{Stage: s, Spans: t.Spans, Open: t.Open,
+			Elapsed: t.Elapsed, Counters: counters}
+	}
 	r.mu.Unlock()
-
-	byStage := make(map[Stage]*StageTotal)
-	var order []Stage
-	get := func(s Stage) *StageTotal {
-		t, ok := byStage[s]
-		if !ok {
-			t = &StageTotal{Stage: s, Counters: map[string]int64{}}
-			byStage[s] = t
-			order = append(order, s)
-		}
-		return t
-	}
-	for _, e := range events {
-		t := get(e.Stage)
-		switch e.Kind {
-		case KindStart:
-			t.Open++
-		case KindCounter:
-			t.Counters[e.Name] += e.Delta
-		case KindFinish:
-			if t.Open > 0 {
-				t.Open--
-			}
-			t.Spans++
-			t.Elapsed += e.Elapsed
-		}
-	}
 
 	rank := make(map[Stage]int, len(order))
 	for i, s := range Stages() {

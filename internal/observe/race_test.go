@@ -1,0 +1,94 @@
+package observe
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderScrapeDuringRun hammers a Recorder with concurrent stage
+// events while scraping it through every read path (Totals, Summary,
+// WriteJSON, Events) — the exact access pattern of a server polling a
+// job's telemetry mid-run. Run under -race this proves the scrape and
+// append paths do not conflict; the final consistency check proves no
+// event was lost while scrapes were in flight.
+func TestRecorderScrapeDuringRun(t *testing.T) {
+	rec := &Recorder{}
+	const writers = 4
+	const perWriter = 500
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: poll all read paths until the writers are done.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := rec.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+				rec.Summary(io.Discard)
+				for _, tot := range rec.Totals() {
+					if tot.Spans < 0 || tot.Open < 0 {
+						t.Errorf("inconsistent snapshot: %+v", tot)
+						return
+					}
+				}
+				_ = rec.Events()
+			}
+		}()
+	}
+
+	stages := Stages()
+	var writeWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWg.Add(1)
+		go func(w int) {
+			defer writeWg.Done()
+			for i := 0; i < perWriter; i++ {
+				s := stages[(w+i)%len(stages)]
+				rec.StageStart(s)
+				rec.Counter(s, CounterFDsDiscovered, 1)
+				rec.StageFinish(s, time.Microsecond)
+			}
+		}(w)
+	}
+	writeWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Every started span finished and every counter increment landed.
+	var spans, counted int64
+	for _, tot := range rec.Totals() {
+		if tot.Open != 0 {
+			t.Errorf("stage %s left %d open spans", tot.Stage, tot.Open)
+		}
+		spans += int64(tot.Spans)
+		counted += tot.Counters[CounterFDsDiscovered]
+	}
+	if want := int64(writers * perWriter); spans != want || counted != want {
+		t.Errorf("totals lost events: spans=%d counters=%d, want %d", spans, counted, want)
+	}
+	if got := len(rec.Events()); got != writers*perWriter*3 {
+		t.Errorf("events recorded = %d, want %d", got, writers*perWriter*3)
+	}
+
+	// The JSON scrape agrees with the totals after the run settled.
+	var b strings.Builder
+	if err := rec.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), CounterFDsDiscovered) {
+		t.Errorf("WriteJSON output missing counters: %s", b.String())
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"normalize"
+)
+
+// cacheKey derives the content-hash cache key of a job: the SHA-256 of
+// a canonical rendering of the input (raw CSV bytes or generator
+// parameters) and every result-relevant option. Two submissions with
+// the same key are guaranteed the same result — normalization is
+// deterministic — so a completed run can answer both.
+func cacheKey(spec *jobSpec) string {
+	h := sha256.New()
+	if spec.gen != "" {
+		fmt.Fprintf(h, "gen\x00%s\x00%g\x00%d\x00%d\x00", spec.gen, spec.scale, spec.artists, spec.seed)
+	} else {
+		fmt.Fprintf(h, "csv\x00%s\x00%t\x00%d\x00", spec.name, spec.lenient, len(spec.csv))
+		h.Write(spec.csv)
+	}
+	o := spec.opts
+	fmt.Fprintf(h, "opts\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00",
+		o.Mode, o.MaxLhs, o.Workers, o.Closure, int64(o.Timeout),
+		o.Budget.MaxRows, o.Budget.MaxFDs, o.Budget.MaxMemoryBytes)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is a bounded LRU mapping cache keys to completed results.
+// Only fully successful runs are stored (partial, cancelled, and failed
+// outcomes are circumstantial — a rerun may do better). Results are
+// immutable after completion, so entries are shared by reference.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *normalize.Result
+}
+
+// newResultCache builds a cache holding at most max entries; max <= 0
+// disables caching entirely.
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*normalize.Result, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a completed result, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) put(key string, res *normalize.Result) {
+	if c.max <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,447 @@
+package server
+
+// End-to-end exercise of the normalization server over real HTTP: a
+// TPC-H generator job is submitted, watched via SSE, and its result
+// fetched and verified lossless; a second long job is cancelled
+// mid-run and must return a partial payload promptly without leaking
+// goroutines; an identical resubmission is served from the cache; and
+// /debug/vars exposes per-stage metrics aggregated across the jobs.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"normalize"
+)
+
+// httpJSON performs a request against the live server and decodes the
+// JSON response into out (skipped when out is nil).
+func httpJSON(t *testing.T, method, url string, body string, out any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s %s: %v: %s", method, url, err, data)
+		}
+	}
+	return resp.StatusCode, data
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	Type string
+	Data string
+}
+
+// streamSSE consumes the job's event stream until it ends (the bus
+// closes after the terminal state event) or ctx expires.
+func streamSSE(ctx context.Context, t *testing.T, url string) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Type != "" || cur.Data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return events
+}
+
+func TestE2EServerTPCHJobLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test")
+	}
+	s := testServer(t, Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// --- Submit: the TPC-H universal relation of the paper's Figure 3,
+	// with the max-lhs pruning the integration tests use.
+	body := `{"dataset":{"generator":"tpch","scale":0.0001,"seed":1},"options":{"max_lhs":3}}`
+	var st jobStatus
+	code, raw := httpJSON(t, "POST", ts.URL+"/v1/jobs", body, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+
+	// --- Watch: stream SSE until the job completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	events := streamSSE(ctx, t, ts.URL+st.Links["events"])
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	var sawDiscoveryFinish, sawProgress bool
+	for _, e := range events {
+		if e.Type == eventStage && strings.Contains(e.Data, `"fd-discovery"`) &&
+			strings.Contains(e.Data, `"finish"`) {
+			sawDiscoveryFinish = true
+		}
+		if e.Type == eventProgress {
+			sawProgress = true
+		}
+	}
+	if !sawDiscoveryFinish {
+		t.Error("SSE stream missing fd-discovery finish event")
+	}
+	if !sawProgress {
+		t.Error("SSE stream missing coalesced progress events")
+	}
+	last := events[len(events)-1]
+	if last.Type != eventState || !strings.Contains(last.Data, `"done"`) {
+		t.Fatalf("stream did not end with terminal done state: %+v", last)
+	}
+
+	// --- Fetch: result with embedded rows, then verify the natural
+	// join of the decomposed tables reproduces the input exactly.
+	var payload resultPayload
+	code, raw = httpJSON(t, "GET", ts.URL+st.Links["result"]+"?include=rows", "", &payload)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, raw)
+	}
+	if payload.State != StateDone || !strings.Contains(payload.DDL, "CREATE TABLE") {
+		t.Fatalf("payload state=%s ddl=%d bytes", payload.State, len(payload.DDL))
+	}
+	assertLosslessJoin(t, &payload)
+
+	// --- Cache: an identical resubmission answers immediately.
+	var again jobStatus
+	code, raw = httpJSON(t, "POST", ts.URL+"/v1/jobs", body, &again)
+	if code != http.StatusOK || !again.Cached || again.State != StateDone {
+		t.Fatalf("resubmission not cached: %d %s", code, raw)
+	}
+
+	// --- Metrics: /debug/vars carries the aggregated stage spans.
+	metricsName := s.cfg.MetricsName
+	var vars map[string]json.RawMessage
+	code, _ = httpJSON(t, "GET", ts.URL+"/debug/vars", "", &vars)
+	if code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", code)
+	}
+	stagesRaw, ok := vars[metricsName]
+	if !ok {
+		t.Fatalf("debug/vars missing %q", metricsName)
+	}
+	var stages map[string]struct {
+		Spans int `json:"spans"`
+	}
+	if err := json.Unmarshal(stagesRaw, &stages); err != nil {
+		t.Fatal(err)
+	}
+	if stages["fd-discovery"].Spans == 0 {
+		t.Errorf("metrics show no discovery spans: %s", stagesRaw)
+	}
+}
+
+// assertLosslessJoin rebuilds relations from the result payload and
+// greedily natural-joins them back together; the projection onto the
+// original attributes must equal the deduplicated input (the paper's
+// losslessness guarantee, checked across the wire).
+func assertLosslessJoin(t *testing.T, payload *resultPayload) {
+	t.Helper()
+	var schema struct {
+		Tables []struct {
+			Name       string   `json:"name"`
+			Attributes []string `json:"attributes"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(payload.Schema, &schema); err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Tables) < 2 {
+		t.Fatalf("TPC-H decomposed into %d tables; expected a real split", len(schema.Tables))
+	}
+	rels := make([]*normalize.Relation, 0, len(schema.Tables))
+	for _, tbl := range schema.Tables {
+		rows, ok := payload.Rows[tbl.Name]
+		if !ok {
+			t.Fatalf("result payload missing rows for table %s", tbl.Name)
+		}
+		rel, err := normalize.NewRelation(tbl.Name, tbl.Attributes, rows)
+		if err != nil {
+			t.Fatalf("rebuild %s: %v", tbl.Name, err)
+		}
+		rels = append(rels, rel)
+	}
+
+	joined := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		progressed := false
+		for i, rel := range remaining {
+			if !sharesAttr(joined.Attrs, rel.Attrs) {
+				continue
+			}
+			var err error
+			joined, err = joined.NaturalJoin("joined", rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			t.Fatalf("decomposition not join-connected; %d tables unreachable", len(remaining))
+		}
+	}
+
+	// Regenerate the input deterministically (same generator + seed).
+	ds, err := normalize.GenerateTPCH(0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ds.Denormalized
+	cols := make([]int, orig.NumAttrs())
+	for i, a := range orig.Attrs {
+		cols[i] = joined.AttrIndex(a)
+		if cols[i] < 0 {
+			t.Fatalf("attribute %s lost across the wire", a)
+		}
+	}
+	dedup, err := normalize.NewRelation("orig", orig.Attrs, orig.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.Project("j", cols).SameRowSet(dedup.Dedup()) {
+		t.Error("natural join of the served decomposition differs from the input")
+	}
+}
+
+func sharesAttr(a, b []string) bool {
+	set := make(map[string]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestE2ECancellationMidJobReturnsPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test")
+	}
+	baseline := runtime.NumGoroutine()
+	s := testServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Flight (109 attributes) with a loose bound runs long enough to
+	// cancel mid-discovery.
+	var st jobStatus
+	code, raw := httpJSON(t, "POST", ts.URL+"/v1/jobs",
+		`{"dataset":{"generator":"flight","seed":1},"options":{"max_lhs":3}}`, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	// Wait until the pipeline proper has started — the first stage span
+	// appears in the telemetry scrape. Cancelling earlier (e.g. during
+	// dataset generation) legitimately yields no partial result, which
+	// is not the scenario under test.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var cur jobStatus
+		httpJSON(t, "GET", ts.URL+st.Links["self"], "", &cur)
+		if cur.State.Terminal() {
+			t.Fatalf("job finished before cancellation (state %s); enlarge the workload", cur.State)
+		}
+		if cur.State == StateRunning {
+			_, tele := httpJSON(t, "GET", ts.URL+st.Links["telemetry"], "", nil)
+			if strings.Contains(string(tele), "fd-discovery") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached fd-discovery")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Cancel and require bounded cancel latency: terminal within 5s
+	// (the pipeline polls its context at ~100ms granularity).
+	cancelAt := time.Now()
+	code, raw = httpJSON(t, "DELETE", ts.URL+st.Links["self"], "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, raw)
+	}
+	var fin jobStatus
+	for {
+		httpJSON(t, "GET", ts.URL+st.Links["self"], "", &fin)
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Since(cancelAt) > 5*time.Second {
+			t.Fatalf("cancel latency exceeded 5s (state %s)", fin.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fin.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", fin.State)
+	}
+
+	// The cancelled job still serves its *PartialError-derived partial
+	// payload: a lossless prefix with a degradation report.
+	var payload resultPayload
+	code, raw = httpJSON(t, "GET", ts.URL+st.Links["result"], "", &payload)
+	if code != http.StatusOK {
+		t.Fatalf("result of cancelled job: %d %s", code, raw)
+	}
+	if payload.State != StateCancelled || len(payload.Schema) == 0 {
+		t.Errorf("partial payload: state=%s schema=%d bytes", payload.State, len(payload.Schema))
+	}
+	if len(payload.Degradations) == 0 {
+		t.Error("cancelled payload missing degradations report")
+	}
+	if !strings.Contains(payload.Error, "partial result") {
+		t.Errorf("payload error %q does not describe the partial stop", payload.Error)
+	}
+
+	// No goroutine leaks once the server drains.
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines did not settle: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestE2EConcurrentJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test")
+	}
+	s := testServer(t, Config{Workers: 3, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Several distinct jobs in flight concurrently.
+	specs := []string{
+		`{"dataset":{"generator":"tpch","scale":0.0001,"seed":7},"options":{"max_lhs":3}}`,
+		`{"dataset":{"generator":"musicbrainz","artists":8,"seed":7},"options":{"max_lhs":3}}`,
+		csvBody(addressCSV, ""),
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		var st jobStatus
+		code, raw := httpJSON(t, "POST", ts.URL+"/v1/jobs", spec, &st)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, raw)
+		}
+		ids[i] = st.ID
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			var cur jobStatus
+			httpJSON(t, "GET", ts.URL+"/v1/jobs/"+id, "", &cur)
+			if cur.State.Terminal() {
+				if cur.State != StateDone {
+					t.Errorf("job %s = %s (%s)", id, cur.State, cur.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish", id)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The listing shows all three in submission order.
+	var listing []jobStatus
+	code, _ := httpJSON(t, "GET", ts.URL+"/v1/jobs", "", &listing)
+	if code != http.StatusOK || len(listing) != len(specs) {
+		t.Fatalf("listing: %d entries, code %d", len(listing), code)
+	}
+	for i, st := range listing {
+		if st.ID != ids[i] {
+			t.Errorf("listing[%d] = %s, want %s", i, st.ID, ids[i])
+		}
+	}
+}
+
+// TestE2EDrainFinishesInFlightJobs verifies graceful shutdown: a
+// running job completes during the drain grace and the worker pool
+// exits cleanly.
+func TestE2EDrainFinishesInFlightJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test")
+	}
+	s := testServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st jobStatus
+	code, raw := httpJSON(t, "POST", ts.URL+"/v1/jobs", csvBody(addressCSV, ""), &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, raw)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Shutdown(ctx) // drain: the queued/running job must finish
+	job, ok := s.m.Get(st.ID)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	if got := job.State(); got != StateDone {
+		t.Errorf("job after drain = %s, want done", got)
+	}
+}

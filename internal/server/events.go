@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"normalize"
+)
+
+// SSE event types emitted on a job's /events stream.
+const (
+	// eventState announces a lifecycle transition; the terminal state
+	// event is the last event of the stream.
+	eventState = "state"
+	// eventStage brackets one pipeline stage execution (start/finish).
+	eventStage = "stage"
+	// eventProgress carries coalesced per-stage work-counter totals.
+	eventProgress = "progress"
+)
+
+// stateEventData is the payload of a "state" event.
+type stateEventData struct {
+	ID           string `json:"id"`
+	State        State  `json:"state"`
+	Cached       bool   `json:"cached,omitempty"`
+	Error        string `json:"error,omitempty"`
+	Tables       int    `json:"tables,omitempty"`
+	Degradations int    `json:"degradations,omitempty"`
+}
+
+// stageEventData is the payload of a "stage" event.
+type stageEventData struct {
+	Stage     string `json:"stage"`
+	Event     string `json:"event"` // "start" or "finish"
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+}
+
+// progressEventData is the payload of a "progress" event: cumulative
+// counter totals per stage since the job started.
+type progressEventData struct {
+	Counters map[string]map[string]int64 `json:"counters"`
+}
+
+// event is one serialized bus event; Data is the JSON payload.
+type event struct {
+	ID   int64
+	Type string
+	Data []byte
+}
+
+// maxBusHistory bounds the per-job event ring. Stage and state events
+// are few (tens to hundreds); coalesced progress events are
+// rate-limited, so only a very long run wraps the ring — late
+// subscribers of such a run lose the oldest progress events, never the
+// newest or the terminal state.
+const maxBusHistory = 1024
+
+// bus is a per-job broadcast: published events land in a bounded ring
+// ordered by sequence number, and subscribers drain the ring at their
+// own pace through a cursor, woken by a signal channel. A slow
+// consumer therefore cannot stall the pipeline, and — unlike a
+// drop-on-full fan-out channel — can never miss the terminal state
+// event: the ring always retains the newest events.
+type bus struct {
+	mu     sync.Mutex
+	seq    int64
+	ring   []event // last maxBusHistory events, ascending IDs
+	subs   map[chan struct{}]struct{}
+	closed bool
+}
+
+func newBus() *bus {
+	return &bus{subs: make(map[chan struct{}]struct{})}
+}
+
+// publish serializes the payload, appends it to the ring, and wakes
+// all subscribers. Publishing to a closed bus is a no-op (e.g. an
+// observer callback racing the final state event).
+func (b *bus) publish(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{"error":"event marshal failed"}`)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	b.ring = append(b.ring, event{ID: b.seq, Type: typ, Data: data})
+	if len(b.ring) > maxBusHistory {
+		b.ring = b.ring[len(b.ring)-maxBusHistory:]
+	}
+	subs := make([]chan struct{}, 0, len(b.subs))
+	for ch := range b.subs {
+		subs = append(subs, ch)
+	}
+	b.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled; the cursor will catch up
+		}
+	}
+}
+
+// subscription is one consumer's cursor into the bus.
+type subscription struct {
+	b    *bus
+	next int64         // first event ID not yet consumed
+	wake chan struct{} // signalled on publish and on close
+}
+
+// subscribe registers a consumer whose cursor starts at the oldest
+// retained event, so the ring contents replay first.
+func (b *bus) subscribe() *subscription {
+	sub := &subscription{b: b, next: 1, wake: make(chan struct{}, 1)}
+	b.mu.Lock()
+	if len(b.ring) > 0 {
+		sub.next = b.ring[0].ID
+	}
+	if !b.closed {
+		b.subs[sub.wake] = struct{}{}
+	} else {
+		close(sub.wake)
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+// poll drains the events the cursor has not seen yet and reports
+// whether the stream is complete (bus closed and ring drained).
+func (s *subscription) poll() ([]event, bool) {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []event
+	for _, e := range b.ring {
+		if e.ID >= s.next {
+			out = append(out, e)
+		}
+	}
+	if len(out) > 0 {
+		s.next = out[len(out)-1].ID + 1
+	}
+	return out, b.closed && s.next > b.seq
+}
+
+// cancel deregisters the consumer.
+func (s *subscription) cancel() {
+	s.b.mu.Lock()
+	delete(s.b.subs, s.wake)
+	s.b.mu.Unlock()
+}
+
+// close marks the stream complete and wakes all subscribers so they
+// observe the terminal event and finish. Ring contents stay available
+// for post-hoc subscribers.
+func (b *bus) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := b.subs
+	b.subs = make(map[chan struct{}]struct{})
+	b.mu.Unlock()
+	for ch := range subs {
+		close(ch)
+	}
+}
+
+// progressInterval rate-limits coalesced counter events on the SSE
+// stream; counter deltas arrive from the pipeline's hot loops far too
+// often to forward individually.
+const progressInterval = 100 * time.Millisecond
+
+// busObserver adapts the pipeline's Observer seam onto the event bus:
+// stage starts/finishes stream immediately, while counter deltas
+// accumulate and flush as coalesced "progress" snapshots at most every
+// progressInterval (and at every stage boundary).
+type busObserver struct {
+	bus *bus
+
+	mu       sync.Mutex
+	counters map[string]map[string]int64
+	lastEmit time.Time
+}
+
+// newBusObserver returns the coalescing adapter for a job's bus.
+func newBusObserver(b *bus) *busObserver {
+	return &busObserver{bus: b, counters: make(map[string]map[string]int64)}
+}
+
+// observer exposes the adapter as a pipeline Observer through the
+// public FuncObserver seam.
+func (o *busObserver) observer() normalize.Observer {
+	return normalize.FuncObserver{
+		OnStageStart: func(stage normalize.Stage) {
+			o.bus.publish(eventStage, stageEventData{Stage: string(stage), Event: "start"})
+		},
+		OnCounter: func(stage normalize.Stage, name string, delta int64) {
+			o.add(string(stage), name, delta)
+		},
+		OnStageFinish: func(stage normalize.Stage, elapsed time.Duration) {
+			o.bus.publish(eventStage, stageEventData{
+				Stage: string(stage), Event: "finish", ElapsedNS: int64(elapsed),
+			})
+			o.flush()
+		},
+	}
+}
+
+// add accumulates a counter delta and emits a coalesced progress event
+// when the rate limit allows.
+func (o *busObserver) add(stage, name string, delta int64) {
+	o.mu.Lock()
+	sc := o.counters[stage]
+	if sc == nil {
+		sc = make(map[string]int64)
+		o.counters[stage] = sc
+	}
+	sc[name] += delta
+	due := time.Since(o.lastEmit) >= progressInterval
+	var snap map[string]map[string]int64
+	if due {
+		o.lastEmit = time.Now()
+		snap = o.snapshotLocked()
+	}
+	o.mu.Unlock()
+	if due {
+		o.bus.publish(eventProgress, progressEventData{Counters: snap})
+	}
+}
+
+// flush emits the current totals unconditionally (stage boundaries and
+// run end), so the stream always ends with complete counts.
+func (o *busObserver) flush() {
+	o.mu.Lock()
+	if len(o.counters) == 0 {
+		o.mu.Unlock()
+		return
+	}
+	o.lastEmit = time.Now()
+	snap := o.snapshotLocked()
+	o.mu.Unlock()
+	o.bus.publish(eventProgress, progressEventData{Counters: snap})
+}
+
+func (o *busObserver) snapshotLocked() map[string]map[string]int64 {
+	snap := make(map[string]map[string]int64, len(o.counters))
+	for stage, sc := range o.counters {
+		c := make(map[string]int64, len(sc))
+		for k, v := range sc {
+			c[k] = v
+		}
+		snap[stage] = c
+	}
+	return snap
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"normalize"
+	"normalize/internal/relation"
+)
+
+// State is one node of the job lifecycle state machine (DESIGN.md §5c):
+//
+//	queued ──► running ──► done | partial | cancelled | failed
+//	   └──────────────────► cancelled
+//
+// Terminal states never change again.
+type State string
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted, waiting for a worker slot (FIFO).
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the pipeline.
+	StateRunning State = "running"
+	// StateDone: the run completed; the result may still carry a
+	// degradation report (budget ladder) without being partial.
+	StateDone State = "done"
+	// StatePartial: the run stopped early (timeout, budget exhaustion,
+	// isolated stage crash) but produced a usable lossless partial
+	// result with a degradations report.
+	StatePartial State = "partial"
+	// StateCancelled: the client cancelled the job; a job cancelled
+	// mid-run still carries the partial result the pipeline salvaged.
+	StateCancelled State = "cancelled"
+	// StateFailed: the job produced no usable result (bad input, dead
+	// context before start, generator failure).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StatePartial, StateCancelled, StateFailed:
+		return true
+	}
+	return false
+}
+
+// jobSpec is a validated, immutable job request: the data source plus
+// the normalization options, with the content-hash cache key derived
+// from both.
+type jobSpec struct {
+	// Exactly one of csv/generator is set.
+	csv     []byte
+	name    string // relation name for CSV sources
+	lenient bool
+	gen     string // generator name: tpch, musicbrainz, horse, ...
+	scale   float64
+	artists int
+	seed    int64
+
+	opts normalize.Options
+	key  string // content-hash cache key
+}
+
+// relations materializes the job's input. Generator datasets normalize
+// their denormalized universal relation, the preparation step of the
+// paper's evaluation.
+func (s *jobSpec) relations() (*normalize.Relation, []relation.RowError, error) {
+	if s.gen != "" {
+		ds, err := generate(s.gen, s.scale, s.artists, s.seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds.Denormalized, nil, nil
+	}
+	if s.lenient {
+		return normalize.ReadCSVLenient(s.name, bytes.NewReader(s.csv))
+	}
+	rel, err := normalize.ReadCSV(s.name, bytes.NewReader(s.csv))
+	return rel, nil, err
+}
+
+// generate dispatches to the built-in dataset generators.
+func generate(name string, scale float64, artists int, seed int64) (*normalize.Dataset, error) {
+	switch name {
+	case "tpch":
+		if scale <= 0 {
+			scale = 0.0001
+		}
+		return normalize.GenerateTPCH(scale, seed)
+	case "musicbrainz":
+		if artists <= 0 {
+			artists = 8
+		}
+		return normalize.GenerateMusicBrainz(artists, seed)
+	case "horse":
+		return normalize.GenerateHorse(seed), nil
+	case "plista":
+		return normalize.GeneratePlista(seed), nil
+	case "amalgam1":
+		return normalize.GenerateAmalgam1(seed), nil
+	case "flight":
+		return normalize.GenerateFlight(seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", name)
+}
+
+// Job is one normalization request moving through the lifecycle. All
+// mutable fields are guarded by mu; the bus and recorder are safe for
+// concurrent use themselves.
+type Job struct {
+	ID      string
+	Created time.Time
+
+	spec *jobSpec
+	bus  *bus
+	rec  *normalize.RecordingObserver
+
+	mu              sync.Mutex
+	state           State
+	started         time.Time
+	finished        time.Time
+	cancel          context.CancelFunc
+	cancelRequested bool
+	res             *normalize.Result
+	err             error
+	cached          bool
+	skippedRows     int // malformed CSV rows skipped under lenient parsing
+}
+
+// newJob builds a queued job for the spec.
+func newJob(spec *jobSpec) *Job {
+	return &Job{
+		ID:      newJobID(),
+		Created: time.Now(),
+		spec:    spec,
+		state:   StateQueued,
+		bus:     newBus(),
+		rec:     normalize.NewRecordingObserver(),
+	}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; fall back
+		// to a time-derived ID rather than crashing the control plane.
+		return fmt.Sprintf("j%016x", time.Now().UnixNano())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// snapshot returns a consistent copy of the mutable state.
+func (j *Job) snapshot() (state State, started, finished time.Time, res *normalize.Result, err error, cached bool, skipped int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.started, j.finished, j.res, j.err, j.cached, j.skippedRows
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal result and error (nil, nil while the job
+// has not finished).
+func (j *Job) Result() (*normalize.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil
+	}
+	return j.res, j.err
+}
+
+// markRunning transitions queued → running unless cancellation was
+// requested first; it reports whether the job should run.
+func (j *Job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelRequested || j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.bus.publish(eventState, stateEventData{ID: j.ID, State: StateRunning})
+	return true
+}
+
+// finish records the terminal state and closes the event stream. The
+// final "state" event doubles as the SSE terminator.
+func (j *Job) finish(state State, res *normalize.Result, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.res = res
+	j.err = err
+	j.cancel = nil
+	data := stateEventData{ID: j.ID, State: state}
+	if err != nil {
+		data.Error = err.Error()
+	}
+	if res != nil {
+		data.Tables = len(res.Tables)
+		data.Degradations = len(res.Degradations)
+	}
+	j.mu.Unlock()
+	j.bus.publish(eventState, data)
+	j.bus.close()
+}
+
+// Cancel requests cancellation: a queued job transitions to cancelled
+// immediately, a running one has its context cancelled (the pipeline
+// notices within ~100ms and salvages a partial result). Cancelling a
+// terminal job is a no-op. It reports whether the request changed
+// anything.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	already := j.cancelRequested
+	j.cancelRequested = true
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.err = context.Canceled
+		j.mu.Unlock()
+		j.bus.publish(eventState, stateEventData{
+			ID: j.ID, State: StateCancelled, Error: context.Canceled.Error(),
+		})
+		j.bus.close()
+		return true
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return !already
+}
+
+// Errors returned by the manager's submit path.
+var (
+	// ErrQueueFull: the FIFO queue is at capacity; the client should
+	// retry later (503).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down and accepts no new jobs.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// manager owns the job store, the FIFO queue, and the worker pool.
+type manager struct {
+	queue chan *Job
+	cache *resultCache
+
+	// enqueueMu serializes queue sends against closing the queue at
+	// drain time (a send on a closed channel panics).
+	enqueueMu sync.Mutex
+	draining  bool
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	observer normalize.Observer // server-wide metrics sink (may be nil)
+}
+
+func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observer) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		queue:      make(chan *Job, queueDepth),
+		cache:      newResultCache(cacheEntries),
+		jobs:       make(map[string]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		observer:   metrics,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for job := range m.queue {
+				m.runJob(job)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit registers the job and enqueues it — or, when an identical
+// input+options combination already completed, answers from the result
+// cache with an immediately-done job.
+func (m *manager) Submit(spec *jobSpec) (*Job, error) {
+	job := newJob(spec)
+
+	if res, ok := m.cache.get(spec.key); ok {
+		job.mu.Lock()
+		job.state = StateDone
+		job.started = job.Created
+		job.finished = time.Now()
+		job.res = res
+		job.cached = true
+		job.mu.Unlock()
+		job.bus.publish(eventState, stateEventData{
+			ID: job.ID, State: StateDone, Cached: true, Tables: len(res.Tables),
+		})
+		job.bus.close()
+		m.store(job)
+		return job, nil
+	}
+
+	m.enqueueMu.Lock()
+	if m.draining {
+		m.enqueueMu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- job:
+		m.enqueueMu.Unlock()
+	default:
+		m.enqueueMu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.store(job)
+	job.bus.publish(eventState, stateEventData{ID: job.ID, State: StateQueued})
+	return job, nil
+}
+
+func (m *manager) store(job *Job) {
+	m.mu.Lock()
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+}
+
+// Get looks a job up by ID.
+func (m *manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (m *manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// runJob executes one job on the calling worker goroutine.
+func (m *manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	if !job.markRunning(cancel) {
+		return // cancelled while queued
+	}
+
+	rel, skipped, err := job.spec.relations()
+	if err != nil {
+		job.finish(StateFailed, nil, err)
+		return
+	}
+	if len(skipped) > 0 {
+		job.mu.Lock()
+		job.skippedRows = len(skipped)
+		job.mu.Unlock()
+	}
+
+	opts := job.spec.opts
+	obs := newBusObserver(job.bus)
+	observers := normalize.MultiObserver{obs.observer(), job.rec}
+	if m.observer != nil {
+		observers = append(observers, m.observer)
+	}
+	opts.Observer = observers
+
+	res, err := normalize.NormalizeContext(ctx, rel, opts)
+	obs.flush()
+	job.finish(classify(res, err))
+	if state := job.State(); state == StateDone {
+		m.cache.put(job.spec.key, res)
+	}
+}
+
+// classify maps a pipeline outcome onto the lifecycle state machine.
+func classify(res *normalize.Result, err error) (State, *normalize.Result, error) {
+	switch {
+	case err == nil:
+		return StateDone, res, nil
+	case errors.Is(err, context.Canceled):
+		// Cancelled mid-run: a *PartialError-wrapped cancellation still
+		// carries the lossless partial result the pipeline salvaged.
+		return StateCancelled, res, err
+	case res != nil:
+		var pe *normalize.PartialError
+		if errors.As(err, &pe) {
+			return StatePartial, res, err
+		}
+		return StateFailed, res, err
+	default:
+		return StateFailed, nil, err
+	}
+}
+
+// Shutdown drains the manager: no new jobs are accepted, queued and
+// running jobs get until ctx ends to finish, then the remaining runs
+// are cancelled (the pipeline salvages partial results) and Shutdown
+// waits for the workers to exit.
+func (m *manager) Shutdown(ctx context.Context) {
+	m.enqueueMu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.enqueueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		m.baseCancel() // cut running jobs loose; they return within ~100ms
+		<-done
+	}
+	m.baseCancel()
+}
+
+// Draining reports whether the manager stopped accepting jobs.
+func (m *manager) Draining() bool {
+	m.enqueueMu.Lock()
+	defer m.enqueueMu.Unlock()
+	return m.draining
+}

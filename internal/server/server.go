@@ -1,0 +1,548 @@
+// Package server is the long-lived normalization service behind the
+// normalized binary: it accepts CSV or dataset-generator normalization
+// jobs over HTTP, runs them on a bounded worker pool with a FIFO
+// queue, streams per-stage progress as Server-Sent Events, caches
+// results by content hash, and exposes health and metrics endpoints.
+// The paper (§7) frames Normalize as an interactive, incremental tool;
+// a resumable job API over a persistent process is the operational
+// form of that framing.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (CSV or generator + options)
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: ~100ms)
+//	GET    /v1/jobs/{id}/events live progress as SSE (replays history)
+//	GET    /v1/jobs/{id}/result result as JSON (?format=sql for DDL,
+//	                            ?include=rows to embed table instances)
+//	GET    /v1/jobs/{id}/telemetry  per-stage telemetry, also mid-run
+//	GET    /healthz             liveness (always 200 while serving)
+//	GET    /readyz              readiness (503 once draining)
+//	GET    /debug/vars          expvar, including pipeline stage metrics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"normalize"
+	"normalize/internal/export"
+	"normalize/internal/guard"
+)
+
+// Config bounds the server's resources; zero values select defaults.
+type Config struct {
+	// Workers is the size of the normalization worker pool (default 2).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; a full queue rejects
+	// submissions with 503 (default 32).
+	QueueDepth int
+	// MaxBodyBytes caps the request body — and therefore the uploaded
+	// CSV size (default 8 MiB).
+	MaxBodyBytes int64
+	// CacheEntries bounds the content-hash result cache; 0 uses the
+	// default (64), negative disables caching.
+	CacheEntries int
+	// MetricsName registers the aggregated per-stage pipeline metrics
+	// under this expvar name (default "normalize_stages"; "-" skips
+	// registration, for processes embedding several servers).
+	MetricsName string
+	// Logf receives one line per request and per recovered panic; nil
+	// disables request logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.MetricsName == "" {
+		c.MetricsName = "normalize_stages"
+	}
+}
+
+// Server is the normalization service: an HTTP handler plus the worker
+// pool behind it. Create with New, serve via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	m       *manager
+	metrics *normalize.MetricsPublisher
+	mux     *http.ServeMux
+}
+
+// New builds a server and starts its worker pool. The per-stage
+// metrics aggregate across all jobs and are registered in expvar under
+// cfg.MetricsName.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{cfg: cfg, metrics: &normalize.MetricsPublisher{}}
+	if cfg.MetricsName != "-" {
+		if err := s.metrics.Publish(cfg.MetricsName); err != nil {
+			return nil, err
+		}
+	}
+	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, s.metrics)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.m.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP surface wrapped in request logging and
+// panic recovery.
+func (s *Server) Handler() http.Handler {
+	return s.middleware(s.mux)
+}
+
+// Shutdown drains the server: readiness flips to 503, new submissions
+// are rejected, in-flight jobs get until ctx ends to finish, then the
+// stragglers are cancelled (salvaging partial results) and the worker
+// pool exits.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.m.Shutdown(ctx)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// statusWriter captures the response code for the request log and
+// forwards Flush for SSE streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying flusher so SSE responses stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// middleware wraps the mux in request logging and guard-based panic
+// recovery: a panicking handler yields a 500 (when nothing was written
+// yet) and a logged stack instead of a dead connection and process.
+func (s *Server) middleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		err := guard.Run("http "+r.Method+" "+r.URL.Path, func() error {
+			h.ServeHTTP(sw, r)
+			return nil
+		})
+		if err != nil {
+			if !sw.wrote {
+				http.Error(sw, "internal server error", http.StatusInternalServerError)
+			}
+			s.logf("server: %+v", err)
+		}
+		s.logf("server: %s %s %d %s", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+// jobRequest is the POST /v1/jobs body: exactly one data source (an
+// inline CSV relation or a built-in dataset generator) plus options.
+type jobRequest struct {
+	// Name names the uploaded CSV relation (default "upload").
+	Name string `json:"name,omitempty"`
+	// CSV is the inline relation, header first, empty fields as nulls.
+	CSV string `json:"csv,omitempty"`
+	// Lenient skips malformed CSV rows instead of failing the job.
+	Lenient bool `json:"lenient,omitempty"`
+	// Dataset selects a built-in generator instead of an upload.
+	Dataset *datasetSpec `json:"dataset,omitempty"`
+	// Options maps onto normalize.Options.
+	Options optionsSpec `json:"options"`
+}
+
+// datasetSpec parameterizes a built-in dataset generator.
+type datasetSpec struct {
+	Generator string  `json:"generator"`
+	Scale     float64 `json:"scale,omitempty"`   // tpch scale factor
+	Artists   int     `json:"artists,omitempty"` // musicbrainz size
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// optionsSpec is the wire form of normalize.Options.
+type optionsSpec struct {
+	Mode           string `json:"mode,omitempty"`    // bcnf | 3nf | 2nf
+	Closure        string `json:"closure,omitempty"` // optimized | improved | naive
+	MaxLhs         int    `json:"max_lhs,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
+	MaxRows        int    `json:"max_rows,omitempty"`
+	MaxFDs         int    `json:"max_fds,omitempty"`
+	MaxMemoryBytes int64  `json:"max_memory_bytes,omitempty"`
+}
+
+// buildSpec validates a request into an immutable jobSpec.
+func buildSpec(req *jobRequest) (*jobSpec, error) {
+	hasCSV := req.CSV != ""
+	hasGen := req.Dataset != nil
+	if hasCSV == hasGen {
+		return nil, errors.New("exactly one of csv or dataset must be set")
+	}
+	if req.Options.MaxLhs < 0 || req.Options.Workers < 0 || req.Options.TimeoutMS < 0 ||
+		req.Options.MaxRows < 0 || req.Options.MaxFDs < 0 || req.Options.MaxMemoryBytes < 0 {
+		return nil, errors.New("options must be non-negative")
+	}
+	mode, err := normalize.ParseMode(req.Options.Mode)
+	if err != nil {
+		return nil, err
+	}
+	closure, err := normalize.ParseClosure(req.Options.Closure)
+	if err != nil {
+		return nil, err
+	}
+	spec := &jobSpec{
+		opts: normalize.Options{
+			Mode:    mode,
+			Closure: closure,
+			MaxLhs:  req.Options.MaxLhs,
+			Workers: req.Options.Workers,
+			Timeout: time.Duration(req.Options.TimeoutMS) * time.Millisecond,
+			Budget: normalize.Budget{
+				MaxRows:        req.Options.MaxRows,
+				MaxFDs:         req.Options.MaxFDs,
+				MaxMemoryBytes: req.Options.MaxMemoryBytes,
+			},
+		},
+	}
+	if hasCSV {
+		spec.csv = []byte(req.CSV)
+		spec.name = req.Name
+		if spec.name == "" {
+			spec.name = "upload"
+		}
+		spec.lenient = req.Lenient
+	} else {
+		switch req.Dataset.Generator {
+		case "tpch", "musicbrainz", "horse", "plista", "amalgam1", "flight":
+		default:
+			return nil, fmt.Errorf("unknown generator %q", req.Dataset.Generator)
+		}
+		spec.gen = req.Dataset.Generator
+		spec.scale = req.Dataset.Scale
+		spec.artists = req.Dataset.Artists
+		spec.seed = req.Dataset.Seed
+	}
+	spec.key = cacheKey(spec)
+	return spec, nil
+}
+
+// jobStatus is the wire form of a job's lifecycle state.
+type jobStatus struct {
+	ID           string                   `json:"id"`
+	State        State                    `json:"state"`
+	Cached       bool                     `json:"cached,omitempty"`
+	Created      time.Time                `json:"created"`
+	Started      *time.Time               `json:"started,omitempty"`
+	Finished     *time.Time               `json:"finished,omitempty"`
+	Error        string                   `json:"error,omitempty"`
+	Tables       int                      `json:"tables,omitempty"`
+	SkippedRows  int                      `json:"skipped_rows,omitempty"`
+	Degradations []export.JSONDegradation `json:"degradations,omitempty"`
+	Links        map[string]string        `json:"links"`
+}
+
+func statusOf(j *Job) jobStatus {
+	state, started, finished, res, err, cached, skipped := j.snapshot()
+	st := jobStatus{
+		ID:          j.ID,
+		State:       state,
+		Cached:      cached,
+		Created:     j.Created,
+		SkippedRows: skipped,
+		Links: map[string]string{
+			"self":      "/v1/jobs/" + j.ID,
+			"events":    "/v1/jobs/" + j.ID + "/events",
+			"result":    "/v1/jobs/" + j.ID + "/result",
+			"telemetry": "/v1/jobs/" + j.ID + "/telemetry",
+		},
+	}
+	if !started.IsZero() {
+		st.Started = &started
+	}
+	if !finished.IsZero() {
+		st.Finished = &finished
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if res != nil {
+		st.Tables = len(res.Tables)
+		st.Degradations = export.Degradations(res.Degradations)
+	}
+	return st
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.m.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req jobRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := buildSpec(&req)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	code := http.StatusAccepted
+	if job.State().Terminal() { // cache hit
+		code = http.StatusOK
+	}
+	writeJSON(w, code, statusOf(job))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.m.Jobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, statusOf(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, statusOf(j))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+// handleTelemetry scrapes the job's per-stage telemetry — spans,
+// wall-times, counters — as JSON. The recorder aggregates
+// incrementally, so scraping is cheap and safe while the job runs.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.rec.WriteJSON(w); err != nil {
+		s.logf("server: telemetry %s: %v", j.ID, err)
+	}
+}
+
+// resultPayload is the GET /v1/jobs/{id}/result body.
+type resultPayload struct {
+	ID           string                   `json:"id"`
+	State        State                    `json:"state"`
+	Cached       bool                     `json:"cached,omitempty"`
+	Error        string                   `json:"error,omitempty"`
+	Schema       json.RawMessage          `json:"schema,omitempty"`
+	DDL          string                   `json:"ddl,omitempty"`
+	Degradations []export.JSONDegradation `json:"degradations,omitempty"`
+	// Rows maps table names to their materialized instances (only with
+	// ?include=rows; column order follows the schema's attribute lists).
+	Rows map[string][][]string `json:"rows,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	state, _, _, res, jerr, cached, _ := j.snapshot()
+	if !state.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "job not finished (state "+string(state)+")", http.StatusConflict)
+		return
+	}
+	if res == nil {
+		msg := "job produced no result"
+		if jerr != nil {
+			msg = jerr.Error()
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, resultPayload{
+			ID: j.ID, State: state, Error: msg,
+		})
+		return
+	}
+	if r.URL.Query().Get("format") == "sql" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, normalize.DDL(res.Tables))
+		if len(res.Degradations) > 0 {
+			io.WriteString(w, "-- degradations:\n")
+			io.WriteString(w, normalize.FormatDegradations(res.Degradations))
+		}
+		return
+	}
+	schema, err := normalize.SchemaJSON(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	payload := resultPayload{
+		ID:           j.ID,
+		State:        state,
+		Cached:       cached,
+		Schema:       schema,
+		DDL:          normalize.DDL(res.Tables),
+		Degradations: export.Degradations(res.Degradations),
+	}
+	if jerr != nil {
+		payload.Error = jerr.Error()
+	}
+	if r.URL.Query().Get("include") == "rows" {
+		payload.Rows = make(map[string][][]string, len(res.Tables))
+		for _, t := range res.Tables {
+			payload.Rows[t.Name] = t.Data.Rows
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: the
+// replay history first, then live events until the terminal state
+// event ends the stream. Periodic comment lines keep idle connections
+// alive through proxies.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := j.bus.subscribe()
+	defer sub.cancel()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		events, done := sub.poll()
+		for _, e := range events {
+			writeSSE(w, e)
+		}
+		if len(events) > 0 || done {
+			flusher.Flush()
+		}
+		if done {
+			return // terminal event delivered; stream complete
+		}
+		select {
+		case <-sub.wake:
+		case <-keepalive.C:
+			io.WriteString(w, ": keepalive\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire format.
+func writeSSE(w io.Writer, e event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

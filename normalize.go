@@ -40,7 +40,9 @@ package normalize
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"normalize/internal/core"
 	"normalize/internal/discovery/ind"
@@ -174,6 +176,21 @@ const (
 	SecondNF = violation.SecondNF
 )
 
+// ParseMode maps the conventional normal-form names — "bcnf", "3nf",
+// "2nf" (case-insensitive) — to a Mode. It is the single parser behind
+// the CLI -mode flag and the server's JSON job options.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "bcnf":
+		return BCNF, nil
+	case "3nf":
+		return ThirdNF, nil
+	case "2nf":
+		return SecondNF, nil
+	}
+	return BCNF, fmt.Errorf("unknown normal form %q (want bcnf, 3nf, or 2nf)", s)
+}
+
 // Closure algorithm selectors (Section 4 of the paper).
 const (
 	// ClosureOptimized is Algorithm 3, requiring the complete minimal
@@ -184,6 +201,21 @@ const (
 	// ClosureNaive is Algorithm 1, the baseline.
 	ClosureNaive = core.ClosureNaive
 )
+
+// ParseClosure maps the algorithm names "optimized", "improved", and
+// "naive" (case-insensitive; empty selects the default) to a closure
+// selector, mirroring ParseMode for Options.Closure.
+func ParseClosure(s string) (core.ClosureAlgorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "optimized":
+		return ClosureOptimized, nil
+	case "improved":
+		return ClosureImproved, nil
+	case "naive":
+		return ClosureNaive, nil
+	}
+	return ClosureOptimized, fmt.Errorf("unknown closure algorithm %q (want optimized, improved, or naive)", s)
+}
 
 // Normalize runs the full pipeline on one relation instance. It is a
 // thin wrapper over NormalizeContext with context.Background().

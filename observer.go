@@ -79,3 +79,11 @@ func NewLoggingObserver(w io.Writer) Observer {
 
 // MultiObserver fans events out to several observers.
 type MultiObserver = observe.Multi
+
+// FuncObserver adapts plain functions to the Observer interface — the
+// event-bus seam for embedding the pipeline in servers: each callback
+// forwards into whatever transport the host uses (an SSE broadcaster,
+// a metrics sink, a log). Nil fields are simply skipped, so a partial
+// adapter is valid. The functions must be safe for concurrent use,
+// like any Observer.
+type FuncObserver = observe.Func
