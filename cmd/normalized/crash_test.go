@@ -1,0 +1,418 @@
+package main
+
+// Crash-recovery harness: the test binary re-executes itself as a real
+// normalized server (TestMain switches on an env var), the parent
+// drives it over HTTP, SIGKILLs it at chosen lifecycle points — jobs
+// done, mid-run, queued — and restarts it on the same -data-dir. The
+// guarantees under test are the durability contract of the job store:
+//
+//   - no terminal result is ever lost;
+//   - every job that was incomplete at the kill re-runs exactly once;
+//   - the rehydrated result cache answers identical resubmissions;
+//   - recovery never fails, whatever instant the kill hit (the torn
+//     tail is truncated and reported instead).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const childEnv = "NORMALIZED_CRASH_CHILD"
+
+// TestMain turns the test binary into the server itself when re-exec'd
+// by the harness; otherwise it runs the tests normally.
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// child is one managed normalized process.
+type child struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+}
+
+// startChild launches the server on a free port with the given data
+// dir and waits for its listen line.
+func startChild(t *testing.T, dataDir string, extra ...string) *child {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-quiet"}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &child{t: t, cmd: cmd}
+	t.Cleanup(func() { c.kill() })
+
+	// The server logs "listening on 127.0.0.1:PORT (...)" once bound.
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addr <- rest:
+				default:
+				}
+			}
+		}
+		// Drain to EOF so the child never blocks on a full stderr pipe.
+	}()
+	select {
+	case a := <-addr:
+		c.base = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatal("child never reported its listen address")
+	}
+	return c
+}
+
+// kill delivers SIGKILL — no shutdown hooks, no flushes — and reaps.
+func (c *child) kill() {
+	if c.cmd.Process != nil {
+		c.cmd.Process.Signal(syscall.SIGKILL)
+		c.cmd.Wait()
+	}
+}
+
+func (c *child) url(path string) string { return c.base + path }
+
+// api performs a JSON request against the child.
+func (c *child) api(method, path, body string, out any) int {
+	c.t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.url(path), rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("%s %s: %v: %s", method, path, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// status mirrors the server's job status wire form.
+type status struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached"`
+	Error   string `json:"error"`
+	Tables  int    `json:"tables"`
+	Created string `json:"created"`
+}
+
+func terminal(state string) bool {
+	switch state {
+	case "done", "partial", "cancelled", "failed":
+		return true
+	}
+	return false
+}
+
+func (c *child) waitTerminal(id string) status {
+	c.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st status
+		if code := c.api("GET", "/v1/jobs/"+id, "", &st); code != http.StatusOK {
+			c.t.Fatalf("status %s: %d", id, code)
+		}
+		if terminal(st.State) {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.t.Fatalf("job %s never finished", id)
+	return status{}
+}
+
+func (c *child) waitRunning(id string) {
+	c.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st status
+		c.api("GET", "/v1/jobs/"+id, "", &st)
+		if st.State == "running" {
+			return
+		}
+		if terminal(st.State) {
+			c.t.Fatalf("job %s finished before the kill (state %s); enlarge the workload", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.t.Fatalf("job %s never started running", id)
+}
+
+const crashCSV = `First,Last,Postcode,City,Mayor
+Thomas,Miller,14482,Potsdam,Jakobs
+Sarah,Miller,14482,Potsdam,Jakobs
+Peter,Smith,60329,Frankfurt,Feldmann
+Jasmine,Cone,01069,Dresden,Orosz
+`
+
+func csvJob(name, csv string) string {
+	b, _ := json.Marshal(csv)
+	return fmt.Sprintf(`{"name":%q,"csv":%s,"options":{}}`, name, b)
+}
+
+// longJob runs for seconds (flight: 109 attributes, max_lhs 3) — wide
+// enough to be mid-run at the kill on any machine.
+const longJob = `{"dataset":{"generator":"flight","seed":1},"options":{"max_lhs":3}}`
+
+func TestCrashRecoveryTerminalResultsSurviveKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	c1 := startChild(t, dir)
+
+	var done status
+	if code := c1.api("POST", "/v1/jobs", csvJob("address", crashCSV), &done); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	c1.waitTerminal(done.ID)
+	var before json.RawMessage
+	c1.api("GET", "/v1/jobs/"+done.ID+"/result", "", &before)
+
+	var hit status
+	if code := c1.api("POST", "/v1/jobs", csvJob("address", crashCSV), &hit); code != http.StatusOK || !hit.Cached {
+		t.Fatalf("resubmission not a cache hit: %d %+v", code, hit)
+	}
+	c1.kill()
+
+	c2 := startChild(t, dir)
+	for _, id := range []string{done.ID, hit.ID} {
+		st := c2.waitTerminal(id)
+		if st.State != "done" {
+			t.Errorf("job %s restored as %s", id, st.State)
+		}
+	}
+	var after json.RawMessage
+	if code := c2.api("GET", "/v1/jobs/"+done.ID+"/result", "", &after); code != http.StatusOK {
+		t.Fatalf("restored result: %d", code)
+	}
+	var b, a struct {
+		Schema json.RawMessage `json:"schema"`
+		DDL    string          `json:"ddl"`
+	}
+	json.Unmarshal(before, &b)
+	json.Unmarshal(after, &a)
+	if a.DDL == "" || a.DDL != b.DDL || string(a.Schema) != string(b.Schema) {
+		t.Errorf("result changed across the kill:\nbefore %s\nafter  %s", b.DDL, a.DDL)
+	}
+
+	// The rehydrated cache answers without recomputing.
+	var again status
+	if code := c2.api("POST", "/v1/jobs", csvJob("address", crashCSV), &again); code != http.StatusOK || !again.Cached {
+		t.Errorf("post-crash submission missed the warmed cache: %d %+v", code, again)
+	}
+}
+
+func TestCrashRecoveryMidRunJobRerunsOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	c1 := startChild(t, dir, "-workers", "1")
+
+	var long status
+	if code := c1.api("POST", "/v1/jobs", longJob, &long); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	c1.waitRunning(long.ID)
+	c1.kill() // SIGKILL mid-normalization
+
+	c2 := startChild(t, dir, "-workers", "1")
+	var jobs []status
+	if code := c2.api("GET", "/v1/jobs", "", &jobs); code != http.StatusOK {
+		t.Fatal("list failed")
+	}
+	if len(jobs) != 1 || jobs[0].ID != long.ID {
+		t.Fatalf("restart lost or duplicated the job: %+v", jobs)
+	}
+	st := c2.waitTerminal(long.ID)
+	if st.State != "done" {
+		t.Errorf("re-run finished %s (%s), want done", st.State, st.Error)
+	}
+	if code := c2.api("GET", "/v1/jobs/"+long.ID+"/result", "", nil); code != http.StatusOK {
+		t.Errorf("re-run result: %d", code)
+	}
+	// Still exactly one job: the re-run reused the identity, no clone.
+	c2.api("GET", "/v1/jobs", "", &jobs)
+	if len(jobs) != 1 {
+		t.Errorf("re-run duplicated the job: %d entries", len(jobs))
+	}
+}
+
+func TestCrashRecoveryQueuedBacklogSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	c1 := startChild(t, dir, "-workers", "1")
+
+	// One long job occupies the single worker; quick jobs pile up
+	// queued behind it.
+	var long status
+	c1.api("POST", "/v1/jobs", longJob, &long)
+	c1.waitRunning(long.ID)
+	var queued []string
+	for i := 0; i < 3; i++ {
+		csv := fmt.Sprintf("A,B\nrow%d,x\nrow%d,y\n", i, i)
+		var st status
+		if code := c1.api("POST", "/v1/jobs", csvJob("q", csv), &st); code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		queued = append(queued, st.ID)
+	}
+	c1.kill()
+
+	c2 := startChild(t, dir, "-workers", "2")
+	var jobs []status
+	c2.api("GET", "/v1/jobs", "", &jobs)
+	if len(jobs) != 1+len(queued) {
+		t.Fatalf("restart lost jobs: %d of %d", len(jobs), 1+len(queued))
+	}
+	for _, id := range append([]string{long.ID}, queued...) {
+		st := c2.waitTerminal(id)
+		if st.State != "done" {
+			t.Errorf("job %s re-ran to %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestCrashRecoveryKillLoop kills the server at arbitrary instants
+// while it processes a stream of small jobs, restarting each time on
+// the same directory. Whatever the timing, recovery must succeed, jobs
+// must never duplicate, and every job observed terminal before a kill
+// must still be terminal with a result after every later restart.
+func TestCrashRecoveryKillLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	doneBefore := map[string]string{} // job ID -> DDL observed before some kill
+
+	rounds := 4
+	for round := 0; round < rounds; round++ {
+		c := startChild(t, dir, "-workers", "2")
+
+		// Everything that was ever observed done must still be done.
+		for id, ddl := range doneBefore {
+			st := c.waitTerminal(id)
+			if st.State != "done" {
+				t.Fatalf("round %d: job %s regressed to %s", round, id, st.State)
+			}
+			var res struct {
+				DDL string `json:"ddl"`
+			}
+			if code := c.api("GET", "/v1/jobs/"+id+"/result", "", &res); code != http.StatusOK {
+				t.Fatalf("round %d: result %s: %d", round, id, code)
+			}
+			if res.DDL != ddl {
+				t.Fatalf("round %d: job %s result changed", round, id)
+			}
+		}
+
+		// Add fresh work; let some of it finish, then kill mid-stream.
+		var ids []string
+		for i := 0; i < 3; i++ {
+			csv := fmt.Sprintf("K,V\nr%d_%d,a\nr%d_%d,b\n", round, i, round, i)
+			var st status
+			if code := c.api("POST", "/v1/jobs", csvJob("loop", csv), &st); code != http.StatusAccepted {
+				t.Fatalf("round %d submit %d: %d", round, i, code)
+			}
+			ids = append(ids, st.ID)
+		}
+		// Record whatever reached done before the kill.
+		first := c.waitTerminal(ids[0])
+		if first.State == "done" {
+			var res struct {
+				DDL string `json:"ddl"`
+			}
+			c.api("GET", "/v1/jobs/"+ids[0]+"/result", "", &res)
+			doneBefore[ids[0]] = res.DDL
+		}
+		c.kill()
+	}
+
+	// Final boot: everything ever submitted converges to done.
+	c := startChild(t, dir, "-workers", "2")
+	var jobs []status
+	c.api("GET", "/v1/jobs", "", &jobs)
+	seen := map[string]int{}
+	for _, j := range jobs {
+		seen[j.ID]++
+		if seen[j.ID] > 1 {
+			t.Fatalf("job %s duplicated after kill loop", j.ID)
+		}
+		st := c.waitTerminal(j.ID)
+		if st.State != "done" {
+			t.Errorf("job %s ended %s (%s)", j.ID, st.State, st.Error)
+		}
+	}
+	if len(jobs) != rounds*3 {
+		t.Errorf("job count after kill loop: %d, want %d", len(jobs), rounds*3)
+	}
+}
+
+// TestCrashRecoveryFsyncFlag exercises the -fsync path end to end.
+func TestCrashRecoveryFsyncFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	c1 := startChild(t, dir, "-fsync")
+	var st status
+	if code := c1.api("POST", "/v1/jobs", csvJob("address", crashCSV), &st); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	c1.waitTerminal(st.ID)
+	c1.kill()
+
+	c2 := startChild(t, dir, "-fsync")
+	if got := c2.waitTerminal(st.ID); got.State != "done" {
+		t.Errorf("fsync'd job restored as %s", got.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "journal.log")); err != nil {
+		t.Errorf("journal missing: %v", err)
+	}
+}

@@ -5,7 +5,8 @@
 // a content-hash result cache, and pipeline metrics on /debug/vars.
 //
 //	normalized [-addr :8080] [-workers N] [-queue N] [-max-body BYTES]
-//	           [-cache N] [-drain-grace DUR] [-quiet]
+//	           [-cache N] [-data-dir DIR] [-fsync] [-drain-grace DUR]
+//	           [-quiet]
 //
 // Submit a job, watch it, fetch the result:
 //
@@ -17,6 +18,16 @@
 // submissions are rejected, in-flight jobs get -drain-grace to finish,
 // and whatever still runs afterwards is cancelled — salvaging partial
 // results — before the process exits.
+//
+// With -data-dir, job state is crash-safe: every submission, lifecycle
+// transition, and terminal result is appended to a write-ahead log in
+// that directory, and a restart on the same directory replays it —
+// finished jobs stay queryable (results, events, status), jobs that
+// were queued or running when the process died are re-enqueued and run
+// again, and the result cache is rehydrated. A SIGKILL mid-write costs
+// at most the torn tail record, which recovery truncates and reports.
+// Add -fsync to also survive power loss at the cost of one fsync per
+// append.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +53,8 @@ func main() {
 	queue := flag.Int("queue", 32, "job queue depth (full queue rejects with 503)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	cache := flag.Int("cache", 64, "result cache entries (negative disables)")
+	dataDir := flag.String("data-dir", "", "persist job state to this directory (crash-safe; empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "fsync the job log after every append (survives power loss, not just SIGKILL)")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight jobs may finish on shutdown before being cancelled")
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	flag.Parse()
@@ -50,6 +64,8 @@ func main() {
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		CacheEntries: *cache,
+		DataDir:      *dataDir,
+		Fsync:        *fsync,
 		Logf:         log.Printf,
 	}
 	if *quiet {
@@ -59,9 +75,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rep := srv.RecoveryReport(); rep != nil {
+		log.Printf("job store %s: %s", *dataDir, rep)
+		for _, d := range rep.Damage {
+			log.Printf("job store damage: %s", d)
+		}
+	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -69,9 +90,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before Serve so ":0" resolves to a concrete port in the log
+	// line — the crash-recovery harness (and humans) parse it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
 
 	select {
 	case err := <-errc:

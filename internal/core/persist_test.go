@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"normalize/internal/relation"
+)
+
+// figure2Relation is the paper's address example: Postcode → City,
+// Mayor forces a BCNF split, giving a result with two tables, keys,
+// and a foreign key to round-trip.
+func figure2Relation(t *testing.T) *relation.Relation {
+	t.Helper()
+	rel, err := relation.New("address",
+		[]string{"First", "Last", "Postcode", "City", "Mayor"},
+		[][]string{
+			{"Thomas", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Sarah", "Miller", "14482", "Potsdam", "Jakobs"},
+			{"Peter", "Smith", "60329", "Frankfurt", "Feldmann"},
+			{"Jasmine", "Cone", "01069", "Dresden", "Orosz"},
+			{"Mike", "Cone", "14482", "Potsdam", ""},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	res, err := NormalizeRelation(figure2Relation(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Stats.Discovery = 123 * time.Millisecond // exercise duration fields
+	res.Degradations = append(res.Degradations, Degradation{
+		Stage: "fd-discovery", Budget: "max-rows", Action: "sampled rows", Detail: "5 of 10",
+	})
+
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(back.Tables) != len(res.Tables) {
+		t.Fatalf("tables = %d, want %d", len(back.Tables), len(res.Tables))
+	}
+	for i, want := range res.Tables {
+		got := back.Tables[i]
+		// String renders name, attribute names, and primary-key marks —
+		// it covers Name, Attrs, PrimaryKey, and sourceAttrs at once.
+		if got.String() != want.String() {
+			t.Errorf("table %d: %s != %s", i, got, want)
+		}
+		if !got.Data.SameRowSet(want.Data) {
+			t.Errorf("table %d: instance differs", i)
+		}
+		if len(got.Keys) != len(want.Keys) || len(got.ForeignKeys) != len(want.ForeignKeys) {
+			t.Errorf("table %d: keys %d/%d fks %d/%d", i,
+				len(got.Keys), len(want.Keys), len(got.ForeignKeys), len(want.ForeignKeys))
+		}
+		if (got.FDs == nil) != (want.FDs == nil) {
+			t.Errorf("table %d: FDs nil-ness differs", i)
+		} else if got.FDs != nil && !got.FDs.Equal(want.FDs) {
+			t.Errorf("table %d: FD sets differ", i)
+		}
+		if !got.NullAttrs.Equal(want.NullAttrs) {
+			t.Errorf("table %d: null attrs differ", i)
+		}
+	}
+	if back.Stats != res.Stats {
+		t.Errorf("stats: %+v != %+v", back.Stats, res.Stats)
+	}
+	if len(back.Degradations) != len(res.Degradations) ||
+		back.Degradations[0] != res.Degradations[0] {
+		t.Errorf("degradations: %+v != %+v", back.Degradations, res.Degradations)
+	}
+
+	// A second encode of the decoded result must be byte-identical —
+	// the strongest cheap proof that nothing was lost.
+	data2, err := EncodeResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("encode(decode(encode(res))) differs from encode(res)")
+	}
+}
+
+// TestDecodedResultServesDownstreamConsumers drives the decoded result
+// through the same consumers the server's result endpoint uses.
+func TestDecodedResultServesDownstreamConsumers(t *testing.T) {
+	res, err := NormalizeRelation(figure2Relation(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Referential integrity works on the decoded schema (it resolves
+	// tables by name and attribute sets by the universal space).
+	if err := CheckReferentialIntegrity(back.Tables); err != nil {
+		t.Errorf("referential integrity on decoded result: %v", err)
+	}
+	// AttrNames round-trips the unexported source attribute names.
+	for i, want := range res.Tables {
+		got := back.Tables[i]
+		w, g := want.AttrNames(want.Attrs), got.AttrNames(got.Attrs)
+		if len(w) != len(g) {
+			t.Fatalf("table %d attr names: %v vs %v", i, g, w)
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("table %d attr names: %v vs %v", i, g, w)
+			}
+		}
+	}
+}
+
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	if _, err := DecodeResult([]byte("not json")); err == nil {
+		t.Error("garbage decoded")
+	}
+	bad, _ := json.Marshal(map[string]any{"version": 99})
+	if _, err := DecodeResult(bad); err == nil {
+		t.Error("future version decoded")
+	}
+	if _, err := EncodeResult(nil); err == nil {
+		t.Error("nil result encoded")
+	}
+}

@@ -1,0 +1,244 @@
+package jobstore
+
+// Torn-write and corruption suite: the log must replay its longest
+// valid prefix — and report, never crash on — arbitrary damage to the
+// tail or body of the journal and snapshot files.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSeededDir builds a store directory with a known history and
+// returns the journal image.
+func writeSeededDir(t *testing.T, dir string) []byte {
+	t.Helper()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	s.Close()
+	buf, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// lastFrameStart locates the byte offset of the final record.
+func lastFrameStart(t *testing.T, buf []byte) int {
+	t.Helper()
+	off, prev := 0, 0
+	for off < len(buf) {
+		_, _, n, err := decodeFrame(buf[off:])
+		if err != nil {
+			t.Fatalf("seed log invalid at %d: %v", off, err)
+		}
+		prev = off
+		off += n
+	}
+	return prev
+}
+
+// TestTornTailTruncatedAtEveryByteOffset truncates the journal at every
+// byte offset inside the final record; every replay must recover
+// exactly the records before it, report the torn tail, and leave a
+// clean file that accepts further appends.
+func TestTornTailTruncatedAtEveryByteOffset(t *testing.T) {
+	seedDir := t.TempDir()
+	full := writeSeededDir(t, seedDir)
+	last := lastFrameStart(t, full)
+
+	for cut := last + 1; cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rep, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: open failed: %v", cut, err)
+		}
+		if len(rep.Damage) == 0 || rep.DroppedBytes != int64(cut-last) {
+			t.Fatalf("cut at %d: damage not reported: %+v", cut, rep)
+		}
+		// The torn record was the j4 "running" transition; everything
+		// before it survives, j4 rolls back to queued.
+		jobs := s.Jobs()
+		if len(jobs) != 4 {
+			t.Fatalf("cut at %d: %d jobs", cut, len(jobs))
+		}
+		if jobs[3].ID != "j4" || jobs[3].State != "queued" {
+			t.Fatalf("cut at %d: j4 = %s %s", cut, jobs[3].ID, jobs[3].State)
+		}
+		// The file was truncated to the valid prefix and appends work.
+		if got, _ := os.Stat(filepath.Join(dir, logName)); got.Size() != int64(last) {
+			t.Fatalf("cut at %d: log not truncated (size %d, want %d)", cut, got.Size(), last)
+		}
+		if err := s.AppendState(StateUpdate{ID: "j4", State: "running", At: t0, Error: ""}); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		s.Close()
+		s2, rep2, err := Open(dir, Options{})
+		if err != nil || len(rep2.Damage) != 0 {
+			t.Fatalf("cut at %d: second open: %v %+v", cut, err, rep2)
+		}
+		s2.Close()
+	}
+}
+
+// TestBitFlipEveryBodyByte flips one bit in each body byte of the final
+// record in turn; the checksum must catch every flip and replay must
+// recover the prefix before the record.
+func TestBitFlipEveryBodyByte(t *testing.T) {
+	seedDir := t.TempDir()
+	full := writeSeededDir(t, seedDir)
+	last := lastFrameStart(t, full)
+
+	for pos := last + frameHeaderSize; pos < len(full); pos++ {
+		dir := t.TempDir()
+		img := append([]byte(nil), full...)
+		img[pos] ^= 1 << uint(pos%8)
+		if err := os.WriteFile(filepath.Join(dir, logName), img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rep, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("flip at %d: open failed: %v", pos, err)
+		}
+		if len(rep.Damage) == 0 {
+			t.Fatalf("flip at %d: corruption not reported", pos)
+		}
+		if jobs := s.Jobs(); len(jobs) != 4 || jobs[3].State != "queued" {
+			t.Fatalf("flip at %d: bad replay: %d jobs", pos, len(jobs))
+		}
+		s.Close()
+	}
+}
+
+// TestBitFlipMidLogDropsSuffix corrupts a record in the middle: framing
+// beyond a bad checksum cannot be trusted, so replay keeps the longest
+// valid prefix and reports the dropped suffix.
+func TestBitFlipMidLogDropsSuffix(t *testing.T) {
+	seedDir := t.TempDir()
+	full := writeSeededDir(t, seedDir)
+	img := append([]byte(nil), full...)
+	img[frameHeaderSize+2] ^= 0x80 // inside the first record's body
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(s.Jobs()) != 0 {
+		t.Errorf("first-record corruption replayed %d jobs", len(s.Jobs()))
+	}
+	if rep.DroppedBytes != int64(len(img)) || len(rep.Damage) == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// TestHeaderLengthCorruption makes the length field claim an absurd
+// size; the decoder must classify it as corruption, not allocate it.
+func TestHeaderLengthCorruption(t *testing.T) {
+	frame := encodeFrame(recState, []byte(`{"id":"x"}`))
+	frame[3] = 0xFF // length now > maxRecordBytes
+	if _, _, _, err := decodeFrame(frame); err != errCorrupt {
+		t.Errorf("oversized length: %v, want errCorrupt", err)
+	}
+	zero := encodeFrame(recState, nil)
+	zero[0], zero[1], zero[2], zero[3] = 0, 0, 0, 0
+	if _, _, _, err := decodeFrame(zero); err != errCorrupt {
+		t.Errorf("zero length: %v, want errCorrupt", err)
+	}
+}
+
+// TestCorruptSnapshotIgnoredLogStillReplays damages the snapshot file;
+// the store must boot from the journal alone and say so.
+func TestCorruptSnapshotIgnoredLogStillReplays(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot record so the journal is not empty.
+	if err := s.AppendState(StateUpdate{ID: "j3", State: "running", At: t0, Error: ""}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	snapPath := filepath.Join(dir, snapName)
+	img, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x01
+	if err := os.WriteFile(snapPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.SnapshotLoaded {
+		t.Error("corrupt snapshot loaded")
+	}
+	if len(rep.Damage) == 0 {
+		t.Error("corrupt snapshot not reported")
+	}
+	// Only the post-snapshot record survives; it references a job the
+	// lost snapshot held, which is itself reported, not fatal.
+	if len(rep.Damage) < 2 {
+		t.Errorf("orphan state record not reported: %v", rep.Damage)
+	}
+}
+
+// TestUnknownRecordTypeSkipped: a frame with a valid checksum but an
+// unknown type byte (future format version) is skipped and reported,
+// and the records after it still replay.
+func TestUnknownRecordTypeSkipped(t *testing.T) {
+	dir := t.TempDir()
+	var img []byte
+	img = append(img, encodeFrame(99, []byte("future"))...)
+	sub, _ := json.Marshal(submitWire{ID: "j1", Created: t0, Key: "k", State: "queued",
+		Spec: json.RawMessage(`{}`)})
+	img = append(img, encodeFrame(recSubmit, sub)...)
+	if err := os.WriteFile(filepath.Join(dir, logName), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(s.Jobs()) != 1 {
+		t.Errorf("record after unknown type lost: %d jobs", len(s.Jobs()))
+	}
+	if len(rep.Damage) != 1 {
+		t.Errorf("unknown type not reported: %v", rep.Damage)
+	}
+}
+
+// TestEmptyAndTinyLogs covers degenerate journal sizes below one
+// header.
+func TestEmptyAndTinyLogs(t *testing.T) {
+	for size := 0; size < frameHeaderSize; size++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rep, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if size > 0 && rep.DroppedBytes != int64(size) {
+			t.Errorf("size %d: dropped %d", size, rep.DroppedBytes)
+		}
+		s.Close()
+	}
+}

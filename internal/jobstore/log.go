@@ -1,0 +1,151 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing. Every record on disk is one frame:
+//
+//	[4B little-endian length n][4B CRC-32C of the n body bytes][n body bytes]
+//	body = [1B record type][payload]
+//
+// The length covers the body (type byte + payload), never the header.
+// The CRC is computed with the Castagnoli polynomial over the body, so
+// a bit flip anywhere in type or payload is detected. Replay reads
+// frames until the file ends cleanly, a header or body is short (a torn
+// tail from a crash mid-write), or a CRC mismatches (corruption); in
+// the latter two cases the longest valid prefix wins and the damage is
+// reported, never fatal.
+
+// Record types. The payloads are JSON (see store.go); the type byte
+// routes them during replay without parsing.
+const (
+	// recSubmit introduces a job: ID, creation time, cache key, and the
+	// opaque spec the owner needs to re-run the job after a crash.
+	recSubmit = byte(1)
+	// recState is a lifecycle transition of a known job.
+	recState = byte(2)
+	// recResult carries a terminal job's serialized result, keyed by
+	// the job's content-hash cache key for cache rehydration.
+	recResult = byte(3)
+	// recSnapshot is the single record of a snapshot file: the full
+	// store model at compaction time.
+	recSnapshot = byte(4)
+)
+
+// frameHeaderSize is the fixed per-record overhead.
+const frameHeaderSize = 8
+
+// maxRecordBytes guards the decoder against absurd lengths from
+// corrupted headers: a 4-byte length field can claim 4 GiB and make
+// replay allocate it. Records beyond the cap are treated as corruption.
+const maxRecordBytes = 1 << 28 // 256 MiB
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes one record into w.
+func appendFrame(w io.Writer, typ byte, payload []byte) error {
+	body := make([]byte, 1+len(payload))
+	body[0] = typ
+	copy(body[1:], payload)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// encodeFrame renders one record as bytes (appendFrame into a buffer).
+func encodeFrame(typ byte, payload []byte) []byte {
+	buf := make([]byte, frameHeaderSize+1+len(payload))
+	buf[8] = typ
+	copy(buf[9:], payload)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], crcTable))
+	return buf
+}
+
+// Decode errors. errTorn marks a frame cut short by a crash mid-write
+// (recoverable by truncation); errCorrupt marks a checksum or length
+// violation (recoverable by discarding the suffix).
+var (
+	errTorn    = errors.New("jobstore: torn record (short header or body)")
+	errCorrupt = errors.New("jobstore: corrupt record (bad checksum or length)")
+)
+
+// decodeFrame reads one frame from buf and returns the record type, the
+// payload, and the total number of bytes consumed. An empty buf returns
+// (0, nil, 0, io.EOF). A frame whose header or body extends past the
+// buffer returns errTorn; a CRC mismatch or an oversized length returns
+// errCorrupt.
+func decodeFrame(buf []byte) (typ byte, payload []byte, n int, err error) {
+	if len(buf) == 0 {
+		return 0, nil, 0, io.EOF
+	}
+	if len(buf) < frameHeaderSize {
+		return 0, nil, 0, errTorn
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if bodyLen < 1 || bodyLen > maxRecordBytes {
+		return 0, nil, 0, errCorrupt
+	}
+	if len(buf) < frameHeaderSize+bodyLen {
+		return 0, nil, 0, errTorn
+	}
+	body := buf[frameHeaderSize : frameHeaderSize+bodyLen]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return 0, nil, 0, errCorrupt
+	}
+	return body[0], body[1:], frameHeaderSize + bodyLen, nil
+}
+
+// scanResult is the outcome of scanning a log image: the valid records,
+// the byte offset of the end of the longest valid prefix, and what (if
+// anything) stopped the scan.
+type scanResult struct {
+	records []rawRecord
+	// validLen is the offset of the first byte NOT part of a fully
+	// valid record; bytes beyond it are torn or corrupt.
+	validLen int64
+	// damage describes why the scan stopped early; nil for a clean log.
+	damage error
+	// droppedBytes counts the bytes past validLen.
+	droppedBytes int64
+}
+
+// rawRecord is one decoded frame.
+type rawRecord struct {
+	typ     byte
+	payload []byte
+}
+
+// scanLog decodes records from a full log image, stopping at the first
+// torn or corrupt frame. It never fails: damage is reported in the
+// result so the caller can log and truncate.
+func scanLog(buf []byte) scanResult {
+	var res scanResult
+	off := 0
+	for {
+		typ, payload, n, err := decodeFrame(buf[off:])
+		switch {
+		case err == nil:
+			res.records = append(res.records, rawRecord{typ: typ, payload: payload})
+			off += n
+		case errors.Is(err, io.EOF):
+			res.validLen = int64(off)
+			return res
+		default:
+			res.validLen = int64(off)
+			res.droppedBytes = int64(len(buf) - off)
+			res.damage = fmt.Errorf("%w at offset %d (%d bytes dropped)", err, off, res.droppedBytes)
+			return res
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Replay applies the snapshot and log images to the in-memory model.
+// Application is idempotent: a crash between snapshot rename and log
+// truncation leaves records in the log that are already in the
+// snapshot, and replaying them again must be harmless. Submits of known
+// IDs are skipped, transitions out of a terminal state are refused, and
+// results overwrite by ID (last write wins).
+
+// replayLog reads the journal, applies the valid prefix, and truncates
+// torn or corrupt bytes so subsequent appends extend a clean file.
+func (s *Store) replayLog(report *RecoveryReport) error {
+	path := filepath.Join(s.dir, logName)
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: read log: %w", err)
+	}
+	scan := scanLog(buf)
+	for _, rec := range scan.records {
+		s.applyRecord(rec, report)
+	}
+	report.LogRecords = len(scan.records)
+	s.logSize = scan.validLen
+	if scan.damage != nil {
+		report.DroppedBytes += scan.droppedBytes
+		report.Damage = append(report.Damage, fmt.Sprintf("log: %v", scan.damage))
+		if err := os.Truncate(path, scan.validLen); err != nil {
+			return fmt.Errorf("jobstore: truncate damaged log: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRecord routes one decoded record into the model. Malformed
+// payloads (valid CRC but undecodable JSON — only possible through
+// outside interference or version skew) are skipped and reported.
+func (s *Store) applyRecord(rec rawRecord, report *RecoveryReport) {
+	switch rec.typ {
+	case recSubmit:
+		var w submitWire
+		if err := json.Unmarshal(rec.payload, &w); err != nil {
+			report.Damage = append(report.Damage, fmt.Sprintf("submit record: %v", err))
+			return
+		}
+		s.applySubmitLocked(w, report)
+	case recState:
+		var w StateUpdate
+		if err := json.Unmarshal(rec.payload, &w); err != nil {
+			report.Damage = append(report.Damage, fmt.Sprintf("state record: %v", err))
+			return
+		}
+		s.applyStateLocked(w, report)
+	case recResult:
+		var w resultWire
+		if err := json.Unmarshal(rec.payload, &w); err != nil {
+			report.Damage = append(report.Damage, fmt.Sprintf("result record: %v", err))
+			return
+		}
+		s.applyResultLocked(w, report)
+	default:
+		report.Damage = append(report.Damage,
+			fmt.Sprintf("unknown record type %d skipped", rec.typ))
+	}
+}
+
+// applySubmitLocked registers a job; duplicates (log replayed over a
+// snapshot that already contains them) are skipped.
+func (s *Store) applySubmitLocked(w submitWire, report *RecoveryReport) {
+	if _, ok := s.jobs[w.ID]; ok {
+		return
+	}
+	state := w.State
+	if state == "" {
+		state = "queued"
+	}
+	j := &JobRecord{
+		ID: w.ID, Created: w.Created, Key: w.Key, Spec: w.Spec,
+		State: state, Cached: w.Cached,
+	}
+	if terminalState(state) {
+		j.Started, j.Finished = w.Created, w.Created
+	}
+	s.jobs[w.ID] = j
+	s.order = append(s.order, w.ID)
+}
+
+// applyStateLocked applies a lifecycle transition. Terminal states are
+// sticky: a replayed stale transition cannot resurrect a finished job.
+func (s *Store) applyStateLocked(w StateUpdate, report *RecoveryReport) {
+	j, ok := s.jobs[w.ID]
+	if !ok {
+		if report != nil {
+			report.Damage = append(report.Damage,
+				fmt.Sprintf("state record for unknown job %s skipped", w.ID))
+		}
+		return
+	}
+	if terminalState(j.State) && j.State != w.State {
+		return
+	}
+	j.State = w.State
+	j.Error = w.Error
+	if w.Skipped > 0 {
+		j.Skipped = w.Skipped
+	}
+	switch {
+	case w.State == "running":
+		j.Started = w.At
+	case terminalState(w.State):
+		j.Finished = w.At
+	}
+}
+
+// applyResultLocked attaches a terminal result payload; by-ID and
+// by-key indexes point at the latest payload for each.
+func (s *Store) applyResultLocked(w resultWire, report *RecoveryReport) {
+	if _, ok := s.jobs[w.ID]; !ok {
+		if report != nil {
+			report.Damage = append(report.Damage,
+				fmt.Sprintf("result record for unknown job %s skipped", w.ID))
+		}
+		return
+	}
+	if i, ok := s.resultByID[w.ID]; ok { // replayed duplicate
+		s.results[i] = w
+		s.resultByKey[w.Key] = i
+		return
+	}
+	s.results = append(s.results, w)
+	s.resultByID[w.ID] = len(s.results) - 1
+	s.resultByKey[w.Key] = len(s.results) - 1
+}

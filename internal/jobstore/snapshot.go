@@ -1,0 +1,147 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Compaction folds the journal into a snapshot so boot-time replay and
+// disk usage stay bounded by live state instead of append history.
+//
+// Crash-safety of the fold, in order:
+//
+//  1. the full model is written to snapshot.tmp and fsynced,
+//  2. snapshot.tmp is atomically renamed over snapshot.db,
+//  3. the directory is fsynced so the rename is durable,
+//  4. the journal is truncated to zero and restarted.
+//
+// A crash before (2) leaves the old snapshot + full journal: nothing
+// lost. A crash between (2) and (4) leaves the new snapshot plus a
+// journal whose records are already folded in — replay is idempotent,
+// so nothing is lost or doubled.
+
+// snapshotWire is the JSON payload of the single snapshot record.
+type snapshotWire struct {
+	Version int          `json:"version"`
+	Jobs    []*JobRecord `json:"jobs"` // submission order; Result fields unset
+	Results []resultWire `json:"results"`
+}
+
+const snapshotVersion = 1
+
+// maybeCompactLocked compacts when the configured record budget since
+// the last snapshot is exhausted.
+func (s *Store) maybeCompactLocked() error {
+	if s.opts.CompactEvery <= 0 || s.recsSinceSnap < s.opts.CompactEvery {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact forces a snapshot + journal reset.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.closed {
+		return fmt.Errorf("jobstore: store closed")
+	}
+	snap := snapshotWire{Version: snapshotVersion, Results: s.results}
+	for _, id := range s.order {
+		snap.Jobs = append(snap.Jobs, s.jobs[id])
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+
+	tmp := filepath.Join(s.dir, snapTempName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	if err := appendFrame(f, recSnapshot, payload); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	syncDir(s.dir)
+
+	// Restart the journal now that its contents are folded in.
+	if err := s.logF.Truncate(0); err != nil {
+		return fmt.Errorf("jobstore: reset log: %w", err)
+	}
+	if _, err := s.logF.Seek(0, 0); err != nil {
+		return fmt.Errorf("jobstore: reset log: %w", err)
+	}
+	s.logSize = 0
+	s.recsSinceSnap = 0
+	return nil
+}
+
+// syncDir makes a rename durable; failure is non-fatal (the rename is
+// still atomic, only its durability across power loss is weakened).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// loadSnapshot seeds the model from snapshot.db if present and valid.
+// A damaged snapshot is reported and ignored — the journal may still
+// hold everything since the damage, and losing compacted history beats
+// refusing to boot.
+func (s *Store) loadSnapshot(report *RecoveryReport) {
+	buf, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		report.Damage = append(report.Damage, fmt.Sprintf("snapshot: %v", err))
+		return
+	}
+	typ, payload, _, err := decodeFrame(buf)
+	if err != nil || typ != recSnapshot {
+		report.Damage = append(report.Damage,
+			fmt.Sprintf("snapshot damaged (%v), ignored", err))
+		return
+	}
+	var snap snapshotWire
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		report.Damage = append(report.Damage,
+			fmt.Sprintf("snapshot undecodable (%v), ignored", err))
+		return
+	}
+	if snap.Version != snapshotVersion {
+		report.Damage = append(report.Damage,
+			fmt.Sprintf("snapshot version %d unsupported, ignored", snap.Version))
+		return
+	}
+	for _, j := range snap.Jobs {
+		if _, ok := s.jobs[j.ID]; ok {
+			continue
+		}
+		jj := *j
+		s.jobs[j.ID] = &jj
+		s.order = append(s.order, j.ID)
+	}
+	for _, r := range snap.Results {
+		s.applyResultLocked(r, report)
+	}
+	report.SnapshotLoaded = true
+}

@@ -1,0 +1,363 @@
+// Package jobstore is the crash-safe persistence layer under the
+// normalization server's job manager: a write-ahead record log with
+// periodic compaction into a snapshot file. Job submissions, lifecycle
+// transitions, and terminal results are appended as length-prefixed,
+// CRC-checksummed records; on boot the store replays snapshot + log,
+// truncates any torn tail instead of failing, and hands the surviving
+// job and result state back to the server, which re-enqueues whatever
+// was queued or running at crash time.
+//
+// The store is deliberately ignorant of the server's types: job specs
+// and results are opaque byte payloads, states are strings. That keeps
+// the on-disk format stable against server refactors and lets the
+// corruption tests exercise the format in isolation.
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// On-disk layout inside the data directory:
+//
+//	journal.log  — the write-ahead record log since the last snapshot
+//	snapshot.db  — one snapshot record holding the full model
+//	snapshot.tmp — in-flight snapshot (renamed over snapshot.db)
+const (
+	logName      = "journal.log"
+	snapName     = "snapshot.db"
+	snapTempName = "snapshot.tmp"
+)
+
+// Options tunes the store; the zero value is usable.
+type Options struct {
+	// Fsync forces an fsync after every append. Without it, appends
+	// survive process death (the data is in the kernel page cache) but
+	// not power loss or kernel crash.
+	Fsync bool
+	// CompactEvery triggers snapshot compaction after this many log
+	// records (default 1024; negative disables auto-compaction).
+	CompactEvery int
+}
+
+func (o *Options) fill() {
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 1024
+	}
+}
+
+// JobRecord is the persisted form of one job. Spec and Result are
+// opaque to the store — the server encodes and decodes them.
+type JobRecord struct {
+	ID      string          `json:"id"`
+	Created time.Time       `json:"created"`
+	Key     string          `json:"key"` // content-hash cache key
+	Spec    json.RawMessage `json:"spec"`
+
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Cached   bool      `json:"cached,omitempty"`
+	Skipped  int       `json:"skipped,omitempty"` // malformed rows skipped (lenient CSV)
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+
+	// Result is the job's serialized terminal result; nil when the job
+	// produced none (or was answered from the cache — resolve those
+	// through the Key).
+	Result []byte `json:"result,omitempty"`
+}
+
+// CacheEntry is one rehydratable result-cache entry.
+type CacheEntry struct {
+	Key  string
+	Data []byte
+}
+
+// Store is the write-ahead job store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	logF    *os.File
+	logSize int64
+	// recsSinceSnap counts appended records since the last compaction.
+	recsSinceSnap int
+
+	jobs  map[string]*JobRecord
+	order []string
+	// results holds terminal result payloads in append order; jobs
+	// reference them by ID (their own run) or Key (cache hits).
+	results     []resultWire
+	resultByID  map[string]int
+	resultByKey map[string]int
+
+	closed bool
+}
+
+// Wire forms of the log records (JSON payloads behind the type byte).
+type submitWire struct {
+	ID      string          `json:"id"`
+	Created time.Time       `json:"created"`
+	Key     string          `json:"key"`
+	Spec    json.RawMessage `json:"spec"`
+	// A cache-hit submission is born terminal; its submit record
+	// carries the terminal state so no second append is needed.
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// StateUpdate is one lifecycle transition to persist; it doubles as
+// the on-disk wire form of a recState record.
+type StateUpdate struct {
+	ID    string    `json:"id"`
+	State string    `json:"state"`
+	At    time.Time `json:"at"`
+	Error string    `json:"error,omitempty"`
+	// Skipped carries the lenient-CSV skipped-row count so job status
+	// metadata survives a restart alongside the state itself.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+type resultWire struct {
+	ID   string `json:"id"`
+	Key  string `json:"key"`
+	Data []byte `json:"data"`
+}
+
+// RecoveryReport accounts for what Open found on disk: what survived,
+// what was damaged, and what the server must re-run.
+type RecoveryReport struct {
+	// SnapshotLoaded reports whether a valid snapshot seeded the model.
+	SnapshotLoaded bool
+	// LogRecords is the number of valid log records replayed on top.
+	LogRecords int
+	// Jobs is the total number of jobs restored.
+	Jobs int
+	// Incomplete is the number of restored jobs in a non-terminal
+	// state (queued or running at crash time) — the ones to re-run.
+	Incomplete int
+	// Terminal is the number of restored jobs in a terminal state.
+	Terminal int
+	// Results is the number of terminal result payloads restored.
+	Results int
+	// DroppedBytes counts log bytes discarded as torn or corrupt.
+	DroppedBytes int64
+	// Damage lists human-readable descriptions of everything that was
+	// truncated, skipped, or ignored. Empty for a clean boot.
+	Damage []string
+}
+
+// String renders the report as one log line.
+func (r *RecoveryReport) String() string {
+	s := fmt.Sprintf("recovered %d jobs (%d incomplete, %d terminal), %d results",
+		r.Jobs, r.Incomplete, r.Terminal, r.Results)
+	if r.DroppedBytes > 0 {
+		s += fmt.Sprintf("; dropped %d damaged log bytes", r.DroppedBytes)
+	}
+	if len(r.Damage) > 0 {
+		s += fmt.Sprintf("; %d damage reports", len(r.Damage))
+	}
+	return s
+}
+
+// Open creates or reopens the store in dir, replaying snapshot and log.
+// Damage — a torn log tail from a crash mid-write, a corrupt record, an
+// unreadable snapshot — is truncated or skipped and reported, never
+// fatal: the longest valid prefix of the history wins.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		jobs:        make(map[string]*JobRecord),
+		resultByID:  make(map[string]int),
+		resultByKey: make(map[string]int),
+	}
+	report := &RecoveryReport{}
+
+	s.loadSnapshot(report)
+	if err := s.replayLog(report); err != nil {
+		return nil, nil, err
+	}
+
+	// Reopen the log for appending past the valid prefix.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	if _, err := f.Seek(s.logSize, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s.logF = f
+
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if terminalState(j.State) {
+			report.Terminal++
+		} else {
+			report.Incomplete++
+		}
+	}
+	report.Jobs = len(s.order)
+	report.Results = len(s.results)
+	return s, report, nil
+}
+
+// terminalState mirrors the server's State.Terminal without importing
+// its types.
+func terminalState(state string) bool {
+	switch state {
+	case "done", "partial", "cancelled", "failed":
+		return true
+	}
+	return false
+}
+
+// AppendSubmit persists a new job: its identity, spec, and initial
+// state (queued, or a terminal cache-hit state).
+func (s *Store) AppendSubmit(j JobRecord) error {
+	w := submitWire{ID: j.ID, Created: j.Created, Key: j.Key, Spec: j.Spec,
+		State: j.State, Cached: j.Cached}
+	payload, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recSubmit, payload); err != nil {
+		return err
+	}
+	s.applySubmitLocked(w, nil)
+	return s.maybeCompactLocked()
+}
+
+// AppendState persists a lifecycle transition.
+func (s *Store) AppendState(u StateUpdate) error {
+	payload, err := json.Marshal(u)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recState, payload); err != nil {
+		return err
+	}
+	s.applyStateLocked(u, nil)
+	return s.maybeCompactLocked()
+}
+
+// AppendResult persists a terminal result payload for the job.
+func (s *Store) AppendResult(id, key string, data []byte) error {
+	w := resultWire{ID: id, Key: key, Data: data}
+	payload, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recResult, payload); err != nil {
+		return err
+	}
+	s.applyResultLocked(w, nil)
+	return s.maybeCompactLocked()
+}
+
+// appendLocked writes one framed record to the log.
+func (s *Store) appendLocked(typ byte, payload []byte) error {
+	if s.closed {
+		return fmt.Errorf("jobstore: store closed")
+	}
+	frame := encodeFrame(typ, payload)
+	if _, err := s.logF.Write(frame); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.logF.Sync(); err != nil {
+			return fmt.Errorf("jobstore: fsync: %w", err)
+		}
+	}
+	s.logSize += int64(len(frame))
+	s.recsSinceSnap++
+	return nil
+}
+
+// Jobs returns the restored/live job records in submission order, with
+// each job's result payload resolved (by its own run, or through the
+// cache key for cache-hit jobs).
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		j := *s.jobs[id]
+		j.Result = s.resultForLocked(&j)
+		out = append(out, j)
+	}
+	return out
+}
+
+// resultForLocked resolves a job's terminal result payload.
+func (s *Store) resultForLocked(j *JobRecord) []byte {
+	if i, ok := s.resultByID[j.ID]; ok {
+		return s.results[i].Data
+	}
+	// A cache-hit job shares the payload of the run that populated the
+	// cache entry.
+	if j.Cached {
+		if i, ok := s.resultByKey[j.Key]; ok {
+			return s.results[i].Data
+		}
+	}
+	return nil
+}
+
+// CacheEntries returns the rehydratable result-cache entries in append
+// order (oldest first, so LRU insertion preserves recency), one per
+// distinct key, restricted to results of fully-done runs.
+func (s *Store) CacheEntries() []CacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []CacheEntry
+	for _, r := range s.results {
+		j, ok := s.jobs[r.ID]
+		if !ok || j.State != "done" || j.Cached || seen[r.Key] {
+			continue
+		}
+		seen[r.Key] = true
+		out = append(out, CacheEntry{Key: r.Key, Data: r.Data})
+	}
+	return out
+}
+
+// LogSize reports the current journal size in bytes.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logSize
+}
+
+// Close flushes and closes the store. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.logF.Sync(); err != nil {
+		s.logF.Close()
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	return s.logF.Close()
+}

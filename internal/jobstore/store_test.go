@@ -1,0 +1,235 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+// open opens a store in dir and fails the test on error.
+func open(t *testing.T, dir string, opts Options) (*Store, *RecoveryReport) {
+	t.Helper()
+	s, rep, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rep
+}
+
+// seedStore writes a typical history: one finished job with a result,
+// one cache-hit job, one job still queued, one running.
+func seedStore(t *testing.T, s *Store) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := json.RawMessage(`{"csv":"a,b\n1,2\n"}`)
+	must(s.AppendSubmit(JobRecord{ID: "j1", Created: t0, Key: "k1", Spec: spec, State: "queued"}))
+	must(s.AppendState(StateUpdate{ID: "j1", State: "running", At: t0.Add(time.Second), Error: ""}))
+	must(s.AppendState(StateUpdate{ID: "j1", State: "done", At: t0.Add(2 * time.Second), Error: ""}))
+	must(s.AppendResult("j1", "k1", []byte(`{"tables":1}`)))
+	// Cache hit on k1: born terminal, no own result payload.
+	must(s.AppendSubmit(JobRecord{ID: "j2", Created: t0.Add(3 * time.Second),
+		Key: "k1", Spec: spec, State: "done", Cached: true}))
+	// Still queued at "crash".
+	must(s.AppendSubmit(JobRecord{ID: "j3", Created: t0.Add(4 * time.Second),
+		Key: "k3", Spec: spec, State: "queued"}))
+	// Running at "crash".
+	must(s.AppendSubmit(JobRecord{ID: "j4", Created: t0.Add(5 * time.Second),
+		Key: "k4", Spec: spec, State: "queued"}))
+	must(s.AppendState(StateUpdate{ID: "j4", State: "running", At: t0.Add(6 * time.Second), Error: ""}))
+}
+
+// verifySeed asserts the model a seeded store must replay to.
+func verifySeed(t *testing.T, s *Store, rep *RecoveryReport) {
+	t.Helper()
+	jobs := s.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("restored %d jobs, want 4", len(jobs))
+	}
+	byID := make(map[string]JobRecord)
+	order := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		byID[j.ID] = j
+		order = append(order, j.ID)
+	}
+	for i, want := range []string{"j1", "j2", "j3", "j4"} {
+		if order[i] != want {
+			t.Fatalf("submission order = %v", order)
+		}
+	}
+	if j := byID["j1"]; j.State != "done" || string(j.Result) != `{"tables":1}` ||
+		j.Started.IsZero() || j.Finished.IsZero() {
+		t.Errorf("j1 = %+v", j)
+	}
+	if j := byID["j2"]; j.State != "done" || !j.Cached || string(j.Result) != `{"tables":1}` {
+		t.Errorf("j2 (cache hit) = state %s cached %v result %q", j.State, j.Cached, j.Result)
+	}
+	if j := byID["j3"]; j.State != "queued" || j.Result != nil {
+		t.Errorf("j3 = %+v", j)
+	}
+	if j := byID["j4"]; j.State != "running" {
+		t.Errorf("j4 = %+v", j)
+	}
+	if rep.Jobs != 4 || rep.Incomplete != 2 || rep.Terminal != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	entries := s.CacheEntries()
+	if len(entries) != 1 || entries[0].Key != "k1" {
+		t.Errorf("cache entries = %+v", entries)
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if rep.SnapshotLoaded {
+		t.Error("no compaction ran, yet a snapshot loaded")
+	}
+	if len(rep.Damage) != 0 {
+		t.Errorf("clean log reported damage: %v", rep.Damage)
+	}
+	verifySeed(t, s2, rep)
+}
+
+func TestReplayAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LogSize() != 0 {
+		t.Errorf("log size after compaction = %d", s.LogSize())
+	}
+	// More history lands in the fresh journal after the snapshot.
+	if err := s.AppendState(StateUpdate{ID: "j3", State: "running", At: t0.Add(7 * time.Second), Error: ""}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if !rep.SnapshotLoaded {
+		t.Fatal("snapshot not loaded")
+	}
+	jobs := s2.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("restored %d jobs, want 4", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.ID == "j3" && j.State != "running" {
+			t.Errorf("post-snapshot transition lost: j3 = %s", j.State)
+		}
+		if j.ID == "j1" && string(j.Result) != `{"tables":1}` {
+			t.Errorf("result lost across compaction: %q", j.Result)
+		}
+	}
+}
+
+// TestReplayIdempotentAfterCrashBetweenSnapshotAndTruncate simulates a
+// crash after the snapshot rename but before the journal reset: the
+// journal still holds records already folded into the snapshot, and
+// replaying both must not duplicate or resurrect anything.
+func TestReplayIdempotentAfterCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	// Snapshot without resetting the journal = the crash window.
+	logImage, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, logName), logImage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if !rep.SnapshotLoaded {
+		t.Fatal("snapshot not loaded")
+	}
+	verifySeed(t, s2, rep)
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{CompactEvery: 4})
+	seedStore(t, s) // 7 appends > 4
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("auto-compaction did not write a snapshot: %v", err)
+	}
+	s.Close()
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	verifySeed(t, s2, rep)
+}
+
+func TestTerminalStateIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	spec := json.RawMessage(`{}`)
+	s.AppendSubmit(JobRecord{ID: "j1", Created: t0, Key: "k", Spec: spec, State: "queued"})
+	s.AppendState(StateUpdate{ID: "j1", State: "cancelled", At: t0.Add(time.Second), Error: "context canceled"})
+	// A stale transition (e.g. a racing worker's record) must not
+	// resurrect the job on replay.
+	s.AppendState(StateUpdate{ID: "j1", State: "running", At: t0.Add(2 * time.Second), Error: ""})
+	s.Close()
+
+	s2, _ := open(t, dir, Options{})
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if jobs[0].State != "cancelled" || jobs[0].Error != "context canceled" {
+		t.Errorf("terminal state not sticky: %+v", jobs[0])
+	}
+}
+
+func TestFsyncOptionAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{Fsync: true})
+	seedStore(t, s)
+	s.Close()
+	s2, rep := open(t, dir, Options{Fsync: true})
+	defer s2.Close()
+	verifySeed(t, s2, rep)
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	s, rep := open(t, t.TempDir(), Options{})
+	defer s.Close()
+	if rep.Jobs != 0 || len(rep.Damage) != 0 || rep.SnapshotLoaded {
+		t.Errorf("empty dir report = %+v", rep)
+	}
+	if len(s.Jobs()) != 0 {
+		t.Error("jobs in empty store")
+	}
+}
+
+func TestClosedStoreRejectsAppends(t *testing.T) {
+	s, _ := open(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.AppendState(StateUpdate{ID: "x", State: "done", At: t0, Error: ""}); err == nil {
+		t.Error("append after close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

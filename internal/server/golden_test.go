@@ -1,0 +1,82 @@
+package server
+
+// Golden-file tests for the ?format=sql result rendering: the full DDL
+// the server emits for the TPC-H and MusicBrainz generator datasets is
+// pinned byte-for-byte under testdata/. The generators, the pipeline,
+// and the SQL rendering are all deterministic for a fixed seed, so any
+// diff here is a real behavior change — inspect it, then refresh with
+//
+//	go test ./internal/server -run TestGoldenDDL -update
+//
+// and review the golden diff like any other code change.
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenDDL submits the job, waits for it, and returns the ?format=sql
+// result body.
+func goldenDDL(t *testing.T, body string) string {
+	t.Helper()
+	s := testServer(t, Config{Workers: 2})
+	h := s.Handler()
+	st := submit(t, h, body)
+	waitTerminal(t, h, st.ID)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result?format=sql", nil))
+	if rr.Code != 200 {
+		t.Fatalf("result: %d %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	return rr.Body.String()
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("DDL drifted from %s.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestGoldenDDLTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generator-backed golden test")
+	}
+	ddl := goldenDDL(t,
+		`{"dataset":{"generator":"tpch","scale":0.0001,"seed":1},"options":{"max_lhs":3}}`)
+	checkGolden(t, "tpch_sf0.0001_seed1", ddl)
+}
+
+func TestGoldenDDLMusicBrainz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generator-backed golden test")
+	}
+	ddl := goldenDDL(t,
+		`{"dataset":{"generator":"musicbrainz","artists":8,"seed":1},"options":{"max_lhs":3}}`)
+	checkGolden(t, "musicbrainz_a8_seed1", ddl)
+}

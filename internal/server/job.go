@@ -122,6 +122,7 @@ type Job struct {
 	spec *jobSpec
 	bus  *bus
 	rec  *normalize.RecordingObserver
+	p    *persister // write-ahead persistence (nil-safe)
 
 	mu              sync.Mutex
 	state           State
@@ -186,13 +187,16 @@ func (j *Job) Result() (*normalize.Result, error) {
 // requested first; it reports whether the job should run.
 func (j *Job) markRunning(cancel context.CancelFunc) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.cancelRequested || j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	started := j.started
+	j.mu.Unlock()
+	j.p.state(j.ID, StateRunning, started, "", 0)
 	j.bus.publish(eventState, stateEventData{ID: j.ID, State: StateRunning})
 	return true
 }
@@ -206,6 +210,8 @@ func (j *Job) finish(state State, res *normalize.Result, err error) {
 	j.res = res
 	j.err = err
 	j.cancel = nil
+	finished := j.finished
+	skipped := j.skippedRows
 	data := stateEventData{ID: j.ID, State: state}
 	if err != nil {
 		data.Error = err.Error()
@@ -215,6 +221,13 @@ func (j *Job) finish(state State, res *normalize.Result, err error) {
 		data.Degradations = len(res.Degradations)
 	}
 	j.mu.Unlock()
+	// Write-ahead order: the result payload lands before the terminal
+	// state record. A crash between the two leaves an orphan result the
+	// re-run overwrites — never a terminal job missing its result.
+	if res != nil {
+		j.p.result(j.ID, j.spec.key, res)
+	}
+	j.p.state(j.ID, state, finished, data.Error, skipped)
 	j.bus.publish(eventState, data)
 	j.bus.close()
 }
@@ -236,7 +249,9 @@ func (j *Job) Cancel() bool {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.err = context.Canceled
+		finished := j.finished
 		j.mu.Unlock()
+		j.p.state(j.ID, StateCancelled, finished, context.Canceled.Error(), 0)
 		j.bus.publish(eventState, stateEventData{
 			ID: j.ID, State: StateCancelled, Error: context.Canceled.Error(),
 		})
@@ -264,6 +279,7 @@ var (
 type manager struct {
 	queue chan *Job
 	cache *resultCache
+	p     *persister // write-ahead persistence hooks (nil-safe)
 
 	// enqueueMu serializes queue sends against closing the queue at
 	// drain time (a send on a closed channel panics).
@@ -281,15 +297,28 @@ type manager struct {
 	observer normalize.Observer // server-wide metrics sink (may be nil)
 }
 
-func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observer) *manager {
+func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observer, p *persister) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
-		queue:      make(chan *Job, queueDepth),
 		cache:      newResultCache(cacheEntries),
+		p:          p,
 		jobs:       make(map[string]*Job),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		observer:   metrics,
+	}
+	// Restore persisted jobs before the queue exists and the workers
+	// start: the incomplete ones re-enqueue ahead of any new submission,
+	// and the queue must hold all of them even if there are more than
+	// queueDepth (re-runs must never be dropped as "queue full").
+	requeue := m.restore()
+	depth := queueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	m.queue = make(chan *Job, depth)
+	for _, job := range requeue {
+		m.queue <- job
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -308,6 +337,7 @@ func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observe
 // cache with an immediately-done job.
 func (m *manager) Submit(spec *jobSpec) (*Job, error) {
 	job := newJob(spec)
+	job.p = m.p
 
 	if res, ok := m.cache.get(spec.key); ok {
 		job.mu.Lock()
@@ -317,6 +347,10 @@ func (m *manager) Submit(spec *jobSpec) (*Job, error) {
 		job.res = res
 		job.cached = true
 		job.mu.Unlock()
+		// A cache hit is born terminal; its submit record carries the
+		// terminal state, and its result resolves through the cache key
+		// to the record of the run that populated the entry.
+		m.p.submit(job, spec, StateDone, true)
 		job.bus.publish(eventState, stateEventData{
 			ID: job.ID, State: StateDone, Cached: true, Tables: len(res.Tables),
 		})
@@ -330,14 +364,19 @@ func (m *manager) Submit(spec *jobSpec) (*Job, error) {
 		m.enqueueMu.Unlock()
 		return nil, ErrDraining
 	}
-	select {
-	case m.queue <- job:
-		m.enqueueMu.Unlock()
-	default:
+	if len(m.queue) == cap(m.queue) {
 		m.enqueueMu.Unlock()
 		return nil, ErrQueueFull
 	}
+	// The submit record must land in the log before a worker can touch
+	// the job — otherwise a crash could persist a running transition for
+	// a job the log never saw born. enqueueMu serializes all sends, and
+	// workers only drain, so the capacity check above guarantees the
+	// send cannot block.
+	m.p.submit(job, spec, StateQueued, false)
 	m.store(job)
+	m.queue <- job
+	m.enqueueMu.Unlock()
 	job.bus.publish(eventState, stateEventData{ID: job.ID, State: StateQueued})
 	return job, nil
 }

@@ -1,0 +1,348 @@
+package server
+
+// In-process persistence tests: a server (or bare manager) is stopped
+// and a fresh one opened on the same data directory, which must restore
+// terminal jobs queryable, re-enqueue incomplete ones, and rehydrate
+// the result cache. The child-process SIGKILL harness in cmd/normalized
+// covers the same guarantees across a real crash.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"normalize/internal/jobstore"
+)
+
+// specFor validates a CSV jobRequest into a jobSpec.
+func specFor(t *testing.T, csv string) *jobSpec {
+	t.Helper()
+	spec, err := buildSpec(&jobRequest{Name: "address", CSV: csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSpecEncodeDecodeRoundTrip(t *testing.T) {
+	reqs := []*jobRequest{
+		{Name: "address", CSV: addressCSV, Lenient: true,
+			Options: optionsSpec{Mode: "3nf", Closure: "improved", MaxLhs: 3, TimeoutMS: 500}},
+		{Dataset: &datasetSpec{Generator: "tpch", Scale: 0.0001, Seed: 7},
+			Options: optionsSpec{Mode: "2nf", Closure: "naive", MaxRows: 100}},
+		{Dataset: &datasetSpec{Generator: "musicbrainz", Artists: 4, Seed: 2}},
+	}
+	for i, req := range reqs {
+		spec, err := buildSpec(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := encodeSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := decodeSpec(raw)
+		if err != nil {
+			t.Fatalf("req %d: decode: %v", i, err)
+		}
+		// The recomputed cache key is a content hash over every
+		// result-relevant field — equal keys mean the round trip
+		// preserved the whole spec.
+		if back.key != spec.key {
+			t.Errorf("req %d: key changed across round trip:\n%+v\n%+v", i, spec, back)
+		}
+	}
+	if _, err := decodeSpec(json.RawMessage(`{"csv":""}`)); err == nil {
+		t.Error("empty spec decoded")
+	}
+	if _, err := decodeSpec(json.RawMessage(`garbage`)); err == nil {
+		t.Error("garbage spec decoded")
+	}
+}
+
+func TestRestartRestoresTerminalJobsAndCache(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, MetricsName: "-"}
+
+	s1 := testServer(t, cfg)
+	h1 := s1.Handler()
+	done := submit(t, h1, csvBody(addressCSV, ""))
+	waitTerminal(t, h1, done.ID)
+	hit := submit(t, h1, csvBody(addressCSV, "")) // cache hit, born terminal
+	if !hit.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", hit)
+	}
+	rr := httptest.NewRecorder()
+	h1.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+done.ID+"/result", nil))
+	var before resultPayload
+	if err := json.Unmarshal(rr.Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s1.Shutdown(ctx)
+
+	s2 := testServer(t, cfg)
+	h2 := s2.Handler()
+	rep := s2.RecoveryReport()
+	if rep == nil || rep.Jobs != 2 || rep.Incomplete != 0 {
+		t.Fatalf("recovery report = %+v", rep)
+	}
+
+	// Both jobs survive under their original IDs and states.
+	for _, id := range []string{done.ID, hit.ID} {
+		st := getStatus(t, h2, id)
+		if st.State != StateDone {
+			t.Errorf("job %s restored as %s", id, st.State)
+		}
+	}
+	if st := getStatus(t, h2, hit.ID); !st.Cached {
+		t.Error("cache-hit job lost its cached mark")
+	}
+
+	// The result endpoint serves the persisted payload unchanged.
+	rr = httptest.NewRecorder()
+	h2.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+done.ID+"/result", nil))
+	var after resultPayload
+	if err := json.Unmarshal(rr.Body.Bytes(), &after); err != nil {
+		t.Fatalf("decode restored result: %v: %s", err, rr.Body.String())
+	}
+	if string(after.Schema) != string(before.Schema) || after.DDL != before.DDL {
+		t.Errorf("restored result differs:\nbefore %s\nafter  %s", before.Schema, after.Schema)
+	}
+	// The cache-hit job resolves the same payload through its key.
+	rr = httptest.NewRecorder()
+	h2.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+hit.ID+"/result", nil))
+	var hitRes resultPayload
+	if err := json.Unmarshal(rr.Body.Bytes(), &hitRes); err != nil {
+		t.Fatal(err)
+	}
+	if hitRes.DDL != before.DDL {
+		t.Error("cache-hit job's restored result differs from the original run")
+	}
+
+	// SSE replay still terminates: the restored bus holds the terminal
+	// event and is closed, so the stream completes immediately.
+	rr = httptest.NewRecorder()
+	h2.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+done.ID+"/events", nil))
+	if body := rr.Body.String(); !containsSSEState(body, string(StateDone)) {
+		t.Errorf("restored SSE stream lacks terminal event: %q", body)
+	}
+
+	// The rehydrated cache answers a fresh identical submission without
+	// recomputing.
+	again := submit(t, h2, csvBody(addressCSV, ""))
+	if !again.Cached || again.State != StateDone {
+		t.Errorf("post-restart submission missed the warmed cache: %+v", again)
+	}
+}
+
+// containsSSEState reports whether an SSE body carries a state event
+// with the given state value.
+func containsSSEState(body, state string) bool {
+	var data struct {
+		State string `json:"state"`
+	}
+	for _, line := range splitLines(body) {
+		if len(line) > 6 && line[:6] == "data: " {
+			if json.Unmarshal([]byte(line[6:]), &data) == nil && data.State == state {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// TestRestartRequeuesIncompleteJobs drives the manager directly: with
+// zero workers, submissions persist but never run — the in-process
+// stand-in for a crash with a full queue. The next manager on the same
+// directory must re-enqueue and run every one of them exactly once.
+func TestRestartRequeuesIncompleteJobs(t *testing.T) {
+	dir := t.TempDir()
+	st1, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := newManager(0, 8, 8, nil, &persister{store: st1, logf: t.Logf})
+	specs := []string{
+		addressCSV,
+		"A,B\n1,2\n3,4\n",
+		"X,Y,Z\na,b,c\na,b,d\n",
+	}
+	ids := make([]string, len(specs))
+	for i, csv := range specs {
+		job, err := m1.Submit(specFor(t, csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = job.ID
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incomplete != len(specs) {
+		t.Fatalf("recovery: %+v", rep)
+	}
+	m2 := newManager(2, 8, 8, nil, &persister{store: st2, logf: t.Logf})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+		st2.Close()
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		job, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		for !job.State().Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never re-ran (state %s)", id, job.State())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if s := job.State(); s != StateDone {
+			t.Errorf("re-run job %s = %s", id, s)
+		}
+	}
+	if got := len(m2.Jobs()); got != len(specs) {
+		t.Errorf("restart duplicated jobs: %d, want %d", got, len(specs))
+	}
+}
+
+// TestRestartRequeuesMoreJobsThanQueueDepth: re-runs must never be
+// dropped as "queue full" — the restored queue grows to hold them all.
+func TestRestartRequeuesMoreJobsThanQueueDepth(t *testing.T) {
+	dir := t.TempDir()
+	st1, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := newManager(0, 16, 0, nil, &persister{store: st1, logf: t.Logf})
+	const n = 6
+	for i := 0; i < n; i++ {
+		csv := "A,B\n" + string(rune('a'+i)) + ",x\n"
+		if _, err := m1.Submit(specFor(t, csv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1.Close()
+
+	st2, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newManager(1, 2, 0, nil, &persister{store: st2, logf: t.Logf}) // depth 2 < 6 restored
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+		st2.Close()
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, job := range m2.Jobs() {
+		for !job.State().Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("restored job %s stuck in %s", job.ID, job.State())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestRestoreUndecodableSpecFailsJob: an incomplete job whose persisted
+// spec no longer decodes is restored as failed — visible and
+// diagnosable, not silently dropped, and not retried on the next boot.
+func TestRestoreUndecodableSpecFailsJob(t *testing.T) {
+	dir := t.TempDir()
+	st1, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.AppendSubmit(jobstore.JobRecord{
+		ID: "jbad", Created: time.Now(), Key: "k",
+		Spec: json.RawMessage(`{"csv":""}`), State: "queued",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	cfg := Config{DataDir: dir, MetricsName: "-"}
+	s := testServer(t, cfg)
+	st := getStatus(t, s.Handler(), "jbad")
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("undecodable job restored as %+v", st)
+	}
+
+	// The failure was persisted: the next boot sees it terminal.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	st3, rep, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if rep.Incomplete != 0 || rep.Terminal != 1 {
+		t.Errorf("failed restore not persisted: %+v", rep)
+	}
+}
+
+// TestPersistedCancelSurvivesRestart: cancelling a queued job writes a
+// terminal record; the restart must not resurrect or re-run it.
+func TestPersistedCancelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := newManager(0, 8, 0, nil, &persister{store: st1, logf: t.Logf})
+	job, err := m1.Submit(specFor(t, addressCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Cancel() {
+		t.Fatal("cancel of queued job failed")
+	}
+	st1.Close()
+
+	st2, rep, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incomplete != 0 || rep.Terminal != 1 {
+		t.Fatalf("cancelled job not terminal on disk: %+v", rep)
+	}
+	m2 := newManager(1, 8, 0, nil, &persister{store: st2, logf: t.Logf})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+		st2.Close()
+	}()
+	got, ok := m2.Get(job.ID)
+	if !ok || got.State() != StateCancelled {
+		t.Fatalf("cancelled job restored as %v (found %v)", got.State(), ok)
+	}
+}

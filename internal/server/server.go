@@ -35,6 +35,7 @@ import (
 	"normalize"
 	"normalize/internal/export"
 	"normalize/internal/guard"
+	"normalize/internal/jobstore"
 )
 
 // Config bounds the server's resources; zero values select defaults.
@@ -54,6 +55,17 @@ type Config struct {
 	// under this expvar name (default "normalize_stages"; "-" skips
 	// registration, for processes embedding several servers).
 	MetricsName string
+	// DataDir, when non-empty, makes job state crash-safe: submissions,
+	// lifecycle transitions, and terminal results are appended to a
+	// write-ahead log in this directory, and a restart replays it —
+	// re-enqueueing whatever was queued or running, rehydrating the
+	// result cache, and keeping terminal jobs queryable. Empty keeps
+	// the server fully in-memory.
+	DataDir string
+	// Fsync forces an fsync after every log append. Without it, job
+	// state survives process death (SIGKILL included) but not power
+	// loss or kernel crash.
+	Fsync bool
 	// Logf receives one line per request and per recovered panic; nil
 	// disables request logging.
 	Logf func(format string, args ...any)
@@ -81,15 +93,20 @@ func (c *Config) fill() {
 // pool behind it. Create with New, serve via Handler, stop with
 // Shutdown.
 type Server struct {
-	cfg     Config
-	m       *manager
-	metrics *normalize.MetricsPublisher
-	mux     *http.ServeMux
+	cfg      Config
+	m        *manager
+	metrics  *normalize.MetricsPublisher
+	mux      *http.ServeMux
+	store    *jobstore.Store
+	recovery *jobstore.RecoveryReport
 }
 
 // New builds a server and starts its worker pool. The per-stage
 // metrics aggregate across all jobs and are registered in expvar under
-// cfg.MetricsName.
+// cfg.MetricsName. With cfg.DataDir set, New first replays the
+// persisted job state from disk; jobs that were queued or running when
+// the previous process died re-enter the queue before any new
+// submission is accepted.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{cfg: cfg, metrics: &normalize.MetricsPublisher{}}
@@ -98,7 +115,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, s.metrics)
+	var p *persister
+	if cfg.DataDir != "" {
+		store, report, err := jobstore.Open(cfg.DataDir, jobstore.Options{Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("server: open job store: %w", err)
+		}
+		s.store, s.recovery = store, report
+		p = &persister{store: store, logf: cfg.Logf}
+	}
+	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, s.metrics, p)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -131,10 +157,21 @@ func (s *Server) Handler() http.Handler {
 
 // Shutdown drains the server: readiness flips to 503, new submissions
 // are rejected, in-flight jobs get until ctx ends to finish, then the
-// stragglers are cancelled (salvaging partial results) and the worker
-// pool exits.
+// stragglers are cancelled (salvaging partial results), the worker
+// pool exits, and the job store is flushed and closed.
 func (s *Server) Shutdown(ctx context.Context) {
 	s.m.Shutdown(ctx)
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.logf("server: close job store: %v", err)
+		}
+	}
+}
+
+// RecoveryReport returns what New recovered from cfg.DataDir, or nil
+// when the server runs without persistence.
+func (s *Server) RecoveryReport() *jobstore.RecoveryReport {
+	return s.recovery
 }
 
 func (s *Server) logf(format string, args ...any) {
