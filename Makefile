@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race vet bench-baseline clean
+.PHONY: check test race vet bench-baseline bench-pipeline clean
 
 check: vet
 	$(GO) build ./...
@@ -29,5 +29,16 @@ bench-baseline:
 		./internal/server/ | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_server.json
 	@echo "wrote BENCH_server.json"
 
+# bench-pipeline snapshots the discovery/normalization hot paths —
+# validation worker counts, shared-substrate reuse, and the end-to-end
+# pipeline — into a machine-readable baseline. The worker-count series
+# only spreads on multi-core hosts; the substrate and allocation wins
+# show everywhere.
+bench-pipeline:
+	$(GO) test -run '^$$' -bench 'HyFDWorkers|HyFDSubstrate|NormalizeWorkers|Figure3TPCH' \
+		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
+		. | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
+
 clean:
-	rm -f BENCH_server.json
+	rm -f BENCH_server.json BENCH_pipeline.json

@@ -10,6 +10,7 @@ package normalize
 // so a full `go test -bench=. -benchmem` run stays in the minutes.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"normalize/internal/eval"
 	"normalize/internal/fd"
 	"normalize/internal/keys"
+	"normalize/internal/plicache"
 	"normalize/internal/scoring"
 	"normalize/internal/settrie"
 	"normalize/internal/violation"
@@ -349,6 +351,62 @@ func BenchmarkAblationUCCAlgorithms(b *testing.B) {
 			ucc.DiscoverHybrid(rel, ucc.Options{})
 		}
 	})
+}
+
+// --- Parallel validation + shared substrate ---------------------------
+
+// BenchmarkHyFDWorkers measures discovery with explicit validation
+// worker counts. On a single-core host the counts coincide; on
+// multi-core machines this is the speedup curve of the validation pool.
+func BenchmarkHyFDWorkers(b *testing.B) {
+	rel := mustDS(b)(datagen.TPCH(0.0002, 1)).Denormalized
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hyfd.Discover(rel, hyfd.Options{MaxLhs: 3, Parallel: true, Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkHyFDSubstrate isolates the shared-substrate win: discovery
+// that builds its own dictionary encoding and column PLIs versus
+// discovery handed a pre-built plicache substrate (as the pipeline does
+// for every table it processes).
+func BenchmarkHyFDSubstrate(b *testing.B) {
+	rel := mustDS(b)(datagen.TPCH(0.0002, 1)).Denormalized
+	b.Run("own", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hyfd.Discover(rel, hyfd.Options{MaxLhs: 3, Parallel: true})
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		sub, err := plicache.Build(context.Background(), rel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hyfd.Discover(rel, hyfd.Options{MaxLhs: 3, Parallel: true, Substrate: sub})
+		}
+	})
+}
+
+// BenchmarkNormalizeWorkers measures the full pipeline — discovery,
+// closure, key derivation, decomposition, key selection — under
+// explicit worker counts, exercising the substrate cache and the
+// concurrent worklist pre-analysis end to end.
+func BenchmarkNormalizeWorkers(b *testing.B) {
+	ds := mustDS(b)(datagen.TPCH(0.0002, 1))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NormalizeRelation(ds.Denormalized, core.Options{MaxLhs: 3, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- End-to-end pipeline ----------------------------------------------

@@ -10,6 +10,7 @@ import (
 	"normalize/internal/discovery/bruteforce"
 	"normalize/internal/discovery/mvd"
 	"normalize/internal/observe"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 )
 
@@ -110,11 +111,17 @@ func firstViolatingMVD(ctx context.Context, rel *relation.Relation, opts FourNFO
 	if n < 3 {
 		return nil, nil // no non-trivial bipartition can violate 4NF
 	}
-	mvds, err := mvd.DiscoverContext(ctx, rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs, Budget: opts.Budget})
+	// One dictionary encoding serves both the MVD discovery and the
+	// superkey checks below (previously each encoded the instance anew).
+	sub, err := plicache.Build(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
-	enc := rel.Encode()
+	enc := sub.Encoded()
+	mvds, err := mvd.DiscoverContext(ctx, rel, mvd.Options{MaxLhs: opts.MaxLhs, MaxAttrs: opts.MaxAttrs, Budget: opts.Budget, Encoded: enc})
+	if err != nil {
+		return nil, err
+	}
 	var best *mvd.MVD
 	for _, m := range mvds {
 		if m.Rhs.IsEmpty() || m.Complement.IsEmpty() {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"normalize/internal/bitset"
@@ -13,6 +14,7 @@ import (
 	"normalize/internal/fd"
 	"normalize/internal/keys"
 	"normalize/internal/observe"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/scoring"
 	"normalize/internal/violation"
@@ -42,7 +44,12 @@ type Options struct {
 	// MaxLhs prunes discovered FDs to left-hand sides of at most this
 	// size (0 = unbounded); Section 4.3's memory safeguard.
 	MaxLhs int
-	// Workers bounds closure/discovery parallelism (0 = GOMAXPROCS).
+	// Workers bounds the run's parallelism: closure computation, the
+	// candidate-validation worker pools of FD discovery, and the
+	// concurrent pre-analysis (key derivation plus violation detection)
+	// of independent worklist tables. 0 means GOMAXPROCS; 1 forces a
+	// fully serial run. Results are identical for every worker count —
+	// parallel stages merge their verdicts deterministically.
 	Workers int
 	// Closure selects the closure algorithm (optimized by default).
 	Closure ClosureAlgorithm
@@ -155,12 +162,16 @@ func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts 
 		decider = AutoDecider{}
 	}
 	p := &run{
-		opts:    opts,
-		obs:     observe.Or(opts.Observer),
-		decider: decider,
-		tr:      opts.Budget.tracker(),
-		res:     &Result{},
+		opts:     opts,
+		obs:      observe.Or(opts.Observer),
+		decider:  decider,
+		tr:       opts.Budget.tracker(),
+		res:      &Result{},
+		cache:    plicache.NewCache(),
+		workers:  effectiveWorkers(opts.Workers),
+		analyses: make(map[*Table]*analysis),
 	}
+	p.sem = make(chan struct{}, p.workers)
 	p.res.Stats.Attrs = rel.NumAttrs()
 	p.res.Stats.Records = rel.NumRows()
 
@@ -186,9 +197,87 @@ type run struct {
 	tr      *budget.Tracker
 	res     *Result
 
+	// cache is the run's shared PLI/encoding substrate: every stage that
+	// profiles a relation instance — FD discovery, primary-key UCC
+	// discovery — draws its dictionary encoding and single-column PLIs
+	// from here, and decomposition registers the children's substrates
+	// derived from the parent's codes instead of re-encoding strings.
+	cache *plicache.Cache
+	// workers is the resolved parallelism (Options.Workers or GOMAXPROCS).
+	workers int
+	// analyses holds the asynchronously precomputed key-derivation and
+	// violation-detection results of enqueued worklist tables; sem
+	// bounds their concurrency to workers.
+	analyses map[*Table]*analysis
+	sem      chan struct{}
+
 	// firstStageErr remembers the first tolerated stage crash so a run
 	// that continued past per-table panics still reports them.
 	firstStageErr *StageError
+}
+
+// effectiveWorkers resolves Options.Workers: 0 means GOMAXPROCS.
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// analysis is the asynchronously precomputed per-table work of the
+// decomposition loop: key derivation and violation detection depend
+// only on the table's own FDs and constraints, so independent worklist
+// tables can be analyzed concurrently while the coordinator decomposes
+// another. Results are folded back in pop order, and all observer
+// traffic stays on the coordinating goroutine, so instrumentation and
+// outcomes are identical to the serial loop.
+type analysis struct {
+	done    chan struct{}
+	keys    []*bitset.Set
+	keysDur time.Duration
+	keysErr error // stage-attributed panic from key derivation
+	viol    []*fd.FD
+	violDur time.Duration
+	violErr error // stage-attributed panic from violation detection
+}
+
+// analyze schedules the pre-analysis of an enqueued worklist table on
+// the bounded pool. Serial runs (workers == 1) skip it entirely; the
+// loop then computes both stages inline exactly as before.
+func (p *run) analyze(t *Table) {
+	if p.workers <= 1 {
+		return
+	}
+	a := &analysis{done: make(chan struct{})}
+	p.analyses[t] = a
+	go func() {
+		defer close(a.done)
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		start := time.Now()
+		a.keysErr = runStage(observe.KeyDerivation, func() error {
+			a.keys = keys.Derive(t.FDs, t.Attrs)
+			return nil
+		})
+		a.keysDur = time.Since(start)
+		if a.keysErr != nil {
+			return
+		}
+		start = time.Now()
+		a.violErr = runStage(observe.Violation, func() error {
+			a.viol = violation.Detect(violation.Input{
+				FDs:         t.FDs,
+				Keys:        a.keys,
+				RelAttrs:    t.Attrs,
+				NullAttrs:   t.NullAttrs,
+				PrimaryKey:  t.PrimaryKey,
+				ForeignKeys: foreignKeySets(t),
+				Mode:        p.opts.Mode,
+			})
+			return nil
+		})
+		a.violDur = time.Since(start)
+	}()
 }
 
 func (p *run) degrade(stage observe.Stage, resource, action, detail string) {
@@ -259,20 +348,49 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 		t := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 
-		var start time.Time
-		kerr := runStage(observe.KeyDerivation, func() error {
-			obs.StageStart(observe.KeyDerivation)
-			start = time.Now()
-			t.Keys = keys.Derive(t.FDs, t.Attrs)
-			if firstKey {
-				res.Stats.KeyDerivation = time.Since(start)
-				res.Stats.NumFDKeys = len(t.Keys)
-				firstKey = false
+		// Collect the table's precomputed analysis, if one was scheduled.
+		a := p.analyses[t]
+		if a != nil {
+			delete(p.analyses, t)
+			select {
+			case <-a.done:
+			case <-done:
+				return p.partial(observe.KeyDerivation, ctx.Err(), append([]*Table{t}, worklist...)...)
 			}
-			obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
-			obs.StageFinish(observe.KeyDerivation, time.Since(start))
-			return nil
-		})
+		}
+
+		var start time.Time
+		var kerr error
+		if a != nil {
+			// Replay the precomputed result with the serial loop's exact
+			// observer protocol: a crashed stage leaves its span open
+			// (interrupted), a finished one reports the measured duration.
+			obs.StageStart(observe.KeyDerivation)
+			if kerr = a.keysErr; kerr == nil {
+				t.Keys = a.keys
+				if firstKey {
+					res.Stats.KeyDerivation = a.keysDur
+					res.Stats.NumFDKeys = len(t.Keys)
+					firstKey = false
+				}
+				obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
+				obs.StageFinish(observe.KeyDerivation, a.keysDur)
+			}
+		} else {
+			kerr = runStage(observe.KeyDerivation, func() error {
+				obs.StageStart(observe.KeyDerivation)
+				start = time.Now()
+				t.Keys = keys.Derive(t.FDs, t.Attrs)
+				if firstKey {
+					res.Stats.KeyDerivation = time.Since(start)
+					res.Stats.NumFDKeys = len(t.Keys)
+					firstKey = false
+				}
+				obs.Counter(observe.KeyDerivation, observe.CounterKeysDerived, int64(len(t.Keys)))
+				obs.StageFinish(observe.KeyDerivation, time.Since(start))
+				return nil
+			})
+		}
 		if p.acceptOnCrash(kerr, t) {
 			continue
 		} else if kerr != nil {
@@ -280,26 +398,40 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 		}
 
 		var viol []*fd.FD
-		verr := runStage(observe.Violation, func() error {
+		var verr error
+		if a != nil {
 			obs.StageStart(observe.Violation)
-			start = time.Now()
-			viol = violation.Detect(violation.Input{
-				FDs:         t.FDs,
-				Keys:        t.Keys,
-				RelAttrs:    t.Attrs,
-				NullAttrs:   t.NullAttrs,
-				PrimaryKey:  t.PrimaryKey,
-				ForeignKeys: foreignKeySets(t),
-				Mode:        p.opts.Mode,
-			})
-			if firstViolation {
-				res.Stats.Violation = time.Since(start)
-				firstViolation = false
+			if verr = a.violErr; verr == nil {
+				viol = a.viol
+				if firstViolation {
+					res.Stats.Violation = a.violDur
+					firstViolation = false
+				}
+				obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
+				obs.StageFinish(observe.Violation, a.violDur)
 			}
-			obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
-			obs.StageFinish(observe.Violation, time.Since(start))
-			return nil
-		})
+		} else {
+			verr = runStage(observe.Violation, func() error {
+				obs.StageStart(observe.Violation)
+				start = time.Now()
+				viol = violation.Detect(violation.Input{
+					FDs:         t.FDs,
+					Keys:        t.Keys,
+					RelAttrs:    t.Attrs,
+					NullAttrs:   t.NullAttrs,
+					PrimaryKey:  t.PrimaryKey,
+					ForeignKeys: foreignKeySets(t),
+					Mode:        p.opts.Mode,
+				})
+				if firstViolation {
+					res.Stats.Violation = time.Since(start)
+					firstViolation = false
+				}
+				obs.Counter(observe.Violation, observe.CounterViolationsFound, int64(len(viol)))
+				obs.StageFinish(observe.Violation, time.Since(start))
+				return nil
+			})
+		}
 		if p.acceptOnCrash(verr, t) {
 			continue
 		} else if verr != nil {
@@ -351,12 +483,15 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 			if err != nil {
 				return err // span stays open: interrupted
 			}
+			p.deriveChildSubstrates(t, r1, r2)
 			rows := int64(r1.Data.NumRows() + r2.Data.NumRows())
 			res.Stats.Decompositions++
 			obs.Counter(observe.Decomposition, observe.CounterDecompositions, 1)
 			obs.Counter(observe.Decomposition, observe.CounterRowsMaterialized, rows)
 			obs.StageFinish(observe.Decomposition, time.Since(start))
 			worklist = append(worklist, r1, r2)
+			p.analyze(r1)
+			p.analyze(r2)
 			// The two projections retain their materialized instances;
 			// approximate a string header per cell.
 			return p.tr.Grow(16 * rows * int64(t.Data.NumAttrs()))
@@ -389,7 +524,7 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 			if t.PrimaryKey != nil {
 				continue
 			}
-			if err := selectPrimaryKey(ctx, t, p.decider, p.opts.Observer, p.tr); err != nil {
+			if err := selectPrimaryKey(ctx, t, p.decider, p.opts.Observer, p.tr, p.cache); err != nil {
 				if ex, ok := isBudgetTrip(err); ok {
 					// Keys are decorative at this point — the schema is
 					// final — so a trip skips the remaining tables.
@@ -412,10 +547,43 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 		}
 	}
 
+	p.flushCacheStats()
 	if p.firstStageErr != nil {
 		return res, &PartialError{Stage: p.firstStageErr.Stage, Cause: p.firstStageErr}
 	}
 	return res, nil
+}
+
+// flushCacheStats reports the substrate cache's work — full encodes,
+// code-level derivations, cache hits — under the discovery stage (the
+// stage that builds the first substrate).
+func (p *run) flushCacheStats() {
+	builds, derives, hits := p.cache.Stats()
+	if builds != 0 {
+		p.obs.Counter(observe.Discovery, observe.CounterSubstrateBuilds, builds)
+	}
+	if derives != 0 {
+		p.obs.Counter(observe.Discovery, observe.CounterSubstrateDerived, derives)
+	}
+	if hits != 0 {
+		p.obs.Counter(observe.Discovery, observe.CounterSubstrateHits, hits)
+	}
+}
+
+// deriveChildSubstrates registers the two projections' substrates,
+// derived from the parent's integer codes, so no later stage re-encodes
+// the children's strings. A parent without a cached substrate (custom
+// discovery skipped the build) simply leaves the children to build
+// their own on first use.
+func (p *run) deriveChildSubstrates(t, r1, r2 *Table) {
+	ps := p.cache.Lookup(t.Data)
+	if ps == nil {
+		return
+	}
+	for _, child := range []*Table{r1, r2} {
+		cols := t.localSet(child.Attrs).Elements()
+		p.cache.PutDerived(child.Data, ps.ProjectDedup(cols))
+	}
 }
 
 // acceptOnCrash handles a tolerated per-table stage crash: the table is
@@ -464,10 +632,14 @@ func (p *run) discoverFDs(ctx context.Context, rel *relation.Relation) (*fd.Set,
 			case p.opts.Discover != nil:
 				fds = p.opts.Discover(rel)
 			default:
-				fds, derr = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
-					MaxLhs: maxLhs, Parallel: true,
-					Observer: p.opts.Observer, Budget: p.tr,
-				})
+				var sub *plicache.Substrate
+				if sub, derr = p.cache.For(ctx, rel); derr == nil {
+					fds, derr = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
+						MaxLhs: maxLhs, Parallel: true, Workers: p.opts.Workers,
+						Substrate: sub,
+						Observer:  p.opts.Observer, Budget: p.tr,
+					})
+				}
 			}
 			if derr != nil {
 				if _, ok := isBudgetTrip(derr); ok {
@@ -573,7 +745,19 @@ func (p *run) buildRoot(rel *relation.Relation, fds *fd.Set) *Table {
 			nullAttrs.Add(c)
 		}
 	}
+	// Derive the deduped root's substrate from rel's (built by FD
+	// discovery) before Dedup compacts the shared row backing in place:
+	// the derivation reads only the already-encoded integer columns.
+	var derived *plicache.Substrate
+	if ps := p.cache.Lookup(rel); ps != nil {
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = i
+		}
+		derived = ps.ProjectDedup(cols)
+	}
 	data := relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()
+	p.cache.PutDerived(data, derived)
 	return &Table{
 		Name:        rel.Name,
 		Attrs:       bitset.Full(n),
@@ -704,10 +888,16 @@ func rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
 // selectPrimaryKey implements component (7): discover all minimal keys
 // of the table (DUCC-style UCC discovery), drop keys with nulls, rank
 // them (Section 7.1), and let the decider choose. The UCC discovery
-// reports its work counters to obs under the primary-key stage and
-// charges its retained partitions against the run's budget tracker.
-func selectPrimaryKey(ctx context.Context, t *Table, decider Decider, obs observe.Observer, tr *budget.Tracker) error {
-	uccs, err := ucc.DiscoverContext(ctx, t.Data, ucc.Options{Observer: obs, Budget: tr})
+// reports its work counters to obs under the primary-key stage, charges
+// its retained partitions against the run's budget tracker, and draws
+// its encoding and single-column PLIs from the shared substrate cache
+// (a hit for every table the decomposition loop produced).
+func selectPrimaryKey(ctx context.Context, t *Table, decider Decider, obs observe.Observer, tr *budget.Tracker, cache *plicache.Cache) error {
+	sub, err := cache.For(ctx, t.Data)
+	if err != nil {
+		return err
+	}
+	uccs, err := ucc.DiscoverContext(ctx, t.Data, ucc.Options{Observer: obs, Budget: tr, Substrate: sub})
 	if err != nil {
 		return err
 	}

@@ -42,9 +42,23 @@ import (
 	"normalize/internal/guard"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
 )
+
+// effectiveWorkers resolves the validation worker count: Workers wins
+// when positive, otherwise Parallel selects GOMAXPROCS and the default
+// is serial.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
 
 // Options configures discovery.
 type Options struct {
@@ -54,8 +68,21 @@ type Options struct {
 	// and correct cover for all FDs within the bound.
 	MaxLhs int
 	// Parallel enables concurrent candidate validation across worker
-	// goroutines.
+	// goroutines (runtime.NumCPU of them unless Workers overrides).
 	Parallel bool
+	// Workers bounds the validation worker pool: 0 defers to Parallel
+	// (GOMAXPROCS workers when set, serial otherwise), 1 forces the
+	// serial path, N > 1 uses exactly N workers. Results are merged
+	// deterministically, so every worker count produces byte-identical
+	// covers.
+	Workers int
+	// Substrate, when non-nil, supplies the pre-built dictionary
+	// encoding and single-column PLIs of rel (see internal/plicache),
+	// sharing one build across the pipeline's stages. It must describe
+	// exactly rel. Budget charging is unchanged: discovery still charges
+	// the encoded input and per-attribute indexes, so resource ceilings
+	// behave identically with and without a substrate.
+	Substrate *plicache.Substrate
 	// Observer receives per-stage work counters (under the
 	// fd-discovery stage); nil means no instrumentation.
 	Observer observe.Observer
@@ -91,10 +118,15 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	if n == 0 {
 		return result, nil
 	}
-	enc, err := rel.EncodeContext(ctx)
-	if err != nil {
-		return nil, err
+	sub := opts.Substrate
+	if sub == nil {
+		var err error
+		sub, err = plicache.Build(ctx, rel)
+		if err != nil {
+			return nil, err
+		}
 	}
+	enc := sub.Encoded()
 	// The dictionary-encoded input is the first retained structure; a
 	// memory budget that cannot even hold it trips here, prompting the
 	// pipeline to sample rows instead of thrashing.
@@ -121,7 +153,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		opts:   opts,
 	}
 	defer d.flushCounters(observe.Or(opts.Observer))
-	if err := d.buildPLIs(); err != nil {
+	if err := d.buildPLIs(sub); err != nil {
 		return nil, err
 	}
 
@@ -184,6 +216,7 @@ type discoverer struct {
 	inverted [][]int // row → cluster per attribute, shared by workers
 	sampler  *sampler
 	opts     Options
+	ix       pli.Intersector // scratch of the serial validation path
 
 	// Work counters, flushed to the observer when discovery returns.
 	// The atomics are shared with the parallel validation workers; the
@@ -191,6 +224,7 @@ type discoverer struct {
 	agreeSets         int64
 	fdsInduced        int64
 	violationsFound   int64
+	workersSpawned    int64
 	plisIntersected   atomic.Int64
 	candidatesChecked atomic.Int64
 }
@@ -207,6 +241,7 @@ func (d *discoverer) flushCounters(obs observe.Observer) {
 	flush(observe.CounterAgreeSets, d.agreeSets)
 	flush(observe.CounterFDsInduced, d.fdsInduced)
 	flush(observe.CounterViolationsFound, d.violationsFound)
+	flush(observe.CounterValidationWorkers, d.workersSpawned)
 	flush(observe.CounterPLIsIntersected, d.plisIntersected.Load())
 	flush(observe.CounterCandidatesChecked, d.candidatesChecked.Load())
 }
@@ -221,15 +256,20 @@ func (d *discoverer) canceled() bool {
 	}
 }
 
-func (d *discoverer) buildPLIs() error {
+// buildPLIs pulls the per-attribute partitions and inverted indexes from
+// the shared substrate (building any that are missing). The budget is
+// charged exactly as before the substrate existed — discovery retains
+// references to all indexes for its whole run, so the ceiling must
+// account for them whether or not another stage built them first.
+func (d *discoverer) buildPLIs(sub *plicache.Substrate) error {
 	d.plis = make([]*pli.PLI, d.n)
 	d.inverted = make([][]int, d.n)
 	for a := 0; a < d.n; a++ {
 		if d.canceled() {
 			return d.ctx.Err()
 		}
-		d.plis[a] = pli.FromColumn(d.enc.Columns[a], d.enc.Cardinality[a])
-		d.inverted[a] = d.plis[a].Inverted()
+		d.plis[a] = sub.PLI(a)
+		d.inverted[a] = sub.Inverted(a)
 		// Each per-attribute index retains roughly two ints per row.
 		if err := d.tr.Grow(16 * int64(d.enc.NumRows)); err != nil {
 			return err
@@ -402,13 +442,14 @@ func (d *discoverer) validate() error {
 // *guard.PanicError; the first one wins and the rest of the feed drains.
 func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 	out := make([]verdict, len(cands))
-	if !d.opts.Parallel || len(cands) < 8 {
+	workers := d.opts.effectiveWorkers()
+	if workers == 1 || len(cands) < 8 {
 		for i, c := range cands {
 			if d.canceled() {
 				return out, nil
 			}
 			if err := guard.Run("hyfd validation", func() error {
-				out[i] = d.checkOne(c)
+				out[i] = d.checkOne(c, &d.ix)
 				return nil
 			}); err != nil {
 				return out, err
@@ -416,7 +457,7 @@ func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 		}
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	d.workersSpawned += int64(workers)
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -428,12 +469,13 @@ func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var ix pli.Intersector // per-worker scratch, never shared
 			for i := range next {
 				if d.canceled() || poisoned.Load() {
 					continue // keep draining so the feeder never blocks
 				}
 				if err := guard.Run("hyfd validation worker", func() error {
-					out[i] = d.checkOne(cands[i])
+					out[i] = d.checkOne(cands[i], &ix)
 					return nil
 				}); err != nil {
 					errOnce.Do(func() { workErr = err })
@@ -451,8 +493,9 @@ func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 }
 
 // checkOne validates a single candidate: it materializes the LHS
-// partition and tests refinement of every RHS column.
-func (d *discoverer) checkOne(c candidate) verdict {
+// partition with the caller's scratch Intersector and tests refinement
+// of every RHS column.
+func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) verdict {
 	d.candidatesChecked.Add(1)
 	v := verdict{cand: c}
 	if c.lhs.IsEmpty() {
@@ -471,7 +514,7 @@ func (d *discoverer) checkOne(c candidate) verdict {
 		})
 		return v
 	}
-	p := d.pliFor(c.lhs)
+	p := d.pliFor(c.lhs, ix)
 	c.rhs.ForEach(func(a int) bool {
 		if r1, r2 := p.FirstViolation(d.enc.Columns[a]); r1 >= 0 {
 			if v.invalid == nil {
@@ -495,19 +538,33 @@ func (d *discoverer) firstDifferingRows(a int) (int, int) {
 	return 0, 0
 }
 
-// pliFor intersects the single-column PLIs of the LHS, most selective
-// first, so intermediate partitions shrink as fast as possible.
-func (d *discoverer) pliFor(lhs *bitset.Set) *pli.PLI {
+// validationOrder returns the LHS attributes in the order pliFor
+// intersects them: ascending partition error (most selective first, an
+// O(1) comparison since Size is cached), ties broken by attribute
+// index so the intersection order — and with it the result's cluster
+// order — is deterministic.
+func (d *discoverer) validationOrder(lhs *bitset.Set) []int {
 	attrs := lhs.Elements()
 	sort.Slice(attrs, func(i, j int) bool {
-		return d.plis[attrs[i]].Error() < d.plis[attrs[j]].Error()
+		ei, ej := d.plis[attrs[i]].Error(), d.plis[attrs[j]].Error()
+		if ei != ej {
+			return ei < ej
+		}
+		return attrs[i] < attrs[j]
 	})
+	return attrs
+}
+
+// pliFor intersects the single-column PLIs of the LHS, most selective
+// first, so intermediate partitions shrink as fast as possible.
+func (d *discoverer) pliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI {
+	attrs := d.validationOrder(lhs)
 	p := d.plis[attrs[0]]
 	for _, a := range attrs[1:] {
 		if p.IsUnique() {
 			break
 		}
-		p = p.IntersectInverted(d.inverted[a])
+		p = ix.IntersectInverted(p, d.inverted[a])
 		d.plisIntersected.Add(1)
 	}
 	return p

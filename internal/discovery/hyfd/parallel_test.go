@@ -1,0 +1,105 @@
+package hyfd
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"normalize/internal/bitset"
+	"normalize/internal/plicache"
+	"normalize/internal/relation"
+)
+
+// TestWorkersDifferential is the determinism contract of parallel
+// validation: for every worker count, discovery must return a
+// byte-identical FD cover. Run under -race this also exercises the
+// worker pool for data races.
+func TestWorkersDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 8; trial++ {
+		rel := randomRelation(r, 5+r.Intn(4), 40+r.Intn(120), 2+r.Intn(3))
+		base := Discover(rel, Options{Workers: 1}).Format(rel.Attrs)
+		for _, w := range []int{2, 3, 7} {
+			got := Discover(rel, Options{Workers: w}).Format(rel.Attrs)
+			if got != base {
+				t.Fatalf("trial %d: workers=%d cover differs from workers=1:\n%s\nvs\n%s",
+					trial, w, got, base)
+			}
+		}
+	}
+}
+
+// TestSubstrateEquivalence: discovery with a pre-built shared substrate
+// must match discovery that builds its own encoding and PLIs.
+func TestSubstrateEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomRelation(r, 4+r.Intn(4), 20+r.Intn(60), 2+r.Intn(4))
+		sub, err := plicache.Build(context.Background(), rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		own := Discover(rel, Options{}).Format(rel.Attrs)
+		shared := Discover(rel, Options{Substrate: sub}).Format(rel.Attrs)
+		if own != shared {
+			t.Fatalf("trial %d: substrate-backed cover differs:\n%s\nvs\n%s", trial, shared, own)
+		}
+	}
+}
+
+// TestValidationOrder pins the LHS intersection order of the validator:
+// ascending partition error (most selective first), ties broken by
+// attribute index.
+func TestValidationOrder(t *testing.T) {
+	// err(a0) = 0 (all distinct), err(a1) = 5 (constant, 6 rows),
+	// err(a2) = 2 (two clusters of 2: 4 - 2), err(a3) = 2 (same as a2).
+	rel := relation.MustNew("r", []string{"a0", "a1", "a2", "a3"}, [][]string{
+		{"1", "c", "x", "q"},
+		{"2", "c", "x", "q"},
+		{"3", "c", "y", "r"},
+		{"4", "c", "y", "r"},
+		{"5", "c", "z", "s"},
+		{"6", "c", "w", "t"},
+	})
+	sub, err := plicache.Build(context.Background(), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &discoverer{enc: sub.Encoded(), n: 4, opts: Options{}}
+	if err := d.buildPLIs(sub); err != nil {
+		t.Fatal(err)
+	}
+	for a, want := range []int{0, 5, 2, 2} {
+		if got := d.plis[a].Error(); got != want {
+			t.Fatalf("err(a%d) = %d, want %d (test setup)", a, got, want)
+		}
+	}
+	got := d.validationOrder(bitset.Of(4, 0, 1, 2, 3))
+	want := []int{0, 2, 3, 1} // error 0, then 2 and 2 (index tie-break), then 5
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("validation order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWorkersCancelNoLeak: cancelling mid-run with an explicit worker
+// pool must wind the workers down without leaking goroutines.
+func TestWorkersCancelNoLeak(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	rel := randomRelation(r, 12, 3000, 3)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := DiscoverContext(ctx, rel, Options{Workers: 4})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	waitForGoroutines(t, baseline)
+}

@@ -23,6 +23,7 @@ import (
 	"normalize/internal/fd"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 )
 
@@ -30,6 +31,11 @@ import (
 type Options struct {
 	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
 	MaxLhs int
+	// Substrate, when non-nil, supplies the pre-built dictionary
+	// encoding and single-column PLIs of rel (see internal/plicache),
+	// sharing one build across pipeline stages. It must describe exactly
+	// rel.
+	Substrate *plicache.Substrate
 	// Observer receives work counters under the fd-discovery stage;
 	// nil means no instrumentation.
 	Observer observe.Observer
@@ -64,10 +70,15 @@ func Discover(rel *relation.Relation, opts Options) *fd.Set {
 // loops poll ctx and the call returns ctx.Err() promptly when the
 // context ends mid-discovery.
 func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) (*fd.Set, error) {
-	enc, err := rel.EncodeContext(ctx)
-	if err != nil {
-		return nil, err
+	sub := opts.Substrate
+	if sub == nil {
+		var err error
+		sub, err = plicache.Build(ctx, rel)
+		if err != nil {
+			return nil, err
+		}
 	}
+	enc := sub.Encoded()
 	n := rel.NumAttrs()
 	maxLhs := opts.MaxLhs
 	if maxLhs <= 0 || maxLhs > n {
@@ -90,7 +101,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	// Level 1: single attributes with C⁺ = R.
 	level := make([]*node, 0, n)
 	for a := 0; a < n; a++ {
-		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		p := sub.PLI(a)
 		level = append(level, &node{
 			attrs:      []int{a},
 			set:        bitset.Of(n, a),

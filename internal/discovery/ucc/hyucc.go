@@ -3,10 +3,14 @@ package ucc
 import (
 	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"normalize/internal/bitset"
+	"normalize/internal/guard"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
 )
@@ -37,10 +41,15 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n
 	}
-	enc, err := rel.EncodeContext(ctx)
-	if err != nil {
-		return nil, err
+	sub := opts.Substrate
+	if sub == nil {
+		var err error
+		sub, err = plicache.Build(ctx, rel)
+		if err != nil {
+			return nil, err
+		}
 	}
+	enc := sub.Encoded()
 	if enc.NumRows <= 1 {
 		return []*bitset.Set{bitset.New(n)}, nil
 	}
@@ -51,9 +60,11 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	plis := make([]*pli.PLI, n)
 	inverted := make([][]int, n)
 	for a := 0; a < n; a++ {
-		plis[a] = pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
-		inverted[a] = plis[a].Inverted()
-		// Partition plus inverted index retain about two ints per row.
+		plis[a] = sub.PLI(a)
+		inverted[a] = sub.Inverted(a)
+		// Partition plus inverted index retain about two ints per row;
+		// discovery keeps them for its whole run, so the budget charge is
+		// unchanged whether or not another stage built the substrate.
 		if err := opts.Budget.Grow(16 * int64(enc.NumRows)); err != nil {
 			return nil, err
 		}
@@ -140,7 +151,14 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	}
 
 	// Validation: level-wise confirmation; a refuted candidate yields a
-	// violating pair whose agree set feeds back into induction.
+	// violating pair whose agree set feeds back into induction. Checking
+	// a candidate reads only the encoded data and the fixed per-attribute
+	// indexes — never the candidate cover — so a level's candidates can be
+	// checked in any order (or concurrently) and the verdicts folded back
+	// in candidate order, which is observably identical to the serial
+	// check-then-induct loop for every worker count.
+	workers := opts.effectiveWorkers()
+	var ix pli.Intersector // scratch of the serial path
 	var result []*bitset.Set
 	for level := 0; ; level++ {
 		var todo []*bitset.Set
@@ -158,12 +176,33 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 		if level > maxLevel {
 			break
 		}
-		for i, cand := range todo {
-			if i&15 == 0 && canceled(done) {
-				return nil, ctx.Err()
+		verdicts := make([]uccVerdict, len(todo))
+		if workers == 1 || len(todo) < 8 {
+			for i, cand := range todo {
+				if i&15 == 0 && canceled(done) {
+					return nil, ctx.Err()
+				}
+				if err := guard.Run("hyucc validation", func() error {
+					verdicts[i] = checkUnique(enc, plis, inverted, cand, &ix)
+					return nil
+				}); err != nil {
+					return nil, err
+				}
 			}
-			if r1, r2 := firstDuplicate(enc, plis, inverted, cand, &c); r1 >= 0 {
-				if err := induct(agreeSet(enc, n, r1, r2)); err != nil {
+		} else {
+			c.workersSpawned += int64(workers)
+			if err := checkLevel(done, workers, enc, plis, inverted, todo, verdicts); err != nil {
+				return nil, err
+			}
+		}
+		if canceled(done) {
+			return nil, ctx.Err()
+		}
+		for i, cand := range todo {
+			v := verdicts[i]
+			c.plisIntersected += v.intersections
+			if v.r1 >= 0 {
+				if err := induct(agreeSet(enc, n, v.r1, v.r2)); err != nil {
 					return nil, err
 				}
 				continue
@@ -194,28 +233,80 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	return out, nil
 }
 
-// firstDuplicate returns a pair of rows agreeing on all attributes of
-// the candidate, or (-1, -1) when the candidate is unique.
-func firstDuplicate(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set, c *counters) (int, int) {
+// uccVerdict is the validation outcome of one candidate: a violating
+// row pair (r1 < 0 means unique) and the PLI intersections it cost.
+type uccVerdict struct {
+	r1, r2        int
+	intersections int64
+}
+
+// checkLevel validates one level's candidates with a bounded worker
+// pool. Workers own private Intersector scratch, drain the feed on
+// cancellation or failure, and recover their own panics via guard.Run
+// (recover is per-goroutine, so the pipeline's stage guard cannot see
+// them); the first failure wins. Verdicts land at their candidate's
+// index, keeping the merge deterministic.
+func checkLevel(done <-chan struct{}, workers int, enc *relation.Encoded,
+	plis []*pli.PLI, inverted [][]int, todo []*bitset.Set, verdicts []uccVerdict) error {
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		workErr  error
+		poisoned atomic.Bool
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ix pli.Intersector // per-worker scratch, never shared
+			for i := range next {
+				if canceled(done) || poisoned.Load() {
+					continue // keep draining so the feeder never blocks
+				}
+				if err := guard.Run("hyucc validation worker", func() error {
+					verdicts[i] = checkUnique(enc, plis, inverted, todo[i], &ix)
+					return nil
+				}); err != nil {
+					errOnce.Do(func() { workErr = err })
+					poisoned.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return workErr
+}
+
+// checkUnique returns a pair of rows agreeing on all attributes of the
+// candidate (r1 < 0 when the candidate is unique) together with the
+// number of PLI intersections spent.
+func checkUnique(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set, ix *pli.Intersector) uccVerdict {
+	v := uccVerdict{r1: -1, r2: -1}
 	if cand.IsEmpty() {
 		if enc.NumRows > 1 {
-			return 0, 1
+			v.r1, v.r2 = 0, 1
 		}
-		return -1, -1
+		return v
 	}
 	attrs := cand.Elements()
 	p := plis[attrs[0]]
 	for _, a := range attrs[1:] {
 		if p.IsUnique() {
-			return -1, -1
+			return v
 		}
-		p = p.IntersectInverted(inverted[a])
-		c.plisIntersected++
+		p = ix.IntersectInverted(p, inverted[a])
+		v.intersections++
 	}
 	for _, cluster := range p.Clusters() {
-		return cluster[0], cluster[1]
+		v.r1, v.r2 = cluster[0], cluster[1]
+		break
 	}
-	return -1, -1
+	return v
 }
 
 func agreeSet(enc *relation.Encoded, n, r1, r2 int) *bitset.Set {

@@ -1,0 +1,114 @@
+package ucc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"normalize/internal/bitset"
+	"normalize/internal/plicache"
+	"normalize/internal/relation"
+)
+
+func uccRandomRelation(r *rand.Rand, attrs, rows, card int) *relation.Relation {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, attrs)
+		for j := range row {
+			row[j] = fmt.Sprintf("v%d", r.Intn(card))
+		}
+		data[i] = row
+	}
+	return relation.MustNew("rand", names, data)
+}
+
+// sig renders a UCC list order-sensitively for byte comparison.
+func sig(sets []*bitset.Set) string {
+	var b strings.Builder
+	for _, s := range sets {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestHybridWorkersDifferential: for every worker count the hybrid
+// discovery must return the identical UCC list, in identical order.
+// Run under -race this exercises the level-validation pool.
+func TestHybridWorkersDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		rel := uccRandomRelation(r, 5+r.Intn(4), 30+r.Intn(100), 2+r.Intn(3))
+		base, err := DiscoverHybridContext(context.Background(), rel, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 7} {
+			got, err := DiscoverHybridContext(context.Background(), rel, Options{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sig(got) != sig(base) {
+				t.Fatalf("trial %d: workers=%d UCCs differ:\n%s\nvs\n%s",
+					trial, w, sig(got), sig(base))
+			}
+		}
+	}
+}
+
+// TestHybridSubstrateEquivalence: a pre-built shared substrate must not
+// change the hybrid (or level-wise) result.
+func TestHybridSubstrateEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 8; trial++ {
+		rel := uccRandomRelation(r, 4+r.Intn(4), 20+r.Intn(60), 2+r.Intn(3))
+		sub, err := plicache.Build(context.Background(), rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		own := Discover(rel, Options{})
+		shared := Discover(rel, Options{Substrate: sub})
+		if sig(own) != sig(shared) {
+			t.Fatalf("trial %d: level-wise substrate result differs", trial)
+		}
+		hOwn := DiscoverHybrid(rel, Options{})
+		hShared := DiscoverHybrid(rel, Options{Substrate: sub})
+		if sig(hOwn) != sig(hShared) {
+			t.Fatalf("trial %d: hybrid substrate result differs", trial)
+		}
+	}
+}
+
+// TestHybridWorkersCancelNoLeak: cancelling mid-validation must wind
+// the worker pool down without leaking goroutines.
+func TestHybridWorkersCancelNoLeak(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	rel := uccRandomRelation(r, 12, 4000, 3)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := DiscoverHybridContext(ctx, rel, Options{Workers: 4})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

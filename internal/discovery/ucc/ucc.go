@@ -23,6 +23,7 @@ import (
 	"normalize/internal/budget"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
+	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
 )
@@ -31,6 +32,18 @@ import (
 type Options struct {
 	// MaxSize bounds the size of reported UCCs; 0 means unbounded.
 	MaxSize int
+	// Workers bounds the validation worker pool of the hybrid discovery
+	// (DiscoverHybrid): 0 or 1 validates serially, N > 1 uses exactly N
+	// workers. Verdicts are merged in candidate order, so every worker
+	// count produces identical results. The level-wise Discover is
+	// unaffected.
+	Workers int
+	// Substrate, when non-nil, supplies the pre-built dictionary
+	// encoding and single-column PLIs of the relation (see
+	// internal/plicache), sharing one build across pipeline stages. It
+	// must describe exactly the relation passed to discovery. Budget
+	// charging is unchanged with a substrate.
+	Substrate *plicache.Substrate
 	// Observer receives work counters under the primary-key-selection
 	// stage; nil means no instrumentation.
 	Observer observe.Observer
@@ -38,6 +51,14 @@ type Options struct {
 	// run-wide ceilings; a trip aborts discovery with a
 	// *budget.Exceeded error.
 	Budget *budget.Tracker
+}
+
+// effectiveWorkers resolves the hybrid validation worker count.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
 }
 
 type node struct {
@@ -51,6 +72,7 @@ type node struct {
 type counters struct {
 	plisIntersected int64
 	uccsFound       int64
+	workersSpawned  int64
 }
 
 func (c *counters) flush(obs observe.Observer) {
@@ -59,6 +81,9 @@ func (c *counters) flush(obs observe.Observer) {
 	}
 	if c.uccsFound != 0 {
 		obs.Counter(observe.PrimaryKey, observe.CounterUCCsDiscovered, c.uccsFound)
+	}
+	if c.workersSpawned != 0 {
+		obs.Counter(observe.PrimaryKey, observe.CounterValidationWorkers, c.workersSpawned)
 	}
 }
 
@@ -81,10 +106,15 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n
 	}
-	enc, err := rel.EncodeContext(ctx)
-	if err != nil {
-		return nil, err
+	sub := opts.Substrate
+	if sub == nil {
+		var err error
+		sub, err = plicache.Build(ctx, rel)
+		if err != nil {
+			return nil, err
+		}
 	}
+	enc := sub.Encoded()
 	if enc.NumRows <= 1 {
 		return []*bitset.Set{bitset.New(n)}, nil
 	}
@@ -96,7 +126,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 
 	level := make([]*node, 0, n)
 	for a := 0; a < n; a++ {
-		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
+		p := sub.PLI(a)
 		s := bitset.Of(n, a)
 		if p.IsUnique() {
 			result = append(result, s)

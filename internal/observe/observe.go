@@ -62,6 +62,16 @@ const (
 	CounterDecompositions    = "decompositions"
 	CounterRowsMaterialized  = "rows_materialized"
 	CounterUCCsDiscovered    = "uccs_discovered"
+	// CounterValidationWorkers counts validation worker goroutines
+	// spawned by parallel candidate checking (summed over levels; zero
+	// when every level ran on the serial path).
+	CounterValidationWorkers = "validation_workers"
+	// CounterSubstrateBuilds/-Derived/-Hits report the shared PLI/
+	// encoding substrate cache: full dictionary encodes, code-level
+	// projection derivations, and lookups served from the cache.
+	CounterSubstrateBuilds  = "substrate_builds"
+	CounterSubstrateDerived = "substrate_derived"
+	CounterSubstrateHits    = "substrate_hits"
 )
 
 // Observer receives instrumentation events from the pipeline.

@@ -7,12 +7,27 @@
 // PLIs are the core index of partition-based dependency discovery: TANE
 // refines them level-wise, HyFD validates FD candidates with them, and
 // the UCC discovery detects keys as attribute sets with empty PLIs.
+//
+// The candidate-validation loops of those algorithms intersect PLIs
+// millions of times, so the type is built for that hot path: Size is
+// computed once at construction, the inverted (row → cluster) index is
+// built lazily and cached on the PLI (safe for concurrent readers),
+// Intersect probes the smaller operand into the larger one's cached
+// index, and an Intersector carries reusable scratch buffers so
+// level-wise validation allocates nothing per candidate beyond the
+// result clusters themselves.
 package pli
+
+import "sync"
 
 // PLI is a stripped partition over the rows of one relation instance.
 type PLI struct {
 	numRows  int
+	size     int // total rows covered by clusters, fixed at construction
 	clusters [][]int
+
+	invOnce sync.Once
+	inv     []int // cached row → cluster-id index, built lazily
 }
 
 // FromColumn builds the PLI of a dictionary-encoded column.
@@ -25,6 +40,7 @@ func FromColumn(codes []int, cardinality int) *PLI {
 	for _, g := range groups {
 		if len(g) >= 2 {
 			p.clusters = append(p.clusters, g)
+			p.size += len(g)
 		}
 	}
 	return p
@@ -39,6 +55,7 @@ func FromClusters(numRows int, clusters [][]int) *PLI {
 			cp := make([]int, len(c))
 			copy(cp, c)
 			p.clusters = append(p.clusters, cp)
+			p.size += len(cp)
 		}
 	}
 	return p
@@ -53,60 +70,53 @@ func (p *PLI) NumClusters() int { return len(p.clusters) }
 // Clusters exposes the clusters; callers must not modify them.
 func (p *PLI) Clusters() [][]int { return p.clusters }
 
-// Size returns the total number of rows covered by clusters.
-func (p *PLI) Size() int {
-	n := 0
-	for _, c := range p.clusters {
-		n += len(c)
-	}
-	return n
-}
+// Size returns the total number of rows covered by clusters. The sum is
+// fixed at construction, so the call is O(1).
+func (p *PLI) Size() int { return p.size }
 
 // IsUnique reports whether the partition has no cluster, i.e. the
 // attribute set is a unique column combination (a key candidate).
 func (p *PLI) IsUnique() bool { return len(p.clusters) == 0 }
 
-// Inverted returns a row → cluster-id map with -1 for stripped rows.
+// Inverted returns the row → cluster-id index with -1 for stripped
+// rows. The index is built on first use and cached on the PLI; callers
+// must not modify it. Safe for concurrent use.
 func (p *PLI) Inverted() []int {
-	inv := make([]int, p.numRows)
-	for i := range inv {
-		inv[i] = -1
-	}
-	for id, c := range p.clusters {
-		for _, row := range c {
-			inv[row] = id
+	p.invOnce.Do(func() {
+		inv := make([]int, p.numRows)
+		for i := range inv {
+			inv[i] = -1
 		}
-	}
-	return inv
+		for id, c := range p.clusters {
+			for _, row := range c {
+				inv[row] = id
+			}
+		}
+		p.inv = inv
+	})
+	return p.inv
 }
 
 // Intersect computes the PLI of the union of the attribute sets
 // underlying p and o, i.e. the product partition, using the standard
-// probe-table algorithm of TANE.
+// probe-table algorithm of TANE. The smaller (more selective) operand
+// is probed into the other's cached inverted index, so intermediate
+// partitions shrink as fast as possible.
 func (p *PLI) Intersect(o *PLI) *PLI {
-	return p.IntersectInverted(o.Inverted())
+	a, b := p, o
+	if b.size < a.size {
+		a, b = b, a
+	}
+	return a.IntersectInverted(b.Inverted())
 }
 
 // IntersectInverted is Intersect with the second operand given in
 // inverted (row → cluster) form, which callers can cache and reuse.
+// For repeated intersections, (*Intersector).IntersectInverted avoids
+// the per-call scratch allocations.
 func (p *PLI) IntersectInverted(inv []int) *PLI {
-	res := &PLI{numRows: p.numRows}
-	for _, cluster := range p.clusters {
-		groups := make(map[int][]int)
-		for _, row := range cluster {
-			id := inv[row]
-			if id < 0 {
-				continue
-			}
-			groups[id] = append(groups[id], row)
-		}
-		for _, g := range groups {
-			if len(g) >= 2 {
-				res.clusters = append(res.clusters, g)
-			}
-		}
-	}
-	return res
+	var ix Intersector
+	return ix.IntersectInverted(p, inv)
 }
 
 // Refines reports whether the partition of p refines the given encoded
@@ -140,5 +150,63 @@ func (p *PLI) FirstViolation(codes []int) (int, int) {
 }
 
 // Error returns the partition error e(X) = (Size - NumClusters) used by
-// TANE's key pruning: e(X) == 0 iff X is a key.
-func (p *PLI) Error() int { return p.Size() - len(p.clusters) }
+// TANE's key pruning: e(X) == 0 iff X is a key. O(1).
+func (p *PLI) Error() int { return p.size - len(p.clusters) }
+
+// Intersector carries the scratch state of repeated PLI intersections:
+// the probe buckets grouping each cluster's rows by partner cluster id.
+// Reusing one Intersector across the candidates of a validation level
+// eliminates every per-candidate allocation except the result clusters
+// themselves. An Intersector is not safe for concurrent use — parallel
+// validation gives each worker its own.
+type Intersector struct {
+	buckets map[int][]int // partner cluster id → rows, capacity reused
+	touched []int         // bucket ids used for the current cluster
+}
+
+// IntersectInverted computes p ∩ inv like (*PLI).IntersectInverted but
+// reuses the Intersector's scratch buffers. Singleton clusters of the
+// product are stripped eagerly, and the result's cluster order is
+// deterministic (first-touch order per cluster of p).
+func (ix *Intersector) IntersectInverted(p *PLI, inv []int) *PLI {
+	if ix.buckets == nil {
+		ix.buckets = make(map[int][]int)
+	}
+	res := &PLI{numRows: p.numRows}
+	for _, cluster := range p.clusters {
+		for _, row := range cluster {
+			id := inv[row]
+			if id < 0 {
+				continue
+			}
+			b := ix.buckets[id]
+			if len(b) == 0 {
+				ix.touched = append(ix.touched, id)
+			}
+			ix.buckets[id] = append(b, row)
+		}
+		for _, id := range ix.touched {
+			g := ix.buckets[id]
+			if len(g) >= 2 {
+				out := make([]int, len(g))
+				copy(out, g)
+				res.clusters = append(res.clusters, out)
+				res.size += len(g)
+			}
+			ix.buckets[id] = g[:0]
+		}
+		ix.touched = ix.touched[:0]
+	}
+	return res
+}
+
+// Intersect is (*PLI).Intersect with the Intersector's scratch buffers:
+// the smaller operand is probed into the larger one's cached inverted
+// index.
+func (ix *Intersector) Intersect(p, o *PLI) *PLI {
+	a, b := p, o
+	if b.size < a.size {
+		a, b = b, a
+	}
+	return ix.IntersectInverted(a, b.Inverted())
+}

@@ -169,3 +169,79 @@ func TestQuickRefinesMatchesBruteForce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSizeCachedThroughIntersect pins satellite 1: Size and Error are
+// computed at construction on every path, including intersections.
+func TestSizeCachedThroughIntersect(t *testing.T) {
+	px := FromColumn([]int{0, 0, 0, 1, 1, 2}, 3)
+	py := FromColumn([]int{0, 0, 1, 1, 1, 2}, 3)
+	for _, p := range []*PLI{px, py, px.Intersect(py), px.IntersectInverted(py.Inverted())} {
+		n := 0
+		for _, c := range p.Clusters() {
+			n += len(c)
+		}
+		if p.Size() != n {
+			t.Errorf("Size() = %d, clusters cover %d rows", p.Size(), n)
+		}
+		if p.Error() != n-p.NumClusters() {
+			t.Errorf("Error() = %d, want %d", p.Error(), n-p.NumClusters())
+		}
+	}
+}
+
+// TestInvertedCached pins the lazy cached inverted index: repeated
+// calls return the same backing slice instead of re-deriving it.
+func TestInvertedCached(t *testing.T) {
+	p := FromColumn([]int{0, 1, 0, 2, 1}, 3)
+	a, b := p.Inverted(), p.Inverted()
+	if &a[0] != &b[0] {
+		t.Error("Inverted() must cache and return the same index")
+	}
+}
+
+// TestIntersectSelectivitySwap checks that the operand swap preserves
+// the product partition (Intersect is symmetric).
+func TestIntersectSelectivitySwap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + r.Intn(50)
+		cx, cy := 1+r.Intn(6), 1+r.Intn(6)
+		x, y := make([]int, n), make([]int, n)
+		for i := range x {
+			x[i], y[i] = r.Intn(cx), r.Intn(cy)
+		}
+		px, py := FromColumn(x, cx), FromColumn(y, cy)
+		ab := sortClusters(px.Intersect(py).Clusters())
+		ba := sortClusters(py.Intersect(px).Clusters())
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("intersect not symmetric: %v vs %v", ab, ba)
+		}
+	}
+}
+
+// TestIntersectorMatchesIntersect checks the scratch-buffer variant
+// against the plain one, including reuse across differently-shaped
+// operands (stale buckets must not leak between calls).
+func TestIntersectorMatchesIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var ix Intersector
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(80)
+		cx, cy := 1+r.Intn(8), 1+r.Intn(8)
+		x, y := make([]int, n), make([]int, n)
+		for i := range x {
+			x[i], y[i] = r.Intn(cx), r.Intn(cy)
+		}
+		px, py := FromColumn(x, cx), FromColumn(y, cy)
+		inv := py.Inverted()
+		want := sortClusters(px.IntersectInverted(inv).Clusters())
+		got := sortClusters(ix.IntersectInverted(px, inv).Clusters())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Intersector result %v, want %v", got, want)
+		}
+		got2 := sortClusters(ix.Intersect(px, py).Clusters())
+		if !reflect.DeepEqual(got2, want) {
+			t.Fatalf("Intersector.Intersect result %v, want %v", got2, want)
+		}
+	}
+}

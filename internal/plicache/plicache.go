@@ -1,0 +1,281 @@
+// Package plicache is the shared profiling substrate of the
+// normalization pipeline: one dictionary encoding plus lazily-built
+// single-column PLIs (with their cached inverted indexes) per relation
+// instance, built once and reused by every component that profiles the
+// same data — FD discovery (HyFD, TANE), UCC discovery (level-wise and
+// HyUCC), 4NF refinement, and per-table primary-key selection.
+//
+// Before this package each of those stages called rel.Encode() and
+// rebuilt the per-attribute PLIs from scratch; the paper's own
+// profiling (Sections 6 and 8) identifies exactly this PLI work as the
+// dominant cost of validation-heavy discovery. A Cache deduplicates the
+// build two ways: by relation identity (the common case inside one
+// pipeline run) and by a content key over the instance (attribute names
+// plus rows, independent of the relation's name), so two tables holding
+// identical data share one substrate.
+//
+// Projections avoid string re-encoding entirely: ProjectDedup derives a
+// child substrate from the parent's integer codes — project, dedup on
+// the code tuples, densify codes in first-appearance order — which is
+// observably identical to encoding the materialized child relation,
+// without hashing a single string.
+package plicache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"normalize/internal/pli"
+	"normalize/internal/relation"
+)
+
+// Substrate is the per-relation profiling state: the dictionary-encoded
+// instance and one PLI (plus cached inverted index) per attribute,
+// built lazily and cached. Safe for concurrent use.
+type Substrate struct {
+	enc  *relation.Encoded
+	cols []substrateColumn
+}
+
+type substrateColumn struct {
+	once sync.Once
+	p    *pli.PLI
+}
+
+// New wraps an already-encoded relation.
+func New(enc *relation.Encoded) *Substrate {
+	return &Substrate{enc: enc, cols: make([]substrateColumn, len(enc.Columns))}
+}
+
+// Build encodes rel and wraps it; the encoding polls ctx like
+// relation.EncodeContext.
+func Build(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
+	enc, err := rel.EncodeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return New(enc), nil
+}
+
+// Encoded returns the dictionary-encoded instance; callers must not
+// modify it.
+func (s *Substrate) Encoded() *relation.Encoded { return s.enc }
+
+// NumRows returns the row count of the encoded instance.
+func (s *Substrate) NumRows() int { return s.enc.NumRows }
+
+// NumAttrs returns the attribute count of the encoded instance.
+func (s *Substrate) NumAttrs() int { return len(s.enc.Columns) }
+
+// PLI returns the single-column PLI of attribute a, building and
+// caching it on first use. Safe for concurrent use.
+func (s *Substrate) PLI(a int) *pli.PLI {
+	c := &s.cols[a]
+	c.once.Do(func() {
+		c.p = pli.FromColumn(s.enc.Columns[a], s.enc.Cardinality[a])
+	})
+	return c.p
+}
+
+// Inverted returns the cached row → cluster index of attribute a's PLI.
+func (s *Substrate) Inverted(a int) []int { return s.PLI(a).Inverted() }
+
+// PLIs returns all single-column PLIs in attribute order, building any
+// that are missing.
+func (s *Substrate) PLIs() []*pli.PLI {
+	out := make([]*pli.PLI, len(s.cols))
+	for a := range s.cols {
+		out[a] = s.PLI(a)
+	}
+	return out
+}
+
+// ProjectDedup derives the substrate of the relation obtained by
+// projecting the parent onto cols (in the given order) and removing
+// duplicate rows, keeping first occurrences — the exact semantics of
+// relation.Project followed by Dedup. The derivation works purely on
+// the parent's integer codes: codes are densified in first-appearance
+// order over the surviving rows, so the result is indistinguishable
+// from encoding the materialized child relation, at integer-remap cost
+// instead of string-hashing cost.
+func (s *Substrate) ProjectDedup(cols []int) *Substrate {
+	parent := s.enc
+	numRows := parent.NumRows
+
+	// Dedup on the projected code tuple, keeping first occurrences.
+	type void = struct{}
+	seen := make(map[string]void, numRows)
+	keep := make([]int, 0, numRows)
+	key := make([]byte, 0, len(cols)*4)
+	for row := 0; row < numRows; row++ {
+		key = key[:0]
+		for _, c := range cols {
+			v := parent.Columns[c][row]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = void{}
+		keep = append(keep, row)
+	}
+
+	child := &relation.Encoded{
+		NumRows:     len(keep),
+		Columns:     make([][]int, len(cols)),
+		Cardinality: make([]int, len(cols)),
+		HasNull:     make([]bool, len(cols)),
+	}
+	for j, c := range cols {
+		src := parent.Columns[c]
+		// Densify the surviving codes in first-appearance order, which is
+		// the order a fresh Encode of the child rows would assign.
+		remap := make([]int, parent.Cardinality[c])
+		for i := range remap {
+			remap[i] = -1
+		}
+		out := make([]int, len(keep))
+		next := 0
+		for i, row := range keep {
+			code := src[row]
+			if remap[code] < 0 {
+				remap[code] = next
+				next++
+			}
+			out[i] = remap[code]
+		}
+		child.Columns[j] = out
+		child.Cardinality[j] = next
+		child.HasNull[j] = parent.HasNull[c]
+	}
+	return New(child)
+}
+
+// Cache deduplicates substrate builds across the tables of one
+// pipeline run. Lookup is two-tier: relation identity first (the
+// common case — every stage profiles the same *relation.Relation), then
+// a content key over attribute names and rows, so tables with identical
+// instances under different names still share one substrate. Safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	byRel map[*relation.Relation]*Substrate
+	byKey map[[sha256.Size]byte]*Substrate
+
+	builds  atomic.Int64 // full encodes
+	derives atomic.Int64 // code-level projection derivations
+	hits    atomic.Int64 // lookups served from the cache
+}
+
+// NewCache returns an empty substrate cache.
+func NewCache() *Cache {
+	return &Cache{
+		byRel: make(map[*relation.Relation]*Substrate),
+		byKey: make(map[[sha256.Size]byte]*Substrate),
+	}
+}
+
+// For returns the substrate of rel, building it at most once. A nil
+// cache builds an uncached substrate each call, so callers can thread
+// an optional cache unconditionally.
+func (c *Cache) For(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
+	if c == nil {
+		return Build(ctx, rel)
+	}
+	c.mu.Lock()
+	if s, ok := c.byRel[rel]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return s, nil
+	}
+	c.mu.Unlock()
+
+	key := contentKey(rel)
+	c.mu.Lock()
+	if s, ok := c.byKey[key]; ok {
+		c.byRel[rel] = s
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return s, nil
+	}
+	c.mu.Unlock()
+
+	// Build outside the lock; a concurrent builder of the same content
+	// may race us, in which case the first stored substrate wins.
+	s, err := Build(ctx, rel)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.byKey[key]; ok {
+		s = prev
+	} else {
+		c.byKey[key] = s
+		c.builds.Add(1)
+	}
+	c.byRel[rel] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Lookup returns the cached substrate of rel without building, or nil.
+func (c *Cache) Lookup(rel *relation.Relation) *Substrate {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byRel[rel]
+}
+
+// PutDerived registers a substrate derived for child (typically via
+// ProjectDedup on the parent's substrate), making later For/Lookup
+// calls for child hit the cache. A nil cache ignores the registration.
+func (c *Cache) PutDerived(child *relation.Relation, s *Substrate) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	c.byRel[child] = s
+	c.mu.Unlock()
+	c.derives.Add(1)
+}
+
+// Stats reports the cache's work so far: full encodes, code-level
+// derivations, and lookups served from cache. All zero on nil.
+func (c *Cache) Stats() (builds, derives, hits int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.builds.Load(), c.derives.Load(), c.hits.Load()
+}
+
+// contentKey hashes the instance content — attribute names and rows,
+// with length framing so concatenations cannot collide. The relation's
+// name is deliberately excluded: encoding depends only on the data.
+func contentKey(rel *relation.Relation) [sha256.Size]byte {
+	h := sha256.New()
+	var frame [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(s)))
+		h.Write(frame[:])
+		h.Write([]byte(s))
+	}
+	binary.LittleEndian.PutUint64(frame[:], uint64(len(rel.Attrs)))
+	h.Write(frame[:])
+	for _, a := range rel.Attrs {
+		writeStr(a)
+	}
+	for _, row := range rel.Rows {
+		for _, v := range row {
+			writeStr(v)
+		}
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
