@@ -30,12 +30,12 @@ bench-baseline:
 	@echo "wrote BENCH_server.json"
 
 # bench-pipeline snapshots the discovery/normalization hot paths —
-# validation worker counts, shared-substrate reuse, and the end-to-end
-# pipeline — into a machine-readable baseline. The worker-count series
-# only spreads on multi-core hosts; the substrate and allocation wins
-# show everywhere.
+# streaming ingest, validation worker counts, shared-substrate reuse,
+# and the end-to-end pipeline — into a machine-readable baseline. The
+# worker-count series only spreads on multi-core hosts; the substrate
+# and allocation wins show everywhere.
 bench-pipeline:
-	$(GO) test -run '^$$' -bench 'HyFDWorkers|HyFDSubstrate|NormalizeWorkers|Figure3TPCH' \
+	$(GO) test -run '^$$' -bench 'Ingest|HyFDWorkers|HyFDSubstrate|NormalizeWorkers|Figure3TPCH' \
 		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
 		. | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"

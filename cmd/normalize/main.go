@@ -138,20 +138,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts.Decider = consoleDecider(stderr)
 	}
 
+	// Inputs stream straight into the pipeline's columnar substrate:
+	// chunked reads, parallel tokenization, dictionary encoding on the
+	// fly — the raw CSV never sits in memory, and -max-memory governs
+	// the read path's working set (spilling code blocks to disk under
+	// pressure) just as it governs the pipeline's retained state.
+	iopts := normalize.IngestOptions{
+		Lenient:        *lenient,
+		Workers:        *workers,
+		MaxMemoryBytes: *maxMemory,
+		Observer:       observer,
+	}
 	var rels []*normalize.Relation
 	for _, path := range fs.Args() {
-		var rel *normalize.Relation
-		var err error
-		if *lenient {
-			var skipped []normalize.RowError
-			rel, skipped, err = normalize.ReadCSVFileLenient(path)
-			for _, re := range skipped {
-				fmt.Fprintf(stderr, "normalize: %s: skipped %v\n", path, re)
-			}
-		} else {
-			rel, err = normalize.ReadCSVFile(path)
+		rel, skipped, err := normalize.IngestCSVFile(ctx, path, iopts)
+		for _, re := range skipped {
+			fmt.Fprintf(stderr, "normalize: %s: skipped %v\n", path, re)
 		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// Ctrl-C during the load: same contract as a cancelled
+				// pipeline run.
+				fmt.Fprintln(stderr, "normalize: interrupted while reading input")
+				return exitInterrupt
+			}
 			return fail("read %s: %v", path, err)
 		}
 		rels = append(rels, rel)

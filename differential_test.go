@@ -57,7 +57,7 @@ func project(r *rand.Rand, rel *relation.Relation, width, maxRows int) *relation
 	for i, c := range perm {
 		names[i] = rel.Attrs[c]
 	}
-	n := len(rel.Rows)
+	n := rel.NumRows()
 	if n > maxRows {
 		n = maxRows
 	}
@@ -65,7 +65,7 @@ func project(r *rand.Rand, rel *relation.Relation, width, maxRows int) *relation
 	for i := 0; i < n; i++ {
 		row := make([]string, width)
 		for j, c := range perm {
-			row[j] = rel.Rows[i][c]
+			row[j] = rel.Value(i, c)
 		}
 		rows[i] = row
 	}
@@ -77,7 +77,7 @@ func assertSameFDs(t *testing.T, rel *relation.Relation, a, b *fd.Set, label str
 	t.Helper()
 	if !a.Equal(b) {
 		t.Errorf("%s: engines disagree on %s (%d attrs, %d rows)\nTANE:\n%sHyFD:\n%s",
-			label, rel.Name, len(rel.Attrs), len(rel.Rows),
+			label, rel.Name, len(rel.Attrs), rel.NumRows(),
 			a.Format(rel.Attrs), b.Format(rel.Attrs))
 	}
 }

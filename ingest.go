@@ -1,0 +1,64 @@
+package normalize
+
+import (
+	"context"
+	"io"
+
+	"normalize/internal/budget"
+	"normalize/internal/ingest"
+)
+
+// IngestOptions configures the streaming CSV reader. The zero value
+// reads strictly and serially with default chunking and no memory
+// ceiling.
+type IngestOptions struct {
+	// Lenient skips malformed rows (returned as RowErrors) instead of
+	// aborting, like ReadCSVLenient.
+	Lenient bool
+	// Workers is the tokenizer parallelism; <= 0 means all CPUs. The
+	// result is byte-identical at any worker count.
+	Workers int
+	// ChunkBytes is the streaming read granularity; <= 0 picks a
+	// sensible default.
+	ChunkBytes int
+	// MaxMemoryBytes caps the ingest working set (read buffers,
+	// dictionaries, code blocks, and the final encoded columns). Under
+	// pressure, completed code blocks spill to a temporary file instead
+	// of growing the heap; the final encoded substrate must still fit.
+	// 0 means unlimited.
+	MaxMemoryBytes int64
+	// SpillDir is where spill files are created; empty means the OS
+	// temp directory.
+	SpillDir string
+	// Observer receives ingest stage events and counters (bytes read,
+	// chunks, rows encoded, spill events).
+	Observer Observer
+}
+
+func (o IngestOptions) internal() ingest.Options {
+	return ingest.Options{
+		Lenient:    o.Lenient,
+		Workers:    o.Workers,
+		ChunkBytes: o.ChunkBytes,
+		Budget:     budget.NewTracker(0, o.MaxMemoryBytes),
+		Observer:   o.Observer,
+		SpillDir:   o.SpillDir,
+	}
+}
+
+// IngestCSV streams a relation from r without materializing rows: the
+// input is dictionary-encoded into the pipeline's columnar substrate
+// as it is read, in fixed-size chunks, optionally in parallel and
+// under a memory ceiling. The result is identical to ReadCSV (or
+// ReadCSVLenient when opts.Lenient) — same values, same encoding, same
+// errors — while allocating far less and never holding the raw CSV in
+// memory. The skipped slice is non-nil only in lenient mode.
+func IngestCSV(ctx context.Context, name string, r io.Reader, opts IngestOptions) (*Relation, []RowError, error) {
+	return ingest.ReadCSV(ctx, name, r, opts.internal())
+}
+
+// IngestCSVFile is IngestCSV over a file, named after the file's base
+// name like ReadCSVFile.
+func IngestCSVFile(ctx context.Context, path string, opts IngestOptions) (*Relation, []RowError, error) {
+	return ingest.ReadCSVFile(ctx, path, opts.internal())
+}

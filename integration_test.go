@@ -108,7 +108,7 @@ func TestIntegrationLosslessJoin(t *testing.T) {
 					t.Fatalf("attribute %s lost", a)
 				}
 			}
-			dedup, err := NewRelation("orig", orig.Attrs, orig.Rows)
+			dedup, err := NewRelation("orig", orig.Attrs, orig.Rows())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -85,7 +85,7 @@ func TestTimeoutMidDiscoveryReturnsPartial(t *testing.T) {
 		t.Error("timed-out run has an empty degradation report")
 	}
 	// The partial result must cover every attribute of the input.
-	want := relation.MustNew(ds.Denormalized.Name, ds.Denormalized.Attrs, ds.Denormalized.Rows).Dedup()
+	want := ds.Denormalized.DedupCopy(ds.Denormalized.Name)
 	if err := checkLossless(want, res.Tables); err != nil {
 		t.Errorf("timed-out partial result not lossless: %v", err)
 	}

@@ -35,7 +35,7 @@ func DecomposeContext(ctx context.Context, t *Table, v *fd.FD, usedNames map[str
 	r2 = &Table{
 		Name:        r2Name,
 		Attrs:       r2Attrs,
-		Data:        t.Data.ProjectSet(r2Name, t.localSet(r2Attrs)).Dedup(),
+		Data:        t.Data.ProjectDedupSet(r2Name, t.localSet(r2Attrs)),
 		FDs:         projectFDs(t.FDs, r2Attrs),
 		PrimaryKey:  v.Lhs.Clone(),
 		NullAttrs:   t.NullAttrs,
@@ -49,7 +49,7 @@ func DecomposeContext(ctx context.Context, t *Table, v *fd.FD, usedNames map[str
 	r1 = &Table{
 		Name:        t.Name,
 		Attrs:       r1Attrs,
-		Data:        t.Data.ProjectSet(t.Name, t.localSet(r1Attrs)).Dedup(),
+		Data:        t.Data.ProjectDedupSet(t.Name, t.localSet(r1Attrs)),
 		FDs:         projectFDs(t.FDs, r1Attrs),
 		PrimaryKey:  clonePK(t.PrimaryKey),
 		NullAttrs:   t.NullAttrs,

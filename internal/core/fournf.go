@@ -60,7 +60,7 @@ func Normalize4NFContext(ctx context.Context, rel *relation.Relation, opts FourN
 		return nil, fmt.Errorf("normalize4nf: relation %s has %d attributes, limit %d",
 			rel.Name, rel.NumAttrs(), opts.MaxAttrs)
 	}
-	work := []*relation.Relation{relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()}
+	work := []*relation.Relation{rel.DedupCopy(rel.Name)}
 	var done []*relation.Relation
 	var stopped error // first budget trip or recovered panic
 	used := map[string]bool{rel.Name: true}
@@ -186,7 +186,7 @@ func Verify4NFContext(ctx context.Context, rel *relation.Relation, opts FourNFOp
 	if opts.MaxAttrs == 0 {
 		opts.MaxAttrs = 16
 	}
-	v, err := firstViolatingMVD(ctx, relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup(), opts)
+	v, err := firstViolatingMVD(ctx, rel.DedupCopy(rel.Name), opts)
 	if err != nil {
 		return err
 	}

@@ -141,7 +141,7 @@ func TestNormalize4NFRandomLossless(t *testing.T) {
 		for i, a := range rel.Attrs {
 			cols[i] = joined.AttrIndex(a)
 		}
-		dedup := relation.MustNew("d", rel.Attrs, rel.Rows).Dedup()
+		dedup := rel.DedupCopy("d")
 		if !joined.Project("j", cols).SameRowSet(dedup) {
 			t.Fatalf("trial %d: 4NF decomposition not lossless", trial)
 		}

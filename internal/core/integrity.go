@@ -35,8 +35,9 @@ func (t *Table) CheckInsert(row []string) error {
 			return fmt.Errorf("table %s: null in primary key (%s)",
 				t.Name, strings.Join(t.AttrNames(t.PrimaryKey), ", "))
 		}
-		for _, existing := range t.Data.Rows {
-			if agreesOn(existing, row, pk.Elements()) {
+		pkCols := pk.Elements()
+		for i, nr := 0, t.Data.NumRows(); i < nr; i++ {
+			if existingAgreesOn(t.Data, i, row, pkCols) {
 				return fmt.Errorf("table %s: duplicate primary key (%s)",
 					t.Name, strings.Join(t.AttrNames(t.PrimaryKey), ", "))
 			}
@@ -51,11 +52,11 @@ func (t *Table) CheckInsert(row []string) error {
 		}
 		lhsCols := lhs.Elements()
 		rhsCols := rhs.Elements()
-		for _, existing := range t.Data.Rows {
-			if !agreesOn(existing, row, lhsCols) {
+		for i, nr := 0, t.Data.NumRows(); i < nr; i++ {
+			if !existingAgreesOn(t.Data, i, row, lhsCols) {
 				continue
 			}
-			if !agreesOn(existing, row, rhsCols) {
+			if !existingAgreesOn(t.Data, i, row, rhsCols) {
 				return fmt.Errorf("table %s: row violates FD %s",
 					t.Name, t.localFD(f).Format(t.Data.Attrs))
 			}
@@ -72,13 +73,12 @@ func (t *Table) Insert(row []string) error {
 	}
 	copied := make([]string, len(row))
 	copy(copied, row)
-	t.Data.Rows = append(t.Data.Rows, copied)
-	return nil
+	return t.Data.AppendRow(copied)
 }
 
-func agreesOn(a, b []string, cols []int) bool {
+func existingAgreesOn(data *relation.Relation, i int, row []string, cols []int) bool {
 	for _, c := range cols {
-		if a[c] != b[c] {
+		if data.Value(i, c) != row[c] {
 			return false
 		}
 	}
@@ -115,24 +115,25 @@ func CheckReferentialIntegrity(tables []*Table) error {
 			// Index the referenced side.
 			index := make(map[string]bool, ref.Data.NumRows())
 			var b strings.Builder
-			for _, row := range ref.Data.Rows {
+			for i, nr := 0, ref.Data.NumRows(); i < nr; i++ {
 				b.Reset()
 				for _, c := range refCols {
-					b.WriteString(row[c])
+					b.WriteString(ref.Data.Value(i, c))
 					b.WriteByte(0)
 				}
 				index[b.String()] = true
 			}
 			localCols := t.localSet(fk.Attrs).Elements()
-			for i, row := range t.Data.Rows {
+			for i, nr := 0, t.Data.NumRows(); i < nr; i++ {
 				hasNull := false
 				b.Reset()
 				for _, c := range localCols {
-					if relation.IsNull(row[c]) {
+					v := t.Data.Value(i, c)
+					if relation.IsNull(v) {
 						hasNull = true
 						break
 					}
-					b.WriteString(row[c])
+					b.WriteString(v)
 					b.WriteByte(0)
 				}
 				if hasNull {

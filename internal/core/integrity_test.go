@@ -99,7 +99,7 @@ func TestInsertAppends(t *testing.T) {
 	}
 	// The stored row is a copy.
 	row[0] = "CHANGED"
-	if r1.Data.Rows[before][0] == "CHANGED" {
+	if r1.Data.Rows()[before][0] == "CHANGED" {
 		t.Error("Insert must copy the row")
 	}
 	// A second identical insert now violates the PK.
@@ -131,7 +131,9 @@ func TestReferentialIntegrityDetectsDrift(t *testing.T) {
 	// Sneak in a row whose FK value has no referenced counterpart.
 	for _, tbl := range tables {
 		if tbl.Name == r1.Name {
-			tbl.Data.Rows = append(tbl.Data.Rows, []string{"Eve", "Drift", "00000"})
+			if err := tbl.Data.AppendRow([]string{"Eve", "Drift", "00000"}); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := CheckReferentialIntegrity(tables); err == nil {

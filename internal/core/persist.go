@@ -127,7 +127,7 @@ func encodeTable(t *Table) (tableWire, error) {
 		Attrs:       t.Attrs.Elements(),
 		DataName:    t.Data.Name,
 		DataAttrs:   t.Data.Attrs,
-		Rows:        t.Data.Rows,
+		Rows:        t.Data.Rows(),
 	}
 	if t.FDs != nil {
 		tw.FDNumAttrs = t.FDs.NumAttrs

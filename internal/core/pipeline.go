@@ -572,15 +572,21 @@ func (p *run) flushCacheStats() {
 
 // deriveChildSubstrates registers the two projections' substrates,
 // derived from the parent's integer codes, so no later stage re-encodes
-// the children's strings. A parent without a cached substrate (custom
-// discovery skipped the build) simply leaves the children to build
-// their own on first use.
+// the children's strings. Columnar children carry their encoding with
+// them (DecomposeContext derived it by code remapping), so their
+// substrates are free; a row-backed parent without a cached substrate
+// (custom discovery skipped the build) simply leaves the children to
+// build their own on first use.
 func (p *run) deriveChildSubstrates(t, r1, r2 *Table) {
 	ps := p.cache.Lookup(t.Data)
-	if ps == nil {
-		return
-	}
 	for _, child := range []*Table{r1, r2} {
+		if c := child.Data.Columnar(); c != nil {
+			p.cache.PutDerived(child.Data, plicache.New(c.Enc))
+			continue
+		}
+		if ps == nil {
+			continue
+		}
 		cols := t.localSet(child.Attrs).Elements()
 		p.cache.PutDerived(child.Data, ps.ProjectDedup(cols))
 	}
@@ -746,18 +752,19 @@ func (p *run) buildRoot(rel *relation.Relation, fds *fd.Set) *Table {
 		}
 	}
 	// Derive the deduped root's substrate from rel's (built by FD
-	// discovery) before Dedup compacts the shared row backing in place:
-	// the derivation reads only the already-encoded integer columns.
-	var derived *plicache.Substrate
-	if ps := p.cache.Lookup(rel); ps != nil {
+	// discovery) before DedupCopy re-reads the rows: the derivation
+	// reads only the already-encoded integer columns. A columnar rel
+	// carries its encoding with it, so the dedup copy IS the substrate.
+	data := rel.DedupCopy(rel.Name)
+	if c := data.Columnar(); c != nil {
+		p.cache.PutDerived(data, plicache.New(c.Enc))
+	} else if ps := p.cache.Lookup(rel); ps != nil {
 		cols := make([]int, n)
 		for i := range cols {
 			cols[i] = i
 		}
-		derived = ps.ProjectDedup(cols)
+		p.cache.PutDerived(data, ps.ProjectDedup(cols))
 	}
-	data := relation.MustNew(rel.Name, rel.Attrs, rel.Rows).Dedup()
-	p.cache.PutDerived(data, derived)
 	return &Table{
 		Name:        rel.Name,
 		Attrs:       bitset.Full(n),
@@ -779,11 +786,11 @@ func sampleRows(rel *relation.Relation, max int) *relation.Relation {
 		return rel
 	}
 	stride := (rel.NumRows() + max - 1) / max
-	rows := make([][]string, 0, max)
-	for i := 0; i < rel.NumRows() && len(rows) < max; i += stride {
-		rows = append(rows, rel.Rows[i])
+	keep := make([]int, 0, max)
+	for i := 0; i < rel.NumRows() && len(keep) < max; i += stride {
+		keep = append(keep, i)
 	}
-	return relation.MustNew(rel.Name, rel.Attrs, rows)
+	return rel.SelectRows(rel.Name, keep)
 }
 
 // lhsLadder returns the MaxLhs degradation rungs strictly tighter than

@@ -138,10 +138,10 @@ func checkLossless(orig *relation.Relation, tables []*Table) error {
 		}
 	}
 	reordered := joined.Project("joined", cols)
-	dedup := relation.MustNew(orig.Name, orig.Attrs, orig.Rows).Dedup()
+	dedup := orig.DedupCopy(orig.Name)
 	if !reordered.SameRowSet(dedup) {
 		return fmt.Errorf("join of decomposition differs from original (%d vs %d distinct rows)",
-			len(reordered.Dedup().Rows), len(dedup.Rows))
+			reordered.Dedup().NumRows(), dedup.NumRows())
 	}
 	return nil
 }

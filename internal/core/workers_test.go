@@ -36,7 +36,7 @@ func schemaSignature(res *Result) string {
 		for _, fk := range t.ForeignKeys {
 			fmt.Fprintf(&b, "  fk %s -> %s\n", fk.Attrs, fk.RefTable)
 		}
-		for _, row := range t.Data.Rows {
+		for _, row := range t.Data.Rows() {
 			fmt.Fprintf(&b, "  %v\n", row)
 		}
 	}
@@ -56,14 +56,14 @@ func TestNormalizeWorkersDifferential(t *testing.T) {
 	}
 	for i, rel := range inputs {
 		serial, err := NormalizeRelationContext(context.Background(),
-			relation.MustNew(rel.Name, rel.Attrs, cloneRows(rel.Rows)), Options{Workers: 1})
+			relation.MustNew(rel.Name, rel.Attrs, cloneRows(rel.Rows())), Options{Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		base := schemaSignature(serial)
 		for _, w := range []int{2, 4} {
 			res, err := NormalizeRelationContext(context.Background(),
-				relation.MustNew(rel.Name, rel.Attrs, cloneRows(rel.Rows)), Options{Workers: w})
+				relation.MustNew(rel.Name, rel.Attrs, cloneRows(rel.Rows())), Options{Workers: w})
 			if err != nil {
 				t.Fatal(err)
 			}

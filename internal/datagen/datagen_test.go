@@ -68,7 +68,7 @@ func TestTPCHShippriorityIsRegionDerived(t *testing.T) {
 		t.Fatal("columns missing")
 	}
 	seen := map[string]string{}
-	for _, row := range d.Rows {
+	for _, row := range d.Rows() {
 		if prev, ok := seen[row[rk]]; ok && prev != row[sp] {
 			t.Fatalf("regionkey %s maps to both %s and %s", row[rk], prev, row[sp])
 		}
@@ -127,7 +127,7 @@ func TestSyntheticDerivedColumnsCreateFDs(t *testing.T) {
 	code := d.AttrIndex("lesion_code")
 	site := d.AttrIndex("lesion_site")
 	seen := map[string]string{}
-	for _, row := range d.Rows {
+	for _, row := range d.Rows() {
 		if prev, ok := seen[row[code]]; ok && prev != row[site] {
 			t.Fatal("derived column violates its defining FD")
 		}

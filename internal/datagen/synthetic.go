@@ -33,7 +33,9 @@ func build(name string, rows int, seed int64, cols []col) *relation.Relation {
 		}
 		data[i] = vals
 	}
-	return relation.MustNew(name, attrs, data)
+	// The normalizer consumes the columnar substrate directly; encode
+	// once here and let row views materialize only if asked for.
+	return relation.MustNew(name, attrs, data).Columnarize()
 }
 
 // Generator primitives.

@@ -89,7 +89,7 @@ func TestNullsAgainstBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(73))
 	for trial := 0; trial < 10; trial++ {
 		rel := randomRelation(r, 4, 20, 3)
-		for _, row := range rel.Rows {
+		for _, row := range rel.Rows() {
 			if r.Intn(3) == 0 {
 				row[r.Intn(4)] = ""
 			}

@@ -132,7 +132,7 @@ func TestWithNullsAgainstBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 15; trial++ {
 		rel := randomRelation(r, 4, 20, 3)
-		for _, row := range rel.Rows {
+		for _, row := range rel.Rows() {
 			if r.Intn(3) == 0 {
 				row[r.Intn(4)] = ""
 			}

@@ -238,26 +238,27 @@ func hasDuplicates(cols []int) bool {
 // returns its coverage. Dependent tuples containing nulls are exempt,
 // matching SQL's MATCH SIMPLE foreign-key semantics.
 func CheckComposite(dep *relation.Relation, depCols []int, ref *relation.Relation, refCols []int) (bool, float64) {
-	refTuples := make(map[string]struct{}, len(ref.Rows))
+	refTuples := make(map[string]struct{}, ref.NumRows())
 	var b strings.Builder
-	for _, row := range ref.Rows {
+	for i, n := 0, ref.NumRows(); i < n; i++ {
 		b.Reset()
 		for _, c := range refCols {
-			b.WriteString(row[c])
+			b.WriteString(ref.Value(i, c))
 			b.WriteByte(0)
 		}
 		refTuples[b.String()] = struct{}{}
 	}
-	depTuples := make(map[string]struct{}, len(dep.Rows))
-	for _, row := range dep.Rows {
+	depTuples := make(map[string]struct{}, dep.NumRows())
+	for i, n := 0, dep.NumRows(); i < n; i++ {
 		b.Reset()
 		null := false
 		for _, c := range depCols {
-			if relation.IsNull(row[c]) {
+			v := dep.Value(i, c)
+			if relation.IsNull(v) {
 				null = true
 				break
 			}
-			b.WriteString(row[c])
+			b.WriteString(v)
 			b.WriteByte(0)
 		}
 		if null {

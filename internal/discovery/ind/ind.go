@@ -77,12 +77,12 @@ func DiscoverContext(ctx context.Context, rels []*relation.Relation, opts Option
 				return nil, ctx.Err()
 			}
 			vals := make(map[string]struct{})
-			for r, row := range rel.Rows {
+			for r, n := 0, rel.NumRows(); r < n; r++ {
 				if r&1023 == 0 && canceled(done) {
 					return nil, ctx.Err()
 				}
-				if !relation.IsNull(row[c]) {
-					vals[row[c]] = struct{}{}
+				if v := rel.Value(r, c); !relation.IsNull(v) {
+					vals[v] = struct{}{}
 				}
 			}
 			cols = append(cols, column{

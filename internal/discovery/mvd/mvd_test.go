@@ -38,7 +38,9 @@ func TestHoldsClassicExample(t *testing.T) {
 	// product within teacher groups once courses mix)... construct an
 	// actual counterexample: add a second course for smith with a
 	// different book set.
-	rel.Rows = append(rel.Rows, []string{"ml", "smith", "bishop"})
+	if err := rel.AppendRow([]string{"ml", "smith", "bishop"}); err != nil {
+		t.Fatal(err)
+	}
 	enc = rel.Encode()
 	if Holds(enc, 3, bitset.Of(3, 1), bitset.Of(3, 0)) {
 		t.Error("teacher ->> course must fail after the extra row")
@@ -93,7 +95,7 @@ func TestHoldsMatchesTupleDefinition(t *testing.T) {
 		y := bitset.Of(n, rest.First())
 		if got, want := Holds(enc, n, x, y), tupleDefinition(rel, x, y); got != want {
 			t.Fatalf("trial %d: Holds=%v, tuple definition=%v (X=%v Y=%v)\n%v",
-				trial, got, want, x, y, rel.Rows)
+				trial, got, want, x, y, rel.Rows())
 		}
 	}
 }
@@ -115,13 +117,13 @@ func tupleDefinition(rel *relation.Relation, x, y *bitset.Set) bool {
 		})
 		return ok
 	}
-	for _, t1 := range rel.Rows {
-		for _, t2 := range rel.Rows {
+	for _, t1 := range rel.Rows() {
+		for _, t2 := range rel.Rows() {
 			if !agree(t1, t2, x) {
 				continue
 			}
 			found := false
-			for _, t3 := range rel.Rows {
+			for _, t3 := range rel.Rows() {
 				if agree(t3, t1, x) && agree(t3, t1, yEff) && agree(t3, t2, z) {
 					found = true
 					break

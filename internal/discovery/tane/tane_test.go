@@ -184,7 +184,7 @@ func TestRandomWithNullsAgainstBruteForce(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		rel := randomRelation(r, 4, 15, 3)
 		// Sprinkle nulls.
-		for _, row := range rel.Rows {
+		for _, row := range rel.Rows() {
 			if r.Intn(3) == 0 {
 				row[r.Intn(4)] = ""
 			}

@@ -1,0 +1,255 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"normalize/internal/budget"
+	"normalize/internal/observe"
+	"normalize/internal/relation"
+)
+
+// blockCodes is the number of codes per column block. Blocks are the
+// spill granularity: sealed (full) blocks can be flushed to disk when
+// the memory budget trips, the active tail cannot.
+const blockCodes = 4096
+
+// dictEntryBytes approximates the map+slice bookkeeping retained per
+// distinct value, on top of the string bytes themselves.
+const dictEntryBytes = 64
+
+// colBuilder accumulates one column's code sequence as uint32 blocks.
+type colBuilder struct {
+	sealed [][]uint32 // full blocks not yet spilled, oldest first
+	active []uint32   // current tail, len < cap == blockCodes
+}
+
+// dict is one column's value dictionary in first-appearance order —
+// the same order relation.(*Relation).Encode assigns, which the
+// differential tests pin.
+type dict struct {
+	lookup map[string]uint32
+	vals   []string
+}
+
+// encoder consumes tokenized segments strictly in stream order and
+// dictionary-encodes them into per-column code blocks. It runs on a
+// single goroutine, which is what makes spilling and budget refunds
+// race-free. Retained memory (dictionaries, code blocks, and finally
+// the materialized []int columns) is charged to the budget tracker;
+// when a charge trips the limit, sealed blocks are spilled to disk and
+// their bytes refunded.
+type encoder struct {
+	lenient  bool
+	tr       *budget.Tracker
+	obs      observe.Observer
+	spillDir string
+
+	attrs   []string
+	cols    []colBuilder
+	dicts   []dict
+	rows    int
+	skipped []relation.RowError
+
+	sp *spillFile // nil until the first spill
+}
+
+func newEncoder(lenient bool, tr *budget.Tracker, obs observe.Observer, spillDir string) *encoder {
+	return &encoder{lenient: lenient, tr: tr, obs: obs, spillDir: spillDir}
+}
+
+// init sizes the per-column state once the header arity is known.
+func (e *encoder) init(attrs []string) {
+	e.attrs = attrs
+	e.cols = make([]colBuilder, len(attrs))
+	e.dicts = make([]dict, len(attrs))
+	for c := range e.dicts {
+		e.dicts[c].lookup = make(map[string]uint32)
+	}
+}
+
+// encodeTokens folds one segment's records into the column builders.
+func (e *encoder) encodeTokens(t *tokens) error {
+	if len(t.skipped) > 0 {
+		e.skipped = append(e.skipped, t.skipped...)
+	}
+	nAttrs := len(e.attrs)
+	idx := 0
+	for r := 0; r < t.nRecs; r++ {
+		for c := 0; c < nAttrs; c++ {
+			code, err := e.code(c, t.field(idx))
+			idx++
+			if err != nil {
+				return err
+			}
+			if err := e.appendCode(c, code); err != nil {
+				return err
+			}
+		}
+		e.rows++
+	}
+	if t.nRecs > 0 {
+		e.obs.Counter(observe.Ingest, observe.CounterIngestRows, int64(t.nRecs))
+	}
+	if t.fatal != nil {
+		if e.lenient {
+			return fmt.Errorf("read csv: %w", t.fatal)
+		}
+		// Row numbering matches the legacy reader: 1 header line plus
+		// every record encoded before the failing one, 1-based.
+		return fmt.Errorf("read csv row %d: %w", e.rows+2, t.fatal)
+	}
+	return nil
+}
+
+// code interns field f in column c's dictionary.
+func (e *encoder) code(c int, f []byte) (uint32, error) {
+	d := &e.dicts[c]
+	if code, ok := d.lookup[string(f)]; ok { // no-alloc lookup
+		return code, nil
+	}
+	if err := e.charge(int64(len(f)) + dictEntryBytes); err != nil {
+		return 0, err
+	}
+	s := string(f)
+	code := uint32(len(d.vals))
+	d.lookup[s] = code
+	d.vals = append(d.vals, s)
+	return code, nil
+}
+
+func (e *encoder) appendCode(c int, code uint32) error {
+	b := &e.cols[c]
+	if len(b.active) == cap(b.active) {
+		if b.active != nil {
+			b.sealed = append(b.sealed, b.active)
+		}
+		if err := e.charge(4 * blockCodes); err != nil {
+			return err
+		}
+		b.active = make([]uint32, 0, blockCodes)
+	}
+	b.active = append(b.active, code)
+	return nil
+}
+
+// charge grows the budget by n bytes. On a memory trip it spills all
+// sealed blocks and keeps the charge if the refunds brought usage back
+// under the limit; otherwise the charge is rolled back and the trip
+// propagates.
+func (e *encoder) charge(n int64) error {
+	err := e.tr.Grow(n)
+	if err == nil {
+		return nil
+	}
+	var ex *budget.Exceeded
+	if !errors.As(err, &ex) || ex.Resource != budget.ResourceMemory {
+		e.tr.Grow(-n)
+		return err
+	}
+	freed, serr := e.spillSealed()
+	if serr != nil {
+		e.tr.Grow(-n)
+		return serr
+	}
+	if freed > 0 && e.tr.Memory() <= ex.Limit {
+		return nil
+	}
+	e.tr.Grow(-n)
+	return err
+}
+
+// spillSealed writes every sealed block to the spill file and refunds
+// their bytes.
+func (e *encoder) spillSealed() (freed int64, err error) {
+	if e.sp == nil {
+		sp, err := newSpillFile(e.spillDir)
+		if err != nil {
+			return 0, err
+		}
+		e.sp = sp
+	}
+	for c := range e.cols {
+		b := &e.cols[c]
+		for _, blk := range b.sealed {
+			if err := e.sp.writeBlock(c, blk); err != nil {
+				return freed, err
+			}
+			n := int64(4 * cap(blk))
+			e.tr.Grow(-n)
+			freed += n
+		}
+		b.sealed = b.sealed[:0]
+	}
+	if freed > 0 {
+		e.obs.Counter(observe.Ingest, observe.CounterSpillEvents, 1)
+	}
+	return freed, nil
+}
+
+// finish materializes the final columnar encoding. The []int columns
+// are charged to the budget as they are built, with code blocks
+// (memory or disk) released column by column, so the peak is the final
+// substrate plus one column's worth of blocks — not both in full.
+func (e *encoder) finish() (*relation.Columnar, error) {
+	nAttrs := len(e.attrs)
+	enc := &relation.Encoded{
+		NumRows:     e.rows,
+		Columns:     make([][]int, nAttrs),
+		Cardinality: make([]int, nAttrs),
+		HasNull:     make([]bool, nAttrs),
+	}
+	dicts := make([][]string, nAttrs)
+	for c := 0; c < nAttrs; c++ {
+		b := &e.cols[c]
+		if len(b.active) > 0 {
+			b.sealed = append(b.sealed, b.active)
+			b.active = nil
+		}
+		if err := e.charge(8 * int64(e.rows)); err != nil {
+			return nil, err
+		}
+		col := make([]int, e.rows)
+		pos := 0
+		if e.sp != nil {
+			// charge() above may itself have spilled this column's
+			// remaining blocks, so the replay below covers them either
+			// way: spilled refs first (older rows), memory blocks after.
+			for _, ref := range e.sp.refs {
+				if ref.col != c {
+					continue
+				}
+				var err error
+				pos, err = e.sp.readInto(ref, col, pos)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, blk := range b.sealed {
+			for _, code := range blk {
+				col[pos] = int(code)
+				pos++
+			}
+			e.tr.Grow(-int64(4 * cap(blk)))
+		}
+		b.sealed = nil
+		if pos != e.rows {
+			return nil, fmt.Errorf("ingest: column %d has %d codes, want %d", c, pos, e.rows)
+		}
+		d := &e.dicts[c]
+		enc.Columns[c] = col
+		enc.Cardinality[c] = len(d.vals)
+		_, enc.HasNull[c] = d.lookup[""]
+		dicts[c] = d.vals
+	}
+	return relation.NewColumnarData(enc, dicts)
+}
+
+// cleanup releases the spill file, if any. Safe to call twice.
+func (e *encoder) cleanup() {
+	if e.sp != nil {
+		e.sp.close()
+		e.sp = nil
+	}
+}

@@ -1,0 +1,356 @@
+// Package ingest streams CSV bytes into the pipeline's columnar
+// substrate without ever materializing [][]string rows. The stream is
+// read in fixed-size chunks, cut into independently parseable segments
+// at record boundaries (scan.go), tokenized — in parallel when asked —
+// into per-segment field arenas (tokenize.go), and dictionary-encoded
+// in strict stream order into per-column code blocks (encode.go) that
+// can spill to disk under memory pressure (spill.go).
+//
+// The output is byte-identical to loading the whole file through
+// relation.ReadCSV / ReadCSVLenient and encoding it: same dictionary
+// order, same codes, same skipped-row reports, same error messages —
+// at any worker count and chunk size. The differential tests pin that
+// contract.
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"normalize/internal/budget"
+	"normalize/internal/observe"
+	"normalize/internal/relation"
+)
+
+// DefaultChunkBytes is the read-chunk size when Options.ChunkBytes is
+// unset. Big enough to amortize syscalls and keep segments long;
+// small enough that the per-worker transient buffers stay modest.
+const DefaultChunkBytes = 256 << 10
+
+// Options configures a streaming CSV read. The zero value reads
+// strictly, serially, with default chunking and no memory budget.
+type Options struct {
+	// Lenient skips malformed rows (reported as RowErrors) instead of
+	// aborting, matching relation.ReadCSVLenient.
+	Lenient bool
+	// Workers is the tokenizer parallelism; <= 0 means GOMAXPROCS.
+	// Encoding is always single-threaded and in stream order, so the
+	// result does not depend on this.
+	Workers int
+	// ChunkBytes is the read granularity; <= 0 means DefaultChunkBytes.
+	ChunkBytes int
+	// Budget, when non-nil, is charged for all retained ingest memory
+	// (dictionaries, code blocks, the final columnar arrays) plus a
+	// fixed reservation for transient chunk buffers. When a charge
+	// trips the memory limit, sealed code blocks spill to disk.
+	Budget *budget.Tracker
+	// Observer receives ingest stage events and counters.
+	Observer observe.Observer
+	// SpillDir is where spill files are created; empty means the OS
+	// temp directory.
+	SpillDir string
+}
+
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// ReadCSV streams one relation from src. The returned relation is
+// columnar-backed (relation.Columnar); rows materialize only if a
+// caller asks for them. In lenient mode skipped rows are returned like
+// relation.ReadCSVLenient's; in strict mode the skipped slice is
+// always nil and the first malformed row aborts with the legacy error.
+func ReadCSV(ctx context.Context, name string, src io.Reader, opts Options) (*relation.Relation, []relation.RowError, error) {
+	obs := observe.Or(opts.Observer)
+	chunk := opts.ChunkBytes
+	if chunk <= 0 {
+		chunk = DefaultChunkBytes
+	}
+	if chunk < 16 {
+		chunk = 16
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tr := opts.Budget
+
+	obs.StageStart(observe.Ingest)
+	start := time.Now()
+
+	// One honest reservation for the transient buffers the streaming
+	// loop cycles through: the carry buffer and, per in-flight segment
+	// (up to 2 per worker), the segment bytes and its token arena.
+	reserve := int64(chunk) * int64(2+4*workers)
+	if err := tr.Grow(reserve); err != nil {
+		tr.Grow(-reserve)
+		return nil, nil, fmt.Errorf("ingest buffers: %w", err)
+	}
+	reserved := true
+	release := func() {
+		if reserved {
+			tr.Grow(-reserve)
+			reserved = false
+		}
+	}
+	defer release()
+
+	enc := newEncoder(opts.Lenient, tr, obs, opts.SpillDir)
+	defer enc.cleanup()
+
+	var attrs []string
+	onHeader := func(head []byte, startLine int, atEOF bool) (bool, error) {
+		hr := csv.NewReader(bytes.NewReader(head))
+		header, err := hr.Read()
+		if err == io.EOF && !atEOF {
+			return false, nil // blank line before the header; csv skips it
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				// Rebase to stream lines: blank lines skipped before the
+				// header still count in the legacy reader's numbering.
+				pe.StartLine += startLine - 1
+				pe.Line += startLine - 1
+			}
+			return false, fmt.Errorf("read csv header: %w", err)
+		}
+		if err := relation.CheckHeader(header); err != nil {
+			return false, fmt.Errorf("read csv header: %w", err)
+		}
+		attrs = relation.HeaderAttrs(header)
+		enc.init(attrs)
+		return true, nil
+	}
+
+	var err error
+	if workers <= 1 {
+		err = splitStream(ctx, src, chunk, obs, onHeader, func(seg segment) error {
+			return enc.encodeTokens(tokenizeSegment(seg.data, seg.startLine, len(attrs), opts.Lenient))
+		})
+	} else {
+		err = runParallel(ctx, src, chunk, workers, opts.Lenient, obs, onHeader, &attrs, enc)
+	}
+	if err != nil {
+		if opts.Lenient {
+			return nil, enc.skipped, err
+		}
+		return nil, nil, err
+	}
+
+	release() // the stream is drained; buffers are dead
+	colr, err := enc.finish()
+	if err != nil {
+		if opts.Lenient {
+			return nil, enc.skipped, err
+		}
+		return nil, nil, err
+	}
+	enc.cleanup()
+	rel, err := relation.NewColumnar(name, attrs, colr)
+	if err != nil {
+		return nil, enc.skipped, err
+	}
+	obs.StageFinish(observe.Ingest, time.Since(start))
+	if opts.Lenient {
+		return rel, enc.skipped, nil
+	}
+	return rel, nil, nil
+}
+
+// ReadCSVFile streams a relation from a CSV file, named like
+// relation.ReadCSVFile (base name without extension).
+func ReadCSVFile(ctx context.Context, path string, opts Options) (*relation.Relation, []relation.RowError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCSV(ctx, relation.CSVName(path), f, opts)
+}
+
+// segment is a run of whole records handed to a tokenizer. startLine
+// is the 1-based physical line number of its first byte.
+type segment struct {
+	data      []byte
+	startLine int
+}
+
+// splitStream reads src in chunks and cuts it into segments at record
+// boundaries. onHeader is called with candidate header bytes until it
+// reports done (blank leading lines are consumed one at a time, like
+// encoding/csv); emit receives each complete segment in order, and the
+// final partial segment at EOF.
+func splitStream(ctx context.Context, src io.Reader, chunk int, obs observe.Observer,
+	onHeader func(head []byte, startLine int, atEOF bool) (bool, error), emit func(segment) error) error {
+	var (
+		sp         splitter
+		carry      []byte
+		scanned    int // carry[:scanned] has been fed to the splitter
+		lastB      = -1
+		headerDone bool
+		bomDone    bool
+		line       = 1
+		buf        = make([]byte, chunk)
+		done       = ctx.Done()
+	)
+	for {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			obs.Counter(observe.Ingest, observe.CounterIngestBytes, int64(n))
+			obs.Counter(observe.Ingest, observe.CounterIngestChunks, 1)
+			carry = append(carry, buf[:n]...)
+		}
+		if !bomDone && (len(carry) >= len(utf8BOM) || rerr != nil) {
+			if bytes.HasPrefix(carry, utf8BOM) {
+				carry = carry[len(utf8BOM):]
+			}
+			bomDone = true
+		}
+		if bomDone {
+			for !headerDone && scanned < len(carry) {
+				b := sp.scanFirst(carry[scanned:])
+				if b < 0 {
+					scanned = len(carry)
+					break
+				}
+				cut := scanned + b
+				ok, err := onHeader(carry[:cut], line, false)
+				if err != nil {
+					return err
+				}
+				line += bytes.Count(carry[:cut], []byte{'\n'})
+				carry = shiftCarry(carry, cut, chunk)
+				scanned = 0
+				headerDone = ok
+			}
+			if headerDone {
+				if scanned < len(carry) {
+					if l := sp.scanLast(carry[scanned:]); l >= 0 {
+						lastB = scanned + l
+					}
+					scanned = len(carry)
+				}
+				if lastB > 0 {
+					seg := carry[:lastB:lastB]
+					rest := shiftCarry(carry, lastB, chunk)
+					if err := emit(segment{data: seg, startLine: line}); err != nil {
+						return err
+					}
+					line += bytes.Count(seg, []byte{'\n'})
+					carry = rest
+					scanned = len(rest)
+					lastB = -1
+				}
+			}
+		}
+		if rerr == io.EOF {
+			if !headerDone {
+				ok, err := onHeader(carry, line, true)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("read csv header: %w", io.EOF)
+				}
+				return nil
+			}
+			if len(carry) > 0 {
+				return emit(segment{data: carry, startLine: line})
+			}
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("read csv: %w", rerr)
+		}
+	}
+}
+
+// shiftCarry copies carry[cut:] into a fresh buffer with room for the
+// next chunk, releasing the front (which a segment may now own).
+func shiftCarry(carry []byte, cut, chunk int) []byte {
+	rest := carry[cut:]
+	nc := make([]byte, len(rest), len(rest)+chunk)
+	copy(nc, rest)
+	return nc
+}
+
+// runParallel fans segments out to tokenizer workers while the encoder
+// consumes results strictly in stream order: the reader enqueues a
+// result slot per segment on an ordered channel before handing the
+// segment to any worker, so encoding order — and therefore dictionary
+// code assignment — is independent of worker scheduling.
+func runParallel(ctx context.Context, src io.Reader, chunk, workers int, lenient bool,
+	obs observe.Observer, onHeader func([]byte, int, bool) (bool, error), attrs *[]string, enc *encoder) error {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		seg segment
+		out chan *tokens
+	}
+	work := make(chan job, workers)
+	ordered := make(chan chan *tokens, 2*workers)
+	readErr := make(chan error, 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				j.out <- tokenizeSegment(j.seg.data, j.seg.startLine, len(*attrs), lenient)
+			}
+		}()
+	}
+
+	go func() {
+		err := splitStream(ictx, src, chunk, obs, onHeader, func(seg segment) error {
+			out := make(chan *tokens, 1)
+			select {
+			case ordered <- out:
+			case <-ictx.Done():
+				return ictx.Err()
+			}
+			select {
+			case work <- job{seg: seg, out: out}:
+			case <-ictx.Done():
+				out <- nil // unblock the encoder's receive on this slot
+				return ictx.Err()
+			}
+			return nil
+		})
+		close(work)
+		close(ordered)
+		readErr <- err
+	}()
+
+	var encErr error
+	for out := range ordered {
+		t := <-out
+		if t == nil || encErr != nil {
+			continue
+		}
+		if err := enc.encodeTokens(t); err != nil {
+			encErr = err
+			cancel()
+		}
+	}
+	wg.Wait()
+	rerr := <-readErr
+	if encErr != nil {
+		return encErr
+	}
+	return rerr
+}

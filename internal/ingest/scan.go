@@ -1,0 +1,104 @@
+package ingest
+
+// Record-boundary splitting. The splitter is a byte-level quote-parity
+// state machine that finds the newline positions where a CSV reader is
+// between records, so the stream can be cut into independently
+// parseable segments. Its transitions mirror encoding/csv's field
+// scanning *including* error recovery: csv resumes parsing at the next
+// physical line after a quoting error, which is exactly where the
+// splitter places the next boundary (see the stQuoteInQuoted → junk
+// transition). The splitter may be conservative — a quoting error can
+// leave it "inside quotes" where csv has already recovered, which only
+// delays the next cut (the whole stretch lands in one segment and the
+// per-segment csv reader reproduces legacy behavior verbatim) — but it
+// never cuts where csv would be mid-record.
+type splitter struct {
+	state scanState
+}
+
+type scanState uint8
+
+const (
+	// stFieldStart: at the beginning of a field (start of record, or
+	// just after a comma).
+	stFieldStart scanState = iota
+	// stUnquoted: inside an unquoted field (also the recovery state
+	// after malformed quoting — csv skips to the next line, and so does
+	// a boundary search in this state).
+	stUnquoted
+	// stQuoted: inside a quoted field; newlines here are data.
+	stQuoted
+	// stQuoteInQuoted: saw a '"' inside a quoted field — either the
+	// closing quote or the first half of an escaped "".
+	stQuoteInQuoted
+)
+
+// step advances the state machine by one byte and reports whether the
+// byte ends a record (a newline at outer quote parity).
+func (s *splitter) step(b byte) bool {
+	switch s.state {
+	case stFieldStart:
+		switch b {
+		case '"':
+			s.state = stQuoted
+		case ',':
+			// next field starts
+		case '\n':
+			return true
+		default:
+			s.state = stUnquoted
+		}
+	case stUnquoted:
+		switch b {
+		case ',':
+			s.state = stFieldStart
+		case '\n':
+			s.state = stFieldStart
+			return true
+		}
+	case stQuoted:
+		if b == '"' {
+			s.state = stQuoteInQuoted
+		}
+	case stQuoteInQuoted:
+		switch b {
+		case '"':
+			s.state = stQuoted // escaped quote
+		case ',':
+			s.state = stFieldStart
+		case '\n':
+			s.state = stFieldStart
+			return true
+		default:
+			// Junk after a closing quote: csv reports ErrQuote and
+			// recovers at the next line; scanning as an unquoted field
+			// puts the next boundary exactly there.
+			s.state = stUnquoted
+		}
+	}
+	return false
+}
+
+// scanFirst consumes data up to and including the first record
+// boundary and returns the offset just past it, or -1 after consuming
+// all of data without finding one. Used to carve the header record.
+func (s *splitter) scanFirst(data []byte) int {
+	for i, b := range data {
+		if s.step(b) {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// scanLast consumes all of data and returns the offset just past the
+// last record boundary in it, or -1.
+func (s *splitter) scanLast(data []byte) int {
+	last := -1
+	for i, b := range data {
+		if s.step(b) {
+			last = i + 1
+		}
+	}
+	return last
+}

@@ -1,0 +1,80 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// spillRef locates one spilled block: n little-endian uint32 codes for
+// column col at byte offset off in the spill file. Refs for a column
+// are appended in row order, so replaying a column's refs front to back
+// reproduces its code sequence up to the blocks still in memory (which
+// are always newer than everything spilled).
+type spillRef struct {
+	col int
+	off int64
+	n   int
+}
+
+// spillFile is the single temp file backing all spilled code blocks.
+// It is written and read only by the encoder goroutine.
+type spillFile struct {
+	f       *os.File
+	refs    []spillRef
+	size    int64
+	scratch []byte
+}
+
+func newSpillFile(dir string) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, "ingest-spill-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("ingest spill: %w", err)
+	}
+	return &spillFile{f: f}, nil
+}
+
+// writeBlock appends blk for column col.
+func (s *spillFile) writeBlock(col int, blk []uint32) error {
+	need := 4 * len(blk)
+	if cap(s.scratch) < need {
+		s.scratch = make([]byte, need)
+	}
+	buf := s.scratch[:need]
+	for i, c := range blk {
+		binary.LittleEndian.PutUint32(buf[4*i:], c)
+	}
+	if _, err := s.f.WriteAt(buf, s.size); err != nil {
+		return fmt.Errorf("ingest spill: %w", err)
+	}
+	s.refs = append(s.refs, spillRef{col: col, off: s.size, n: len(blk)})
+	s.size += int64(need)
+	return nil
+}
+
+// readInto decodes the block at ref into dst starting at pos and
+// returns the next write position.
+func (s *spillFile) readInto(ref spillRef, dst []int, pos int) (int, error) {
+	need := 4 * ref.n
+	if cap(s.scratch) < need {
+		s.scratch = make([]byte, need)
+	}
+	buf := s.scratch[:need]
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return pos, fmt.Errorf("ingest spill: %w", err)
+	}
+	for i := 0; i < ref.n; i++ {
+		dst[pos+i] = int(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return pos + ref.n, nil
+}
+
+func (s *spillFile) close() {
+	if s == nil || s.f == nil {
+		return
+	}
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+	s.f = nil
+}

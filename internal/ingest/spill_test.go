@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"normalize/internal/budget"
+	"normalize/internal/observe"
+	"normalize/internal/relation"
+)
+
+// spillCSV builds a CSV whose transient encoding state (uint32 blocks +
+// final []int columns) overflows a small budget while the final
+// substrate alone still fits, so ingest must spill to finish.
+func spillCSV(rows int) string {
+	var b strings.Builder
+	b.WriteString("a,b,c,d\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "a%d,b%d,c%d,d%d\n", i%40, (i/3)%40, i%7, (i*11)%40)
+	}
+	return b.String()
+}
+
+// TestIngestSpillsUnderBudget pins the out-of-core path: a constrained
+// memory budget forces sealed code blocks to disk, the load still
+// succeeds, and the result is identical to the unconstrained one.
+func TestIngestSpillsUnderBudget(t *testing.T) {
+	data := spillCSV(7000)
+	tr := budget.NewTracker(0, 256<<10)
+	var spills atomic.Int64
+	obs := observe.Func{OnCounter: func(_ observe.Stage, name string, delta int64) {
+		if name == observe.CounterSpillEvents {
+			spills.Add(delta)
+		}
+	}}
+	srel, _, err := ReadCSV(context.Background(), "rel", strings.NewReader(data), Options{
+		ChunkBytes: 4096,
+		Workers:    1,
+		Budget:     tr,
+		Observer:   obs,
+		SpillDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("budgeted ingest failed: %v", err)
+	}
+	if spills.Load() == 0 {
+		t.Fatal("expected at least one spill event under a 256KiB budget")
+	}
+	lrel, err := relation.ReadCSV("rel", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srel.SameRowSet(lrel) || srel.NumRows() != lrel.NumRows() {
+		t.Fatal("spilled ingest diverged from in-memory read")
+	}
+	if used := tr.Memory(); used <= 0 || used > 256<<10 {
+		t.Fatalf("retained charge out of range after ingest: %d", used)
+	}
+}
+
+// TestIngestBudgetTooSmall: when even the final substrate cannot fit,
+// ingest fails with a budget error instead of quietly blowing past the
+// limit.
+func TestIngestBudgetTooSmall(t *testing.T) {
+	data := spillCSV(7000)
+	tr := budget.NewTracker(0, 64<<10)
+	_, _, err := ReadCSV(context.Background(), "rel", strings.NewReader(data), Options{
+		ChunkBytes: 4096,
+		Workers:    1,
+		Budget:     tr,
+		SpillDir:   t.TempDir(),
+	})
+	var ex *budget.Exceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("want budget.Exceeded, got %v", err)
+	}
+}
+
+// TestIngestNoBudgetNoSpill: without a tracker nothing spills and the
+// differential contract holds at default settings.
+func TestIngestNoBudgetNoSpill(t *testing.T) {
+	data := spillCSV(2000)
+	var spills atomic.Int64
+	obs := observe.Func{OnCounter: func(_ observe.Stage, name string, delta int64) {
+		if name == observe.CounterSpillEvents {
+			spills.Add(delta)
+		}
+	}}
+	srel, _, err := ReadCSV(context.Background(), "rel", strings.NewReader(data), Options{Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spills.Load() != 0 {
+		t.Fatal("spilled without a budget")
+	}
+	if srel.NumRows() != 2000 {
+		t.Fatalf("rows = %d, want 2000", srel.NumRows())
+	}
+}

@@ -1,0 +1,224 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"io"
+
+	"normalize/internal/relation"
+)
+
+// tokens is the parsed form of one segment: every surviving record has
+// exactly nAttrs fields, stored back to back in arena with cumulative
+// end offsets in ends (field j of record r is
+// arena[ends[r*nAttrs+j-1]:ends[r*nAttrs+j]], with an implicit leading
+// zero). Malformed rows land in skipped (lenient) or fatal (strict).
+type tokens struct {
+	nRecs   int
+	arena   []byte
+	ends    []uint32
+	skipped []relation.RowError
+	// fatal aborts the load (strict-mode parse error, or a non-parse
+	// error in either mode). fatalAfter is the number of records of
+	// this segment that precede the failure point, for global row
+	// numbering; no records after the failure are tokenized.
+	fatal      error
+	fatalAfter int
+}
+
+// field returns the idx-th field (global across records) of t.
+func (t *tokens) field(idx int) []byte {
+	start := uint32(0)
+	if idx > 0 {
+		start = t.ends[idx-1]
+	}
+	return t.arena[start:t.ends[idx]]
+}
+
+// tokenizeSegment parses one segment of complete records. startLine is
+// the 1-based physical line number of the segment's first byte in the
+// whole stream; nAttrs is the header arity. Segments without a quote
+// byte take a zero-allocation manual split; anything quoted goes
+// through encoding/csv with line numbers rebased to the stream.
+func tokenizeSegment(seg []byte, startLine, nAttrs int, lenient bool) *tokens {
+	t := &tokens{
+		arena: make([]byte, 0, len(seg)),
+		// ~one field per 4 input bytes is a comfortable overestimate for
+		// real data; append growth handles the pathological rest.
+		ends: make([]uint32, 0, len(seg)/4+nAttrs+8),
+	}
+	if bytes.IndexByte(seg, '"') < 0 {
+		fastTokenize(t, seg, startLine, nAttrs, lenient)
+	} else {
+		csvTokenize(t, seg, startLine, nAttrs, lenient)
+	}
+	return t
+}
+
+// fastTokenize splits quote-free bytes on newlines and commas, matching
+// encoding/csv's behavior for such input: blank lines are skipped, a
+// trailing \r is stripped from each line, and interior \r bytes are
+// data.
+func fastTokenize(t *tokens, seg []byte, startLine, nAttrs int, lenient bool) {
+	fields := make([][]byte, 0, nAttrs+8)
+	line := startLine
+	for len(seg) > 0 {
+		var row []byte
+		if nl := bytes.IndexByte(seg, '\n'); nl >= 0 {
+			row, seg = seg[:nl], seg[nl+1:]
+		} else {
+			row, seg = seg, nil
+		}
+		curLine := line
+		line++
+		if len(row) > 0 && row[len(row)-1] == '\r' {
+			row = row[:len(row)-1]
+		}
+		if len(row) == 0 {
+			continue // csv skips blank lines
+		}
+		fields = fields[:0]
+		for {
+			c := bytes.IndexByte(row, ',')
+			if c < 0 {
+				fields = append(fields, row)
+				break
+			}
+			fields = append(fields, row[:c])
+			row = row[c+1:]
+		}
+		// Arity first, then field size — the order the legacy readers
+		// report them in.
+		if len(fields) != nAttrs {
+			if lenient {
+				t.skipped = append(t.skipped, relation.RowError{Line: curLine, Err: raggedErr(len(fields), nAttrs)})
+				continue
+			}
+			t.fatal = &csv.ParseError{StartLine: curLine, Line: curLine, Err: csv.ErrFieldCount}
+			t.fatalAfter = t.nRecs
+			return
+		}
+		if i, n := oversized(fields); i >= 0 {
+			if lenient {
+				t.skipped = append(t.skipped, relation.RowError{Line: curLine, Err: relation.ErrFieldTooLarge(i, n)})
+				continue
+			}
+			t.fatal = relation.ErrFieldTooLarge(i, n)
+			t.fatalAfter = t.nRecs
+			return
+		}
+		for _, f := range fields {
+			t.arena = append(t.arena, f...)
+			t.ends = append(t.ends, uint32(len(t.arena)))
+		}
+		t.nRecs++
+	}
+}
+
+// csvTokenize parses a segment containing quotes with encoding/csv,
+// rebasing every reported line number by the segment's position in the
+// stream so errors match the legacy whole-stream readers byte for byte.
+func csvTokenize(t *tokens, seg []byte, startLine, nAttrs int, lenient bool) {
+	off := startLine - 1
+	cr := csv.NewReader(bytes.NewReader(seg))
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1 // arity is checked here, against the header
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				pe.StartLine += off
+				pe.Line += off
+				if lenient {
+					// The reader recovers at the next line; remember the row.
+					t.skipped = append(t.skipped, relation.RowError{Line: pe.Line, Err: err})
+					continue
+				}
+			}
+			t.fatal = err
+			t.fatalAfter = t.nRecs
+			return
+		}
+		line, _ := cr.FieldPos(0)
+		gl := line + off
+		if len(rec) != nAttrs {
+			if lenient {
+				t.skipped = append(t.skipped, relation.RowError{Line: gl, Err: raggedErr(len(rec), nAttrs)})
+				continue
+			}
+			t.fatal = &csv.ParseError{StartLine: gl, Line: gl, Err: csv.ErrFieldCount}
+			t.fatalAfter = t.nRecs
+			return
+		}
+		if i, n := oversizedStrings(rec); i >= 0 {
+			if lenient {
+				t.skipped = append(t.skipped, relation.RowError{Line: gl, Err: relation.ErrFieldTooLarge(i, n)})
+				continue
+			}
+			t.fatal = relation.ErrFieldTooLarge(i, n)
+			t.fatalAfter = t.nRecs
+			return
+		}
+		for _, f := range rec {
+			t.arena = append(t.arena, f...)
+			t.ends = append(t.ends, uint32(len(t.arena)))
+		}
+		t.nRecs++
+	}
+}
+
+func raggedErr(got, want int) error {
+	return errRagged{got: got, want: want}
+}
+
+type errRagged struct{ got, want int }
+
+func (e errRagged) Error() string {
+	return "ragged row: " + itoa(e.got) + " fields, header has " + itoa(e.want)
+}
+
+func oversized(fields [][]byte) (idx, size int) {
+	for i, f := range fields {
+		if len(f) > relation.MaxFieldBytes {
+			return i, len(f)
+		}
+	}
+	return -1, 0
+}
+
+func oversizedStrings(rec []string) (idx, size int) {
+	for i, f := range rec {
+		if len(f) > relation.MaxFieldBytes {
+			return i, len(f)
+		}
+	}
+	return -1, 0
+}
+
+// itoa avoids fmt on the tokenizer path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -29,8 +29,13 @@ import (
 // the paper's Figure 1.
 type Stage string
 
-// The seven pipeline stages in Figure 1 order.
+// The seven pipeline stages in Figure 1 order, preceded by the ingest
+// stage that feeds them.
 const (
+	// Ingest is the streaming CSV read that dictionary-encodes the
+	// input into the pipeline's columnar substrate; it runs before the
+	// Figure 1 components.
+	Ingest        Stage = "ingest"
 	Discovery     Stage = "fd-discovery"
 	Closure       Stage = "closure"
 	KeyDerivation Stage = "key-derivation"
@@ -40,7 +45,10 @@ const (
 	PrimaryKey    Stage = "primary-key-selection"
 )
 
-// Stages returns the pipeline stages in Figure 1 order.
+// Stages returns the pipeline stages in Figure 1 order. Ingest is not
+// listed: it precedes the pipeline (the fault-injection matrix and the
+// per-stage degradation ladder quantify over pipeline stages only);
+// observers handle it like any other stage when its events arrive.
 func Stages() []Stage {
 	return []Stage{Discovery, Closure, KeyDerivation, Violation,
 		Selection, Decomposition, PrimaryKey}
@@ -72,6 +80,13 @@ const (
 	CounterSubstrateBuilds  = "substrate_builds"
 	CounterSubstrateDerived = "substrate_derived"
 	CounterSubstrateHits    = "substrate_hits"
+	// The ingest stage reports raw CSV bytes consumed, read chunks,
+	// rows encoded, and spill-to-disk events (each event flushes sealed
+	// code blocks to the spill file when the memory budget trips).
+	CounterIngestBytes  = "ingest_bytes"
+	CounterIngestChunks = "ingest_chunks"
+	CounterIngestRows   = "ingest_rows"
+	CounterSpillEvents  = "spill_events"
 )
 
 // Observer receives instrumentation events from the pipeline.

@@ -51,7 +51,8 @@ func New(enc *relation.Encoded) *Substrate {
 }
 
 // Build encodes rel and wraps it; the encoding polls ctx like
-// relation.EncodeContext.
+// relation.EncodeContext. A columnar-backed relation is already
+// encoded, so its substrate is free.
 func Build(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
 	enc, err := rel.EncodeContext(ctx)
 	if err != nil {
@@ -102,56 +103,8 @@ func (s *Substrate) PLIs() []*pli.PLI {
 // from encoding the materialized child relation, at integer-remap cost
 // instead of string-hashing cost.
 func (s *Substrate) ProjectDedup(cols []int) *Substrate {
-	parent := s.enc
-	numRows := parent.NumRows
-
-	// Dedup on the projected code tuple, keeping first occurrences.
-	type void = struct{}
-	seen := make(map[string]void, numRows)
-	keep := make([]int, 0, numRows)
-	key := make([]byte, 0, len(cols)*4)
-	for row := 0; row < numRows; row++ {
-		key = key[:0]
-		for _, c := range cols {
-			v := parent.Columns[c][row]
-			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-		}
-		k := string(key)
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = void{}
-		keep = append(keep, row)
-	}
-
-	child := &relation.Encoded{
-		NumRows:     len(keep),
-		Columns:     make([][]int, len(cols)),
-		Cardinality: make([]int, len(cols)),
-		HasNull:     make([]bool, len(cols)),
-	}
-	for j, c := range cols {
-		src := parent.Columns[c]
-		// Densify the surviving codes in first-appearance order, which is
-		// the order a fresh Encode of the child rows would assign.
-		remap := make([]int, parent.Cardinality[c])
-		for i := range remap {
-			remap[i] = -1
-		}
-		out := make([]int, len(keep))
-		next := 0
-		for i, row := range keep {
-			code := src[row]
-			if remap[code] < 0 {
-				remap[code] = next
-				next++
-			}
-			out[i] = remap[code]
-		}
-		child.Columns[j] = out
-		child.Cardinality[j] = next
-		child.HasNull[j] = parent.HasNull[c]
-	}
+	keep := s.enc.DedupKeep(cols)
+	child, _ := s.enc.Select(cols, keep)
 	return New(child)
 }
 
@@ -257,6 +210,8 @@ func (c *Cache) Stats() (builds, derives, hits int64) {
 // contentKey hashes the instance content — attribute names and rows,
 // with length framing so concatenations cannot collide. The relation's
 // name is deliberately excluded: encoding depends only on the data.
+// Values are read through Value so a columnar relation hashes without
+// materializing rows — and to the same key as its row-backed twin.
 func contentKey(rel *relation.Relation) [sha256.Size]byte {
 	h := sha256.New()
 	var frame [8]byte
@@ -270,12 +225,16 @@ func contentKey(rel *relation.Relation) [sha256.Size]byte {
 	for _, a := range rel.Attrs {
 		writeStr(a)
 	}
-	for _, row := range rel.Rows {
-		for _, v := range row {
-			writeStr(v)
+	for i, n := 0, rel.NumRows(); i < n; i++ {
+		for c := range rel.Attrs {
+			writeStr(rel.Value(i, c))
 		}
 	}
 	var key [sha256.Size]byte
 	h.Sum(key[:0])
 	return key
 }
+
+// ContentKey exposes the cache's content key; the differential tests
+// use it to pin that streaming and legacy ingest hash identically.
+func ContentKey(rel *relation.Relation) [sha256.Size]byte { return contentKey(rel) }

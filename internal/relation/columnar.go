@@ -1,0 +1,170 @@
+package relation
+
+import "fmt"
+
+// Columnar is the dictionary-encoded, column-major backing of a
+// relation: the integer codes of every value plus the per-column
+// dictionaries that map codes back to strings. It is the interchange
+// format of the pipeline's data plane — streaming ingest produces it,
+// the profiling substrate (internal/plicache) wraps its Encoded half
+// directly, and decomposition derives child instances from it at
+// integer-remap cost. String rows exist only as lazily-materialized
+// views at export boundaries.
+//
+// Invariants: Dicts[c][code] is the value encoded as code in column c,
+// codes are dense and assigned in first appearance order over the rows
+// (exactly the order Encode would assign), and Enc.Cardinality[c] ==
+// len(Dicts[c]). A Columnar is immutable once built; every deriving
+// operation returns a new value.
+type Columnar struct {
+	Enc   *Encoded
+	Dicts [][]string
+}
+
+// NewColumnarData validates the invariant surface of a columnar
+// backing: one dictionary per column, code ranges inside the
+// dictionary, and cardinalities matching dictionary sizes.
+func NewColumnarData(enc *Encoded, dicts [][]string) (*Columnar, error) {
+	if len(dicts) != len(enc.Columns) {
+		return nil, fmt.Errorf("columnar: %d dictionaries for %d columns", len(dicts), len(enc.Columns))
+	}
+	for c, col := range enc.Columns {
+		if len(col) != enc.NumRows {
+			return nil, fmt.Errorf("columnar: column %d has %d codes, want %d", c, len(col), enc.NumRows)
+		}
+		if enc.Cardinality[c] != len(dicts[c]) {
+			return nil, fmt.Errorf("columnar: column %d cardinality %d, dictionary holds %d", c, enc.Cardinality[c], len(dicts[c]))
+		}
+	}
+	return &Columnar{Enc: enc, Dicts: dicts}, nil
+}
+
+// Value returns the string value at (row, col) via the dictionary.
+func (c *Columnar) Value(row, col int) string {
+	return c.Dicts[col][c.Enc.Columns[col][row]]
+}
+
+// nullCode returns the code of the null value ("") in column col, or
+// -1 when the column holds no null.
+func (c *Columnar) nullCode(col int) int {
+	if !c.Enc.HasNull[col] {
+		return -1
+	}
+	for code, v := range c.Dicts[col] {
+		if IsNull(v) {
+			return code
+		}
+	}
+	return -1
+}
+
+// materializeRows rebuilds the string rows — the export-boundary
+// operation the columnar backing otherwise avoids.
+func (c *Columnar) materializeRows() [][]string {
+	rows := make([][]string, c.Enc.NumRows)
+	cells := make([]string, c.Enc.NumRows*len(c.Dicts))
+	for i := range rows {
+		row := cells[i*len(c.Dicts) : (i+1)*len(c.Dicts) : (i+1)*len(c.Dicts)]
+		for col := range c.Dicts {
+			row[col] = c.Value(i, col)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// derive builds the columnar backing of the relation obtained by
+// projecting onto cols (in the given order) and keeping exactly the
+// rows listed in keep (ascending). Codes are densified in first
+// appearance order over the surviving rows and the dictionaries are
+// remapped accordingly, so the result is indistinguishable from
+// encoding the materialized child rows. Null flags are exact: a column
+// loses its flag when every null row was dropped.
+func (c *Columnar) derive(cols, keep []int) *Columnar {
+	child, remaps := c.Enc.Select(cols, keep)
+	dicts := make([][]string, len(cols))
+	for j, pc := range cols {
+		dict := make([]string, child.Cardinality[j])
+		for parentCode, childCode := range remaps[j] {
+			if childCode >= 0 {
+				dict[childCode] = c.Dicts[pc][parentCode]
+			}
+		}
+		dicts[j] = dict
+		nc := c.nullCode(pc)
+		child.HasNull[j] = nc >= 0 && remaps[j][nc] >= 0
+	}
+	return &Columnar{Enc: child, Dicts: dicts}
+}
+
+// DedupKeep returns the row indices (ascending) of the first
+// occurrences of the distinct code tuples over the given columns — the
+// keep-list of a projection with set semantics.
+func (e *Encoded) DedupKeep(cols []int) []int {
+	seen := make(map[string]struct{}, e.NumRows)
+	keep := make([]int, 0, e.NumRows)
+	key := make([]byte, 0, len(cols)*4)
+	for row := 0; row < e.NumRows; row++ {
+		key = key[:0]
+		for _, c := range cols {
+			v := e.Columns[c][row]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keep = append(keep, row)
+	}
+	return keep
+}
+
+// Select derives the encoding of the sub-instance given by the columns
+// cols (in order) and the surviving rows keep (ascending): codes are
+// densified in first appearance order over the kept rows, which is the
+// order a fresh Encode of the materialized sub-instance would assign.
+// It returns the child encoding plus, per child column, the parent →
+// child code remap (-1 for parent codes that did not survive). Null
+// flags are propagated from the parent columns; callers that can
+// identify the null code (Columnar.derive) tighten them afterwards.
+func (e *Encoded) Select(cols, keep []int) (*Encoded, [][]int) {
+	child := &Encoded{
+		NumRows:     len(keep),
+		Columns:     make([][]int, len(cols)),
+		Cardinality: make([]int, len(cols)),
+		HasNull:     make([]bool, len(cols)),
+	}
+	remaps := make([][]int, len(cols))
+	for j, c := range cols {
+		src := e.Columns[c]
+		remap := make([]int, e.Cardinality[c])
+		for i := range remap {
+			remap[i] = -1
+		}
+		out := make([]int, len(keep))
+		next := 0
+		for i, row := range keep {
+			code := src[row]
+			if remap[code] < 0 {
+				remap[code] = next
+				next++
+			}
+			out[i] = remap[code]
+		}
+		child.Columns[j] = out
+		child.Cardinality[j] = next
+		child.HasNull[j] = e.HasNull[c]
+		remaps[j] = remap
+	}
+	return child, remaps
+}
+
+// identityCols returns [0, 1, …, n-1].
+func identityCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}

@@ -32,15 +32,30 @@ func stripBOM(r io.Reader) io.Reader {
 	return br
 }
 
+// ErrFieldTooLarge builds the oversized-field error for 0-based field
+// index i holding n bytes. Shared with the streaming ingest path so
+// both readers report the identical message.
+func ErrFieldTooLarge(i, n int) error {
+	return fmt.Errorf("field %d is %d bytes, cap is %d", i+1, n, MaxFieldBytes)
+}
+
 // checkFields reports the first field in rec exceeding MaxFieldBytes.
 func checkFields(rec []string) error {
 	for i, f := range rec {
 		if len(f) > MaxFieldBytes {
-			return fmt.Errorf("field %d is %d bytes, cap is %d", i+1, len(f), MaxFieldBytes)
+			return ErrFieldTooLarge(i, len(f))
 		}
 	}
 	return nil
 }
+
+// HeaderAttrs normalizes a header record into attribute names: names
+// are trimmed and empty ones replaced by positional column names.
+// Shared with the streaming ingest path.
+func HeaderAttrs(header []string) []string { return headerAttrs(header) }
+
+// CheckHeader validates a header record (field size cap).
+func CheckHeader(header []string) error { return checkFields(header) }
 
 // headerAttrs normalizes a header record into attribute names.
 func headerAttrs(header []string) []string {
@@ -188,13 +203,21 @@ func csvName(path string) string {
 	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
+// CSVName derives a relation name from a CSV file path (base name
+// without extension), matching ReadCSVFile's naming.
+func CSVName(path string) string { return csvName(path) }
+
 // WriteCSV writes the relation as CSV with a header row.
 func (r *Relation) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.Attrs); err != nil {
 		return err
 	}
-	for _, row := range r.Rows {
+	row := make([]string, len(r.Attrs))
+	for i, n := 0, r.NumRows(); i < n; i++ {
+		for c := range row {
+			row[c] = r.Value(i, c)
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -19,8 +19,8 @@ func TestReadCSVStripsBOM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rel.Rows[0][0] != "\xef\xbb\xbfx" {
-		t.Errorf("mid-file BOM altered: %q", rel.Rows[0][0])
+	if rel.Rows()[0][0] != "\xef\xbb\xbfx" {
+		t.Errorf("mid-file BOM altered: %q", rel.Rows()[0][0])
 	}
 }
 
@@ -81,7 +81,7 @@ func TestReadCSVLenientRecoversFromQuoteErrors(t *testing.T) {
 	if len(skipped) == 0 {
 		t.Fatal("malformed quoting produced no row error")
 	}
-	for _, row := range rel.Rows {
+	for _, row := range rel.Rows() {
 		if row[0] == "1" && row[1] != "2" {
 			t.Errorf("well-formed row corrupted: %v", row)
 		}
@@ -109,8 +109,8 @@ func TestReadCSVLenientEmbeddedNULs(t *testing.T) {
 	if len(skipped) != 0 {
 		t.Errorf("NUL bytes are data, not errors; skipped = %v", skipped)
 	}
-	if rel.NumRows() != 2 || rel.Rows[1][0] != "x\x00y" {
-		t.Errorf("NUL bytes altered: %v", rel.Rows)
+	if rel.NumRows() != 2 || rel.Rows()[1][0] != "x\x00y" {
+		t.Errorf("NUL bytes altered: %v", rel.Rows())
 	}
 }
 

@@ -4,6 +4,16 @@
 // deduplication, and natural joins (used both to denormalize evaluation
 // datasets and to verify lossless decompositions).
 //
+// A relation carries one of two backings: string rows (the legacy
+// interchange format, still produced by ReadCSV and by literals in
+// tests) or a dictionary-encoded Columnar (produced by streaming ingest
+// and by every columnar derivation). The two are observationally
+// identical — Value, Encode, projections and dedup agree bit for bit —
+// but the columnar backing never stores per-row string slices, so the
+// pipeline can hold instances whose materialized rows would not fit in
+// memory. Rows() materializes the string view lazily and caches it;
+// it is an export-boundary operation, not a data-plane one.
+//
 // The empty string represents the SQL null value ⊥. Two nulls compare
 // equal for functional-dependency semantics, which matches the default
 // null handling of the Metanome profiling platform the paper builds on.
@@ -13,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"normalize/internal/bitset"
 )
@@ -25,27 +36,37 @@ func IsNull(v string) bool { return v == "" }
 type Relation struct {
 	Name  string
 	Attrs []string
-	Rows  [][]string
+
+	mu   sync.Mutex
+	rows [][]string // string-row backing, or the cached materialization of cols
+	cols *Columnar  // dictionary-encoded backing; nil for row-backed relations
 }
 
-// New creates a relation and validates its shape.
+// New creates a row-backed relation and validates its shape.
 func New(name string, attrs []string, rows [][]string) (*Relation, error) {
-	seen := make(map[string]bool, len(attrs))
-	for _, a := range attrs {
-		if a == "" {
-			return nil, fmt.Errorf("relation %s: empty attribute name", name)
-		}
-		if seen[a] {
-			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
-		}
-		seen[a] = true
+	if err := checkAttrs(name, attrs); err != nil {
+		return nil, err
 	}
 	for i, r := range rows {
 		if len(r) != len(attrs) {
 			return nil, fmt.Errorf("relation %s: row %d has %d fields, want %d", name, i, len(r), len(attrs))
 		}
 	}
-	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+	return &Relation{Name: name, Attrs: attrs, rows: rows}, nil
+}
+
+func checkAttrs(name string, attrs []string) error {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return fmt.Errorf("relation %s: empty attribute name", name)
+		}
+		if seen[a] {
+			return fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	return nil
 }
 
 // MustNew is New but panics on error; for literals in tests and
@@ -58,11 +79,73 @@ func MustNew(name string, attrs []string, rows [][]string) *Relation {
 	return r
 }
 
+// NewColumnar creates a columnar-backed relation over a validated
+// backing. The Columnar must be treated as immutable afterwards.
+func NewColumnar(name string, attrs []string, c *Columnar) (*Relation, error) {
+	if err := checkAttrs(name, attrs); err != nil {
+		return nil, err
+	}
+	if len(attrs) != len(c.Enc.Columns) {
+		return nil, fmt.Errorf("relation %s: %d attributes for %d encoded columns", name, len(attrs), len(c.Enc.Columns))
+	}
+	return &Relation{Name: name, Attrs: attrs, cols: c}, nil
+}
+
+// Columnar returns the dictionary-encoded backing, or nil when the
+// relation is row-backed. The returned value is shared and immutable.
+func (r *Relation) Columnar() *Columnar { return r.cols }
+
+// Rows materializes the relation's rows as string slices. For
+// row-backed relations this is the backing itself; for columnar ones
+// the rows are rebuilt from the dictionaries on first call and cached.
+// Callers must not mutate the result (use AppendRow to grow a
+// relation). This is an export-boundary operation — pipeline-internal
+// code reads values via Value or the encoded backing instead.
+func (r *Relation) Rows() [][]string {
+	if r.cols == nil {
+		return r.rows
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rows == nil {
+		r.rows = r.cols.materializeRows()
+	}
+	return r.rows
+}
+
+// Value returns the value at (row, col) without materializing rows.
+func (r *Relation) Value(row, col int) string {
+	if r.cols != nil {
+		return r.cols.Value(row, col)
+	}
+	return r.rows[row][col]
+}
+
+// AppendRow appends one row, materializing the string backing first;
+// the stale columnar backing (if any) is dropped, so a later Encode
+// reflects the insertion.
+func (r *Relation) AppendRow(row []string) error {
+	if len(row) != len(r.Attrs) {
+		return fmt.Errorf("relation %s: row has %d fields, want %d", r.Name, len(row), len(r.Attrs))
+	}
+	rows := r.Rows()
+	r.mu.Lock()
+	r.rows = append(rows, row)
+	r.cols = nil
+	r.mu.Unlock()
+	return nil
+}
+
 // NumAttrs returns the number of attributes.
 func (r *Relation) NumAttrs() int { return len(r.Attrs) }
 
 // NumRows returns the number of rows.
-func (r *Relation) NumRows() int { return len(r.Rows) }
+func (r *Relation) NumRows() int {
+	if r.cols != nil {
+		return r.cols.Enc.NumRows
+	}
+	return len(r.rows)
+}
 
 // AttrIndex returns the position of the named attribute, or -1.
 func (r *Relation) AttrIndex(name string) int {
@@ -87,8 +170,15 @@ func (r *Relation) AttrNames(s *bitset.Set) []string {
 
 // Column returns the values of column c as a fresh slice.
 func (r *Relation) Column(c int) []string {
-	out := make([]string, len(r.Rows))
-	for i, row := range r.Rows {
+	out := make([]string, r.NumRows())
+	if r.cols != nil {
+		dict, codes := r.cols.Dicts[c], r.cols.Enc.Columns[c]
+		for i, code := range codes {
+			out[i] = dict[code]
+		}
+		return out
+	}
+	for i, row := range r.rows {
 		out[i] = row[c]
 	}
 	return out
@@ -96,7 +186,10 @@ func (r *Relation) Column(c int) []string {
 
 // HasNull reports whether column c contains at least one null.
 func (r *Relation) HasNull(c int) bool {
-	for _, row := range r.Rows {
+	if r.cols != nil {
+		return r.cols.Enc.HasNull[c]
+	}
+	for _, row := range r.rows {
 		if IsNull(row[c]) {
 			return true
 		}
@@ -109,7 +202,21 @@ func (r *Relation) HasNull(c int) bool {
 // concatenated per row, as prescribed for the paper's value score.
 func (r *Relation) MaxValueLen(attrs *bitset.Set) int {
 	max := 0
-	for _, row := range r.Rows {
+	if r.cols != nil {
+		// Per-code lengths come from the dictionaries; no strings touched.
+		cols := attrs.Elements()
+		for i, n := 0, r.cols.Enc.NumRows; i < n; i++ {
+			sum := 0
+			for _, c := range cols {
+				sum += len(r.cols.Dicts[c][r.cols.Enc.Columns[c][i]])
+			}
+			if sum > max {
+				max = sum
+			}
+		}
+		return max
+	}
+	for _, row := range r.rows {
 		n := 0
 		attrs.ForEach(func(c int) bool {
 			n += len(row[c])
@@ -125,10 +232,13 @@ func (r *Relation) MaxValueLen(attrs *bitset.Set) int {
 // DistinctCount returns the exact number of distinct value combinations
 // of the given attribute set (nulls compare equal).
 func (r *Relation) DistinctCount(attrs *bitset.Set) int {
-	seen := make(map[string]struct{}, len(r.Rows))
+	if r.cols != nil {
+		return len(r.cols.Enc.DedupKeep(attrs.Elements()))
+	}
+	seen := make(map[string]struct{}, len(r.rows))
 	cols := attrs.Elements()
 	var b strings.Builder
-	for _, row := range r.Rows {
+	for _, row := range r.rows {
 		b.Reset()
 		for _, c := range cols {
 			b.WriteString(row[c])
@@ -141,21 +251,42 @@ func (r *Relation) DistinctCount(attrs *bitset.Set) int {
 
 // Project returns a new relation with the given columns (by index, in
 // the given order). Duplicates are retained; use Dedup afterwards for
-// set semantics.
+// set semantics (or ProjectDedup, which fuses the two). A columnar
+// relation projects to a columnar relation that shares the parent's
+// code arrays and dictionaries — dropping rows does not happen here,
+// so per-column codes stay dense and in first-appearance order.
 func (r *Relation) Project(name string, cols []int) *Relation {
 	attrs := make([]string, len(cols))
 	for i, c := range cols {
 		attrs[i] = r.Attrs[c]
 	}
-	rows := make([][]string, len(r.Rows))
-	for i, row := range r.Rows {
+	if r.cols != nil {
+		child := &Columnar{
+			Enc: &Encoded{
+				NumRows:     r.cols.Enc.NumRows,
+				Columns:     make([][]int, len(cols)),
+				Cardinality: make([]int, len(cols)),
+				HasNull:     make([]bool, len(cols)),
+			},
+			Dicts: make([][]string, len(cols)),
+		}
+		for j, c := range cols {
+			child.Enc.Columns[j] = r.cols.Enc.Columns[c]
+			child.Enc.Cardinality[j] = r.cols.Enc.Cardinality[c]
+			child.Enc.HasNull[j] = r.cols.Enc.HasNull[c]
+			child.Dicts[j] = r.cols.Dicts[c]
+		}
+		return &Relation{Name: name, Attrs: attrs, cols: child}
+	}
+	rows := make([][]string, len(r.rows))
+	for i, row := range r.rows {
 		nr := make([]string, len(cols))
 		for j, c := range cols {
 			nr[j] = row[c]
 		}
 		rows[i] = nr
 	}
-	return &Relation{Name: name, Attrs: attrs, Rows: rows}
+	return &Relation{Name: name, Attrs: attrs, rows: rows}
 }
 
 // ProjectSet is Project with columns given as a bitset (ascending
@@ -164,13 +295,76 @@ func (r *Relation) ProjectSet(name string, attrs *bitset.Set) *Relation {
 	return r.Project(name, attrs.Elements())
 }
 
+// ProjectDedup projects onto the given columns with set semantics in
+// one pass. On a columnar relation this never touches strings: the
+// child encoding is derived by code remapping, keeping the first
+// occurrence of every distinct tuple, exactly as Project followed by
+// Dedup would.
+func (r *Relation) ProjectDedup(name string, cols []int) *Relation {
+	if r.cols != nil {
+		attrs := make([]string, len(cols))
+		for i, c := range cols {
+			attrs[i] = r.Attrs[c]
+		}
+		keep := r.cols.Enc.DedupKeep(cols)
+		return &Relation{Name: name, Attrs: attrs, cols: r.cols.derive(cols, keep)}
+	}
+	return r.Project(name, cols).Dedup()
+}
+
+// ProjectDedupSet is ProjectDedup with columns given as a bitset.
+func (r *Relation) ProjectDedupSet(name string, attrs *bitset.Set) *Relation {
+	return r.ProjectDedup(name, attrs.Elements())
+}
+
+// DedupCopy returns a deduplicated copy under a new name, leaving the
+// receiver untouched (Dedup mutates in place and, for row backings,
+// compacts the shared row slice).
+func (r *Relation) DedupCopy(name string) *Relation {
+	if r.cols != nil {
+		return r.ProjectDedup(name, identityCols(len(r.Attrs)))
+	}
+	rows := make([][]string, len(r.rows))
+	copy(rows, r.rows)
+	out := &Relation{Name: name, Attrs: r.Attrs, rows: rows}
+	return out.Dedup()
+}
+
+// SelectRows returns a new relation holding exactly the rows listed in
+// keep (ascending), under the given name. Row backings alias the kept
+// row slices; columnar backings are re-derived with codes densified in
+// first-appearance order over the surviving rows, so the result equals
+// a fresh encode of the materialized sample.
+func (r *Relation) SelectRows(name string, keep []int) *Relation {
+	if r.cols != nil {
+		return &Relation{Name: name, Attrs: r.Attrs, cols: r.cols.derive(identityCols(len(r.Attrs)), keep)}
+	}
+	rows := make([][]string, len(keep))
+	for i, k := range keep {
+		rows[i] = r.rows[k]
+	}
+	return &Relation{Name: name, Attrs: r.Attrs, rows: rows}
+}
+
 // Dedup removes duplicate rows in place, keeping first occurrences, and
-// returns the receiver.
+// returns the receiver. On a row backing the kept rows are compacted
+// into the existing slice; on a columnar backing a derived backing
+// replaces the old one (and any cached materialization is dropped).
 func (r *Relation) Dedup() *Relation {
-	seen := make(map[string]struct{}, len(r.Rows))
-	out := r.Rows[:0]
+	if r.cols != nil {
+		keep := r.cols.Enc.DedupKeep(identityCols(len(r.Attrs)))
+		if len(keep) != r.cols.Enc.NumRows {
+			r.mu.Lock()
+			r.cols = r.cols.derive(identityCols(len(r.Attrs)), keep)
+			r.rows = nil
+			r.mu.Unlock()
+		}
+		return r
+	}
+	seen := make(map[string]struct{}, len(r.rows))
+	out := r.rows[:0]
 	var b strings.Builder
-	for _, row := range r.Rows {
+	for _, row := range r.rows {
 		b.Reset()
 		for _, v := range row {
 			b.WriteString(v)
@@ -183,19 +377,20 @@ func (r *Relation) Dedup() *Relation {
 		seen[k] = struct{}{}
 		out = append(out, row)
 	}
-	r.Rows = out
+	r.rows = out
 	return r
 }
 
 // RowSet returns the set of rows as encoded strings, for set-semantics
 // comparison of instances.
 func (r *Relation) RowSet() map[string]struct{} {
-	set := make(map[string]struct{}, len(r.Rows))
+	n, m := r.NumRows(), len(r.Attrs)
+	set := make(map[string]struct{}, n)
 	var b strings.Builder
-	for _, row := range r.Rows {
+	for i := 0; i < n; i++ {
 		b.Reset()
-		for _, v := range row {
-			b.WriteString(v)
+		for c := 0; c < m; c++ {
+			b.WriteString(r.Value(i, c))
 			b.WriteByte(0)
 		}
 		set[b.String()] = struct{}{}
@@ -250,10 +445,12 @@ func (r *Relation) NaturalJoin(name string, o *Relation) (*Relation, error) {
 		attrs = append(attrs, o.Attrs[j])
 	}
 
+	rRows, oRows := r.Rows(), o.Rows()
+
 	// Hash join: index o by its shared-attribute key.
-	index := make(map[string][]int, len(o.Rows))
+	index := make(map[string][]int, len(oRows))
 	var b strings.Builder
-	for i, row := range o.Rows {
+	for i, row := range oRows {
 		b.Reset()
 		for _, p := range shared {
 			b.WriteString(row[p[1]])
@@ -264,7 +461,7 @@ func (r *Relation) NaturalJoin(name string, o *Relation) (*Relation, error) {
 	}
 
 	var rows [][]string
-	for _, row := range r.Rows {
+	for _, row := range rRows {
 		b.Reset()
 		for _, p := range shared {
 			b.WriteString(row[p[0]])
@@ -274,12 +471,44 @@ func (r *Relation) NaturalJoin(name string, o *Relation) (*Relation, error) {
 			nr := make([]string, 0, len(attrs))
 			nr = append(nr, row...)
 			for _, j := range oOnly {
-				nr = append(nr, o.Rows[oi][j])
+				nr = append(nr, oRows[oi][j])
 			}
 			rows = append(rows, nr)
 		}
 	}
-	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+	return &Relation{Name: name, Attrs: attrs, rows: rows}, nil
+}
+
+// Columnarize converts a row-backed relation to the columnar backing
+// in place (encoding the rows and building dictionaries) and drops the
+// string rows, returning the receiver. Columnar relations are returned
+// unchanged. The relation is observationally identical afterwards;
+// only its memory shape differs.
+func (r *Relation) Columnarize() *Relation {
+	if r.cols != nil {
+		return r
+	}
+	enc := r.Encode()
+	dicts := make([][]string, len(r.Attrs))
+	for c := range r.Attrs {
+		dict := make([]string, enc.Cardinality[c])
+		seen := 0
+		for i, code := range enc.Columns[c] {
+			if code == seen {
+				dict[code] = r.rows[i][c]
+				seen++
+				if seen == len(dict) {
+					break
+				}
+			}
+		}
+		dicts[c] = dict
+	}
+	r.mu.Lock()
+	r.cols = &Columnar{Enc: enc, Dicts: dicts}
+	r.rows = nil
+	r.mu.Unlock()
+	return r
 }
 
 // Encoded is the dictionary-encoded, column-major form of a relation,
@@ -304,19 +533,24 @@ func (r *Relation) Encode() *Encoded {
 
 // EncodeContext is Encode with cancellation: encoding a wide relation is
 // the first non-trivial cost of every discovery algorithm, so it polls
-// ctx between row blocks and returns ctx.Err() when cancelled.
+// ctx between row blocks and returns ctx.Err() when cancelled. A
+// columnar relation returns its backing encoding directly (callers
+// treat Encoded as immutable).
 func (r *Relation) EncodeContext(ctx context.Context) (*Encoded, error) {
+	if r.cols != nil {
+		return r.cols.Enc, nil
+	}
 	done := ctx.Done()
 	e := &Encoded{
-		NumRows:     len(r.Rows),
+		NumRows:     len(r.rows),
 		Columns:     make([][]int, len(r.Attrs)),
 		Cardinality: make([]int, len(r.Attrs)),
 		HasNull:     make([]bool, len(r.Attrs)),
 	}
 	for c := range r.Attrs {
 		codes := make(map[string]int)
-		col := make([]int, len(r.Rows))
-		for i, row := range r.Rows {
+		col := make([]int, len(r.rows))
+		for i, row := range r.rows {
 			if i&1023 == 0 {
 				select {
 				case <-done:

@@ -131,10 +131,13 @@ func EstimateDistinctBloom(rel *relation.Relation, attrs *bitset.Set) float64 {
 	f := bloom.New(rel.NumRows(), 0.01)
 	cols := attrs.Elements()
 	buf := make([]byte, 0, 64)
-	for _, row := range rel.Rows {
+	// Read through Value: on a columnar relation this hashes dictionary
+	// strings without materializing rows, and feeds the Bloom filter the
+	// exact bytes the row-backed path would.
+	for i, n := 0, rel.NumRows(); i < n; i++ {
 		buf = buf[:0]
 		for _, c := range cols {
-			buf = append(buf, row[c]...)
+			buf = append(buf, rel.Value(i, c)...)
 			buf = append(buf, 0)
 		}
 		f.Add(string(buf))

@@ -246,7 +246,7 @@ func assertLosslessJoin(t *testing.T, payload *resultPayload) {
 			t.Fatalf("attribute %s lost across the wire", a)
 		}
 	}
-	dedup, err := normalize.NewRelation("orig", orig.Attrs, orig.Rows)
+	dedup, err := normalize.NewRelation("orig", orig.Attrs, orig.Rows())
 	if err != nil {
 		t.Fatal(err)
 	}

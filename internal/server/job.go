@@ -71,8 +71,10 @@ type jobSpec struct {
 
 // relations materializes the job's input. Generator datasets normalize
 // their denormalized universal relation, the preparation step of the
-// paper's evaluation.
-func (s *jobSpec) relations() (*normalize.Relation, []relation.RowError, error) {
+// paper's evaluation; CSV sources stream through the columnar ingest
+// path, reporting stage events and counters to obs and honoring the
+// job's memory ceiling on the read side.
+func (s *jobSpec) relations(ctx context.Context, obs normalize.Observer) (*normalize.Relation, []relation.RowError, error) {
 	if s.gen != "" {
 		ds, err := generate(s.gen, s.scale, s.artists, s.seed)
 		if err != nil {
@@ -80,11 +82,12 @@ func (s *jobSpec) relations() (*normalize.Relation, []relation.RowError, error) 
 		}
 		return ds.Denormalized, nil, nil
 	}
-	if s.lenient {
-		return normalize.ReadCSVLenient(s.name, bytes.NewReader(s.csv))
-	}
-	rel, err := normalize.ReadCSV(s.name, bytes.NewReader(s.csv))
-	return rel, nil, err
+	return normalize.IngestCSV(ctx, s.name, bytes.NewReader(s.csv), normalize.IngestOptions{
+		Lenient:        s.lenient,
+		Workers:        s.opts.Workers,
+		MaxMemoryBytes: s.opts.Budget.MaxMemoryBytes,
+		Observer:       obs,
+	})
 }
 
 // generate dispatches to the built-in dataset generators.
@@ -415,17 +418,9 @@ func (m *manager) runJob(job *Job) {
 		return // cancelled while queued
 	}
 
-	rel, skipped, err := job.spec.relations()
-	if err != nil {
-		job.finish(StateFailed, nil, err)
-		return
-	}
-	if len(skipped) > 0 {
-		job.mu.Lock()
-		job.skippedRows = len(skipped)
-		job.mu.Unlock()
-	}
-
+	// Observers are built before the input loads so the ingest stage's
+	// span and counters reach the SSE stream and recorder like any
+	// pipeline stage's.
 	opts := job.spec.opts
 	obs := newBusObserver(job.bus)
 	observers := normalize.MultiObserver{obs.observer(), job.rec}
@@ -433,6 +428,18 @@ func (m *manager) runJob(job *Job) {
 		observers = append(observers, m.observer)
 	}
 	opts.Observer = observers
+
+	rel, skipped, err := job.spec.relations(ctx, observers)
+	if err != nil {
+		obs.flush()
+		job.finish(classify(nil, err))
+		return
+	}
+	if len(skipped) > 0 {
+		job.mu.Lock()
+		job.skippedRows = len(skipped)
+		job.mu.Unlock()
+	}
 
 	res, err := normalize.NormalizeContext(ctx, rel, opts)
 	obs.flush()

@@ -519,7 +519,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("include") == "rows" {
 		payload.Rows = make(map[string][][]string, len(res.Tables))
 		for _, t := range res.Tables {
-			payload.Rows[t.Name] = t.Data.Rows
+			payload.Rows[t.Name] = t.Data.Rows()
 		}
 	}
 	writeJSON(w, http.StatusOK, payload)

@@ -402,6 +402,61 @@ func TestTelemetryScrape(t *testing.T) {
 	}
 }
 
+// TestIngestTelemetryExposed pins the ingest stage's observability: the
+// streaming CSV load reports its span and counters like any pipeline
+// stage, so they reach both the per-job telemetry scrape and the
+// process-wide /debug/vars aggregates.
+func TestIngestTelemetryExposed(t *testing.T) {
+	s := testServer(t, Config{Workers: 1})
+	h := s.Handler()
+	st := submit(t, h, csvBody(addressCSV, ""))
+	waitTerminal(t, h, st.ID)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/telemetry", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("telemetry: %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"ingest"`) {
+		t.Errorf("job telemetry missing ingest stage: %s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", rr.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	var byStage map[string]struct {
+		Spans    int              `json:"spans"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(vars[s.cfg.MetricsName], &byStage); err != nil {
+		t.Fatal(err)
+	}
+	ing, ok := byStage["ingest"]
+	if !ok {
+		t.Fatalf("debug/vars missing ingest stage: %s", vars[s.cfg.MetricsName])
+	}
+	if ing.Spans == 0 || ing.Counters["ingest_rows"] == 0 || ing.Counters["ingest_bytes"] == 0 {
+		t.Errorf("ingest aggregates incomplete: %+v", ing)
+	}
+
+	// The SSE stream replays a finished job's history; the ingest span
+	// must be in it like any pipeline stage's.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/events", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("events: %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"ingest"`) {
+		t.Errorf("SSE replay missing ingest events: %s", rr.Body.String())
+	}
+}
+
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	s := testServer(t, Config{Workers: 1})
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {

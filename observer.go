@@ -40,6 +40,26 @@ const (
 	StagePrimaryKey = observe.PrimaryKey
 )
 
+// StageIngest is the streaming CSV read path — not a Figure-1
+// component (and so not in Stages()), but instrumented identically:
+// IngestCSV reports a span plus the CounterIngest* and
+// CounterSpillEvents counters under this stage.
+const StageIngest = observe.Ingest
+
+// Counter names the ingest stage emits.
+const (
+	// CounterIngestBytes counts raw CSV bytes read from the source.
+	CounterIngestBytes = observe.CounterIngestBytes
+	// CounterIngestChunks counts fixed-size read chunks consumed.
+	CounterIngestChunks = observe.CounterIngestChunks
+	// CounterIngestRows counts records dictionary-encoded into the
+	// columnar substrate (skipped rows excluded).
+	CounterIngestRows = observe.CounterIngestRows
+	// CounterSpillEvents counts memory-pressure flushes of sealed code
+	// blocks to the spill file; zero means the load stayed in core.
+	CounterSpillEvents = observe.CounterSpillEvents
+)
+
 // Stages returns all pipeline stages in Figure-1 order.
 func Stages() []Stage {
 	return observe.Stages()
