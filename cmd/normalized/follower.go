@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"normalize/internal/replicate"
+)
+
+// followerOptions carries the -follow flag set into runFollower.
+type followerOptions struct {
+	leaderURL  string
+	dataDir    string
+	addr       string
+	fsync      bool
+	pollWait   time.Duration
+	staleAfter time.Duration
+	maxLag     int64
+}
+
+// runFollower runs normalized as a warm standby: mirror the leader's
+// WAL into the data directory and serve the operational endpoints
+// until a signal arrives. It never returns to main's server path —
+// promotion is an explicit restart without -follow.
+func runFollower(opts followerOptions) {
+	if opts.dataDir == "" {
+		log.Fatal("-follow requires -data-dir (the directory to replicate into)")
+	}
+	f, err := replicate.NewFollower(replicate.Config{
+		LeaderURL:   opts.leaderURL,
+		Dir:         opts.dataDir,
+		Fsync:       opts.fsync,
+		PollWait:    opts.pollWait,
+		StaleAfter:  opts.staleAfter,
+		MaxLagBytes: opts.maxLag,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.PublishVars("normalize_replication"); err != nil {
+		log.Printf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Handler:           f.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Listen before Serve so ":0" resolves to a concrete port in the log
+	// line — the node-kill harness (and humans) parse it.
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (standby of %s, replicating into %s)",
+		ln.Addr(), opts.leaderURL, opts.dataDir)
+
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		f.Run(ctx)
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	<-runDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	if err := f.Close(); err != nil {
+		log.Printf("close replica: %v", err)
+	}
+	st := f.Status()
+	log.Printf("standby exiting (offset %d, lag %d bytes, %d snapshots, %d reconnects)",
+		st.Offset, st.LagBytes, st.SnapshotsApplied, st.Reconnects)
+}

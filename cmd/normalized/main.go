@@ -7,6 +7,8 @@
 //	normalized [-addr :8080] [-workers N] [-queue N] [-max-body BYTES]
 //	           [-cache N] [-data-dir DIR] [-fsync] [-drain-grace DUR]
 //	           [-quiet]
+//	normalized -follow LEADER-URL -data-dir DIR [-addr :8080] [-fsync]
+//	           [-repl-stale-after DUR] [-repl-max-lag BYTES]
 //
 // Submit a job, watch it, fetch the result:
 //
@@ -28,6 +30,17 @@
 // at most the torn tail record, which recovery truncates and reports.
 // Add -fsync to also survive power loss at the cost of one fsync per
 // append.
+//
+// A persistent server is also a replication leader: it serves its
+// write-ahead log on /v1/replication/{stream,snapshot,status}. With
+// -follow, normalized runs as a warm standby instead of a server: it
+// mirrors the leader's WAL and snapshot into -data-dir (reconnecting
+// with backoff, verifying every frame's checksum, re-snapshotting on
+// divergence) and serves only operational endpoints — /healthz,
+// /readyz (503 while the mirror is stale or lagging), /telemetry, and
+// /debug/vars. When the leader dies, promote the standby by restarting
+// normalized on the same directory without -follow: interrupted jobs
+// re-run, finished results stay served.
 package main
 
 import (
@@ -57,7 +70,24 @@ func main() {
 	fsync := flag.Bool("fsync", false, "fsync the job log after every append (survives power loss, not just SIGKILL)")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight jobs may finish on shutdown before being cancelled")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	follow := flag.String("follow", "", "run as a warm standby of this leader URL (requires -data-dir)")
+	replPoll := flag.Duration("repl-poll", 0, "follower long-poll interval against the leader (default 5s)")
+	replStaleAfter := flag.Duration("repl-stale-after", 0, "follower readiness: max age of the last leader sync (default 3x poll interval)")
+	replMaxLag := flag.Int64("repl-max-lag", 0, "follower readiness: max journal bytes behind the leader (default 1 MiB)")
 	flag.Parse()
+
+	if *follow != "" {
+		runFollower(followerOptions{
+			leaderURL:  *follow,
+			dataDir:    *dataDir,
+			addr:       *addr,
+			fsync:      *fsync,
+			pollWait:   *replPoll,
+			staleAfter: *replStaleAfter,
+			maxLag:     *replMaxLag,
+		})
+		return
+	}
 
 	cfg := server.Config{
 		Workers:      *workers,

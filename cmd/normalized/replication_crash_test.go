@@ -1,0 +1,292 @@
+package main
+
+// Node-death harness for warm-standby replication: real leader and
+// follower processes (the test binary re-exec'd, like crash_test.go),
+// whole nodes SIGKILLed — no drains, no flushes — and the follower's
+// directory promoted by starting a plain normalized on it. The
+// guarantees under test extend the single-node durability contract
+// across the replication link:
+//
+//   - no terminal result replicated before the kill is ever lost;
+//   - promotion never duplicates a job;
+//   - jobs interrupted mid-run on the leader re-run exactly once on
+//     the promoted node;
+//   - a follower killed and restarted resumes by offset (no snapshot
+//     transfer) and its readiness tracks leader health.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// replStatus covers both status wire forms: the leader's
+// {epoch, log_size} and the follower's richer Status.
+type replStatus struct {
+	Epoch            string `json:"epoch"`
+	LogSize          int64  `json:"log_size"`
+	Offset           int64  `json:"offset"`
+	LeaderLogSize    int64  `json:"leader_log_size"`
+	LagBytes         int64  `json:"lag_bytes"`
+	SnapshotsApplied int64  `json:"snapshots_applied"`
+	Reconnects       int64  `json:"reconnects"`
+	Ready            bool   `json:"ready"`
+}
+
+// startFollowerChild launches a standby replicating from leader with a
+// fast poll so tests converge quickly.
+func startFollowerChild(t *testing.T, dataDir string, leader *child, extra ...string) *child {
+	t.Helper()
+	args := append([]string{
+		"-follow", leader.base,
+		"-repl-poll", "300ms",
+	}, extra...)
+	return startChild(t, dataDir, args...)
+}
+
+// waitSynced polls until the follower holds everything the leader has:
+// same epoch, offset at the leader's journal end.
+func waitSynced(t *testing.T, follower, leader *child) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var ls, fs replStatus
+		if code := leader.api("GET", "/v1/replication/status", "", &ls); code != http.StatusOK {
+			t.Fatalf("leader status: %d", code)
+		}
+		if code := follower.api("GET", "/v1/replication/status", "", &fs); code != http.StatusOK {
+			t.Fatalf("follower status: %d", code)
+		}
+		if fs.Epoch == ls.Epoch && fs.Offset == ls.LogSize {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("follower never caught up with the leader")
+}
+
+// freeAddr reserves a concrete loopback address a restarted leader can
+// reuse (a kill-restart cycle must keep the address the follower was
+// told to follow).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// readyzCode fetches the follower's readiness without JSON decoding.
+func readyzCode(t *testing.T, c *child) int {
+	t.Helper()
+	resp, err := http.Get(c.url("/readyz"))
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// resultDDL fetches a job's result DDL and schema for byte comparison.
+func resultDDL(t *testing.T, c *child, id string) (string, string) {
+	t.Helper()
+	var res struct {
+		DDL    string          `json:"ddl"`
+		Schema json.RawMessage `json:"schema"`
+	}
+	if code := c.api("GET", "/v1/jobs/"+id+"/result", "", &res); code != http.StatusOK {
+		t.Fatalf("result %s: %d", id, code)
+	}
+	return res.DDL, string(res.Schema)
+}
+
+// TestNodeKillLeaderPromoteFollower is the headline scenario: the
+// leader dies mid-run, the whole standby node dies with it, and a
+// plain normalized started on the standby's directory carries on —
+// finished results byte-identical, the interrupted job re-run exactly
+// once, nothing duplicated.
+func TestNodeKillLeaderPromoteFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	leaderDir, standbyDir := t.TempDir(), t.TempDir()
+	leader := startChild(t, leaderDir, "-workers", "1")
+	follower := startFollowerChild(t, standbyDir, leader)
+
+	// A finished job whose result must survive promotion verbatim.
+	var done status
+	if code := leader.api("POST", "/v1/jobs", csvJob("address", crashCSV), &done); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	leader.waitTerminal(done.ID)
+	wantDDL, wantSchema := resultDDL(t, leader, done.ID)
+
+	// A long job caught mid-run by the node kill.
+	var long status
+	if code := leader.api("POST", "/v1/jobs", longJob, &long); code != http.StatusAccepted {
+		t.Fatalf("submit long: %d", code)
+	}
+	leader.waitRunning(long.ID)
+	waitSynced(t, follower, leader)
+
+	// Both nodes die, leader first — no drain path runs anywhere.
+	leader.kill()
+	follower.kill()
+
+	// Promotion: a plain server on the standby's directory.
+	promoted := startChild(t, standbyDir, "-workers", "1")
+	var jobs []status
+	if code := promoted.api("GET", "/v1/jobs", "", &jobs); code != http.StatusOK {
+		t.Fatal("list on promoted node failed")
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("promoted node sees %d jobs, want 2: %+v", len(jobs), jobs)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("job %s duplicated on promotion", j.ID)
+		}
+		seen[j.ID] = true
+	}
+
+	// The finished result survived byte-for-byte.
+	if st := promoted.waitTerminal(done.ID); st.State != "done" {
+		t.Errorf("finished job restored as %s", st.State)
+	}
+	gotDDL, gotSchema := resultDDL(t, promoted, done.ID)
+	if gotDDL != wantDDL || gotSchema != wantSchema {
+		t.Errorf("result changed across promotion:\nleader   %s\npromoted %s", wantDDL, gotDDL)
+	}
+
+	// The interrupted job re-ran exactly once to completion.
+	if st := promoted.waitTerminal(long.ID); st.State != "done" {
+		t.Errorf("interrupted job ended %s (%s), want done", st.State, st.Error)
+	}
+	promoted.api("GET", "/v1/jobs", "", &jobs)
+	if len(jobs) != 2 {
+		t.Errorf("re-run duplicated a job: %d entries", len(jobs))
+	}
+
+	// The replicated cache answers identical resubmissions.
+	var hit status
+	if code := promoted.api("POST", "/v1/jobs", csvJob("address", crashCSV), &hit); code != http.StatusOK || !hit.Cached {
+		t.Errorf("promoted cache miss: %d %+v", code, hit)
+	}
+}
+
+// TestNodeKillFollowerRejoinsByOffset kills the standby, lets the
+// leader advance, and restarts the standby on its directory: it must
+// resume from its journal offset — no snapshot transfer — and still be
+// promotable afterwards.
+func TestNodeKillFollowerRejoinsByOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	leaderDir, standbyDir := t.TempDir(), t.TempDir()
+	leader := startChild(t, leaderDir, "-workers", "1")
+
+	f1 := startFollowerChild(t, standbyDir, leader)
+	var first status
+	if code := leader.api("POST", "/v1/jobs", csvJob("address", crashCSV), &first); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	leader.waitTerminal(first.ID)
+	waitSynced(t, f1, leader)
+	f1.kill() // standby node dies
+
+	// History advances while the standby is dark.
+	var second status
+	csv2 := "A,B\n1,x\n2,y\n3,x\n"
+	if code := leader.api("POST", "/v1/jobs", csvJob("later", csv2), &second); code != http.StatusAccepted {
+		t.Fatalf("submit second: %d", code)
+	}
+	leader.waitTerminal(second.ID)
+
+	f2 := startFollowerChild(t, standbyDir, leader)
+	waitSynced(t, f2, leader)
+	var fs replStatus
+	f2.api("GET", "/v1/replication/status", "", &fs)
+	if fs.SnapshotsApplied != 0 {
+		t.Errorf("rejoin transferred %d snapshots, want pure offset resume", fs.SnapshotsApplied)
+	}
+	if code := readyzCode(t, f2); code != http.StatusOK {
+		t.Errorf("caught-up standby readyz = %d, want 200", code)
+	}
+
+	leader.kill()
+	f2.kill()
+	promoted := startChild(t, standbyDir)
+	for _, id := range []string{first.ID, second.ID} {
+		if st := promoted.waitTerminal(id); st.State != "done" {
+			t.Errorf("job %s on promoted node: %s", id, st.State)
+		}
+	}
+}
+
+// TestFollowerReadyzTracksLeaderDeath pins the load-balancer contract:
+// a standby whose leader died goes unready once its last sync is older
+// than -repl-stale-after, and recovers — via snapshot catch-up against
+// the restarted leader's new epoch — without operator help.
+func TestFollowerReadyzTracksLeaderDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	leaderDir, standbyDir := t.TempDir(), t.TempDir()
+	// The leader's address must survive its restart, so pin a port
+	// instead of the usual :0 (a follower follows an address, not a
+	// process).
+	leaderAddr := freeAddr(t)
+	leader := startChild(t, leaderDir, "-workers", "1", "-addr", leaderAddr)
+	follower := startFollowerChild(t, standbyDir, leader, "-repl-stale-after", "1500ms")
+
+	var st status
+	if code := leader.api("POST", "/v1/jobs", csvJob("address", crashCSV), &st); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	leader.waitTerminal(st.ID)
+	waitSynced(t, follower, leader)
+	if code := readyzCode(t, follower); code != http.StatusOK {
+		t.Fatalf("healthy standby readyz = %d, want 200", code)
+	}
+
+	// Leader node dies; the standby must flip unready within the stale
+	// window rather than advertising a dead link forever.
+	leader.kill()
+	flipDeadline := time.Now().Add(30 * time.Second)
+	for readyzCode(t, follower) != http.StatusServiceUnavailable {
+		if !time.Now().Before(flipDeadline) {
+			t.Fatal("standby stayed ready with a dead leader")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A restarted leader (same address, new epoch) forces a snapshot
+	// catch-up; readiness must recover on its own.
+	leader2 := startChild(t, leaderDir, "-workers", "1", "-addr", leaderAddr)
+	recoverDeadline := time.Now().Add(60 * time.Second)
+	for readyzCode(t, follower) != http.StatusOK {
+		if !time.Now().Before(recoverDeadline) {
+			var fs replStatus
+			follower.api("GET", "/v1/replication/status", "", &fs)
+			t.Fatalf("standby never recovered after leader restart: %+v", fs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	waitSynced(t, follower, leader2)
+	var fs replStatus
+	follower.api("GET", "/v1/replication/status", "", &fs)
+	if fs.SnapshotsApplied < 2 {
+		// One snapshot joined the first leader, a second must have
+		// re-joined the restarted one's new epoch.
+		t.Errorf("new-epoch rejoin without snapshot catch-up: %+v", fs)
+	}
+	if fs.Reconnects == 0 {
+		t.Errorf("leader death counted no reconnects: %+v", fs)
+	}
+}

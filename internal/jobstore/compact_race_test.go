@@ -1,0 +1,127 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCompactionRacesConcurrentSubmits hammers the store from many
+// writer goroutines while compaction fires constantly — both the
+// automatic CompactEvery trigger mid-burst and an explicit Compact
+// loop racing the writers. The invariant is the durability contract
+// under concurrency: after the burst, a fresh Open sees every job with
+// its final state and result, exactly once, no matter how many times
+// the journal was folded into the snapshot mid-write. (The quiescent
+// compaction path is covered elsewhere; this is the racing one.)
+func TestCompactionRacesConcurrentSubmits(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{CompactEvery: 4}) // compact constantly
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+1)
+
+	stopCompact := make(chan struct{})
+	compactorDone := make(chan struct{})
+	go func() { // explicit compactions racing the auto-trigger
+		defer close(compactorDone)
+		for {
+			select {
+			case <-stopCompact:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil {
+				errc <- fmt.Errorf("compact: %w", err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%03d", w, i)
+				if err := s.AppendSubmit(JobRecord{
+					ID: id, Created: time.Now(), Key: "k" + id,
+					Spec:  json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)),
+					State: "queued",
+				}); err != nil {
+					errc <- fmt.Errorf("submit %s: %w", id, err)
+					return
+				}
+				if err := s.AppendState(StateUpdate{ID: id, State: "running", At: time.Now()}); err != nil {
+					errc <- fmt.Errorf("running %s: %w", id, err)
+					return
+				}
+				if err := s.AppendResult(id, "k"+id, []byte("res-"+id)); err != nil {
+					errc <- fmt.Errorf("result %s: %w", id, err)
+					return
+				}
+				if err := s.AppendState(StateUpdate{ID: id, State: "done", At: time.Now()}); err != nil {
+					errc <- fmt.Errorf("done %s: %w", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("burst never finished")
+	}
+	close(stopCompact)
+	<-compactorDone
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh boot must see the complete, deduplicated history.
+	s2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rep.Damage) > 0 {
+		t.Fatalf("recovery damage after racing compactions: %v", rep.Damage)
+	}
+	jobs := s2.Jobs()
+	if len(jobs) != writers*perWriter {
+		t.Fatalf("jobs after burst: %d, want %d", len(jobs), writers*perWriter)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("job %s duplicated", j.ID)
+		}
+		seen[j.ID] = true
+		if j.State != "done" {
+			t.Errorf("job %s state %q, want done", j.ID, j.State)
+		}
+		if string(j.Result) != "res-"+j.ID {
+			t.Errorf("job %s result %q", j.ID, j.Result)
+		}
+	}
+}

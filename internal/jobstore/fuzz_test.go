@@ -42,6 +42,19 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xFF}, 32))
 
+	// Replication-stream shapes: the chunks ReadLog serves and the
+	// follower verifies are exactly these — whole-frame runs, a chunk
+	// cut at a frame boundary, a header-only tail (the smallest torn
+	// read a follower can observe), a lone oversized frame, and a
+	// snapshot image followed by journal frames (catch-up order).
+	f.Add(all[:len(valid[0])])                         // single-frame chunk
+	f.Add(append([]byte(nil), all[len(valid[0]):]...)) // chunk starting mid-stream
+	f.Add(all[:len(valid[0])+frameHeaderSize])         // frame + bare next header
+	bigRec, _ := json.Marshal(submitWire{ID: "big", Key: "kbig", State: "queued",
+		Spec: json.RawMessage(`{"csv":"` + string(bytes.Repeat([]byte("x"), 4096)) + `"}`)})
+	f.Add(encodeFrame(recSubmit, bigRec)) // frame far larger than a small chunk cap
+	f.Add(append(encodeFrame(recSnapshot, []byte(`{"version":1}`)), all...))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, payload, n, err := decodeFrame(data)
 		if err == nil {

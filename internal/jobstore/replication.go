@@ -1,0 +1,199 @@
+package jobstore
+
+// Leader-side replication surface: followers replicate the store by
+// copying its on-disk artifacts byte-for-byte — the snapshot file plus
+// the journal's checksummed frames — so a follower's data directory is
+// promotable with the exact same Open/replay path the leader itself
+// uses after a crash.
+//
+// Positions are (epoch, offset) pairs. The epoch names one journal
+// lifetime: it is regenerated when the store opens and at every
+// compaction (both events rewrite journal history), so an offset is
+// only meaningful within the epoch it was read under. A follower that
+// presents a stale epoch — or an offset past the journal — gets
+// ErrStale and must catch up through the snapshot instead; that is the
+// divergence stance: re-snapshot, never silently fork.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrStale reports a replication position the journal can no longer
+// serve: wrong epoch (the journal was compacted or the store
+// restarted) or an offset beyond the valid log. The follower must
+// fetch the snapshot and restart the stream at offset 0.
+var ErrStale = errors.New("jobstore: stale replication position (snapshot catch-up required)")
+
+// newEpoch mints a random epoch identifier.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a counter-free constant-prefix fallback only if the
+		// system's randomness is broken; uniqueness then rests on the
+		// follower's offset checks.
+		return fmt.Sprintf("e%016x", os.Getpid())
+	}
+	return "e" + hex.EncodeToString(b[:])
+}
+
+// ReplicationPosition returns the current epoch and journal size — the
+// position a fully caught-up follower would hold.
+func (s *Store) ReplicationPosition() (epoch string, logSize int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.logSize
+}
+
+// Changed returns a channel closed at the next journal-state change
+// (append, compaction, or close). Callers long-polling for new frames
+// must fetch the channel BEFORE checking the position they wait on, or
+// they can miss the wakeup.
+func (s *Store) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// notifyLocked wakes everything blocked on Changed.
+func (s *Store) notifyLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// maxReplChunk bounds one ReadLog response; a single oversized record
+// is still returned whole.
+const maxReplChunk = 4 << 20
+
+// ReadLog returns raw journal bytes — whole frames only — starting at
+// offset from, at most roughly max bytes (a single frame larger than
+// max is returned whole; max <= 0 selects the default chunk size). The
+// returned logSize is the journal's current end, so callers can
+// compute lag. A mismatched epoch or an offset past the journal
+// returns ErrStale.
+func (s *Store) ReadLog(epoch string, from, max int64) (data []byte, logSize int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("jobstore: store closed")
+	}
+	if epoch != s.epoch || from < 0 || from > s.logSize {
+		return nil, s.logSize, ErrStale
+	}
+	if from == s.logSize {
+		return nil, s.logSize, nil
+	}
+	if max <= 0 || max > maxReplChunk {
+		max = maxReplChunk
+	}
+	n := s.logSize - from
+	if n > max {
+		n = max
+	}
+	// Always read at least a frame header so the grow path below can
+	// size an oversized first frame (the log holds only whole frames, so
+	// at least frameHeaderSize+1 bytes follow from).
+	if n < frameHeaderSize {
+		n = frameHeaderSize
+	}
+	buf, err := s.readJournalLocked(from, n)
+	if err != nil {
+		return nil, s.logSize, err
+	}
+	scan := scanLog(buf)
+	if scan.validLen > 0 {
+		return buf[:scan.validLen], s.logSize, nil
+	}
+	// The first frame is longer than the chunk: its header is in buf
+	// (frames are at least frameHeaderSize+1 bytes, and n >= 1 whole
+	// frame exists because logSize is frame-aligned). Read it whole.
+	if len(buf) < frameHeaderSize {
+		return nil, s.logSize, fmt.Errorf("jobstore: journal truncated under reader at offset %d", from)
+	}
+	frameLen := frameHeaderSize + int64(binary.LittleEndian.Uint32(buf[0:4]))
+	if frameLen > s.logSize-from {
+		return nil, s.logSize, fmt.Errorf("jobstore: corrupt frame header at offset %d", from)
+	}
+	buf, err = s.readJournalLocked(from, frameLen)
+	if err != nil {
+		return nil, s.logSize, err
+	}
+	scan = scanLog(buf)
+	if scan.validLen != frameLen {
+		return nil, s.logSize, fmt.Errorf("jobstore: corrupt frame at offset %d: %v", from, scan.damage)
+	}
+	return buf, s.logSize, nil
+}
+
+// readJournalLocked reads [from, from+n) of the journal through a
+// transient read handle (the store's own handle is write-only).
+func (s *Store) readJournalLocked(from, n int64) ([]byte, error) {
+	f, err := os.Open(filepath.Join(s.dir, logName))
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: open journal for read: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, from); err != nil {
+		return nil, fmt.Errorf("jobstore: read journal [%d,+%d): %w", from, n, err)
+	}
+	return buf, nil
+}
+
+// ReplicationSnapshot returns the current snapshot file verbatim (nil
+// when no compaction has happened yet — the journal then carries the
+// full history) together with the epoch and journal size it belongs
+// to. Applying the snapshot and then streaming the journal from offset
+// 0 within the same epoch reproduces the leader's state; replay is
+// idempotent, so records present in both are harmless.
+func (s *Store) ReplicationSnapshot() (epoch string, data []byte, logSize int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", nil, 0, fmt.Errorf("jobstore: store closed")
+	}
+	buf, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return s.epoch, nil, s.logSize, nil
+	}
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("jobstore: read snapshot: %w", err)
+	}
+	return s.epoch, buf, s.logSize, nil
+}
+
+// ValidFrames scans buf and reports the byte length of its longest
+// prefix of whole, checksum-valid frames, the number of frames in that
+// prefix, and whether the remainder (if any) is damaged rather than
+// merely absent. It is the follower-side verification primitive: a
+// replication chunk must satisfy valid == len(buf) && !damaged before
+// one byte of it is applied.
+func ValidFrames(buf []byte) (valid int64, frames int, damaged bool) {
+	scan := scanLog(buf)
+	return scan.validLen, len(scan.records), scan.damage != nil
+}
+
+// VerifySnapshotImage checks that buf is a well-formed snapshot file:
+// a single checksum-valid frame of the snapshot record type. Empty
+// images are valid (a leader that never compacted has no snapshot).
+func VerifySnapshotImage(buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	typ, _, n, err := decodeFrame(buf)
+	if err != nil {
+		return fmt.Errorf("jobstore: snapshot image: %w", err)
+	}
+	if typ != recSnapshot {
+		return fmt.Errorf("jobstore: snapshot image: unexpected record type %d", typ)
+	}
+	if n != len(buf) {
+		return fmt.Errorf("jobstore: snapshot image: %d trailing bytes", len(buf)-n)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package jobstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// submitN appends n trivially distinct jobs and returns their IDs.
+func submitN(t *testing.T, s *Store, prefix string, n int) []string {
+	t.Helper()
+	var ids []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s%03d", prefix, i)
+		rec := JobRecord{
+			ID: id, Created: time.Unix(int64(i), 0).UTC(), Key: "k" + id,
+			Spec:  json.RawMessage(fmt.Sprintf(`{"csv":"a,b\n%d,%d\n"}`, i, i)),
+			State: "queued",
+		}
+		if err := s.AppendSubmit(rec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// mirror replays a leader's replication artifacts into dir exactly the
+// way a follower does: snapshot file verbatim, then journal frames
+// streamed chunk by chunk and appended raw.
+func mirror(t *testing.T, leader *Store, dir string, chunk int64) {
+	t.Helper()
+	epoch, snap, _, err := leader.ReplicationSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshotImage(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "snapshot.db"), snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var journal []byte
+	for {
+		data, logSize, err := leader.ReadLog(epoch, int64(len(journal)), chunk)
+		if err != nil {
+			t.Fatalf("ReadLog at %d: %v", len(journal), err)
+		}
+		if valid, _, damaged := ValidFrames(data); damaged || valid != int64(len(data)) {
+			t.Fatalf("chunk at %d not frame-aligned: %d of %d valid (damaged=%v)",
+				len(journal), valid, len(data), damaged)
+		}
+		journal = append(journal, data...)
+		if int64(len(journal)) >= logSize {
+			break
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal.log"), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// openClean opens a store and fails the test on recovery damage.
+func openClean(t *testing.T, dir string) (*Store, *RecoveryReport) {
+	t.Helper()
+	s, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if len(rep.Damage) > 0 {
+		t.Fatalf("recovery damage: %v", rep.Damage)
+	}
+	return s, rep
+}
+
+func TestReplicationMirrorIsPromotable(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leader, _ := openClean(t, leaderDir)
+
+	ids := submitN(t, leader, "j", 5)
+	for _, id := range ids[:3] {
+		if err := leader.AppendState(StateUpdate{ID: id, State: "done", At: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := leader.AppendResult(id, "k"+id, []byte("result-"+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mirror(t, leader, followerDir, 0)
+
+	// Opening the mirrored directory — promotion — restores exactly the
+	// leader's jobs and results.
+	promoted, rep := openClean(t, followerDir)
+	if rep.Jobs != 5 || rep.Terminal != 3 || rep.Incomplete != 2 || rep.Results != 3 {
+		t.Fatalf("promoted recovery: %+v", rep)
+	}
+	want, got := leader.Jobs(), promoted.Jobs()
+	if len(want) != len(got) {
+		t.Fatalf("job count: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].State != got[i].State ||
+			!bytes.Equal(want[i].Result, got[i].Result) {
+			t.Errorf("job %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplicationChunkingReturnsWholeFrames(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := openClean(t, dir)
+	submitN(t, leader, "j", 8)
+
+	// A 1-byte max still yields whole frames, one at a time.
+	epoch, logSize := leader.ReplicationPosition()
+	var off int64
+	var frames int
+	for off < logSize {
+		data, _, err := leader.ReadLog(epoch, off, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid, n, damaged := ValidFrames(data)
+		if damaged || valid != int64(len(data)) || n != 1 {
+			t.Fatalf("chunk at %d: valid=%d len=%d frames=%d damaged=%v",
+				off, valid, len(data), n, damaged)
+		}
+		off += valid
+		frames++
+	}
+	if frames != 8 {
+		t.Fatalf("streamed %d frames, want 8", frames)
+	}
+	// Reading exactly at the end returns no data and no error.
+	data, size, err := leader.ReadLog(epoch, off, 0)
+	if err != nil || len(data) != 0 || size != logSize {
+		t.Fatalf("read at end: %d bytes, size %d, err %v", len(data), size, err)
+	}
+}
+
+func TestReplicationStalePositions(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := openClean(t, dir)
+	submitN(t, leader, "j", 3)
+	epoch, logSize := leader.ReplicationPosition()
+
+	if _, _, err := leader.ReadLog("bogus", 0, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("wrong epoch: %v, want ErrStale", err)
+	}
+	if _, _, err := leader.ReadLog(epoch, logSize+1, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("offset past log: %v, want ErrStale", err)
+	}
+	if _, _, err := leader.ReadLog(epoch, -1, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("negative offset: %v, want ErrStale", err)
+	}
+
+	// Compaction turns the epoch over; the old position goes stale and
+	// the snapshot path reproduces the state instead.
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := leader.ReadLog(epoch, 0, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("post-compaction epoch: %v, want ErrStale", err)
+	}
+	newEpoch, newSize := leader.ReplicationPosition()
+	if newEpoch == epoch {
+		t.Error("compaction kept the epoch")
+	}
+	if newSize != 0 {
+		t.Errorf("journal size after compaction: %d", newSize)
+	}
+
+	followerDir := t.TempDir()
+	mirror(t, leader, followerDir, 0)
+	promoted, rep := openClean(t, followerDir)
+	if rep.Jobs != 3 || !rep.SnapshotLoaded {
+		t.Fatalf("snapshot catch-up recovery: %+v", rep)
+	}
+	if got := len(promoted.Jobs()); got != 3 {
+		t.Fatalf("promoted jobs: %d", got)
+	}
+}
+
+func TestReplicationChangedWakesOnAppendCompactClose(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := openClean(t, dir)
+
+	wait := func(ch <-chan struct{}, what string) {
+		t.Helper()
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("Changed never fired on %s", what)
+		}
+	}
+	ch := leader.Changed()
+	submitN(t, leader, "a", 1)
+	wait(ch, "append")
+
+	ch = leader.Changed()
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	wait(ch, "compact")
+
+	ch = leader.Changed()
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait(ch, "close")
+}
+
+func TestVerifySnapshotImage(t *testing.T) {
+	if err := VerifySnapshotImage(nil); err != nil {
+		t.Errorf("empty image: %v", err)
+	}
+	good := encodeFrame(recSnapshot, []byte(`{"version":1}`))
+	if err := VerifySnapshotImage(good); err != nil {
+		t.Errorf("valid image: %v", err)
+	}
+	if err := VerifySnapshotImage(encodeFrame(recSubmit, []byte(`{}`))); err == nil {
+		t.Error("wrong record type accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xFF
+	if err := VerifySnapshotImage(bad); err == nil {
+		t.Error("corrupt image accepted")
+	}
+	if err := VerifySnapshotImage(append(good, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestReplicationOversizedFrameReturnedWhole pins the grow path: a
+// record far larger than the chunk cap still ships as one whole frame.
+func TestReplicationOversizedFrameReturnedWhole(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := openClean(t, dir)
+	big := bytes.Repeat([]byte("x"), 64<<10)
+	if err := leader.AppendSubmit(JobRecord{
+		ID: "big", Created: time.Now(), Key: "kbig",
+		Spec: json.RawMessage(fmt.Sprintf(`{"csv":%q}`, big)), State: "queued",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	epoch, logSize := leader.ReplicationPosition()
+	data, _, err := leader.ReadLog(epoch, 0, 16) // cap far below the frame size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != logSize {
+		t.Fatalf("oversized frame split: got %d of %d bytes", len(data), logSize)
+	}
+	if valid, n, damaged := ValidFrames(data); damaged || valid != int64(len(data)) || n != 1 {
+		t.Fatalf("oversized frame not whole: valid=%d frames=%d damaged=%v", valid, n, damaged)
+	}
+}

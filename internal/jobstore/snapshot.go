@@ -90,6 +90,11 @@ func (s *Store) compactLocked() error {
 	}
 	s.logSize = 0
 	s.recsSinceSnap = 0
+	// Compaction rewrites journal history: followers' offsets into the
+	// old journal are meaningless now, so the epoch turns over and
+	// waiting readers wake to discover it.
+	s.epoch = newEpoch()
+	s.notifyLocked()
 	return nil
 }
 

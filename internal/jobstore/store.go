@@ -89,6 +89,12 @@ type Store struct {
 	// recsSinceSnap counts appended records since the last compaction.
 	recsSinceSnap int
 
+	// epoch names the current journal lifetime for replication (see
+	// replication.go); changed is closed and replaced at every journal
+	// state change to wake long-polling replication readers.
+	epoch   string
+	changed chan struct{}
+
 	jobs  map[string]*JobRecord
 	order []string
 	// results holds terminal result payloads in append order; jobs
@@ -181,6 +187,8 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		jobs:        make(map[string]*JobRecord),
 		resultByID:  make(map[string]int),
 		resultByKey: make(map[string]int),
+		epoch:       newEpoch(),
+		changed:     make(chan struct{}),
 	}
 	report := &RecoveryReport{}
 
@@ -288,6 +296,7 @@ func (s *Store) appendLocked(typ byte, payload []byte) error {
 	}
 	s.logSize += int64(len(frame))
 	s.recsSinceSnap++
+	s.notifyLocked()
 	return nil
 }
 
@@ -355,6 +364,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.notifyLocked() // wake replication readers so they observe closure
 	if err := s.logF.Sync(); err != nil {
 		s.logF.Close()
 		return fmt.Errorf("jobstore: %w", err)

@@ -1,0 +1,594 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"normalize/internal/guard"
+	"normalize/internal/jobstore"
+	"normalize/internal/observe"
+	"normalize/internal/retry"
+)
+
+// Observer stages of the replication link. They ride the same
+// observe/faultinject seam as the pipeline stages: a fault-injection
+// rule addressed at one of these — Panic to sever the link at a
+// precise request, Latency to stall a read — exercises the reconnect
+// and backoff machinery deterministically, with no test hooks in the
+// replication code itself.
+const (
+	// StageStream brackets one stream request/apply cycle.
+	StageStream observe.Stage = "replication-stream"
+	// StageSnapshot brackets one snapshot catch-up.
+	StageSnapshot observe.Stage = "replication-snapshot"
+	// StageApply brackets the verification and local append of one
+	// received chunk; its counters report frames/bytes applied.
+	StageApply observe.Stage = "replication-apply"
+)
+
+// Follower state files inside the data directory, next to the
+// jobstore's own journal.log / snapshot.db (which the follower writes
+// byte-identically). replicaMetaName records the epoch the local
+// journal belongs to; jobstore.Open ignores it at promotion time.
+const (
+	replicaMetaName = "replica.json"
+	replicaMetaTemp = "replica.tmp"
+)
+
+// Config tunes a follower; LeaderURL and Dir are required.
+type Config struct {
+	// LeaderURL is the leader's base URL (e.g. http://10.0.0.1:8080).
+	LeaderURL string
+	// Dir is the local data directory the follower replicates into;
+	// starting a normal server on it afterwards promotes the standby.
+	Dir string
+	// Fsync forces an fsync after every applied chunk and snapshot.
+	Fsync bool
+	// Client performs the HTTP requests (default http.DefaultClient;
+	// per-request deadlines are applied via RequestTimeout regardless).
+	Client *http.Client
+	// PollWait is the long-poll duration requested from the leader when
+	// caught up (default 5s).
+	PollWait time.Duration
+	// RequestTimeout bounds every single request, body read included
+	// (default PollWait + 15s) — a stalled read fails the request
+	// instead of wedging the loop.
+	RequestTimeout time.Duration
+	// ChunkMax is the requested per-response byte cap (default: the
+	// leader's own cap).
+	ChunkMax int64
+	// StaleAfter is the readiness threshold: with no successful leader
+	// exchange for longer than this, Ready flips false and /readyz
+	// serves 503 (default 3×PollWait).
+	StaleAfter time.Duration
+	// MaxLagBytes is the readiness lag threshold: more than this many
+	// journal bytes behind the leader flips Ready false (default 1 MiB).
+	MaxLagBytes int64
+	// Retry is the reconnect backoff policy (zero value = retry.Policy
+	// defaults: 100ms base, 2× growth, 30s cap, 20% jitter).
+	Retry retry.Policy
+	// Observer receives stage events for telemetry and fault injection;
+	// nil disables.
+	Observer observe.Observer
+	// Logf receives one line per reconnect, catch-up, and divergence;
+	// nil disables.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.LeaderURL == "" || c.Dir == "" {
+		return errors.New("replicate: LeaderURL and Dir are required")
+	}
+	if _, err := url.Parse(c.LeaderURL); err != nil {
+		return fmt.Errorf("replicate: leader url: %w", err)
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = c.PollWait + 15*time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * c.PollWait
+	}
+	if c.MaxLagBytes <= 0 {
+		c.MaxLagBytes = 1 << 20
+	}
+	return nil
+}
+
+// Status is one consistent snapshot of the replication link, served on
+// the follower's /telemetry and /v1/replication/status endpoints and
+// (as an expvar) /debug/vars.
+type Status struct {
+	LeaderURL     string    `json:"leader_url"`
+	Epoch         string    `json:"epoch"`
+	Offset        int64     `json:"offset"`
+	LeaderLogSize int64     `json:"leader_log_size"`
+	LagBytes      int64     `json:"lag_bytes"`
+	LastSync      time.Time `json:"last_sync"`
+	LastError     string    `json:"last_error,omitempty"`
+
+	Reconnects       int64 `json:"reconnects"`
+	SnapshotsApplied int64 `json:"snapshots_applied"`
+	FramesApplied    int64 `json:"frames_applied"`
+	BytesApplied     int64 `json:"bytes_applied"`
+	CorruptChunks    int64 `json:"corrupt_chunks"`
+
+	// Ready mirrors /readyz: a successful leader exchange within
+	// StaleAfter and lag within MaxLagBytes.
+	Ready bool `json:"ready"`
+}
+
+// Follower replicates a leader's jobstore into a local directory.
+// Create with NewFollower, drive with Run, inspect with Status, serve
+// operational endpoints with Handler.
+type Follower struct {
+	cfg     Config
+	journal *os.File
+
+	mu            sync.Mutex
+	epoch         string
+	offset        int64
+	leaderLogSize int64
+	lastSync      time.Time
+	lastErr       error
+
+	reconnects       int64
+	snapshotsApplied int64
+	framesApplied    int64
+	bytesApplied     int64
+	corruptChunks    int64
+	// corruptStreak counts consecutive corrupt chunks; crossing
+	// divergenceAfter forces a snapshot catch-up.
+	corruptStreak int
+}
+
+// divergenceAfter is the number of consecutive corrupt chunks after
+// which the follower stops trusting its position and re-snapshots.
+const divergenceAfter = 3
+
+// maxResponseBytes caps one leader response read: generously above the
+// leader's chunk cap plus the largest single record, so only a
+// misbehaving peer trips it.
+const maxResponseBytes = 1 << 30
+
+// errStale marks a stream position the leader can no longer serve; the
+// follower answers it with a snapshot catch-up.
+var errStale = errors.New("replicate: stale stream position")
+
+// errCorruptChunk marks a received chunk that failed frame
+// verification; nothing from it is applied.
+var errCorruptChunk = errors.New("replicate: corrupt replication chunk")
+
+// replicaMeta is the persisted follower position metadata. The offset
+// itself is NOT stored — it is derived from the local journal's valid
+// length on startup, so a torn local append can never claim bytes the
+// journal does not hold.
+type replicaMeta struct {
+	Epoch     string `json:"epoch"`
+	LeaderURL string `json:"leader_url"`
+}
+
+// NewFollower opens (or creates) the local replica directory, truncates
+// any torn tail off the local journal, and resumes from the persisted
+// epoch — a mismatch simply forces a snapshot catch-up on the first
+// stream request.
+func NewFollower(cfg Config) (*Follower, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+	f := &Follower{cfg: cfg}
+
+	// Recover the local journal's valid prefix, exactly like the
+	// jobstore's own boot: the longest run of whole, checksum-valid
+	// frames wins; everything past it is a torn local append.
+	path := filepath.Join(cfg.Dir, "journal.log")
+	buf, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("replicate: read local journal: %w", err)
+	}
+	valid, _, damaged := jobstore.ValidFrames(buf)
+	if damaged || valid < int64(len(buf)) {
+		f.logf("replicate: truncating %d torn bytes off local journal", int64(len(buf))-valid)
+		if err := os.Truncate(path, valid); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("replicate: truncate local journal: %w", err)
+		}
+	}
+	f.offset = valid
+
+	jf, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: open local journal: %w", err)
+	}
+	if _, err := jf.Seek(valid, io.SeekStart); err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+	f.journal = jf
+
+	// Resume the epoch if the meta file matches this leader; otherwise
+	// start stale and let the first stream request trigger catch-up.
+	if raw, err := os.ReadFile(filepath.Join(cfg.Dir, replicaMetaName)); err == nil {
+		var meta replicaMeta
+		if json.Unmarshal(raw, &meta) == nil && meta.LeaderURL == cfg.LeaderURL {
+			f.epoch = meta.Epoch
+		}
+	}
+	return f, nil
+}
+
+// Close releases the local journal handle. Run must have returned.
+func (f *Follower) Close() error {
+	return f.journal.Close()
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// observer seam helpers (nil-safe).
+func (f *Follower) stageStart(s observe.Stage) {
+	if f.cfg.Observer != nil {
+		f.cfg.Observer.StageStart(s)
+	}
+}
+func (f *Follower) stageFinish(s observe.Stage, since time.Time) {
+	if f.cfg.Observer != nil {
+		f.cfg.Observer.StageFinish(s, time.Since(since))
+	}
+}
+func (f *Follower) counter(s observe.Stage, name string, delta int64) {
+	if f.cfg.Observer != nil {
+		f.cfg.Observer.Counter(s, name, delta)
+	}
+}
+
+// Status returns a consistent snapshot of the link state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		LeaderURL:        f.cfg.LeaderURL,
+		Epoch:            f.epoch,
+		Offset:           f.offset,
+		LeaderLogSize:    f.leaderLogSize,
+		LastSync:         f.lastSync,
+		Reconnects:       f.reconnects,
+		SnapshotsApplied: f.snapshotsApplied,
+		FramesApplied:    f.framesApplied,
+		BytesApplied:     f.bytesApplied,
+		CorruptChunks:    f.corruptChunks,
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	if st.LeaderLogSize > st.Offset {
+		st.LagBytes = st.LeaderLogSize - st.Offset
+	}
+	st.Ready = !f.lastSync.IsZero() &&
+		time.Since(f.lastSync) <= f.cfg.StaleAfter &&
+		st.LagBytes <= f.cfg.MaxLagBytes
+	return st
+}
+
+// Run drives the replication loop until ctx ends: stream requests
+// while the link is healthy, snapshot catch-up on stale positions and
+// detected divergence, exponential backoff with jitter between
+// reconnects. Every cycle runs under a panic guard, so an injected (or
+// genuine) panic in the link severs this cycle and re-enters through
+// the reconnect path rather than killing the process.
+func (f *Follower) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := guard.Run("replication stream", func() error { return f.syncOnce(ctx) })
+		if err == nil {
+			attempt = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.noteError(err)
+
+		if errors.Is(err, errStale) {
+			f.logf("replicate: position stale, catching up via snapshot")
+			cerr := guard.Run("replication snapshot", func() error { return f.catchUp(ctx) })
+			if cerr == nil {
+				attempt = 0
+				continue
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			f.noteError(cerr)
+			f.logf("replicate: snapshot catch-up failed: %v", cerr)
+		} else {
+			f.logf("replicate: stream cycle failed: %v", err)
+		}
+
+		attempt++
+		f.mu.Lock()
+		f.reconnects++
+		f.mu.Unlock()
+		if serr := f.cfg.Retry.Sleep(ctx, attempt); serr != nil {
+			return serr
+		}
+	}
+}
+
+func (f *Follower) noteError(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// get performs one GET against the leader with the per-request
+// deadline applied, returning the fully-read body. The body read runs
+// under the same deadline, so a stalled read fails like a dead link.
+func (f *Follower) get(ctx context.Context, path string, q url.Values) (hdr http.Header, status int, body []byte, err error) {
+	rctx, cancel := context.WithTimeout(ctx, f.cfg.RequestTimeout)
+	defer cancel()
+	u := f.cfg.LeaderURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("replicate: %w", err)
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("replicate: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("replicate: read %s: %w", path, err)
+	}
+	return resp.Header, resp.StatusCode, body, nil
+}
+
+// syncOnce performs one stream request and applies what it returns.
+func (f *Follower) syncOnce(ctx context.Context) error {
+	f.mu.Lock()
+	epoch, offset := f.epoch, f.offset
+	f.mu.Unlock()
+
+	f.stageStart(StageStream)
+	start := time.Now()
+	defer f.stageFinish(StageStream, start)
+
+	q := url.Values{
+		"epoch":   {epoch},
+		"from":    {strconv.FormatInt(offset, 10)},
+		"wait_ms": {strconv.FormatInt(f.cfg.PollWait.Milliseconds(), 10)},
+	}
+	if f.cfg.ChunkMax > 0 {
+		q.Set("max", strconv.FormatInt(f.cfg.ChunkMax, 10))
+	}
+	hdr, status, body, err := f.get(ctx, "/v1/replication/stream", q)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return errStale
+	default:
+		return fmt.Errorf("replicate: stream: leader answered %d", status)
+	}
+	if got := hdr.Get(headerEpoch); got != epoch {
+		// The leader changed identity between our request and its
+		// answer; treat like a stale position.
+		return errStale
+	}
+	logSize, err := strconv.ParseInt(hdr.Get(headerLogSize), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replicate: stream: bad %s header: %w", headerLogSize, err)
+	}
+
+	if len(body) > 0 {
+		if err := f.apply(body); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.leaderLogSize = logSize
+	f.lastSync = time.Now()
+	f.lastErr = nil
+	f.mu.Unlock()
+	return nil
+}
+
+// apply verifies one received chunk frame-by-frame and appends it to
+// the local journal. A chunk that is not exactly a sequence of whole,
+// checksum-valid frames is rejected in full — nothing unverified ever
+// reaches the local WAL — and a streak of such chunks is treated as
+// divergence, forcing a snapshot catch-up.
+func (f *Follower) apply(chunk []byte) error {
+	f.stageStart(StageApply)
+	start := time.Now()
+	defer f.stageFinish(StageApply, start)
+
+	frames, err := verifyChunk(chunk)
+	if err != nil {
+		f.mu.Lock()
+		f.corruptChunks++
+		f.corruptStreak++
+		streak := f.corruptStreak
+		f.mu.Unlock()
+		f.counter(StageApply, "corrupt_chunks", 1)
+		f.logf("replicate: %v (%d consecutive)", err, streak)
+		if streak >= divergenceAfter {
+			f.mu.Lock()
+			f.corruptStreak = 0
+			f.mu.Unlock()
+			f.logf("replicate: divergence suspected after %d corrupt chunks; forcing snapshot catch-up", divergenceAfter)
+			return fmt.Errorf("%w: %w", errStale, err)
+		}
+		return err
+	}
+
+	if _, err := f.journal.Write(chunk); err != nil {
+		return fmt.Errorf("replicate: append local journal: %w", err)
+	}
+	if f.cfg.Fsync {
+		if err := f.journal.Sync(); err != nil {
+			return fmt.Errorf("replicate: fsync local journal: %w", err)
+		}
+	}
+	f.mu.Lock()
+	f.offset += int64(len(chunk))
+	f.framesApplied += int64(frames)
+	f.bytesApplied += int64(len(chunk))
+	f.corruptStreak = 0
+	f.mu.Unlock()
+	f.counter(StageApply, "frames", int64(frames))
+	f.counter(StageApply, "bytes", int64(len(chunk)))
+	return nil
+}
+
+// verifyChunk checks that chunk is exactly a sequence of whole,
+// checksum-valid journal frames and returns the frame count. It is the
+// pure verification core of the applier (fuzzed by FuzzApplyFrame).
+func verifyChunk(chunk []byte) (frames int, err error) {
+	valid, frames, damaged := jobstore.ValidFrames(chunk)
+	if damaged || valid != int64(len(chunk)) {
+		return 0, fmt.Errorf("%w: %d of %d bytes verify (%d frames)",
+			errCorruptChunk, valid, len(chunk), frames)
+	}
+	return frames, nil
+}
+
+// catchUp transfers the leader's snapshot and resets the local journal
+// to stream the new epoch from offset 0. File order is chosen so every
+// crash window leaves a promotable directory: the snapshot lands
+// atomically first (new snapshot + old journal over-applies
+// idempotently, exactly like the leader's own compaction crash
+// window), then the journal truncates, then the meta file records the
+// new epoch.
+func (f *Follower) catchUp(ctx context.Context) error {
+	f.stageStart(StageSnapshot)
+	start := time.Now()
+	defer f.stageFinish(StageSnapshot, start)
+
+	hdr, status, body, err := f.get(ctx, "/v1/replication/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("replicate: snapshot: leader answered %d", status)
+	}
+	epoch := hdr.Get(headerEpoch)
+	if epoch == "" {
+		return errors.New("replicate: snapshot: missing epoch header")
+	}
+	logSize, err := strconv.ParseInt(hdr.Get(headerLogSize), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replicate: snapshot: bad %s header: %w", headerLogSize, err)
+	}
+	// Verify before one byte lands on disk.
+	if err := jobstore.VerifySnapshotImage(body); err != nil {
+		f.counter(StageSnapshot, "corrupt_snapshots", 1)
+		return err
+	}
+
+	snapPath := filepath.Join(f.cfg.Dir, "snapshot.db")
+	if len(body) == 0 {
+		// The leader never compacted: its full history is the journal.
+		// A leftover local snapshot would resurrect foreign state at
+		// promotion, so it must go.
+		if err := os.Remove(snapPath); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("replicate: drop local snapshot: %w", err)
+		}
+	} else {
+		tmp := filepath.Join(f.cfg.Dir, "snapshot.tmp")
+		if err := writeFileSync(tmp, body, f.cfg.Fsync); err != nil {
+			return fmt.Errorf("replicate: write snapshot: %w", err)
+		}
+		if err := os.Rename(tmp, snapPath); err != nil {
+			return fmt.Errorf("replicate: install snapshot: %w", err)
+		}
+		syncDir(f.cfg.Dir, f.cfg.Fsync)
+	}
+
+	if err := f.journal.Truncate(0); err != nil {
+		return fmt.Errorf("replicate: reset local journal: %w", err)
+	}
+	if _, err := f.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+
+	meta, _ := json.Marshal(replicaMeta{Epoch: epoch, LeaderURL: f.cfg.LeaderURL})
+	tmp := filepath.Join(f.cfg.Dir, replicaMetaTemp)
+	if err := writeFileSync(tmp, meta, f.cfg.Fsync); err != nil {
+		return fmt.Errorf("replicate: write replica meta: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.cfg.Dir, replicaMetaName)); err != nil {
+		return fmt.Errorf("replicate: install replica meta: %w", err)
+	}
+
+	f.mu.Lock()
+	f.epoch = epoch
+	f.offset = 0
+	f.leaderLogSize = logSize
+	f.snapshotsApplied++
+	f.lastSync = time.Now()
+	f.lastErr = nil
+	f.mu.Unlock()
+	f.counter(StageSnapshot, "snapshots", 1)
+	f.logf("replicate: snapshot applied (epoch %s, leader log %d bytes)", epoch, logSize)
+	return nil
+}
+
+// writeFileSync writes data to path, optionally fsyncing before close.
+func writeFileSync(path string, data []byte, fsync bool) error {
+	g, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := g.Write(data); err != nil {
+		g.Close()
+		return err
+	}
+	if fsync {
+		if err := g.Sync(); err != nil {
+			g.Close()
+			return err
+		}
+	}
+	return g.Close()
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort.
+func syncDir(dir string, fsync bool) {
+	if !fsync {
+		return
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

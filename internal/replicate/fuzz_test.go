@@ -1,0 +1,92 @@
+package replicate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"normalize/internal/jobstore"
+)
+
+// FuzzApplyFrame drives arbitrary bytes through the follower's chunk
+// verifier — the gate every replicated byte passes before touching the
+// local WAL. Invariants under fuzzing:
+//
+//   - verifyChunk never panics and never disagrees with the journal
+//     scanner: it accepts exactly the chunks that are a whole-frame,
+//     checksum-valid prefix covering the full input;
+//   - an accepted chunk, written as a journal, always boots: a plain
+//     jobstore.Open on it must succeed (semantic damage — valid CRC,
+//     undecodable payload — is reported, never fatal), so nothing the
+//     applier admits can brick promotion.
+func FuzzApplyFrame(f *testing.F) {
+	// Seed with real journal bytes served by a real leader, chunked the
+	// way the stream chunks them, plus hand-damaged variants.
+	dir := f.TempDir()
+	s, _, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("seed%d", i)
+		if err := s.AppendSubmit(jobstore.JobRecord{
+			ID: id, Created: time.Unix(int64(i), 0), Key: "k" + id,
+			Spec:  json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)),
+			State: "queued",
+		}); err != nil {
+			f.Fatal(err)
+		}
+		if err := s.AppendResult(id, "k"+id, []byte("res")); err != nil {
+			f.Fatal(err)
+		}
+	}
+	epoch, logSize := s.ReplicationPosition()
+	whole, _, err := s.ReadLog(epoch, 0, 0)
+	if err != nil || int64(len(whole)) != logSize {
+		f.Fatalf("seed journal read: %d of %d bytes, %v", len(whole), logSize, err)
+	}
+	first, _, err := s.ReadLog(epoch, 0, 1) // single-frame chunk
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+
+	f.Add([]byte{})
+	f.Add(whole)
+	f.Add(first)
+	f.Add(whole[len(first):])   // chunk starting mid-stream
+	f.Add(whole[:len(whole)-3]) // torn tail
+	f.Add(whole[1:])            // misaligned start
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)/2] ^= 0xFF // CRC damage mid-chunk
+	f.Add(flipped)
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, chunk []byte) {
+		frames, err := verifyChunk(chunk)
+		valid, wantFrames, damaged := jobstore.ValidFrames(chunk)
+		if (err == nil) != (!damaged && valid == int64(len(chunk))) {
+			t.Fatalf("verifyChunk=%v vs scan valid=%d/%d damaged=%v",
+				err, valid, len(chunk), damaged)
+		}
+		if err != nil {
+			return
+		}
+		if frames != wantFrames {
+			t.Fatalf("frame count %d, scanner says %d", frames, wantFrames)
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.log"), chunk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := jobstore.Open(dir, jobstore.Options{})
+		if err != nil {
+			t.Fatalf("accepted chunk does not boot: %v", err)
+		}
+		st.Close()
+	})
+}

@@ -1,0 +1,76 @@
+package replicate
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Vars returns the follower's link state as an expvar.Var for
+// /debug/vars (registered by the caller under its namespace).
+func (f *Follower) Vars() expvar.Var {
+	return expvar.Func(func() any { return f.Status() })
+}
+
+// PublishVars registers the follower's vars in the process-wide expvar
+// registry under name. expvar panics on duplicate names, so a conflict
+// is reported as an error instead.
+func (f *Follower) PublishVars(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("replicate: expvar %q already registered", name)
+	}
+	expvar.Publish(name, f.Vars())
+	return nil
+}
+
+// Handler returns the follower's operational HTTP surface:
+//
+//	GET /healthz                 liveness (always 200 while serving)
+//	GET /readyz                  readiness: 200 while the link is fresh
+//	                             and lag is within bounds, 503 with a
+//	                             JSON lag report otherwise — so a load
+//	                             balancer never promotes a stale standby
+//	GET /v1/replication/status   full link Status as JSON
+//	GET /telemetry               same Status, for symmetry with the
+//	                             leader's telemetry endpoint
+//	GET /debug/vars              process expvar (includes replication
+//	                             vars once PublishVars registered them)
+func (f *Follower) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		st := f.Status()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(readiness{
+			Ready:      st.Ready,
+			LagBytes:   st.LagBytes,
+			LastSync:   st.LastSync,
+			StaleAfter: f.cfg.StaleAfter.String(),
+			LastError:  st.LastError,
+		})
+	})
+	status := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f.Status())
+	}
+	mux.HandleFunc("GET /v1/replication/status", status)
+	mux.HandleFunc("GET /telemetry", status)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// readiness is the /readyz response body.
+type readiness struct {
+	Ready      bool      `json:"ready"`
+	LagBytes   int64     `json:"lag_bytes"`
+	LastSync   time.Time `json:"last_sync"`
+	StaleAfter string    `json:"stale_after"`
+	LastError  string    `json:"last_error,omitempty"`
+}

@@ -1,0 +1,200 @@
+// Package replicate turns the jobstore write-ahead log into a
+// warm-standby replication link: a leader-side feeder that serves the
+// journal's checksummed frames (and the snapshot, for catch-up) over
+// HTTP, and a follower-side applier that writes byte-identical WAL and
+// snapshot files into its own data directory — so the follower's
+// directory is promotable by simply starting a normal server on it,
+// which re-enqueues interrupted jobs and serves all terminal results
+// exactly like single-node crash recovery.
+//
+// Protocol (all leader-side endpoints are GETs):
+//
+//	/v1/replication/stream?epoch=E&from=N[&wait_ms=W][&max=B]
+//	    200: raw journal frames starting at offset N (whole frames
+//	         only, possibly empty), with X-Replication-Epoch and
+//	         X-Replication-Log-Size headers; long-polls up to W ms
+//	         when the follower is caught up.
+//	    409: the position is stale (epoch turned over by a compaction
+//	         or leader restart, or N is past the journal) — the
+//	         follower must catch up through the snapshot.
+//	/v1/replication/snapshot
+//	    200: the snapshot file verbatim (empty if the leader never
+//	         compacted), with the same headers; streaming the journal
+//	         from offset 0 within the returned epoch completes the
+//	         state transfer.
+//	/v1/replication/status
+//	    200: JSON {epoch, log_size} — the leader's current position.
+//
+// Positions are (epoch, offset) pairs — see internal/jobstore's
+// replication surface for the epoch contract. Every payload is
+// CRC-framed (the journal's own framing), verified again follower-side
+// before one byte is applied; divergence is therefore detected, and
+// the follower re-snapshots rather than silently forking.
+package replicate
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"normalize/internal/jobstore"
+)
+
+// Header names of the replication protocol.
+const (
+	headerEpoch   = "X-Replication-Epoch"
+	headerLogSize = "X-Replication-Log-Size"
+)
+
+// maxStreamWait caps client-requested long-poll durations.
+const maxStreamWait = 30 * time.Second
+
+// Leader serves a store's journal and snapshot to followers.
+type Leader struct {
+	store *jobstore.Store
+	logf  func(format string, args ...any)
+
+	streamRequests   atomic.Int64
+	snapshotRequests atomic.Int64
+	staleResponses   atomic.Int64
+	bytesShipped     atomic.Int64
+}
+
+// NewLeader wraps a store for replication serving. logf may be nil.
+func NewLeader(store *jobstore.Store, logf func(string, ...any)) *Leader {
+	return &Leader{store: store, logf: logf}
+}
+
+// Register mounts the replication endpoints on mux.
+func (l *Leader) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/replication/stream", l.handleStream)
+	mux.HandleFunc("GET /v1/replication/snapshot", l.handleSnapshot)
+	mux.HandleFunc("GET /v1/replication/status", l.handleStatus)
+}
+
+// Vars returns the leader's replication counters as an expvar.Var for
+// /debug/vars (registered by the caller under its namespace).
+func (l *Leader) Vars() expvar.Var {
+	return expvar.Func(func() any {
+		epoch, logSize := l.store.ReplicationPosition()
+		return map[string]any{
+			"epoch":             epoch,
+			"log_size":          logSize,
+			"stream_requests":   l.streamRequests.Load(),
+			"snapshot_requests": l.snapshotRequests.Load(),
+			"stale_responses":   l.staleResponses.Load(),
+			"bytes_shipped":     l.bytesShipped.Load(),
+		}
+	})
+}
+
+// positionPayload is the JSON body of status and stale responses.
+type positionPayload struct {
+	Epoch   string `json:"epoch"`
+	LogSize int64  `json:"log_size"`
+}
+
+func (l *Leader) setPositionHeaders(w http.ResponseWriter, epoch string, logSize int64) {
+	w.Header().Set(headerEpoch, epoch)
+	w.Header().Set(headerLogSize, strconv.FormatInt(logSize, 10))
+}
+
+// handleStream serves journal frames from the requested position,
+// long-polling up to wait_ms when the follower is caught up.
+func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
+	l.streamRequests.Add(1)
+	q := r.URL.Query()
+	epoch := q.Get("epoch")
+	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from offset: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var wait time.Duration
+	if s := q.Get("wait_ms"); s != "" {
+		ms, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad wait_ms", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxStreamWait {
+			wait = maxStreamWait
+		}
+	}
+	var max int64
+	if s := q.Get("max"); s != "" {
+		if max, err = strconv.ParseInt(s, 10, 64); err != nil || max < 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Fetch the change channel BEFORE reading so an append between
+		// the read and the wait cannot be missed.
+		changed := l.store.Changed()
+		data, logSize, err := l.store.ReadLog(epoch, from, max)
+		switch {
+		case errors.Is(err, jobstore.ErrStale):
+			l.staleResponses.Add(1)
+			curEpoch, curSize := l.store.ReplicationPosition()
+			l.setPositionHeaders(w, curEpoch, curSize)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(positionPayload{Epoch: curEpoch, LogSize: curSize})
+			return
+		case err != nil:
+			if l.logf != nil {
+				l.logf("replicate: stream read at %d: %v", from, err)
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(data) > 0 || !time.Now().Before(deadline) {
+			l.setPositionHeaders(w, epoch, logSize)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			n, _ := w.Write(data)
+			l.bytesShipped.Add(int64(n))
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// handleSnapshot serves the snapshot file for follower catch-up.
+func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	l.snapshotRequests.Add(1)
+	epoch, data, logSize, err := l.store.ReplicationSnapshot()
+	if err != nil {
+		if l.logf != nil {
+			l.logf("replicate: snapshot: %v", err)
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	l.setPositionHeaders(w, epoch, logSize)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	n, _ := w.Write(data)
+	l.bytesShipped.Add(int64(n))
+}
+
+// handleStatus reports the leader's current replication position.
+func (l *Leader) handleStatus(w http.ResponseWriter, r *http.Request) {
+	epoch, logSize := l.store.ReplicationPosition()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(positionPayload{Epoch: epoch, LogSize: logSize})
+}

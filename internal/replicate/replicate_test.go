@@ -1,0 +1,438 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"normalize/internal/faultinject"
+	"normalize/internal/jobstore"
+	"normalize/internal/retry"
+)
+
+// fastRetry keeps test reconnect backoff in the microsecond range.
+var fastRetry = retry.Policy{Base: time.Millisecond, Max: 10 * time.Millisecond}
+
+// startLeader opens a store in a temp dir and serves its replication
+// endpoints from an httptest server.
+func startLeader(t *testing.T) (*jobstore.Store, *httptest.Server) {
+	t.Helper()
+	s, rep, err := jobstore.Open(t.TempDir(), jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if len(rep.Damage) > 0 {
+		t.Fatalf("leader recovery damage: %v", rep.Damage)
+	}
+	mux := http.NewServeMux()
+	NewLeader(s, t.Logf).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// testConfig returns a follower config tuned for test speed.
+func testConfig(leaderURL, dir string) Config {
+	return Config{
+		LeaderURL: leaderURL,
+		Dir:       dir,
+		PollWait:  100 * time.Millisecond,
+		Retry:     fastRetry,
+	}
+}
+
+// runFollower starts cfg's follower loop and returns it plus a stop
+// function that cancels the loop and waits for it to exit.
+func runFollower(t *testing.T, cfg Config) (*Follower, func()) {
+	t.Helper()
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Error("follower loop never exited")
+			}
+			f.Close()
+		})
+	}
+	t.Cleanup(stop)
+	return f, stop
+}
+
+// waitCaughtUp polls until the follower has applied everything the
+// leader holds (lag 0 with at least one successful sync).
+func waitCaughtUp(t *testing.T, f *Follower, leader *jobstore.Store) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.Status()
+		epoch, logSize := leader.ReplicationPosition()
+		if !st.LastSync.IsZero() && st.Epoch == epoch && st.Offset == logSize {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: %+v", f.Status())
+}
+
+// submitJobs appends n jobs with results to the leader.
+func submitJobs(t *testing.T, s *jobstore.Store, prefix string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s%03d", prefix, i)
+		if err := s.AppendSubmit(jobstore.JobRecord{
+			ID: id, Created: time.Now(), Key: "k" + id,
+			Spec:  json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)),
+			State: "queued",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendState(jobstore.StateUpdate{ID: id, State: "done", At: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AppendResult(id, "k"+id, []byte("res-"+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertPromotable opens dir as a plain store and checks it holds
+// exactly the leader's jobs and results.
+func assertPromotable(t *testing.T, dir string, leader *jobstore.Store) {
+	t.Helper()
+	promoted, rep, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if len(rep.Damage) > 0 {
+		t.Fatalf("promotion recovery damage: %v", rep.Damage)
+	}
+	want, got := leader.Jobs(), promoted.Jobs()
+	if len(want) != len(got) {
+		t.Fatalf("promoted jobs: %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].State != got[i].State ||
+			!bytes.Equal(want[i].Result, got[i].Result) {
+			t.Errorf("job %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFollowerReplicatesAndPromotes(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 5)
+
+	dir := t.TempDir()
+	f, stop := runFollower(t, testConfig(ts.URL, dir))
+	waitCaughtUp(t, f, leader)
+
+	// Live appends flow through the long-poll stream.
+	submitJobs(t, leader, "b", 3)
+	waitCaughtUp(t, f, leader)
+
+	st := f.Status()
+	if st.SnapshotsApplied != 1 {
+		// A fresh follower joins via exactly one (empty) snapshot.
+		t.Errorf("snapshots applied: %d, want 1", st.SnapshotsApplied)
+	}
+	if st.FramesApplied == 0 || st.BytesApplied == 0 {
+		t.Errorf("no frames applied: %+v", st)
+	}
+
+	stop()
+	assertPromotable(t, dir, leader)
+}
+
+func TestFollowerResumesByOffset(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 4)
+
+	dir := t.TempDir()
+	f, stop := runFollower(t, testConfig(ts.URL, dir))
+	waitCaughtUp(t, f, leader)
+	stop()
+
+	// New history lands while the follower is down.
+	submitJobs(t, leader, "b", 4)
+
+	// The restarted follower resumes from its journal offset: no
+	// snapshot transfer, just the missing frames.
+	f2, stop2 := runFollower(t, testConfig(ts.URL, dir))
+	waitCaughtUp(t, f2, leader)
+	st := f2.Status()
+	if st.SnapshotsApplied != 0 {
+		t.Errorf("resume took a snapshot (%d), want pure offset resume", st.SnapshotsApplied)
+	}
+	stop2()
+	assertPromotable(t, dir, leader)
+}
+
+func TestFollowerSnapshotCatchUpAfterCompaction(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 4)
+
+	dir := t.TempDir()
+	f, stop := runFollower(t, testConfig(ts.URL, dir))
+	waitCaughtUp(t, f, leader)
+	stop()
+
+	// Compaction while the follower is down turns the epoch over; the
+	// old offset is meaningless and only the snapshot path can help.
+	submitJobs(t, leader, "b", 4)
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	submitJobs(t, leader, "c", 2)
+
+	f2, stop2 := runFollower(t, testConfig(ts.URL, dir))
+	waitCaughtUp(t, f2, leader)
+	if st := f2.Status(); st.SnapshotsApplied != 1 {
+		t.Errorf("snapshots applied: %d, want 1", st.SnapshotsApplied)
+	}
+	stop2()
+	assertPromotable(t, dir, leader)
+}
+
+// TestFollowerSurvivesSeveredLink injects a panic into the second
+// stream cycle through the observer seam — the deterministic stand-in
+// for a link severed mid-request — and asserts the guard converts it
+// into a reconnect, not a dead loop.
+func TestFollowerSurvivesSeveredLink(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 3)
+
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageStream, Hook: faultinject.Start, Nth: 2, Kind: faultinject.Panic,
+	})
+	dir := t.TempDir()
+	cfg := testConfig(ts.URL, dir)
+	cfg.Observer = inj
+	cfg.Logf = t.Logf
+	f, stop := runFollower(t, cfg)
+	waitCaughtUp(t, f, leader)
+	submitJobs(t, leader, "b", 3)
+	waitCaughtUp(t, f, leader)
+
+	if fired := inj.Fired(); len(fired) != 1 {
+		t.Fatalf("injected faults fired: %d, want 1", len(fired))
+	}
+	if st := f.Status(); st.Reconnects == 0 {
+		t.Errorf("severed link did not count a reconnect: %+v", st)
+	}
+	stop()
+	assertPromotable(t, dir, leader)
+}
+
+// corruptingProxy forwards to a leader, flipping one byte in the first
+// n non-empty stream bodies. Snapshot and status pass through clean.
+type corruptingProxy struct {
+	leaderURL string
+	mu        sync.Mutex
+	remaining int
+	corrupted int
+}
+
+func (p *corruptingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get(p.leaderURL + r.URL.RequestURI())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if r.URL.Path == "/v1/replication/stream" && len(body) > 0 && resp.StatusCode == http.StatusOK {
+		p.mu.Lock()
+		if p.remaining > 0 {
+			p.remaining--
+			p.corrupted++
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0xFF
+		}
+		p.mu.Unlock()
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// TestFollowerRejectsCorruptChunksAndResnapshots runs the stream
+// through a proxy that corrupts frames on the wire. Every corrupt chunk
+// must be rejected before touching the local WAL, and a streak of them
+// must be treated as divergence: re-snapshot, never fork.
+func TestFollowerRejectsCorruptChunksAndResnapshots(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 5)
+
+	proxy := &corruptingProxy{leaderURL: ts.URL, remaining: divergenceAfter}
+	pts := httptest.NewServer(proxy)
+	t.Cleanup(pts.Close)
+
+	dir := t.TempDir()
+	cfg := testConfig(pts.URL, dir)
+	cfg.Logf = t.Logf
+	f, stop := runFollower(t, cfg)
+	waitCaughtUp(t, f, leader)
+
+	st := f.Status()
+	if st.CorruptChunks != int64(divergenceAfter) {
+		t.Errorf("corrupt chunks: %d, want %d", st.CorruptChunks, divergenceAfter)
+	}
+	if st.SnapshotsApplied < 2 {
+		// One snapshot for the fresh join, one forced by divergence.
+		t.Errorf("snapshots applied: %d, want >= 2 (divergence re-snapshot)", st.SnapshotsApplied)
+	}
+	stop()
+	assertPromotable(t, dir, leader)
+}
+
+// stallingProxy hangs the first stream request without writing a byte;
+// everything else passes through.
+type stallingProxy struct {
+	leaderURL string
+	release   chan struct{}
+	mu        sync.Mutex
+	stalled   bool
+}
+
+func (p *stallingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/replication/stream" {
+		p.mu.Lock()
+		first := !p.stalled
+		p.stalled = true
+		p.mu.Unlock()
+		if first {
+			<-p.release // hold the request open past the client deadline
+			return
+		}
+	}
+	resp, err := http.Get(p.leaderURL + r.URL.RequestURI())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// TestFollowerStalledReadTimesOut pins the per-request deadline: a
+// leader that accepts the connection and then stalls forever must fail
+// the cycle at RequestTimeout and re-enter through the reconnect path.
+func TestFollowerStalledReadTimesOut(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 3)
+
+	proxy := &stallingProxy{leaderURL: ts.URL, release: make(chan struct{})}
+	pts := httptest.NewServer(proxy)
+	t.Cleanup(pts.Close)
+	// Registered after pts.Close so it runs first: Close waits for
+	// handlers, and the stalled one only returns once released.
+	t.Cleanup(func() { close(proxy.release) })
+
+	dir := t.TempDir()
+	cfg := testConfig(pts.URL, dir)
+	cfg.RequestTimeout = 200 * time.Millisecond
+	cfg.Logf = t.Logf
+	f, stop := runFollower(t, cfg)
+	waitCaughtUp(t, f, leader)
+	if st := f.Status(); st.Reconnects == 0 {
+		t.Errorf("stalled read did not count a reconnect: %+v", st)
+	}
+	stop()
+	assertPromotable(t, dir, leader)
+}
+
+func TestFollowerReadyz(t *testing.T) {
+	leader, ts := startLeader(t)
+	submitJobs(t, leader, "a", 2)
+
+	dir := t.TempDir()
+	cfg := testConfig(ts.URL, dir)
+	cfg.StaleAfter = 300 * time.Millisecond
+
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr.Code, rr.Body.Bytes()
+	}
+
+	// Never synced: not ready.
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before first sync = %d (%s), want 503", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	waitCaughtUp(t, f, leader)
+
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz while caught up = %d (%s), want 200", code, body)
+	}
+	var st Status
+	if code, body := get("/v1/replication/status"); code != http.StatusOK {
+		t.Errorf("status = %d", code)
+	} else if err := json.Unmarshal(body, &st); err != nil || st.LeaderURL != ts.URL {
+		t.Errorf("status body: %v (%s)", err, body)
+	}
+
+	// Link down: readiness must decay past StaleAfter so a balancer
+	// never promotes a stale standby.
+	cancel()
+	<-done
+	time.Sleep(cfg.StaleAfter + 100*time.Millisecond)
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readyz with dead link = %d, want 503", code)
+	}
+	var rd readiness
+	if err := json.Unmarshal(body, &rd); err != nil || rd.Ready {
+		t.Errorf("readyz body: %v (%s)", err, body)
+	}
+	f.Close()
+}

@@ -1,0 +1,162 @@
+// Package retry is the shared reconnect/backoff policy of the
+// long-lived subsystems: exponential backoff with multiplicative
+// growth, a hard cap, proportional jitter (so a fleet of followers
+// that lost the same leader does not reconnect in lockstep), and
+// context-aware sleeping. The replication follower uses it for its
+// reconnect loop; anything else that needs "try again, politely" —
+// future peers, coordinators, outbound webhooks — should reuse it
+// rather than open-coding the loop.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one backoff schedule. The zero value is usable and
+// selects the defaults documented on each field.
+type Policy struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay (default 30s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized around it: a
+	// delay d becomes d·(1−Jitter) + u·2·Jitter·d for u ∈ [0,1).
+	// Default 0.2; set negative for none.
+	Jitter float64
+	// MaxAttempts bounds Do: after this many failed attempts Do gives
+	// up and returns the last error (default 0 = retry forever, until
+	// the context ends or the error is Permanent).
+	MaxAttempts int
+}
+
+// fill resolves defaults without mutating the receiver's zero-ness for
+// callers that share a Policy value.
+func (p Policy) fill() Policy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 30 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// DelayAt returns the backoff before retry attempt (1-based) with the
+// jitter position fixed by unit ∈ [0,1): unit 0.5 is the unjittered
+// midpoint. Deterministic — the testable core of Delay.
+func (p Policy) DelayAt(attempt int, unit float64) time.Duration {
+	p = p.fill()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		if unit < 0 {
+			unit = 0
+		} else if unit >= 1 {
+			unit = 1
+		}
+		d = d * (1 - p.Jitter + 2*p.Jitter*unit)
+		if d > float64(p.Max) {
+			d = float64(p.Max)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Delay returns the jittered backoff before retry attempt (1-based).
+func (p Policy) Delay(attempt int) time.Duration {
+	return p.DelayAt(attempt, rand.Float64())
+}
+
+// Sleep blocks for Delay(attempt) or until ctx ends, whichever comes
+// first, returning ctx.Err() in the latter case — the context-aware
+// deadline half of the policy.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// permanentError marks an error Do must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops retrying and returns it (unwrapped
+// by errors.Is/As as usual). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs op until it succeeds, retrying failures under the policy's
+// backoff. It stops — returning the last error — when op returns a
+// Permanent error, when ctx ends (the context error joins the chain),
+// or after MaxAttempts failures. op receives the same ctx it should
+// thread into its own requests.
+func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	p = p.fill()
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return err
+		}
+		if serr := p.Sleep(ctx, attempt); serr != nil {
+			return errors.Join(serr, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsExponentiallyToCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Multiplier: 2, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+	}
+	for i, w := range want {
+		if got := p.DelayAt(i+1, 0.5); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempt < 1 clamps to the first delay.
+	if got := p.DelayAt(0, 0.5); got != want[0] {
+		t.Errorf("attempt 0: %v, want %v", got, want[0])
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Hour, Jitter: 0.25}
+	lo := p.DelayAt(1, 0) // 1s · 0.75
+	hi := p.DelayAt(1, 1) // 1s · 1.25
+	if lo != 750*time.Millisecond || hi != 1250*time.Millisecond {
+		t.Errorf("jitter bounds: [%v, %v], want [750ms, 1.25s]", lo, hi)
+	}
+	// The jittered delay never exceeds Max.
+	pc := Policy{Base: time.Second, Max: time.Second, Jitter: 0.5}
+	if got := pc.DelayAt(3, 1); got > time.Second {
+		t.Errorf("jitter broke the cap: %v", got)
+	}
+	// Out-of-range units clamp instead of extrapolating.
+	if got := p.DelayAt(1, 2); got != hi {
+		t.Errorf("unit 2 clamp: %v, want %v", got, hi)
+	}
+	if got := p.DelayAt(1, -1); got != lo {
+		t.Errorf("unit -1 clamp: %v, want %v", got, lo)
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	var p Policy
+	if got := p.DelayAt(1, 0.5); got != 100*time.Millisecond {
+		t.Errorf("default base: %v", got)
+	}
+	// Default cap is 30s at the unjittered midpoint.
+	if got := p.DelayAt(30, 0.5); got != 30*time.Second {
+		t.Errorf("default cap: %v", got)
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	err := p.Sleep(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep: %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep ignored the cancelled context")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Jitter: -1}
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("Do: err=%v calls=%d, want sentinel after 1 call", err, calls)
+	}
+	if IsPermanent(err) {
+		t.Error("Do leaked the permanent wrapper")
+	}
+	if !IsPermanent(Permanent(sentinel)) {
+		t.Error("IsPermanent missed a wrapped error")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestDoHonorsMaxAttempts(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Jitter: -1, MaxAttempts: 4}
+	sentinel := errors.New("still down")
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Fatalf("Do: err=%v calls=%d, want sentinel after 4 calls", err, calls)
+	}
+}
+
+func TestDoStopsWhenContextEnds(t *testing.T) {
+	p := Policy{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("down")
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, func(context.Context) error { return sentinel })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, sentinel) {
+			t.Fatalf("Do: %v, want Canceled joined with the op error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do kept sleeping past cancellation")
+	}
+	// A dead context short-circuits before the first attempt.
+	calls := 0
+	if err := Do(ctx, p, func(context.Context) error { calls++; return nil }); !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("dead-context Do: err=%v calls=%d", err, calls)
+	}
+}

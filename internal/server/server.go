@@ -20,6 +20,10 @@
 //	GET    /healthz             liveness (always 200 while serving)
 //	GET    /readyz              readiness (503 once draining)
 //	GET    /debug/vars          expvar, including pipeline stage metrics
+//
+// Persistent servers (DataDir set) additionally serve the replication
+// leader endpoints — /v1/replication/{stream,snapshot,status} — so warm
+// standbys can mirror the write-ahead log; see internal/replicate.
 package server
 
 import (
@@ -29,13 +33,17 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strings"
+	"syscall"
 	"time"
 
 	"normalize"
 	"normalize/internal/export"
 	"normalize/internal/guard"
 	"normalize/internal/jobstore"
+	"normalize/internal/replicate"
 )
 
 // Config bounds the server's resources; zero values select defaults.
@@ -145,6 +153,18 @@ func New(cfg Config) (*Server, error) {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.store != nil {
+		// A persistent server is automatically a replication leader:
+		// warm standbys stream its WAL through these endpoints.
+		leader := replicate.NewLeader(s.store, cfg.Logf)
+		leader.Register(mux)
+		if cfg.MetricsName != "-" {
+			name := cfg.MetricsName + "_replication"
+			if expvar.Get(name) == nil {
+				expvar.Publish(name, leader.Vars())
+			}
+		}
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -552,7 +572,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		events, done := sub.poll()
 		for _, e := range events {
-			writeSSE(w, e)
+			if err := writeSSE(w, e); err != nil {
+				s.logEventStreamEnd(j.ID, err)
+				return
+			}
 		}
 		if len(events) > 0 || done {
 			flusher.Flush()
@@ -563,7 +586,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-sub.wake:
 		case <-keepalive.C:
-			io.WriteString(w, ": keepalive\n\n")
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				s.logEventStreamEnd(j.ID, err)
+				return
+			}
 			flusher.Flush()
 		case <-r.Context().Done():
 			return
@@ -571,9 +597,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// logEventStreamEnd classifies a failed SSE write. A consumer closing
+// its event stream mid-job — Ctrl-C on a curl, a browser tab closing —
+// is normal operation, not a job failure, and must not read like one
+// in the logs.
+func (s *Server) logEventStreamEnd(id string, err error) {
+	if isClientDisconnect(err) {
+		s.logf("server: events %s: client disconnected", id)
+		return
+	}
+	s.logf("server: events %s: write failed: %v", id, err)
+}
+
+// isClientDisconnect reports whether err is the far end going away
+// rather than a server-side fault. The string fallbacks cover wrapped
+// net.OpErrors whose cause does not survive errors.Is across platforms.
+func isClientDisconnect(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, http.ErrHandlerTimeout) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "broken pipe") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "client disconnected")
+}
+
 // writeSSE renders one event in SSE wire format.
-func writeSSE(w io.Writer, e event) {
-	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
+func writeSSE(w io.Writer, e event) error {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Type, e.Data)
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
