@@ -31,11 +31,12 @@ bench-baseline:
 
 # bench-pipeline snapshots the discovery/normalization hot paths —
 # streaming ingest, validation worker counts, shared-substrate reuse,
-# and the end-to-end pipeline — into a machine-readable baseline. The
-# worker-count series only spreads on multi-core hosts; the substrate
-# and allocation wins show everywhere.
+# the end-to-end pipeline, and the incremental delta append (full
+# re-run vs delta revalidation, with candidates/op counters) — into a
+# machine-readable baseline. The worker-count series only spreads on
+# multi-core hosts; the substrate and allocation wins show everywhere.
 bench-pipeline:
-	$(GO) test -run '^$$' -bench 'Ingest|HyFDWorkers|HyFDSubstrate|NormalizeWorkers|Figure3TPCH' \
+	$(GO) test -run '^$$' -bench 'Ingest|HyFDWorkers|HyFDSubstrate|NormalizeWorkers|Figure3TPCH|DeltaAppend' \
 		-benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
 		. | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"

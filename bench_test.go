@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"normalize/internal/bitset"
 	"normalize/internal/closure"
 	"normalize/internal/core"
 	"normalize/internal/datagen"
+	"normalize/internal/delta"
 	"normalize/internal/discovery/dfd"
 	"normalize/internal/discovery/hyfd"
 	"normalize/internal/discovery/tane"
@@ -27,6 +29,7 @@ import (
 	"normalize/internal/eval"
 	"normalize/internal/fd"
 	"normalize/internal/keys"
+	"normalize/internal/observe"
 	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/scoring"
@@ -525,4 +528,62 @@ func BenchmarkIngest(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Incremental delta normalization ----------------------------------
+
+// counterObserver sums one named counter across all stages.
+type counterObserver struct {
+	name  string
+	total int64
+}
+
+func (c *counterObserver) StageStart(observe.Stage)                 {}
+func (c *counterObserver) StageFinish(observe.Stage, time.Duration) {}
+func (c *counterObserver) Counter(_ observe.Stage, name string, delta int64) {
+	if name == c.name {
+		c.total += delta
+	}
+}
+
+// BenchmarkDeltaAppend pits the incremental delta path against a full
+// re-run for a 1% append to the TPC-H universal relation — the delta
+// plane's headline scenario. Both series report their candidate
+// validations per op (candidates/op), so the JSON baseline records the
+// wall-time ratio AND the work ratio the counters prove.
+func BenchmarkDeltaAppend(b *testing.B) {
+	full := mustDS(b)(datagen.TPCH(0.001, 1)).Denormalized
+	rows := full.Rows()
+	cut := len(rows) - len(rows)/100 // last 1% of rows are the delta
+	base := relation.MustNew(full.Name, full.Attrs, rows[:cut])
+	opts := core.Options{MaxLhs: 3, Workers: 1}
+
+	parent, err := core.NormalizeRelation(base, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("full", func(b *testing.B) {
+		obs := &counterObserver{name: observe.CounterCandidatesChecked}
+		o := opts
+		o.Observer = obs
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NormalizeRelation(full, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(obs.total)/float64(b.N), "candidates/op")
+	})
+	b.Run("delta", func(b *testing.B) {
+		obs := &counterObserver{name: observe.CounterDeltaFDsChecked}
+		o := opts
+		o.Observer = obs
+		cfg := delta.Config{Options: o}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := delta.Normalize(context.Background(), base, rows[cut:], parent, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(obs.total)/float64(b.N), "candidates/op")
+	})
 }

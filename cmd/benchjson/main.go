@@ -29,6 +29,10 @@ type benchmark struct {
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "candidates/op")
+	// keyed by unit name, so counters benchmarks publish survive into
+	// the baseline.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
@@ -64,6 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	stripProcsSuffix(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -72,9 +77,44 @@ func main() {
 	}
 }
 
+// stripProcsSuffix removes the GOMAXPROCS suffix go test appends to
+// every benchmark name (Benchmark…-8). The suffix cannot be told apart
+// from a trailing number the benchmark itself encodes (workers-4) on a
+// per-line basis: go omits it entirely when GOMAXPROCS is 1, so eagerly
+// stripping the last "-N" would eat the workers count on a single-core
+// host and collapse a whole workers-{1,2,4} series onto one name. But
+// within one run the suffix is the SAME on every line — so strip only
+// when all names carry an identical trailing number. (A -cpu list run
+// mixes suffixes; those names are left intact, which is lossless.)
+func stripProcsSuffix(benchmarks []benchmark) {
+	if len(benchmarks) == 0 {
+		return
+	}
+	common := -1
+	for _, b := range benchmarks {
+		i := strings.LastIndex(b.Name, "-")
+		if i <= 0 {
+			return
+		}
+		procs, err := strconv.Atoi(b.Name[i+1:])
+		if err != nil || (common >= 0 && procs != common) {
+			return
+		}
+		common = procs
+	}
+	for i := range benchmarks {
+		b := &benchmarks[i]
+		b.Name = b.Name[:strings.LastIndex(b.Name, "-")]
+		b.Procs = common
+	}
+}
+
 // parseBenchLine parses one result line, e.g.
 //
 //	BenchmarkBusPublish-8   1971642   608.5 ns/op   392 B/op   5 allocs/op
+//
+// The name is kept verbatim; the procs suffix is resolved afterwards
+// across the whole run by stripProcsSuffix.
 func parseBenchLine(line string) (benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 3 {
@@ -82,11 +122,6 @@ func parseBenchLine(line string) (benchmark, bool) {
 	}
 	var b benchmark
 	b.Name = fields[0]
-	if i := strings.LastIndex(b.Name, "-"); i > 0 {
-		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
-			b.Name, b.Procs = b.Name[:i], procs
-		}
-	}
 	runs, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return benchmark{}, false
@@ -109,6 +144,11 @@ func parseBenchLine(line string) (benchmark, bool) {
 			b.AllocsPerOp = &n
 		case "MB/s":
 			b.MBPerSec = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
 		}
 	}
 	return b, b.NsPerOp > 0

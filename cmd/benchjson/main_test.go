@@ -7,7 +7,9 @@ func TestParseBenchLine(t *testing.T) {
 	if !ok {
 		t.Fatal("line not parsed")
 	}
-	if b.Name != "BenchmarkBusPublish" || b.Procs != 8 || b.Runs != 1971642 {
+	// Names stay verbatim at parse time; the procs suffix is resolved
+	// run-wide by stripProcsSuffix.
+	if b.Name != "BenchmarkBusPublish-8" || b.Procs != 0 || b.Runs != 1971642 {
 		t.Errorf("header fields = %+v", b)
 	}
 	if b.NsPerOp != 608.5 || b.BytesPerOp == nil || *b.BytesPerOp != 392 ||
@@ -24,7 +26,51 @@ func TestParseBenchLine(t *testing.T) {
 
 	// Throughput variant without -benchmem.
 	b, ok = parseBenchLine("BenchmarkCSV 500 25000 ns/op 120.00 MB/s")
-	if !ok || b.Procs != 0 || b.MBPerSec != 120 || b.BytesPerOp != nil {
+	if !ok || b.MBPerSec != 120 || b.BytesPerOp != nil {
 		t.Errorf("throughput line = %+v ok=%v", b, ok)
+	}
+
+	// Custom ReportMetric units land in the Metrics map.
+	b, ok = parseBenchLine("BenchmarkDeltaAppend/delta 1 295364186 ns/op 2527 candidates/op")
+	if !ok || b.Metrics["candidates/op"] != 2527 {
+		t.Errorf("custom metric line = %+v ok=%v", b, ok)
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	// Uniform GOMAXPROCS suffix: stripped into Procs, even when a
+	// sub-benchmark encodes its own trailing number.
+	bs := []benchmark{
+		{Name: "BenchmarkA-8"},
+		{Name: "BenchmarkHyFDWorkers/workers-4-8"},
+		{Name: "BenchmarkHyFDWorkers/workers-2-8"},
+	}
+	stripProcsSuffix(bs)
+	if bs[0].Name != "BenchmarkA" || bs[0].Procs != 8 {
+		t.Errorf("plain name: %+v", bs[0])
+	}
+	if bs[1].Name != "BenchmarkHyFDWorkers/workers-4" || bs[1].Procs != 8 {
+		t.Errorf("workers name: %+v", bs[1])
+	}
+
+	// GOMAXPROCS=1 host: go appends no suffix, so the workers-N series
+	// must keep its numbers — the trailing values differ across lines.
+	bs = []benchmark{
+		{Name: "BenchmarkHyFDWorkers/workers-1"},
+		{Name: "BenchmarkHyFDWorkers/workers-2"},
+		{Name: "BenchmarkHyFDWorkers/workers-4"},
+	}
+	stripProcsSuffix(bs)
+	for i, want := range []string{"workers-1", "workers-2", "workers-4"} {
+		if bs[i].Name != "BenchmarkHyFDWorkers/"+want || bs[i].Procs != 0 {
+			t.Errorf("single-core series[%d] = %+v", i, bs[i])
+		}
+	}
+
+	// A non-numeric tail anywhere disables stripping for the whole run.
+	bs = []benchmark{{Name: "BenchmarkA-8"}, {Name: "BenchmarkB/own"}}
+	stripProcsSuffix(bs)
+	if bs[0].Name != "BenchmarkA-8" || bs[0].Procs != 0 {
+		t.Errorf("mixed run stripped anyway: %+v", bs[0])
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -93,11 +94,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxFDs := fs.Int("max-fds", 0, "cap the FD candidates discovery may retain (0 = unlimited)")
 	maxMemory := fs.Int64("max-memory", 0, "approximate memory ceiling in bytes for retained state (0 = unlimited)")
 	lenient := fs.Bool("lenient", false, "skip malformed CSV rows instead of aborting")
+	saveResult := fs.String("save-result", "", "write the full machine-readable result (schema, FD cover, scoring facts) to this file for later -append-to runs")
+	appendTo := fs.String("append-to", "", "incremental append: re-normalize base.csv plus delta.csv reusing the prior result saved at this path")
 	if err := fs.Parse(args); err != nil {
 		return exitFatal
 	}
 	if fs.NArg() == 0 {
 		return fail("usage: normalize [flags] file.csv...")
+	}
+	if *appendTo != "" {
+		// The incremental path replays the saved run's FD cover against
+		// only the appended rows; anything that would change what the
+		// parent cover means — a different discovery algorithm, lenient
+		// row-dropping, budget-driven resampling — voids the guarantee,
+		// so fail fast rather than let the run reject it later.
+		switch {
+		case fs.NArg() != 2:
+			return fail("usage: normalize -append-to result.bin [flags] base.csv delta.csv")
+		case *algo != "hyfd":
+			return fail("-append-to requires -algo hyfd (the saved cover seeds incremental validation)")
+		case *lenient:
+			return fail("-append-to cannot combine with -lenient")
+		case *interactive:
+			return fail("-append-to cannot combine with -interactive")
+		case *maxRows != 0 || *maxFDs != 0 || *maxMemory != 0:
+			return fail("-append-to cannot combine with resource budgets")
+		}
 	}
 
 	rec := normalize.NewRecordingObserver()
@@ -149,8 +171,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxMemoryBytes: *maxMemory,
 		Observer:       observer,
 	}
+	inputs := fs.Args()
+	if *appendTo != "" {
+		inputs = inputs[:1] // the delta file is parsed below, not pipeline-ingested
+	}
 	var rels []*normalize.Relation
-	for _, path := range fs.Args() {
+	for _, path := range inputs {
 		rel, skipped, err := normalize.IngestCSVFile(ctx, path, iopts)
 		for _, re := range skipped {
 			fmt.Fprintf(stderr, "normalize: %s: skipped %v\n", path, re)
@@ -167,7 +193,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		rels = append(rels, rel)
 	}
 
-	res, err := normalize.NormalizeAllContext(ctx, rels, opts)
+	var res *normalize.Result
+	var dstats *normalize.DeltaStats
+	if *appendTo != "" {
+		data, rerr := os.ReadFile(*appendTo)
+		if rerr != nil {
+			return fail("%v", rerr)
+		}
+		parent, rerr := normalize.DecodeResult(data)
+		if rerr != nil {
+			return fail("decode %s: %v", *appendTo, rerr)
+		}
+		deltaRel, rerr := normalize.ReadCSVFile(fs.Arg(1))
+		if rerr != nil {
+			return fail("read %s: %v", fs.Arg(1), rerr)
+		}
+		base := rels[0]
+		if !slices.Equal(deltaRel.Attrs, base.Attrs) {
+			return fail("%s header %v does not match base attributes %v",
+				fs.Arg(1), deltaRel.Attrs, base.Attrs)
+		}
+		res, dstats, err = normalize.NormalizeDelta(ctx, base, deltaRel.Rows(), parent,
+			normalize.DeltaConfig{Options: opts})
+	} else {
+		res, err = normalize.NormalizeAllContext(ctx, rels, opts)
+	}
 	partial := false
 	if err != nil {
 		var pe *normalize.PartialError
@@ -195,6 +245,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "-- %d input relation(s), %d FDs discovered in %v, %d decompositions\n",
 		len(rels), res.Stats.NumFDs, res.Stats.Discovery.Round(1e6), res.Stats.Decompositions)
+	if dstats != nil {
+		fmt.Fprintf(stdout, "-- delta: %d appended row(s); cover FDs %d reused, %d demoted, %d candidates validated",
+			dstats.DeltaRows, dstats.Reused, dstats.Demoted, dstats.Checked)
+		if dstats.FellBack {
+			fmt.Fprint(stdout, "; fell back to full re-discovery")
+		}
+		fmt.Fprintln(stdout)
+	}
 	for _, t := range res.Tables {
 		fmt.Fprintf(stdout, "-- %s (%d rows)\n", t, t.Data.NumRows())
 	}
@@ -240,6 +298,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "-- wrote schema.sql and %d CSV files to %s\n", len(res.Tables), *out)
+	}
+
+	if *saveResult != "" {
+		// The saved form carries everything a later -append-to run seeds
+		// from: schema, FD cover, and the scoring facts. A partial run is
+		// saved too but rejected as an append parent (its cover is not a
+		// complete hypothesis).
+		data, err := normalize.EncodeResult(res)
+		if err != nil {
+			return fail("encode result: %v", err)
+		}
+		if err := os.WriteFile(*saveResult, data, 0o644); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "-- wrote result (%d bytes) to %s\n", len(data), *saveResult)
 	}
 
 	if *telemetry {

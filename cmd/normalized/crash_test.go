@@ -133,6 +133,8 @@ func (c *child) api(method, path, body string, out any) int {
 type status struct {
 	ID      string `json:"id"`
 	State   string `json:"state"`
+	Key     string `json:"key"`
+	Parent  string `json:"parent"`
 	Cached  bool   `json:"cached"`
 	Error   string `json:"error"`
 	Tables  int    `json:"tables"`

@@ -1,0 +1,170 @@
+package main
+
+// Mid-delta crash harness: SIGKILL the server while an incremental
+// append job is running, restart on the same -data-dir, and require
+// the delta job to re-run exactly once, converge to the same result a
+// from-scratch run produces, and leave its lineage edge in the job
+// store — the delta plane inherits the full durability contract of
+// crash_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"normalize/internal/jobstore"
+)
+
+// wideCSV builds a random 16-column instance whose FD discovery takes
+// a couple of seconds — wide enough that a fallback re-discovery is
+// reliably mid-run at the kill.
+func wideCSV(rows int) (string, []string) {
+	rng := rand.New(rand.NewSource(7))
+	cols := make([]string, 16)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	rowVals := make([][]string, rows)
+	for r := 0; r < rows; r++ {
+		vals := make([]string, len(cols))
+		for c := range vals {
+			vals[c] = fmt.Sprintf("%d", rng.Intn(8))
+		}
+		rowVals[r] = vals
+		b.WriteString(strings.Join(vals, ","))
+		b.WriteByte('\n')
+	}
+	return b.String(), cols
+}
+
+// violentDelta clones one base row per column with that column bumped
+// to a fresh value: each clone forms an agreeing pair refuting every
+// cover FD with that column on the right-hand side, so the demotion
+// fraction blows past the fallback threshold and the delta job re-runs
+// full discovery on the combined instance — a seconds-long window to
+// kill into.
+func violentDelta(base string, cols []string) string {
+	lines := strings.Split(strings.TrimSpace(base), "\n")
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	for j := range cols {
+		vals := strings.Split(lines[1+j], ",")
+		vals[j] = "9" // outside the base domain 0..7: guaranteed conflict
+		b.WriteString(strings.Join(vals, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func deltaJob(csv, parent string) string {
+	b, _ := json.Marshal(csv)
+	p, _ := json.Marshal(parent)
+	return fmt.Sprintf(`{"name":"wide","csv":%s,"parent":%s,"options":{}}`, b, p)
+}
+
+func TestCrashRecoveryMidDeltaJobRerunsWithLineage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process crash test")
+	}
+	dir := t.TempDir()
+	c1 := startChild(t, dir, "-workers", "1")
+
+	base, cols := wideCSV(700)
+	var parent status
+	if code := c1.api("POST", "/v1/jobs", csvJob("wide", base), &parent); code != http.StatusAccepted {
+		t.Fatalf("submit parent: %d", code)
+	}
+	parent = c1.waitTerminal(parent.ID)
+	if parent.State != "done" || parent.Key == "" {
+		t.Fatalf("parent: state=%s key=%q", parent.State, parent.Key)
+	}
+
+	delta := violentDelta(base, cols)
+	var dj status
+	if code := c1.api("POST", "/v1/jobs", deltaJob(delta, parent.ID), &dj); code != http.StatusAccepted {
+		t.Fatalf("submit delta: %d", code)
+	}
+	c1.waitRunning(dj.ID)
+	time.Sleep(150 * time.Millisecond) // into the fallback re-discovery
+	c1.kill()                          // SIGKILL mid-delta-job
+
+	c2 := startChild(t, dir, "-workers", "1")
+	var jobs []status
+	if code := c2.api("GET", "/v1/jobs", "", &jobs); code != http.StatusOK {
+		t.Fatal("list failed")
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("restart lost or duplicated jobs: %+v", jobs)
+	}
+	st := c2.waitTerminal(dj.ID)
+	if st.State != "done" {
+		t.Fatalf("delta re-run finished %s (%s), want done", st.State, st.Error)
+	}
+	if st.Parent != parent.Key {
+		t.Errorf("restored delta parent key = %q, want %q", st.Parent, parent.Key)
+	}
+
+	// Differential check across the crash: the replayed delta result
+	// matches a from-scratch run on the concatenated input.
+	var deltaRes struct {
+		DDL string `json:"ddl"`
+	}
+	if code := c2.api("GET", "/v1/jobs/"+dj.ID+"/result", "", &deltaRes); code != http.StatusOK {
+		t.Fatalf("delta result: %d", code)
+	}
+	_, deltaRows, _ := strings.Cut(delta, "\n")
+	var scratch status
+	if code := c2.api("POST", "/v1/jobs", csvJob("wide", base+deltaRows), &scratch); code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit scratch: %d", code)
+	}
+	c2.waitTerminal(scratch.ID)
+	var scratchRes struct {
+		DDL string `json:"ddl"`
+	}
+	c2.api("GET", "/v1/jobs/"+scratch.ID+"/result", "", &scratchRes)
+	if deltaRes.DDL == "" || deltaRes.DDL != scratchRes.DDL {
+		t.Error("replayed delta DDL differs from from-scratch DDL")
+	}
+
+	// Still exactly one delta job (plus parent and the scratch run): the
+	// replay reused the identity, no clone.
+	c2.api("GET", "/v1/jobs", "", &jobs)
+	if len(jobs) != 3 {
+		t.Errorf("job count after replay = %d, want 3", len(jobs))
+	}
+	deltaKey := st.Key
+	c2.kill()
+
+	// The lineage edge survived the crash and the replay wrote it
+	// exactly once: (parent key, delta hash) → child key, owned by the
+	// original job ID.
+	store, rep, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if len(rep.Damage) > 1 { // at most the torn tail from the SIGKILL
+		t.Errorf("recovery damage: %v", rep.Damage)
+	}
+	edge, ok := store.LookupLineage(deltaKey)
+	if !ok || edge.Parent != parent.Key || edge.JobID != dj.ID {
+		t.Fatalf("lineage edge = %+v, %v; want parent %.12s… job %s", edge, ok, parent.Key, dj.ID)
+	}
+	count := 0
+	for _, e := range store.Lineage() {
+		if e.Child == deltaKey {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("lineage edge recorded %d times, want once", count)
+	}
+}

@@ -1,0 +1,100 @@
+package normalize_test
+
+// FuzzDeltaDifferential pins the delta plane's core guarantee on
+// arbitrary inputs: normalizing a base instance and then appending the
+// remaining rows incrementally must produce byte-identical DDL — and
+// an identical FD cover — to one from-scratch run over the whole
+// instance, at both serial and parallel worker counts. The fuzzer owns
+// the shape: raw bytes become a small relation, a split point divides
+// it into base and delta, and the two paths race.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"normalize"
+	"normalize/internal/relation"
+)
+
+// fuzzGrid derives a relation from raw fuzz bytes: 2–5 attributes,
+// small value domains (low cardinality forces non-trivial FDs), up to
+// 40 rows.
+func fuzzGrid(data []byte) *relation.Relation {
+	if len(data) < 4 {
+		return nil
+	}
+	attrs := 2 + int(data[0])%4
+	card := 2 + int(data[1])%3
+	vals := data[2:]
+	rows := len(vals) / attrs
+	if rows < 2 {
+		return nil
+	}
+	if rows > 40 {
+		rows = 40
+	}
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	grid := make([][]string, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]string, attrs)
+		for c := range row {
+			row[c] = fmt.Sprintf("v%d", int(vals[r*attrs+c])%card)
+		}
+		grid[r] = row
+	}
+	return relation.MustNew("fuzz", names, grid)
+}
+
+func FuzzDeltaDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), false)
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 0, 1, 2, 0}, uint8(1), true)
+	f.Add([]byte{3, 2, 9, 9, 9, 9, 9, 9, 0, 1, 0, 1, 0, 1, 5, 5, 5, 5, 8, 8}, uint8(7), false)
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(3), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, split uint8, parallel bool) {
+		rel := fuzzGrid(data)
+		if rel == nil {
+			t.Skip("not enough bytes for a grid")
+		}
+		rows := rel.Rows()
+		cut := 1 + int(split)%(len(rows)-1) // ≥1 base row, possibly empty delta
+		base := relation.MustNew("fuzz", rel.Attrs, rows[:cut])
+		opts := normalize.Options{Workers: 1}
+		if parallel {
+			opts.Workers = 4
+		}
+
+		ctx := context.Background()
+		full, err := normalize.NormalizeContext(ctx, rel, opts)
+		if err != nil {
+			t.Fatalf("full run: %v", err)
+		}
+		parent, err := normalize.NormalizeContext(ctx, base, opts)
+		if err != nil {
+			t.Fatalf("parent run: %v", err)
+		}
+		res, stats, err := normalize.NormalizeDelta(ctx, base, rows[cut:], parent,
+			normalize.DeltaConfig{Options: opts})
+		if err != nil {
+			t.Fatalf("delta run: %v", err)
+		}
+
+		if got, want := normalize.DDL(res.Tables), normalize.DDL(full.Tables); got != want {
+			t.Errorf("delta DDL diverges from from-scratch (rows=%d cut=%d workers=%d fellback=%t):\n--- delta ---\n%s--- full ---\n%s",
+				len(rows), cut, opts.Workers, stats.FellBack, got, want)
+		}
+		switch {
+		case (res.Cover == nil) != (full.Cover == nil):
+			t.Errorf("cover presence diverges: delta=%v full=%v", res.Cover != nil, full.Cover != nil)
+		case res.Cover != nil && !res.Cover.Equal(full.Cover):
+			t.Errorf("delta cover diverges from from-scratch cover")
+		}
+		if stats.Demoted < 0 || stats.Checked < 0 || stats.Reused < 0 {
+			t.Errorf("negative stats: %+v", stats)
+		}
+	})
+}

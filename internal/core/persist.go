@@ -18,12 +18,19 @@ import (
 	"normalize/internal/relation"
 )
 
-// resultWire is the serialized form of a Result.
+// resultWire is the serialized form of a Result. Cover and ScoreMemo
+// ride along for the delta plane (absent on results of older runs —
+// both fields are optional and delta-normalization simply refuses
+// parents without them); the version stays 1 because decoders ignore
+// unknown fields and old payloads decode into nil fields.
 type resultWire struct {
 	Version      int               `json:"version"`
 	Tables       []tableWire       `json:"tables"`
 	Stats        statsWire         `json:"stats"`
 	Degradations []degradationWire `json:"degradations,omitempty"`
+	Cover        []fdWire          `json:"cover,omitempty"`
+	CoverAttrs   int               `json:"cover_attrs,omitempty"`
+	ScoreMemo    *ScoreMemo        `json:"score_memo,omitempty"`
 }
 
 // tableWire flattens one Table, including the unexported universal
@@ -107,6 +114,13 @@ func EncodeResult(res *Result) ([]byte, error) {
 			Stage: string(d.Stage), Budget: d.Budget, Action: d.Action, Detail: d.Detail,
 		})
 	}
+	if res.Cover != nil {
+		w.CoverAttrs = res.Cover.NumAttrs
+		for _, f := range res.Cover.FDs {
+			w.Cover = append(w.Cover, fdWire{Lhs: f.Lhs.Elements(), Rhs: f.Rhs.Elements()})
+		}
+	}
+	w.ScoreMemo = res.ScoreMemo
 	for _, t := range res.Tables {
 		tw, err := encodeTable(t)
 		if err != nil {
@@ -189,6 +203,16 @@ func DecodeResult(data []byte) (*Result, error) {
 		}
 		res.Tables = append(res.Tables, t)
 	}
+	if w.CoverAttrs > 0 {
+		res.Cover = fd.NewSet(w.CoverAttrs)
+		for _, f := range w.Cover {
+			res.Cover.FDs = append(res.Cover.FDs, &fd.FD{
+				Lhs: bitset.Of(w.CoverAttrs, f.Lhs...),
+				Rhs: bitset.Of(w.CoverAttrs, f.Rhs...),
+			})
+		}
+	}
+	res.ScoreMemo = w.ScoreMemo
 	return res, nil
 }
 

@@ -77,6 +77,14 @@ type Options struct {
 	// Observer receives stage start/finish events and work counters
 	// from every pipeline component; nil means no instrumentation.
 	Observer observe.Observer
+	// ScoreSeed pre-fills the run's exact scoring facts (distinct counts
+	// and max value lengths per attribute set, universal index space).
+	// The delta plane maintains a parent run's ScoreMemo incrementally
+	// over the appended rows and seeds it here, so candidate selection
+	// skips re-measuring facts the parent already knows. Seeded values
+	// must be exact for the run's (deduplicated) input instance; the run
+	// computes any missing set itself.
+	ScoreSeed *ScoreMemo
 }
 
 // Stats reports the measurements the paper's evaluation tracks
@@ -112,6 +120,15 @@ type Result struct {
 	// error) with degradations; a run that stopped early additionally
 	// returns a *PartialError.
 	Degradations []Degradation
+	// Cover is the minimal FD cover as discovery produced it, before
+	// closure extension mutates right-hand sides. The delta plane seeds
+	// its re-validation tree from it; nil when the run stopped before
+	// discovery finished.
+	Cover *fd.Set
+	// ScoreMemo holds the exact scoring facts the run measured, for a
+	// later delta run to maintain incrementally (Options.ScoreSeed).
+	// Nil when the run stopped before candidate selection could begin.
+	ScoreMemo *ScoreMemo
 }
 
 // NormalizeRelation runs the full pipeline of Figure 1 on one relation
@@ -210,6 +227,9 @@ type run struct {
 	// bounds their concurrency to workers.
 	analyses map[*Table]*analysis
 	sem      chan struct{}
+	// scores memoizes the exact per-attribute-set facts behind candidate
+	// scoring, bound to the root instance after buildRoot.
+	scores *scoreIndex
 
 	// firstStageErr remembers the first tolerated stage crash so a run
 	// that continued past per-table panics still reports them.
@@ -324,12 +344,17 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 		return p.partial(observe.Discovery, err, p.buildRoot(rel, fd.NewSet(rel.NumAttrs())))
 	}
 
+	// Snapshot the minimal cover before closure extends its right-hand
+	// sides in place: the delta plane re-validates exactly this set.
+	res.Cover = fds.Clone()
+
 	// (2) Closure calculation.
 	if err := p.computeClosure(ctx, fds); err != nil {
 		return p.partial(observe.Closure, err, p.buildRoot(rel, fds))
 	}
 
 	root := p.buildRoot(rel, fds)
+	p.scores = newScoreIndex(root.Data, p.cache.Lookup(root.Data), p.opts.ScoreSeed)
 	usedNames := map[string]bool{root.Name: true}
 
 	// (3)–(6) loop: key derivation, violation detection, selection,
@@ -449,7 +474,7 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 		serr := runStage(observe.Selection, func() error {
 			obs.StageStart(observe.Selection)
 			start = time.Now()
-			ranked := rankViolatingFDs(t, viol)
+			ranked := p.rankViolatingFDs(t, viol)
 			obs.Counter(observe.Selection, observe.CounterCandidatesScored, int64(len(ranked)))
 			choice, pruneRhs := p.decider.ChooseViolatingFD(t, ranked)
 			obs.StageFinish(observe.Selection, time.Since(start))
@@ -548,6 +573,7 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 	}
 
 	p.flushCacheStats()
+	res.ScoreMemo = p.scores.memo()
 	if p.firstStageErr != nil {
 		return res, &PartialError{Stage: p.firstStageErr.Stage, Cause: p.firstStageErr}
 	}
@@ -826,6 +852,13 @@ func NormalizeRelationsContext(ctx context.Context, rels []*relation.Relation, o
 	for _, rel := range rels {
 		r, err := NormalizeRelationContext(ctx, rel, opts)
 		if r != nil {
+			// Cover and ScoreMemo are facts about ONE relation's instance;
+			// a multi-relation total has no single cover, so the delta-plane
+			// seed survives only the single-input case (exactly what an
+			// append can later extend).
+			if len(rels) == 1 {
+				total.Cover, total.ScoreMemo = r.Cover, r.ScoreMemo
+			}
 			total.Tables = append(total.Tables, r.Tables...)
 			total.Degradations = append(total.Degradations, r.Degradations...)
 			total.Stats.Attrs += r.Stats.Attrs
@@ -866,13 +899,18 @@ func foreignKeySets(t *Table) []*bitset.Set {
 	return out
 }
 
-// rankViolatingFDs scores the violating FDs (Section 7.2) on the
-// table's materialized instance and annotates shared RHS attributes.
-func rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
-	local := make([]*fd.FD, len(viol))
-	for i, v := range viol {
-		local[i] = t.localFD(v)
-	}
+// rankViolatingFDs scores the violating FDs (Section 7.2) and annotates
+// shared RHS attributes. Length and position features come from the
+// FD's layout in the table's local index space; the data-dependent
+// features — max LHS value length and distinct counts — come from the
+// run's exact score index, which memoizes them per universal attribute
+// set (they are projection-invariant, so the root-level facts are the
+// table-level facts). Exact counts replace the paper's Bloom sketch
+// here: the index pays one PLI intersection per distinct set instead of
+// one row scan per candidate, and exactness is what lets a delta run
+// (internal/delta) reproduce the scores without touching the base rows.
+func (p *run) rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
+	rows, numAttrs := t.Data.NumRows(), t.Data.NumAttrs()
 	ranked := make([]RankedFD, len(viol))
 	for i, v := range viol {
 		shared := bitset.New(v.Rhs.Size())
@@ -884,7 +922,7 @@ func rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
 		}
 		ranked[i] = RankedFD{
 			FD:        v,
-			Score:     scoring.FDScore(t.Data, local[i]),
+			Score:     scoring.FDScoreFromFacts(t.localFD(v), p.scores.facts(v.Lhs, v.Rhs, rows, numAttrs)),
 			SharedRhs: shared,
 		}
 	}

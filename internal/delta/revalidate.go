@@ -1,0 +1,404 @@
+package delta
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"normalize/internal/bitset"
+	"normalize/internal/discovery/hyfd"
+	"normalize/internal/fd"
+	"normalize/internal/guard"
+	"normalize/internal/pli"
+	"normalize/internal/plicache"
+	"normalize/internal/relation"
+)
+
+// revalidator re-runs HyFD's validate/induct loop with two changes:
+// the candidate tree is seeded with the parent cover instead of the
+// most general hypothesis (no sampling phase — the parent run already
+// did all of that work), and every candidate is checked only against
+// the partition clusters an appended row touches. Both are sound
+// because every candidate in the tree holds on the base rows: the
+// seeds were valid there, and a specialization's LHS is a superset of
+// a seed's, so a violating pair must involve an appended row — and any
+// two rows agreeing on the LHS share a pivot-attribute cluster, which
+// the appended member marks as touched.
+type revalidator struct {
+	ctx      context.Context
+	done     <-chan struct{}
+	enc      *relation.Encoded
+	n        int
+	maxLhs   int
+	workers  int
+	baseRows int
+	tree     *fd.Tree
+	plis     []*pli.PLI
+	inverted [][]int
+	ix       pli.Intersector
+
+	// seeds tracks the parent cover's surviving RHS attributes per LHS
+	// for the demotion/reuse accounting and the fallback decision.
+	seeds     map[string]*bitset.Set
+	seedCount int
+	demoted   int64
+	checked   atomic.Int64
+}
+
+// revalidate checks the parent cover against the appended rows and
+// returns the minimal cover of the combined instance, aggregated and
+// sorted exactly like hyfd.Discover. fellBack reports that demotions
+// exceeded frac of the cover and the caller should re-discover from
+// scratch instead of trusting the half-rebuilt tree.
+func revalidate(ctx context.Context, sub *plicache.Substrate, cover *fd.Set, baseRows, maxLhs, workers int, frac float64, stats *Stats) (_ *fd.Set, fellBack bool, _ error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	enc := sub.Encoded()
+	n := len(enc.Columns)
+	if maxLhs <= 0 || maxLhs > n {
+		maxLhs = n
+	}
+	d := &revalidator{
+		ctx:      ctx,
+		done:     ctx.Done(),
+		enc:      enc,
+		n:        n,
+		maxLhs:   maxLhs,
+		workers:  workers,
+		baseRows: baseRows,
+		tree:     fd.NewTree(n),
+		plis:     make([]*pli.PLI, n),
+		inverted: make([][]int, n),
+		seeds:    make(map[string]*bitset.Set, cover.Len()),
+	}
+	for a := 0; a < n; a++ {
+		if d.canceled() {
+			return nil, false, ctx.Err()
+		}
+		d.plis[a] = sub.PLI(a)
+		d.inverted[a] = sub.Inverted(a)
+	}
+	for _, f := range cover.FDs {
+		d.tree.AddSet(f.Lhs, f.Rhs)
+		d.seeds[f.Lhs.Key()] = f.Rhs.Clone()
+		d.seedCount += f.Rhs.Cardinality()
+	}
+
+	if err := d.sweep(frac, &fellBack); err != nil {
+		return nil, false, err
+	}
+	if fellBack {
+		return nil, true, nil
+	}
+	stats.Checked += d.checked.Load()
+	stats.Demoted += d.demoted
+	for _, sv := range d.seeds {
+		stats.Reused += int64(sv.Cardinality())
+	}
+	return hyfd.Minimize(d.tree.ToSet()).Aggregate().Sort(), false, nil
+}
+
+func (d *revalidator) canceled() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// sweep is hyfd's level-wise validation without the sampling phases:
+// violations specialize upward, so the loop terminates at maxLhs or
+// the deepest level the re-specialization reaches.
+func (d *revalidator) sweep(frac float64, fellBack *bool) error {
+	budget := int64(-1)
+	if frac >= 0 {
+		budget = int64(frac * float64(d.seedCount))
+	}
+	for level := 0; level <= d.tree.MaxLevel() && level <= d.maxLhs; level++ {
+		if d.canceled() {
+			return d.ctx.Err()
+		}
+		var cands []candidate
+		d.tree.Level(level, func(lhs, rhs *bitset.Set) {
+			cands = append(cands, candidate{lhs: lhs, rhs: rhs})
+		})
+		if len(cands) == 0 {
+			continue
+		}
+		verdicts, err := d.check(cands)
+		if err != nil {
+			return err
+		}
+		if d.canceled() {
+			return d.ctx.Err()
+		}
+		for _, v := range verdicts {
+			if v.invalid == nil {
+				continue
+			}
+			for _, p := range v.pairs {
+				d.induct(d.agreeSet(p[0], p[1]))
+			}
+		}
+		if budget >= 0 && d.demoted > budget {
+			*fellBack = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// candidate and verdict mirror hyfd's level snapshot types.
+type candidate struct {
+	lhs *bitset.Set
+	rhs *bitset.Set
+}
+
+type verdict struct {
+	cand    candidate
+	invalid *bitset.Set
+	pairs   [][2]int
+}
+
+// check validates one level's candidates, in parallel when the level is
+// large enough — the same pool shape as hyfd: an index feed, per-worker
+// Intersector scratch, guard-wrapped work, first error wins and the
+// rest of the feed drains. Verdicts fold back by index, so the outcome
+// is identical at every worker count.
+func (d *revalidator) check(cands []candidate) ([]verdict, error) {
+	out := make([]verdict, len(cands))
+	workers := d.workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers == 1 || len(cands) < 8 {
+		for i, c := range cands {
+			if d.canceled() {
+				return out, nil
+			}
+			if err := guard.Run("delta validation", func() error {
+				out[i] = d.checkOne(c, &d.ix)
+				return nil
+			}); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		workErr  error
+		poisoned atomic.Bool
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ix pli.Intersector
+			for i := range next {
+				if d.canceled() || poisoned.Load() {
+					continue
+				}
+				if err := guard.Run("delta validation worker", func() error {
+					out[i] = d.checkOne(cands[i], &ix)
+					return nil
+				}); err != nil {
+					errOnce.Do(func() { workErr = err })
+					poisoned.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, workErr
+}
+
+// checkOne validates one candidate against only the delta-touched part
+// of its LHS partition. A candidate whose pivot clusters contain no
+// appended row is accepted without work — it holds on the base rows by
+// construction, and the appended rows created no agreeing pair.
+func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) verdict {
+	v := verdict{cand: c}
+	if c.lhs.IsEmpty() {
+		d.checked.Add(int64(c.rhs.Cardinality()))
+		c.rhs.ForEach(func(a int) bool {
+			if d.enc.Cardinality[a] != 1 {
+				if v.invalid == nil {
+					v.invalid = bitset.New(d.n)
+				}
+				v.invalid.Add(a)
+				r1, r2 := d.firstDifferingRows(a)
+				v.pairs = append(v.pairs, [2]int{r1, r2})
+			}
+			return true
+		})
+		return v
+	}
+	p := d.deltaPliFor(c.lhs, ix)
+	if p == nil {
+		return v // untouched by the delta: holds
+	}
+	// Count per (LHS, RHS attribute) — the same unit as the full
+	// pipeline's candidates_checked, so the two are comparable.
+	d.checked.Add(int64(c.rhs.Cardinality()))
+	c.rhs.ForEach(func(a int) bool {
+		if r1, r2 := p.FirstViolation(d.enc.Columns[a]); r1 >= 0 {
+			if v.invalid == nil {
+				v.invalid = bitset.New(d.n)
+			}
+			v.invalid.Add(a)
+			v.pairs = append(v.pairs, [2]int{r1, r2})
+		}
+		return true
+	})
+	return v
+}
+
+// deltaPliFor materializes the LHS partition restricted to clusters
+// containing at least one appended row, or nil when none survives. Any
+// two rows agreeing on the whole LHS agree on the pivot attribute in
+// particular, so a violating pair involving an appended row lives
+// inside a touched pivot cluster; intersecting the touched clusters
+// with the remaining attributes yields the LHS partition's
+// delta-relevant fragment. Intersections split clusters, and a
+// fragment that lost its appended rows can only witness base-row
+// pairs — which hold by construction — so those are dropped after
+// every step; a candidate whose partition empties out this way needs
+// no validation at all. An appended row whose pivot value is a
+// singleton (stripped from the partition) agrees with no other row and
+// needs no cluster.
+func (d *revalidator) deltaPliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI {
+	attrs := d.validationOrder(lhs)
+	pivot := attrs[0]
+	inv := d.inverted[pivot]
+	var ids []int
+	for r := d.baseRows; r < d.enc.NumRows; r++ {
+		if id := inv[r]; id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	all := d.plis[pivot].Clusters()
+	touched := make([][]int, 0, len(ids))
+	prev := -1
+	for _, id := range ids {
+		if id != prev {
+			touched = append(touched, all[id])
+			prev = id
+		}
+	}
+	p := pli.FromClusters(d.enc.NumRows, touched)
+	for _, a := range attrs[1:] {
+		if p.IsUnique() {
+			break
+		}
+		p = d.dropBaseOnly(ix.IntersectInverted(p, d.inverted[a]))
+	}
+	if p.IsUnique() {
+		return nil // no agreeing pair involves an appended row
+	}
+	return p
+}
+
+// dropBaseOnly strips clusters made up entirely of base rows. Rows stay
+// ascending within a cluster through every intersection, so a cluster
+// touches the delta iff its last row is an appended one.
+func (d *revalidator) dropBaseOnly(p *pli.PLI) *pli.PLI {
+	clusters := p.Clusters()
+	keep := make([][]int, 0, len(clusters))
+	for _, c := range clusters {
+		if c[len(c)-1] >= d.baseRows {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == len(clusters) {
+		return p
+	}
+	return pli.FromClusters(p.NumRows(), keep)
+}
+
+// validationOrder mirrors hyfd's: ascending partition error (most
+// selective first), ties by attribute index.
+func (d *revalidator) validationOrder(lhs *bitset.Set) []int {
+	attrs := lhs.Elements()
+	sort.Slice(attrs, func(i, j int) bool {
+		ei, ej := d.plis[attrs[i]].Error(), d.plis[attrs[j]].Error()
+		if ei != ej {
+			return ei < ej
+		}
+		return attrs[i] < attrs[j]
+	})
+	return attrs
+}
+
+func (d *revalidator) firstDifferingRows(a int) (int, int) {
+	col := d.enc.Columns[a]
+	for i := 1; i < len(col); i++ {
+		if col[i] != col[0] {
+			return 0, i
+		}
+	}
+	return 0, 0
+}
+
+// agreeSet computes the attributes on which two rows agree.
+func (d *revalidator) agreeSet(r1, r2 int) *bitset.Set {
+	s := bitset.New(d.n)
+	for a := 0; a < d.n; a++ {
+		if d.enc.Columns[a][r1] == d.enc.Columns[a][r2] {
+			s.Add(a)
+		}
+	}
+	return s
+}
+
+// induct mirrors hyfd's: every candidate X → A with X ⊆ agree and
+// A ∉ agree is violated by the witnessing pair; it is removed and
+// specialized by every attribute outside the agree set, with the
+// generalization check keeping the tree free of redundant inserts.
+// Removals of parent-cover RHS attributes are charged to the demotion
+// budget.
+func (d *revalidator) induct(agree *bitset.Set) {
+	violated := d.tree.ViolatedBy(agree)
+	if len(violated) == 0 {
+		return
+	}
+	outside := bitset.Full(d.n).DifferenceWith(agree)
+	for _, v := range violated {
+		d.tree.RemoveRhs(v.Lhs, v.Rhs)
+		if sv, ok := d.seeds[v.Lhs.Key()]; ok {
+			if rm := sv.Intersect(v.Rhs).Cardinality(); rm > 0 {
+				d.demoted += int64(rm)
+				sv.DifferenceWith(v.Rhs)
+			}
+		}
+		if v.Lhs.Cardinality() >= d.maxLhs {
+			continue
+		}
+		outside.ForEach(func(b int) bool {
+			if v.Lhs.Contains(b) {
+				return true
+			}
+			ext := v.Lhs.Clone().Add(b)
+			v.Rhs.ForEach(func(a int) bool {
+				if a != b && !d.tree.ContainsGeneralization(ext, a) {
+					d.tree.Add(ext, a)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -176,15 +176,17 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		return nil, err
 	}
 
-	return minimize(d.tree.ToSet()).Aggregate().Sort(), nil
+	return Minimize(d.tree.ToSet()).Aggregate().Sort(), nil
 }
 
-// minimize drops FDs that have a generalization in the same set. The
+// Minimize drops FDs that have a generalization in the same set. The
 // induction phase inserts candidates after a generalization check only
 // (no specialization eviction, matching HyFD), so a valid specialization
 // can survive next to its later-inserted valid generalization; this
-// final linear pass restores exact minimality.
-func minimize(s *fd.Set) *fd.Set {
+// final linear pass restores exact minimality. Exported for the delta
+// plane (internal/delta), whose re-specialized tree needs the same
+// finishing pass to reproduce HyFD's canonical minimal cover.
+func Minimize(s *fd.Set) *fd.Set {
 	s.Sort() // ascending LHS size: generalizations come first
 	tries := make([]settrie.Trie, s.NumAttrs)
 	out := fd.NewSet(s.NumAttrs)
@@ -496,7 +498,9 @@ func (d *discoverer) check(cands []candidate) ([]verdict, error) {
 // partition with the caller's scratch Intersector and tests refinement
 // of every RHS column.
 func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) verdict {
-	d.candidatesChecked.Add(1)
+	// One candidate per (LHS, RHS attribute) pair — the unit every
+	// discovery algorithm reports, so counters compare across them.
+	d.candidatesChecked.Add(int64(c.rhs.Cardinality()))
 	v := verdict{cand: c}
 	if c.lhs.IsEmpty() {
 		// ∅ → A means column A is constant.

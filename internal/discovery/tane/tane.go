@@ -170,9 +170,11 @@ func (d *discoverer) computeDependencies(level []*node, result *fd.Set, n int) e
 		if i&63 == 0 && d.canceled() {
 			return d.ctx.Err()
 		}
-		d.candidatesChecked++
 		var tripped error
 		candidates := nd.cplus.Intersect(nd.set)
+		// One candidate per FD X\{A} → A examined at this node, so the
+		// counter is comparable across discovery algorithms.
+		d.candidatesChecked += int64(candidates.Cardinality())
 		candidates.ForEach(func(a int) bool {
 			pe, ok := nd.parentErrs[a]
 			if !ok {

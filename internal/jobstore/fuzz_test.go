@@ -21,11 +21,14 @@ func FuzzDecodeRecord(f *testing.F) {
 		Spec: json.RawMessage(`{"csv":"a,b\n1,2\n"}`)})
 	st, _ := json.Marshal(StateUpdate{ID: "j1", State: "done"})
 	res, _ := json.Marshal(resultWire{ID: "j1", Key: "k", Data: []byte("payload")})
+	lin, _ := json.Marshal(LineageRecord{Parent: "k", Delta: "dsha", Child: "kc", JobID: "j2"})
 	valid := [][]byte{
 		encodeFrame(recSubmit, sub),
 		encodeFrame(recState, st),
 		encodeFrame(recResult, res),
 		encodeFrame(recSnapshot, []byte(`{"version":1}`)),
+		encodeFrame(recLineage, lin),
+		encodeFrame(recLineage, []byte(`{"child":""}`)), // skipped on replay
 		encodeFrame(42, nil),
 	}
 	var all []byte

@@ -1,0 +1,161 @@
+package jobstore
+
+import (
+	"testing"
+	"time"
+)
+
+// seedLineage extends a seeded store with a two-link delta chain:
+// k1 --delta d1--> kd1 --delta d2--> kd2.
+func seedLineage(t *testing.T, s *Store) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AppendSubmit(JobRecord{ID: "jd1", Created: t0.Add(10 * time.Second),
+		Key: "kd1", Spec: []byte(`{"parent":"k1"}`), State: "queued"}))
+	must(s.AppendState(StateUpdate{ID: "jd1", State: "done", At: t0.Add(11 * time.Second)}))
+	must(s.AppendResult("jd1", "kd1", []byte(`{"tables":2}`)))
+	must(s.AppendLineage(LineageRecord{Parent: "k1", Delta: "d1", Child: "kd1", JobID: "jd1"}))
+	must(s.AppendSubmit(JobRecord{ID: "jd2", Created: t0.Add(12 * time.Second),
+		Key: "kd2", Spec: []byte(`{"parent":"kd1"}`), State: "queued"}))
+	must(s.AppendState(StateUpdate{ID: "jd2", State: "done", At: t0.Add(13 * time.Second)}))
+	must(s.AppendResult("jd2", "kd2", []byte(`{"tables":3}`)))
+	must(s.AppendLineage(LineageRecord{Parent: "kd1", Delta: "d2", Child: "kd2", JobID: "jd2"}))
+}
+
+// verifyLineage asserts the chain survives in a store (fresh or
+// replayed) and resolves transitively back to the root.
+func verifyLineage(t *testing.T, s *Store) {
+	t.Helper()
+	edges := s.Lineage()
+	if len(edges) < 2 {
+		t.Fatalf("lineage = %+v, want at least the 2 seeded edges", edges)
+	}
+	if edges[0].Child != "kd1" || edges[1].Child != "kd2" {
+		t.Fatalf("lineage order = %+v", edges)
+	}
+	// Transitive resolution: kd2 → kd1 → k1, which has no edge (a root).
+	l2, ok := s.LookupLineage("kd2")
+	if !ok || l2.Parent != "kd1" || l2.Delta != "d2" || l2.JobID != "jd2" {
+		t.Fatalf("LookupLineage(kd2) = %+v, %v", l2, ok)
+	}
+	l1, ok := s.LookupLineage(l2.Parent)
+	if !ok || l1.Parent != "k1" || l1.Delta != "d1" {
+		t.Fatalf("LookupLineage(kd1) = %+v, %v", l1, ok)
+	}
+	if _, ok := s.LookupLineage(l1.Parent); ok {
+		t.Fatal("root key k1 must have no lineage edge")
+	}
+}
+
+func TestLineageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	seedLineage(t, s)
+	verifyLineage(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if len(rep.Damage) != 0 {
+		t.Fatalf("clean log reported damage: %v", rep.Damage)
+	}
+	verifyLineage(t, s2)
+	if rep.Jobs != 6 || rep.Terminal != 4 {
+		t.Fatalf("report = %+v, want 6 jobs / 4 terminal", rep)
+	}
+}
+
+func TestLineageSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	seedLineage(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends land in the fresh journal and must merge
+	// with the snapshot's lineage on replay.
+	if err := s.AppendSubmit(JobRecord{ID: "jd3", Created: t0.Add(20 * time.Second),
+		Key: "kd3", Spec: []byte(`{"parent":"kd2"}`), State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendLineage(LineageRecord{Parent: "kd2", Delta: "d3", Child: "kd3", JobID: "jd3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if !rep.SnapshotLoaded {
+		t.Fatal("compaction ran but no snapshot loaded")
+	}
+	verifyLineage(t, s2)
+	if l, ok := s2.LookupLineage("kd3"); !ok || l.Parent != "kd2" || l.Delta != "d3" {
+		t.Fatalf("post-compaction edge = %+v, %v", l, ok)
+	}
+}
+
+func TestLineageAppendIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	defer s.Close()
+	first := LineageRecord{Parent: "a", Delta: "d", Child: "c", JobID: "j1"}
+	if err := s.AppendLineage(first); err != nil {
+		t.Fatal(err)
+	}
+	size := s.LogSize()
+	// Re-deriving the same child (e.g. a replayed job after a crash)
+	// must not duplicate the edge nor grow the journal.
+	if err := s.AppendLineage(LineageRecord{Parent: "a", Delta: "d", Child: "c", JobID: "j9"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.LogSize() != size {
+		t.Fatal("duplicate lineage append grew the journal")
+	}
+	if got := s.Lineage(); len(got) != 1 || got[0] != first {
+		t.Fatalf("lineage = %+v", got)
+	}
+	if _, ok := s.LookupLineage("missing"); ok {
+		t.Fatal("lookup of unknown child succeeded")
+	}
+}
+
+// TestLineageShipsOverReplication: the follower mirrors the leader's
+// journal byte-for-byte, so after catch-up a promoted standby resolves
+// the same lineage chains. Lineage written before a compaction travels
+// inside the snapshot image; edges after it travel as journal frames.
+func TestLineageShipsOverReplication(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leader, _ := openClean(t, leaderDir)
+	seedStore(t, leader)
+	seedLineage(t, leader)
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AppendSubmit(JobRecord{ID: "jd3", Created: t0.Add(20 * time.Second),
+		Key: "kd3", Spec: []byte(`{"parent":"kd2"}`), State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AppendLineage(LineageRecord{Parent: "kd2", Delta: "d3", Child: "kd3", JobID: "jd3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror(t, leader, followerDir, 0)
+
+	promoted, rep := openClean(t, followerDir)
+	if !rep.SnapshotLoaded {
+		t.Fatal("mirrored snapshot not loaded")
+	}
+	verifyLineage(t, promoted)
+	if l, ok := promoted.LookupLineage("kd3"); !ok || l.Parent != "kd2" || l.Delta != "d3" {
+		t.Fatalf("journal-shipped edge = %+v, %v", l, ok)
+	}
+}

@@ -35,6 +35,11 @@ const (
 	// recSnapshot is the single record of a snapshot file: the full
 	// store model at compaction time.
 	recSnapshot = byte(4)
+	// recLineage records a delta-normalization edge: the child result
+	// (keyed by its content-hash cache key) was derived incrementally
+	// from a parent result plus an appended-rows delta. Chains resolve
+	// transitively through the parent key.
+	recLineage = byte(5)
 )
 
 // frameHeaderSize is the fixed per-record overhead.

@@ -67,6 +67,13 @@ func (s *Store) applyRecord(rec rawRecord, report *RecoveryReport) {
 			return
 		}
 		s.applyResultLocked(w, report)
+	case recLineage:
+		var w LineageRecord
+		if err := json.Unmarshal(rec.payload, &w); err != nil {
+			report.Damage = append(report.Damage, fmt.Sprintf("lineage record: %v", err))
+			return
+		}
+		s.applyLineageLocked(w, report)
 	default:
 		report.Damage = append(report.Damage,
 			fmt.Sprintf("unknown record type %d skipped", rec.typ))
@@ -139,4 +146,21 @@ func (s *Store) applyResultLocked(w resultWire, report *RecoveryReport) {
 	s.results = append(s.results, w)
 	s.resultByID[w.ID] = len(s.results) - 1
 	s.resultByKey[w.Key] = len(s.results) - 1
+}
+
+// applyLineageLocked registers a delta-derivation edge; duplicates
+// (log replayed over a snapshot that already contains them) keep the
+// first edge, so a child key's derivation is immutable.
+func (s *Store) applyLineageLocked(w LineageRecord, report *RecoveryReport) {
+	if w.Child == "" {
+		if report != nil {
+			report.Damage = append(report.Damage, "lineage record without child key skipped")
+		}
+		return
+	}
+	if _, ok := s.lineageByChild[w.Child]; ok {
+		return
+	}
+	s.lineage = append(s.lineage, w)
+	s.lineageByChild[w.Child] = len(s.lineage) - 1
 }

@@ -27,6 +27,10 @@ type snapshotWire struct {
 	Version int          `json:"version"`
 	Jobs    []*JobRecord `json:"jobs"` // submission order; Result fields unset
 	Results []resultWire `json:"results"`
+	// Lineage carries the delta-derivation edges in append order. The
+	// field is additive: version stays 1 because older snapshots simply
+	// decode to no lineage, which matches their history.
+	Lineage []LineageRecord `json:"lineage,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -51,7 +55,7 @@ func (s *Store) compactLocked() error {
 	if s.closed {
 		return fmt.Errorf("jobstore: store closed")
 	}
-	snap := snapshotWire{Version: snapshotVersion, Results: s.results}
+	snap := snapshotWire{Version: snapshotVersion, Results: s.results, Lineage: s.lineage}
 	for _, id := range s.order {
 		snap.Jobs = append(snap.Jobs, s.jobs[id])
 	}
@@ -147,6 +151,9 @@ func (s *Store) loadSnapshot(report *RecoveryReport) {
 	}
 	for _, r := range snap.Results {
 		s.applyResultLocked(r, report)
+	}
+	for _, l := range snap.Lineage {
+		s.applyLineageLocked(l, report)
 	}
 	report.SnapshotLoaded = true
 }

@@ -103,6 +103,11 @@ type Store struct {
 	resultByID  map[string]int
 	resultByKey map[string]int
 
+	// lineage holds delta-derivation edges in append order, indexed by
+	// child key; duplicates (replay over a snapshot) keep the first.
+	lineage        []LineageRecord
+	lineageByChild map[string]int
+
 	closed bool
 }
 
@@ -134,6 +139,24 @@ type resultWire struct {
 	ID   string `json:"id"`
 	Key  string `json:"key"`
 	Data []byte `json:"data"`
+}
+
+// LineageRecord is one delta-normalization edge; it doubles as the
+// on-disk wire form of a recLineage record. Keys are the server's
+// content-hash cache keys; Delta is the content hash of the appended
+// rows alone. The child result payload itself travels as an ordinary
+// result record — lineage only records how it was derived, so a
+// restarted (or promoted standby) server can resolve (parent, delta)
+// chains to the same bytes.
+type LineageRecord struct {
+	// Parent is the cache key of the result the delta extended.
+	Parent string `json:"parent"`
+	// Delta is the content hash of the appended rows.
+	Delta string `json:"delta"`
+	// Child is the cache key of the derived result.
+	Child string `json:"child"`
+	// JobID names the job that performed the derivation.
+	JobID string `json:"job_id,omitempty"`
 }
 
 // RecoveryReport accounts for what Open found on disk: what survived,
@@ -184,9 +207,10 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	s := &Store{
 		dir:         dir,
 		opts:        opts,
-		jobs:        make(map[string]*JobRecord),
-		resultByID:  make(map[string]int),
-		resultByKey: make(map[string]int),
+		jobs:           make(map[string]*JobRecord),
+		resultByID:     make(map[string]int),
+		resultByKey:    make(map[string]int),
+		lineageByChild: make(map[string]int),
 		epoch:       newEpoch(),
 		changed:     make(chan struct{}),
 	}
@@ -278,6 +302,45 @@ func (s *Store) AppendResult(id, key string, data []byte) error {
 	}
 	s.applyResultLocked(w, nil)
 	return s.maybeCompactLocked()
+}
+
+// AppendLineage persists a delta-derivation edge. Appending the same
+// child key twice is idempotent (first edge wins), matching replay.
+func (s *Store) AppendLineage(l LineageRecord) error {
+	payload, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.lineageByChild[l.Child]; ok {
+		return nil
+	}
+	if err := s.appendLocked(recLineage, payload); err != nil {
+		return err
+	}
+	s.applyLineageLocked(l, nil)
+	return s.maybeCompactLocked()
+}
+
+// LookupLineage resolves the derivation edge of a child result key.
+func (s *Store) LookupLineage(child string) (LineageRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.lineageByChild[child]
+	if !ok {
+		return LineageRecord{}, false
+	}
+	return s.lineage[i], true
+}
+
+// Lineage returns all delta-derivation edges in append order.
+func (s *Store) Lineage() []LineageRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LineageRecord, len(s.lineage))
+	copy(out, s.lineage)
+	return out
 }
 
 // appendLocked writes one framed record to the log.

@@ -80,6 +80,14 @@ const (
 	CounterSubstrateBuilds  = "substrate_builds"
 	CounterSubstrateDerived = "substrate_derived"
 	CounterSubstrateHits    = "substrate_hits"
+	// CounterDeltaFDsChecked/-Demoted and CounterDeltaLatticeReused
+	// report the delta plane's re-validation work (internal/delta):
+	// parent-cover FDs actually validated against appended rows, FDs the
+	// delta violated (demoted and re-specialized), and FDs carried over
+	// from the parent cover without re-specialization.
+	CounterDeltaFDsChecked    = "delta_fds_checked"
+	CounterDeltaFDsDemoted    = "delta_fds_demoted"
+	CounterDeltaLatticeReused = "delta_lattice_reused"
 	// The ingest stage reports raw CSV bytes consumed, read chunks,
 	// rows encoded, and spill-to-disk events (each event flushes sealed
 	// code blocks to the spill file when the memory budget trips).

@@ -61,6 +61,75 @@ func FromClusters(numRows int, clusters [][]int) *PLI {
 	return p
 }
 
+// Extend builds the PLI of a dictionary-encoded column that grew by
+// appended rows, reusing the base PLI instead of regrouping the whole
+// column. codes is the full extended column, base is the PLI of its
+// prefix codes[:baseRows] (with unchanged code assignments, the
+// guarantee of Columnar.Append). Clusters untouched by the delta are
+// shared with base — PLIs are immutable, so sharing is safe — and only
+// clusters whose code appears in new rows are copied and grown. The
+// result is identical to FromColumn(codes, cardinality): clusters in
+// ascending code order, rows ascending within each cluster.
+func Extend(base *PLI, codes []int, baseRows, cardinality int) *PLI {
+	total := len(codes)
+	if total == baseRows {
+		return base
+	}
+	byCode := make([][]int, cardinality)
+	for _, cl := range base.clusters {
+		byCode[codes[cl[0]]] = cl
+	}
+	appended := make([][]int, cardinality)
+	uncovered := false
+	for row := baseRows; row < total; row++ {
+		code := codes[row]
+		appended[code] = append(appended[code], row)
+		if byCode[code] == nil {
+			uncovered = true
+		}
+	}
+	// A touched code without a base cluster had at most one base row
+	// (it was stripped as a singleton); one prefix scan recovers them.
+	var single []int
+	if uncovered {
+		single = make([]int, cardinality)
+		for i := range single {
+			single[i] = -1
+		}
+		for row := 0; row < baseRows; row++ {
+			if code := codes[row]; appended[code] != nil && byCode[code] == nil {
+				single[code] = row
+			}
+		}
+	}
+	p := &PLI{numRows: total}
+	for code := 0; code < cardinality; code++ {
+		baseCl, add := byCode[code], appended[code]
+		if add == nil {
+			if baseCl != nil {
+				p.clusters = append(p.clusters, baseCl)
+				p.size += len(baseCl)
+			}
+			continue
+		}
+		var g []int
+		switch {
+		case baseCl != nil:
+			g = append(make([]int, 0, len(baseCl)+len(add)), baseCl...)
+		case single != nil && single[code] >= 0:
+			g = append(make([]int, 0, 1+len(add)), single[code])
+		default:
+			g = make([]int, 0, len(add))
+		}
+		g = append(g, add...)
+		if len(g) >= 2 {
+			p.clusters = append(p.clusters, g)
+			p.size += len(g)
+		}
+	}
+	return p
+}
+
 // NumRows returns the number of rows of the underlying relation.
 func (p *PLI) NumRows() int { return p.numRows }
 

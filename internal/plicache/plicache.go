@@ -38,6 +38,11 @@ import (
 type Substrate struct {
 	enc  *relation.Encoded
 	cols []substrateColumn
+
+	// Set on appended substrates (Extend): column PLIs are grown from
+	// the parent's instead of rebuilt from the full column.
+	parent   *Substrate
+	baseRows int
 }
 
 type substrateColumn struct {
@@ -61,6 +66,22 @@ func Build(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
 	return New(enc), nil
 }
 
+// Extend wraps the encoding of a relation that grew by appended rows,
+// deriving each column PLI from the parent substrate's via pli.Extend
+// instead of regrouping the full column. enc must extend the parent's
+// encoding: its first baseRows codes per column are the parent's,
+// unchanged (the Columnar.Append guarantee). The resulting PLIs are
+// identical to a from-scratch build, so the appended substrate is
+// observationally equal to Build on the concatenated relation.
+func Extend(parent *Substrate, enc *relation.Encoded) *Substrate {
+	return &Substrate{
+		enc:      enc,
+		cols:     make([]substrateColumn, len(enc.Columns)),
+		parent:   parent,
+		baseRows: parent.NumRows(),
+	}
+}
+
 // Encoded returns the dictionary-encoded instance; callers must not
 // modify it.
 func (s *Substrate) Encoded() *relation.Encoded { return s.enc }
@@ -76,7 +97,11 @@ func (s *Substrate) NumAttrs() int { return len(s.enc.Columns) }
 func (s *Substrate) PLI(a int) *pli.PLI {
 	c := &s.cols[a]
 	c.once.Do(func() {
-		c.p = pli.FromColumn(s.enc.Columns[a], s.enc.Cardinality[a])
+		if s.parent != nil {
+			c.p = pli.Extend(s.parent.PLI(a), s.enc.Columns[a], s.baseRows, s.enc.Cardinality[a])
+		} else {
+			c.p = pli.FromColumn(s.enc.Columns[a], s.enc.Cardinality[a])
+		}
 	})
 	return c.p
 }
@@ -198,6 +223,36 @@ func (c *Cache) PutDerived(child *relation.Relation, s *Substrate) {
 	c.derives.Add(1)
 }
 
+// PutKeyed registers a substrate for rel under an explicit content key.
+// The delta plane uses it with DeltaKey(parent, delta), so an appended
+// substrate is found again by lineage instead of re-hashing the full
+// concatenated instance. A nil cache ignores the registration.
+func (c *Cache) PutKeyed(rel *relation.Relation, key [sha256.Size]byte, s *Substrate) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	if rel != nil {
+		c.byRel[rel] = s
+	}
+	if _, ok := c.byKey[key]; !ok {
+		c.byKey[key] = s
+	}
+	c.mu.Unlock()
+	c.derives.Add(1)
+}
+
+// LookupKey returns the substrate cached under an explicit content key,
+// or nil.
+func (c *Cache) LookupKey(key [sha256.Size]byte) *Substrate {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byKey[key]
+}
+
 // Stats reports the cache's work so far: full encodes, code-level
 // derivations, and lookups served from cache. All zero on nil.
 func (c *Cache) Stats() (builds, derives, hits int64) {
@@ -238,3 +293,19 @@ func contentKey(rel *relation.Relation) [sha256.Size]byte {
 // ContentKey exposes the cache's content key; the differential tests
 // use it to pin that streaming and legacy ingest hash identically.
 func ContentKey(rel *relation.Relation) [sha256.Size]byte { return contentKey(rel) }
+
+// DeltaKey is the content key of an appended instance, derived from the
+// parent's key and the delta's key instead of the concatenated bytes:
+// H("delta" ‖ parent ‖ delta). Chains of appends therefore resolve
+// transitively — the child key of one append is the parent key of the
+// next — which is what turns the server's exact-match result cache into
+// a lineage graph.
+func DeltaKey(parent, delta [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("delta\x00"))
+	h.Write(parent[:])
+	h.Write(delta[:])
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}

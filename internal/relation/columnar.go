@@ -97,6 +97,64 @@ func (c *Columnar) derive(cols, keep []int) *Columnar {
 	return &Columnar{Enc: child, Dicts: dicts}
 }
 
+// Append derives the columnar backing of the relation extended by the
+// given string rows. New values are dictionary-encoded against the
+// parent's dictionaries in first-appearance order — exactly the codes a
+// fresh encode of the concatenated rows would assign — so the appended
+// substrate is byte-identical to a from-scratch ingest of base + delta.
+// Existing codes never change, which lets position list indices be
+// extended instead of rebuilt (pli.Extend). Per the Columnar contract
+// the receiver is left untouched: untouched dictionaries are shared,
+// extended ones are copied.
+func (c *Columnar) Append(rows [][]string) (*Columnar, error) {
+	nCols := len(c.Dicts)
+	for i, row := range rows {
+		if len(row) != nCols {
+			return nil, fmt.Errorf("append: row %d has %d values, want %d", i, len(row), nCols)
+		}
+	}
+	total := c.Enc.NumRows + len(rows)
+	enc := &Encoded{
+		NumRows:     total,
+		Columns:     make([][]int, nCols),
+		Cardinality: make([]int, nCols),
+		HasNull:     make([]bool, nCols),
+	}
+	dicts := make([][]string, nCols)
+	for col := 0; col < nCols; col++ {
+		codes := make([]int, total)
+		copy(codes, c.Enc.Columns[col])
+		parent := c.Dicts[col]
+		index := make(map[string]int, len(parent)+len(rows))
+		for code, v := range parent {
+			index[v] = code
+		}
+		dict := parent
+		hasNull := c.Enc.HasNull[col]
+		for i, row := range rows {
+			v := row[col]
+			code, ok := index[v]
+			if !ok {
+				if len(dict) == len(parent) {
+					dict = append(make([]string, 0, len(parent)+len(rows)), parent...)
+				}
+				code = len(dict)
+				dict = append(dict, v)
+				index[v] = code
+			}
+			if IsNull(v) {
+				hasNull = true
+			}
+			codes[c.Enc.NumRows+i] = code
+		}
+		enc.Columns[col] = codes
+		enc.Cardinality[col] = len(dict)
+		enc.HasNull[col] = hasNull
+		dicts[col] = dict
+	}
+	return &Columnar{Enc: enc, Dicts: dicts}, nil
+}
+
 // DedupKeep returns the row indices (ascending) of the first
 // occurrences of the distinct code tuples over the given columns — the
 // keep-list of a projection with set semantics.

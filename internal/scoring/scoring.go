@@ -46,7 +46,11 @@ func keyLengthScore(key *bitset.Set) float64 {
 // valueScore: 1/max(1, |max(X)|-7) — primary-key values are typically
 // short; max(X) concatenates the values of multi-attribute candidates.
 func valueScore(rel *relation.Relation, attrs *bitset.Set) float64 {
-	longest := rel.MaxValueLen(attrs)
+	return valueScoreLen(rel.MaxValueLen(attrs))
+}
+
+// valueScoreLen is valueScore on a precomputed max concatenated length.
+func valueScoreLen(longest int) float64 {
 	d := longest - 7
 	if d < 1 {
 		d = 1
@@ -92,11 +96,16 @@ func FDScore(rel *relation.Relation, f *fd.FD) float64 {
 // more redundancy). The RHS can be at most |R|-2 attributes long, which
 // normalizes its weight.
 func fdLengthScore(rel *relation.Relation, f *fd.FD) float64 {
+	return fdLengthScoreN(rel.NumAttrs(), f)
+}
+
+// fdLengthScoreN is fdLengthScore on a precomputed attribute count.
+func fdLengthScoreN(numAttrs int, f *fd.FD) float64 {
 	lhsPart := 1.0
 	if c := f.Lhs.Cardinality(); c > 0 {
 		lhsPart = 1 / float64(c)
 	}
-	maxRhs := rel.NumAttrs() - 2
+	maxRhs := numAttrs - 2
 	rhsPart := 1.0
 	if maxRhs > 0 {
 		rhsPart = float64(f.Rhs.Cardinality()) / float64(maxRhs)
@@ -170,6 +179,60 @@ func DuplicationScore(rel *relation.Relation, f *fd.FD, estimate DistinctEstimat
 		return r
 	}
 	return 0.5 * (2 - ratio(f.Lhs) - ratio(f.Rhs))
+}
+
+// FDFacts carries the data-dependent inputs of FDScore as plain
+// numbers, so callers that already know them — the core pipeline's
+// exact score index computes distinct counts from position list indices
+// and the delta plane maintains them incrementally — can score an FD
+// without a single pass over the rows. Every field is a property of the
+// relation instance the FD violates:
+//
+//	Rows        — row count of the instance,
+//	NumAttrs    — attribute count of the instance,
+//	LhsMaxLen   — max over rows of the summed LHS value lengths
+//	              (relation.MaxValueLen semantics; 0 for an empty LHS),
+//	LhsDistinct — exact distinct LHS-value combinations (ignored for an
+//	              empty LHS),
+//	RhsDistinct — exact distinct RHS-value combinations.
+type FDFacts struct {
+	Rows        int
+	NumAttrs    int
+	LhsMaxLen   int
+	LhsDistinct int
+	RhsDistinct int
+}
+
+// FDScoreFromFacts computes the exact FDScore of f (local index space)
+// from precomputed facts. It shares every formula with FDScore; only
+// the data-dependent inputs — max value length and distinct counts —
+// are taken from facts instead of being measured on the rows. With
+// exact facts it equals FDScore with EstimateDistinctExact.
+func FDScoreFromFacts(f *fd.FD, facts FDFacts) float64 {
+	return (fdLengthScoreN(facts.NumAttrs, f) +
+		valueScoreLen(facts.LhsMaxLen) +
+		fdPositionScore(f) +
+		duplicationScoreFacts(f, facts)) / 4
+}
+
+// duplicationScoreFacts mirrors DuplicationScore on precomputed
+// distinct counts.
+func duplicationScoreFacts(f *fd.FD, facts FDFacts) float64 {
+	rows := float64(facts.Rows)
+	if rows == 0 {
+		return 0
+	}
+	ratio := func(attrs *bitset.Set, distinct int) float64 {
+		if attrs.IsEmpty() {
+			return 1 / rows // a single (empty) combination
+		}
+		r := float64(distinct) / rows
+		if r > 1 {
+			r = 1
+		}
+		return r
+	}
+	return 0.5 * (2 - ratio(f.Lhs, facts.LhsDistinct) - ratio(f.Rhs, facts.RhsDistinct))
 }
 
 // RankedKey pairs a key candidate with its score.

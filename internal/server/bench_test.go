@@ -86,7 +86,7 @@ func BenchmarkCacheKeyGenerator(b *testing.B) {
 }
 
 func BenchmarkResultCacheGet(b *testing.B) {
-	c := newResultCache(64)
+	c := newResultCache(64, 0)
 	keys := make([]string, 64)
 	for i := range keys {
 		spec := &jobSpec{gen: "tpch", scale: float64(i), seed: int64(i)}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -65,8 +66,27 @@ type jobSpec struct {
 	artists int
 	seed    int64
 
+	// Delta jobs: parentRef is the submitted reference (job ID or
+	// content key), parentKey the resolved parent content key, and csv
+	// holds the appended rows (same header as the parent's input).
+	parentRef string
+	parentKey string
+
 	opts normalize.Options
 	key  string // content-hash cache key
+}
+
+// delta reports whether the spec describes an incremental append job.
+func (s *jobSpec) delta() bool { return s.parentRef != "" }
+
+// finalizeDeltaKey derives a delta job's content key once the parent
+// reference has been resolved to a content key. The child key hashes
+// (parent key, appended rows, options), so chains of appends resolve
+// transitively — the child key of one append is the parent key of the
+// next — and identical re-submissions hit the result cache.
+func (s *jobSpec) finalizeDeltaKey(parentKey string) {
+	s.parentKey = parentKey
+	s.key = deltaCacheKey(parentKey, s.csv, s.opts)
 }
 
 // relations materializes the job's input. Generator datasets normalize
@@ -276,6 +296,9 @@ var (
 	ErrQueueFull = errors.New("server: job queue full")
 	// ErrDraining: the server is shutting down and accepts no new jobs.
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrBadParent: a delta job references a parent that does not
+	// exist, has not completed, or cannot seed an incremental run (400).
+	ErrBadParent = errors.New("server: bad delta parent")
 )
 
 // manager owns the job store, the FIFO queue, and the worker pool.
@@ -300,10 +323,10 @@ type manager struct {
 	observer normalize.Observer // server-wide metrics sink (may be nil)
 }
 
-func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observer, p *persister) *manager {
+func newManager(workers, queueDepth, cacheEntries int, cacheBytes int64, metrics normalize.Observer, p *persister) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
-		cache:      newResultCache(cacheEntries),
+		cache:      newResultCache(cacheEntries, cacheBytes),
 		p:          p,
 		jobs:       make(map[string]*Job),
 		baseCtx:    ctx,
@@ -337,8 +360,15 @@ func newManager(workers, queueDepth, cacheEntries int, metrics normalize.Observe
 
 // Submit registers the job and enqueues it — or, when an identical
 // input+options combination already completed, answers from the result
-// cache with an immediately-done job.
+// cache with an immediately-done job. Delta jobs resolve their parent
+// reference first: the child's content key depends on the parent's, so
+// resolution must precede the cache check.
 func (m *manager) Submit(spec *jobSpec) (*Job, error) {
+	if spec.delta() && spec.parentKey == "" {
+		if err := m.resolveParent(spec); err != nil {
+			return nil, err
+		}
+	}
 	job := newJob(spec)
 	job.p = m.p
 
@@ -382,6 +412,64 @@ func (m *manager) Submit(spec *jobSpec) (*Job, error) {
 	m.enqueueMu.Unlock()
 	job.bus.publish(eventState, stateEventData{ID: job.ID, State: StateQueued})
 	return job, nil
+}
+
+// resolveParent resolves a delta job's parent reference — a job ID or
+// a content key — to a completed parent run and finalizes the child's
+// content key from it. Every failure wraps ErrBadParent so the HTTP
+// layer can answer 400: a delta submission against a missing, unfinished,
+// or unseedable parent is a client error, not a server one.
+func (m *manager) resolveParent(spec *jobSpec) error {
+	parent, ok := m.findJob(spec.parentRef)
+	if !ok {
+		return fmt.Errorf("%w: %q matches no job ID or content key", ErrBadParent, spec.parentRef)
+	}
+	if state := parent.State(); state != StateDone {
+		return fmt.Errorf("%w: job %s is %s, want done", ErrBadParent, parent.ID, state)
+	}
+	res := m.resultFor(parent)
+	if res == nil {
+		return fmt.Errorf("%w: job %s no longer retains its result", ErrBadParent, parent.ID)
+	}
+	if res.Cover == nil || res.ScoreMemo == nil {
+		return fmt.Errorf("%w: parent result lacks the FD cover and score memo a delta run seeds from", ErrBadParent)
+	}
+	if len(res.Degradations) > 0 {
+		return fmt.Errorf("%w: parent result is degraded; its cover is not a complete hypothesis", ErrBadParent)
+	}
+	spec.finalizeDeltaKey(parent.spec.key)
+	return nil
+}
+
+// findJob looks a reference up as a job ID first, then as a content
+// key. Key lookups scan newest-first so a re-run of the same content
+// answers with the freshest job.
+func (m *manager) findJob(ref string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[ref]; ok {
+		return j, true
+	}
+	for i := len(m.order) - 1; i >= 0; i-- {
+		if j := m.jobs[m.order[i]]; j.spec != nil && j.spec.key == ref {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// resultFor fetches a job's retained result: from the job itself, or
+// from the result cache when the job was answered as a cache hit.
+func (m *manager) resultFor(job *Job) *normalize.Result {
+	if res, _ := job.Result(); res != nil {
+		return res
+	}
+	if job.spec != nil {
+		if res, ok := m.cache.get(job.spec.key); ok {
+			return res
+		}
+	}
+	return nil
 }
 
 func (m *manager) store(job *Job) {
@@ -429,6 +517,21 @@ func (m *manager) runJob(job *Job) {
 	}
 	opts.Observer = observers
 
+	if job.spec.delta() {
+		res, err := m.normalizeDelta(ctx, job.spec, opts)
+		obs.flush()
+		job.finish(classify(res, err))
+		if job.State() == StateDone {
+			m.cache.put(job.spec.key, res)
+			// The lineage edge lands only after the result record (finish
+			// persisted it): a crash in between leaves a resolvable child
+			// missing its edge, which the re-run restores idempotently —
+			// never an edge pointing at a result the log doesn't hold.
+			m.p.lineage(job.spec.parentKey, deltaHash(job.spec.csv), job.spec.key, job.ID)
+		}
+		return
+	}
+
 	rel, skipped, err := job.spec.relations(ctx, observers)
 	if err != nil {
 		obs.flush()
@@ -447,6 +550,69 @@ func (m *manager) runJob(job *Job) {
 	if state := job.State(); state == StateDone {
 		m.cache.put(job.spec.key, res)
 	}
+}
+
+// normalizeDelta runs the incremental path: rebuild the parent's
+// relation, append the delta rows against its dictionaries, and
+// re-validate only what the appended rows can change (DESIGN.md §5g).
+// Stats counters reach SSE/telemetry through opts.Observer.
+func (m *manager) normalizeDelta(ctx context.Context, spec *jobSpec, opts normalize.Options) (*normalize.Result, error) {
+	parent, ok := m.findJob(spec.parentKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: parent job for key %.12s… no longer resident", ErrBadParent, spec.parentKey)
+	}
+	parentRes := m.resultFor(parent)
+	if parentRes == nil {
+		return nil, fmt.Errorf("%w: parent result for key %.12s… no longer retained", ErrBadParent, spec.parentKey)
+	}
+	base, err := m.materialize(ctx, parent.spec, opts.Observer)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := deltaRows(base, spec.csv)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := normalize.NormalizeDelta(ctx, base, rows, parentRes, normalize.DeltaConfig{Options: opts})
+	return res, err
+}
+
+// materialize rebuilds a spec's full input relation. A plain spec
+// re-ingests its source; a delta spec extends its parent's materialized
+// relation with its appended rows, so a chain of appends replays from
+// the root without any child ever holding the concatenated CSV.
+func (m *manager) materialize(ctx context.Context, spec *jobSpec, obs normalize.Observer) (*normalize.Relation, error) {
+	if !spec.delta() {
+		rel, _, err := spec.relations(ctx, obs)
+		return rel, err
+	}
+	parent, ok := m.findJob(spec.parentKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: ancestor job for key %.12s… no longer resident", ErrBadParent, spec.parentKey)
+	}
+	base, err := m.materialize(ctx, parent.spec, obs)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := deltaRows(base, spec.csv)
+	if err != nil {
+		return nil, err
+	}
+	return normalize.AppendRelation(base, rows)
+}
+
+// deltaRows parses a delta job's appended rows — a CSV whose header
+// must repeat the parent's attributes, pinning column order explicitly
+// rather than trusting the client to match it blind.
+func deltaRows(base *normalize.Relation, csv []byte) ([][]string, error) {
+	drel, err := normalize.ReadCSV("delta", bytes.NewReader(csv))
+	if err != nil {
+		return nil, fmt.Errorf("delta rows: %w", err)
+	}
+	if !slices.Equal(drel.Attrs, base.Attrs) {
+		return nil, fmt.Errorf("delta header %v does not match parent attributes %v", drel.Attrs, base.Attrs)
+	}
+	return drel.Rows(), nil
 }
 
 // classify maps a pipeline outcome onto the lifecycle state machine.

@@ -28,6 +28,12 @@ type specWire struct {
 	Artists int     `json:"artists,omitempty"`
 	Seed    int64   `json:"seed,omitempty"`
 
+	// Parent is the RESOLVED parent content key of a delta job — not the
+	// submitted reference, which may have been a job ID that won't exist
+	// after a restart. Keys are stable across restarts, so a restored
+	// delta job re-finalizes to exactly the key it had.
+	Parent string `json:"parent,omitempty"`
+
 	Opts optionsSpec `json:"opts"`
 }
 
@@ -36,6 +42,7 @@ func encodeSpec(spec *jobSpec) (json.RawMessage, error) {
 	w := specWire{
 		CSV: spec.csv, Name: spec.name, Lenient: spec.lenient,
 		Gen: spec.gen, Scale: spec.scale, Artists: spec.artists, Seed: spec.seed,
+		Parent: spec.parentKey,
 		Opts: optionsSpec{
 			Mode:           modeString(spec.opts.Mode),
 			Closure:        closureString(spec.opts.Closure),
@@ -93,7 +100,18 @@ func decodeSpec(raw json.RawMessage) (*jobSpec, error) {
 			Generator: w.Gen, Scale: w.Scale, Artists: w.Artists, Seed: w.Seed,
 		}
 	}
-	return buildSpec(req)
+	req.Parent = w.Parent
+	spec, err := buildSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	if w.Parent != "" {
+		// The persisted parent is already a resolved content key; the key
+		// derivation is deterministic, so the restored job recomputes the
+		// same child key it was born with.
+		spec.finalizeDeltaKey(w.Parent)
+	}
+	return spec, nil
 }
 
 // persister is the nil-safe write side of the job store. A nil persister
@@ -154,6 +172,18 @@ func (p *persister) result(id, key string, res *normalize.Result) {
 		return
 	}
 	p.fail("result", p.store.AppendResult(id, key, data))
+}
+
+// lineage records a delta job's ancestry edge once its result is
+// durable. AppendLineage is idempotent by child key, so the crash-replay
+// re-run writing the same edge again is harmless.
+func (p *persister) lineage(parent, delta, child, jobID string) {
+	if !p.enabled() {
+		return
+	}
+	p.fail("lineage", p.store.AppendLineage(jobstore.LineageRecord{
+		Parent: parent, Delta: delta, Child: child, JobID: jobID,
+	}))
 }
 
 // restoreJob rebuilds a live Job from a persisted record. It returns

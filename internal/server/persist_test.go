@@ -177,7 +177,7 @@ func TestRestartRequeuesIncompleteJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1 := newManager(0, 8, 8, nil, &persister{store: st1, logf: t.Logf})
+	m1 := newManager(0, 8, 8, 0, nil, &persister{store: st1, logf: t.Logf})
 	specs := []string{
 		addressCSV,
 		"A,B\n1,2\n3,4\n",
@@ -202,7 +202,7 @@ func TestRestartRequeuesIncompleteJobs(t *testing.T) {
 	if rep.Incomplete != len(specs) {
 		t.Fatalf("recovery: %+v", rep)
 	}
-	m2 := newManager(2, 8, 8, nil, &persister{store: st2, logf: t.Logf})
+	m2 := newManager(2, 8, 8, 0, nil, &persister{store: st2, logf: t.Logf})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -239,7 +239,7 @@ func TestRestartRequeuesMoreJobsThanQueueDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1 := newManager(0, 16, 0, nil, &persister{store: st1, logf: t.Logf})
+	m1 := newManager(0, 16, 0, 0, nil, &persister{store: st1, logf: t.Logf})
 	const n = 6
 	for i := 0; i < n; i++ {
 		csv := "A,B\n" + string(rune('a'+i)) + ",x\n"
@@ -253,7 +253,7 @@ func TestRestartRequeuesMoreJobsThanQueueDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2 := newManager(1, 2, 0, nil, &persister{store: st2, logf: t.Logf}) // depth 2 < 6 restored
+	m2 := newManager(1, 2, 0, 0, nil, &persister{store: st2, logf: t.Logf}) // depth 2 < 6 restored
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -317,7 +317,7 @@ func TestPersistedCancelSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1 := newManager(0, 8, 0, nil, &persister{store: st1, logf: t.Logf})
+	m1 := newManager(0, 8, 0, 0, nil, &persister{store: st1, logf: t.Logf})
 	job, err := m1.Submit(specFor(t, addressCSV))
 	if err != nil {
 		t.Fatal(err)
@@ -334,7 +334,7 @@ func TestPersistedCancelSurvivesRestart(t *testing.T) {
 	if rep.Incomplete != 0 || rep.Terminal != 1 {
 		t.Fatalf("cancelled job not terminal on disk: %+v", rep)
 	}
-	m2 := newManager(1, 8, 0, nil, &persister{store: st2, logf: t.Logf})
+	m2 := newManager(1, 8, 0, 0, nil, &persister{store: st2, logf: t.Logf})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -59,6 +59,11 @@ type Config struct {
 	// CacheEntries bounds the content-hash result cache; 0 uses the
 	// default (64), negative disables caching.
 	CacheEntries int
+	// CacheBytes bounds the result cache by the summed encoded size of
+	// its entries — delta-derived (lineage child) results are charged
+	// like any other; 0 uses the default (64 MiB), negative disables
+	// the byte budget (count-only bounding).
+	CacheBytes int64
 	// MetricsName registers the aggregated per-stage pipeline metrics
 	// under this expvar name (default "normalize_stages"; "-" skips
 	// registration, for processes embedding several servers).
@@ -91,6 +96,9 @@ func (c *Config) fill() {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
 	}
 	if c.MetricsName == "" {
 		c.MetricsName = "normalize_stages"
@@ -132,7 +140,7 @@ func New(cfg Config) (*Server, error) {
 		s.store, s.recovery = store, report
 		p = &persister{store: store, logf: cfg.Logf}
 	}
-	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, s.metrics, p)
+	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.CacheBytes, s.metrics, p)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -263,6 +271,14 @@ type jobRequest struct {
 	Lenient bool `json:"lenient,omitempty"`
 	// Dataset selects a built-in generator instead of an upload.
 	Dataset *datasetSpec `json:"dataset,omitempty"`
+	// Parent makes this a delta job: CSV carries only appended rows
+	// (same header as the parent's input) and the job re-normalizes the
+	// parent's instance plus those rows incrementally, reusing the
+	// parent run's FD cover and scoring facts. Parent names a prior job
+	// by ID or by content-hash cache key; the referenced job must have
+	// completed ("done") without degradations. Delta jobs cannot combine
+	// with dataset generators, lenient parsing, or resource budgets.
+	Parent string `json:"parent,omitempty"`
 	// Options maps onto normalize.Options.
 	Options optionsSpec `json:"options"`
 }
@@ -287,12 +303,27 @@ type optionsSpec struct {
 	MaxMemoryBytes int64  `json:"max_memory_bytes,omitempty"`
 }
 
-// buildSpec validates a request into an immutable jobSpec.
+// buildSpec validates a request into an immutable jobSpec. A delta
+// job's cache key cannot be derived here — it needs the parent
+// reference resolved to a content key first — so spec.key stays empty
+// until the manager's submit path (or decodeSpec, which persists the
+// resolved key) fills it via finalizeDeltaKey.
 func buildSpec(req *jobRequest) (*jobSpec, error) {
 	hasCSV := req.CSV != ""
 	hasGen := req.Dataset != nil
 	if hasCSV == hasGen {
 		return nil, errors.New("exactly one of csv or dataset must be set")
+	}
+	if req.Parent != "" {
+		if hasGen {
+			return nil, errors.New("delta jobs take appended csv rows, not a dataset generator")
+		}
+		if req.Lenient {
+			return nil, errors.New("delta jobs cannot use lenient parsing")
+		}
+		if req.Options.MaxRows != 0 || req.Options.MaxFDs != 0 || req.Options.MaxMemoryBytes != 0 {
+			return nil, errors.New("delta jobs cannot use resource budgets")
+		}
 	}
 	if req.Options.MaxLhs < 0 || req.Options.Workers < 0 || req.Options.TimeoutMS < 0 ||
 		req.Options.MaxRows < 0 || req.Options.MaxFDs < 0 || req.Options.MaxMemoryBytes < 0 {
@@ -338,15 +369,24 @@ func buildSpec(req *jobRequest) (*jobSpec, error) {
 		spec.artists = req.Dataset.Artists
 		spec.seed = req.Dataset.Seed
 	}
-	spec.key = cacheKey(spec)
+	spec.parentRef = req.Parent
+	if spec.parentRef == "" {
+		spec.key = cacheKey(spec)
+	}
 	return spec, nil
 }
 
 // jobStatus is the wire form of a job's lifecycle state.
 type jobStatus struct {
-	ID           string                   `json:"id"`
-	State        State                    `json:"state"`
-	Cached       bool                     `json:"cached,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Key is the job's content-hash cache key — the stable name a later
+	// delta submission can pass as "parent" (job IDs die with the job
+	// listing; keys are derived from content and survive restarts).
+	Key string `json:"key,omitempty"`
+	// Parent is the resolved parent content key of a delta job.
+	Parent string `json:"parent,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
 	Created      time.Time                `json:"created"`
 	Started      *time.Time               `json:"started,omitempty"`
 	Finished     *time.Time               `json:"finished,omitempty"`
@@ -371,6 +411,10 @@ func statusOf(j *Job) jobStatus {
 			"result":    "/v1/jobs/" + j.ID + "/result",
 			"telemetry": "/v1/jobs/" + j.ID + "/telemetry",
 		},
+	}
+	if j.spec != nil {
+		st.Key = j.spec.key
+		st.Parent = j.spec.parentKey
 	}
 	if !started.IsZero() {
 		st.Started = &started
@@ -414,6 +458,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.m.Submit(spec)
 	switch {
+	case errors.Is(err, ErrBadParent):
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

@@ -531,7 +531,7 @@ func TestBusSlowSubscriberStillSeesTerminalEvent(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	r1, r2, r3 := &normalize.Result{}, &normalize.Result{}, &normalize.Result{}
 	c.put("a", r1)
 	c.put("b", r2)
@@ -552,7 +552,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Errorf("len = %d", c.Len())
 	}
 	// Disabled cache accepts and returns nothing.
-	off := newResultCache(-1)
+	off := newResultCache(-1, 0)
 	off.put("a", r1)
 	if _, ok := off.get("a"); ok {
 		t.Error("disabled cache returned a hit")

@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"normalize/internal/core"
+	"normalize/internal/delta"
 	"normalize/internal/discovery/ind"
 	"normalize/internal/export"
 	"normalize/internal/relation"
@@ -256,6 +257,54 @@ func NormalizeAllContext(ctx context.Context, rels []*Relation, opts Options) (*
 // the BCNF condition; it returns nil when the table conforms.
 func VerifyNormalForm(t *Table) error {
 	return core.VerifyNormalForm(t)
+}
+
+// DeltaConfig tunes one incremental delta normalization; see
+// NormalizeDelta.
+type DeltaConfig = delta.Config
+
+// DeltaStats reports the incremental work of one delta normalization:
+// candidates actually re-validated against the appended rows, parent
+// cover FDs demoted versus reused, and whether the fallback to full
+// re-discovery fired.
+type DeltaStats = delta.Stats
+
+// AppendRelation derives the combined relation base+rows with a
+// columnar backing that extends the base's dictionary encoding, so the
+// result is byte-identical to a fresh ingest of the concatenation and
+// its profiling structures can be extended instead of rebuilt.
+func AppendRelation(base *Relation, rows [][]string) (*Relation, error) {
+	return delta.AppendRelation(base, rows)
+}
+
+// NormalizeDelta incrementally normalizes base plus the appended rows
+// against a prior run's result instead of starting from scratch: the
+// parent's minimal FD cover is re-validated only against the tuple
+// pairs the new rows can have created, and its exact scoring facts are
+// advanced in O(delta). The returned Result is byte-equivalent — DDL,
+// schema JSON, per-table instances — to a from-scratch run on the
+// concatenated input with the same options, at every worker count.
+//
+// The parent result must come from a completed, undegraded run of this
+// library version (its Cover and ScoreMemo fields populated — true for
+// every fresh Normalize result, preserved by EncodeResult/DecodeResult)
+// and cfg.Options must match the parent run's for the differential
+// guarantee to hold. Custom discovery and budgets do not compose with
+// the incremental path and are rejected.
+func NormalizeDelta(ctx context.Context, base *Relation, rows [][]string, parent *Result, cfg DeltaConfig) (*Result, *DeltaStats, error) {
+	return delta.Normalize(ctx, base, rows, parent, cfg)
+}
+
+// EncodeResult serializes a Result — including the FD cover and exact
+// scoring facts NormalizeDelta needs — into a self-contained payload
+// that DecodeResult restores in another process.
+func EncodeResult(res *Result) ([]byte, error) {
+	return core.EncodeResult(res)
+}
+
+// DecodeResult rebuilds a Result from EncodeResult's output.
+func DecodeResult(data []byte) (*Result, error) {
+	return core.DecodeResult(data)
 }
 
 // DDL renders a normalized schema as SQL CREATE TABLE statements with
