@@ -366,7 +366,7 @@ func BenchmarkAblationUCCAlgorithms(b *testing.B) {
 // multi-core machines this is the speedup curve of the validation pool.
 func BenchmarkHyFDWorkers(b *testing.B) {
 	rel := mustDS(b)(datagen.TPCH(0.0002, 1)).Denormalized
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("workers-"+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				hyfd.Discover(rel, hyfd.Options{MaxLhs: 3, Parallel: true, Workers: workers})
@@ -404,7 +404,7 @@ func BenchmarkHyFDSubstrate(b *testing.B) {
 // concurrent worklist pre-analysis end to end.
 func BenchmarkNormalizeWorkers(b *testing.B) {
 	ds := mustDS(b)(datagen.TPCH(0.0002, 1))
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("workers-"+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.NormalizeRelation(ds.Denormalized, core.Options{MaxLhs: 3, Workers: workers}); err != nil {

@@ -69,6 +69,7 @@ func main() {
 		os.Exit(1)
 	}
 	stripProcsSuffix(rep.Benchmarks)
+	deriveWorkerSpeedups(rep.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -106,6 +107,49 @@ func stripProcsSuffix(benchmarks []benchmark) {
 		b := &benchmarks[i]
 		b.Name = b.Name[:strings.LastIndex(b.Name, "-")]
 		b.Procs = common
+	}
+}
+
+// deriveWorkerSpeedups attaches a "speedup_vs_1w" metric to every
+// entry of a worker-count series — benchmarks named ".../workers-N" —
+// relating its ns/op to the workers-1 entry of the same series. With
+// -count > 1 a series holds repeated entries per worker count; the
+// baseline is the mean ns/op of all its workers-1 entries, so the
+// derived field stays stable across repetition counts. Entries without
+// a workers-1 sibling are left untouched.
+func deriveWorkerSpeedups(benchmarks []benchmark) {
+	const marker = "/workers-"
+	base := make(map[string]struct {
+		sum float64
+		n   int
+	})
+	for _, b := range benchmarks {
+		i := strings.LastIndex(b.Name, marker)
+		if i < 0 || b.Name[i+len(marker):] != "1" {
+			continue
+		}
+		agg := base[b.Name[:i]]
+		agg.sum += b.NsPerOp
+		agg.n++
+		base[b.Name[:i]] = agg
+	}
+	for i := range benchmarks {
+		b := &benchmarks[i]
+		j := strings.LastIndex(b.Name, marker)
+		if j < 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(b.Name[j+len(marker):]); err != nil {
+			continue
+		}
+		agg, ok := base[b.Name[:j]]
+		if !ok || agg.n == 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics["speedup_vs_1w"] = (agg.sum / float64(agg.n)) / b.NsPerOp
 	}
 }
 

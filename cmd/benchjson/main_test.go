@@ -74,3 +74,46 @@ func TestStripProcsSuffix(t *testing.T) {
 		t.Errorf("mixed run stripped anyway: %+v", bs[0])
 	}
 }
+
+func TestDeriveWorkerSpeedups(t *testing.T) {
+	bs := []benchmark{
+		{Name: "BenchmarkHyFDWorkers/workers-1", NsPerOp: 1000},
+		{Name: "BenchmarkHyFDWorkers/workers-2", NsPerOp: 500},
+		{Name: "BenchmarkHyFDWorkers/workers-4", NsPerOp: 250},
+		{Name: "BenchmarkNormalizeWorkers/workers-1", NsPerOp: 4000},
+		{Name: "BenchmarkNormalizeWorkers/workers-4", NsPerOp: 2000},
+		{Name: "BenchmarkFigure3TPCH", NsPerOp: 99},
+	}
+	deriveWorkerSpeedups(bs)
+	for i, want := range []float64{1, 2, 4, 1, 2} {
+		if got := bs[i].Metrics["speedup_vs_1w"]; got != want {
+			t.Errorf("%s: speedup_vs_1w = %v, want %v", bs[i].Name, got, want)
+		}
+	}
+	if bs[5].Metrics != nil {
+		t.Errorf("non-series benchmark gained metrics: %+v", bs[5])
+	}
+
+	// -count > 1 repeats every entry; the baseline is the MEAN of the
+	// workers-1 entries, applied to each repetition.
+	bs = []benchmark{
+		{Name: "BenchmarkHyFDWorkers/workers-1", NsPerOp: 900},
+		{Name: "BenchmarkHyFDWorkers/workers-2", NsPerOp: 550},
+		{Name: "BenchmarkHyFDWorkers/workers-1", NsPerOp: 1100},
+		{Name: "BenchmarkHyFDWorkers/workers-2", NsPerOp: 450},
+	}
+	deriveWorkerSpeedups(bs)
+	if got := bs[1].Metrics["speedup_vs_1w"]; got != 1000.0/550.0 {
+		t.Errorf("repeated series: speedup_vs_1w = %v, want %v", got, 1000.0/550.0)
+	}
+	if got := bs[0].Metrics["speedup_vs_1w"]; got != 1000.0/900.0 {
+		t.Errorf("workers-1 repetition: speedup_vs_1w = %v, want %v", got, 1000.0/900.0)
+	}
+
+	// A series without a workers-1 baseline is left untouched.
+	bs = []benchmark{{Name: "BenchmarkX/workers-4", NsPerOp: 10}}
+	deriveWorkerSpeedups(bs)
+	if bs[0].Metrics != nil {
+		t.Errorf("baseline-less series gained metrics: %+v", bs[0])
+	}
+}

@@ -82,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "bcnf", "target normal form: bcnf, 3nf, or 2nf")
 	algo := fs.String("algo", "hyfd", "FD discovery algorithm: hyfd, tane, or dfd")
 	maxLhs := fs.Int("maxlhs", 0, "prune FDs with left-hand sides larger than this (0 = unbounded)")
-	workers := fs.Int("workers", 0, "worker goroutines for candidate validation and closure (0 = all CPUs, 1 = serial)")
+	workers := fs.Int("workers", 0, "worker goroutines for the work-stealing validation pool, pair sampling, dictionary encoding, and closure (0 = all CPUs, 1 = serial; results are identical at every count)")
 	out := fs.String("out", "", "directory for DDL and decomposed CSV files")
 	dot := fs.Bool("dot", false, "print the schema as a Graphviz digraph instead of DDL")
 	asJSON := fs.Bool("json", false, "print the schema as JSON instead of DDL")

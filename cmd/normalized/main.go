@@ -4,9 +4,9 @@
 // live per-stage progress as Server-Sent Events, per-job cancellation,
 // a content-hash result cache, and pipeline metrics on /debug/vars.
 //
-//	normalized [-addr :8080] [-workers N] [-queue N] [-max-body BYTES]
-//	           [-cache N] [-data-dir DIR] [-fsync] [-drain-grace DUR]
-//	           [-quiet]
+//	normalized [-addr :8080] [-workers N] [-job-workers N] [-queue N]
+//	           [-max-body BYTES] [-cache N] [-data-dir DIR] [-fsync]
+//	           [-drain-grace DUR] [-quiet]
 //	normalized -follow LEADER-URL -data-dir DIR [-addr :8080] [-fsync]
 //	           [-repl-stale-after DUR] [-repl-max-lag BYTES]
 //
@@ -62,7 +62,8 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 	log.SetPrefix("normalized: ")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 2, "normalization worker pool size")
+	workers := flag.Int("workers", 2, "normalization worker pool size (concurrent jobs)")
+	jobWorkers := flag.Int("job-workers", 0, "default validation workers per job when a request omits options.workers (0 = all CPUs)")
 	queue := flag.Int("queue", 32, "job queue depth (full queue rejects with 503)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	cache := flag.Int("cache", 64, "result cache entries (negative disables)")
@@ -91,6 +92,7 @@ func main() {
 
 	cfg := server.Config{
 		Workers:      *workers,
+		JobWorkers:   *jobWorkers,
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		CacheEntries: *cache,

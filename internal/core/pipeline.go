@@ -665,7 +665,7 @@ func (p *run) discoverFDs(ctx context.Context, rel *relation.Relation) (*fd.Set,
 				fds = p.opts.Discover(rel)
 			default:
 				var sub *plicache.Substrate
-				if sub, derr = p.cache.For(ctx, rel); derr == nil {
+				if sub, derr = p.cache.ForWorkers(ctx, rel, p.opts.Workers); derr == nil {
 					fds, derr = hyfd.DiscoverContext(ctx, rel, hyfd.Options{
 						MaxLhs: maxLhs, Parallel: true, Workers: p.opts.Workers,
 						Substrate: sub,
@@ -918,7 +918,7 @@ func (p *run) rankViolatingFDs(t *Table, viol []*fd.FD) []RankedFD {
 			if i == j {
 				continue
 			}
-			shared.UnionWith(v.Rhs.Intersect(other.Rhs))
+			shared.UnionWithIntersection(v.Rhs, other.Rhs)
 		}
 		ranked[i] = RankedFD{
 			FD:        v,

@@ -70,6 +70,11 @@ type scoreIndex struct {
 
 	distinct map[string]int
 	maxLen   map[string]int
+
+	// ipool lends arena-backed intersectors to concurrent computeDistinct
+	// calls: the intersection chain is consumed before the intersector is
+	// returned, so the arena's transient-result contract holds.
+	ipool sync.Pool
 }
 
 // newScoreIndex binds an index to the root instance. sub may be nil
@@ -145,7 +150,11 @@ func (ix *scoreIndex) computeDistinct(attrs *bitset.Set) int {
 	})
 	rows := ix.sub.NumRows()
 	p := ix.sub.PLI(elems[0])
-	var isx pli.Intersector
+	isx, _ := ix.ipool.Get().(*pli.Intersector)
+	if isx == nil {
+		isx = pli.NewArenaIntersector()
+	}
+	defer ix.ipool.Put(isx)
 	for _, a := range elems[1:] {
 		if p.IsUnique() {
 			return rows

@@ -3,7 +3,6 @@ package delta
 import (
 	"context"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"normalize/internal/bitset"
@@ -13,6 +12,7 @@ import (
 	"normalize/internal/pli"
 	"normalize/internal/plicache"
 	"normalize/internal/relation"
+	"normalize/internal/wsteal"
 )
 
 // revalidator re-runs HyFD's validate/induct loop with two changes:
@@ -31,12 +31,13 @@ type revalidator struct {
 	enc      *relation.Encoded
 	n        int
 	maxLhs   int
-	workers  int
 	baseRows int
 	tree     *fd.Tree
 	plis     []*pli.PLI
 	inverted [][]int
-	ix       pli.Intersector
+	ix       *pli.Intersector   // arena scratch of the serial path
+	pool     *wsteal.Pool       // nil on the serial path
+	wixs     []*pli.Intersector // per-worker-slot arena intersectors
 
 	// seeds tracks the parent cover's surviving RHS attributes per LHS
 	// for the demotion/reuse accounting and the fallback decision.
@@ -66,12 +67,23 @@ func revalidate(ctx context.Context, sub *plicache.Substrate, cover *fd.Set, bas
 		enc:      enc,
 		n:        n,
 		maxLhs:   maxLhs,
-		workers:  workers,
 		baseRows: baseRows,
 		tree:     fd.NewTree(n),
 		plis:     make([]*pli.PLI, n),
 		inverted: make([][]int, n),
+		ix:       pli.NewArenaIntersector(),
 		seeds:    make(map[string]*bitset.Set, cover.Len()),
+	}
+	// Seeded revalidation rides the same work-stealing scheduler as full
+	// discovery: one persistent pool for the whole sweep, range-split
+	// levels, verdicts folded from the ordered commit.
+	if workers > 1 {
+		d.pool = wsteal.New(workers)
+		defer d.pool.Close()
+		d.wixs = make([]*pli.Intersector, workers)
+		for i := range d.wixs {
+			d.wixs[i] = pli.NewArenaIntersector()
+		}
 	}
 	for a := 0; a < n; a++ {
 		if d.canceled() {
@@ -128,20 +140,24 @@ func (d *revalidator) sweep(frac float64, fellBack *bool) error {
 		if len(cands) == 0 {
 			continue
 		}
-		verdicts, err := d.check(cands)
-		if err != nil {
-			return err
-		}
-		if d.canceled() {
-			return d.ctx.Err()
-		}
-		for _, v := range verdicts {
+		// Verdicts fold on the coordinating goroutine in candidate
+		// order — from the pool's ordered commit on the parallel path —
+		// so the tree evolves identically at every worker count while
+		// induction overlaps the checks of later candidates.
+		process := func(v verdict) error {
 			if v.invalid == nil {
-				continue
+				return nil
 			}
 			for _, p := range v.pairs {
 				d.induct(d.agreeSet(p[0], p[1]))
 			}
+			return nil
+		}
+		if err := d.check(cands, process); err != nil {
+			return err
+		}
+		if d.canceled() {
+			return d.ctx.Err()
 		}
 		if budget >= 0 && d.demoted > budget {
 			*fellBack = true
@@ -163,63 +179,37 @@ type verdict struct {
 	pairs   [][2]int
 }
 
-// check validates one level's candidates, in parallel when the level is
-// large enough — the same pool shape as hyfd: an index feed, per-worker
-// Intersector scratch, guard-wrapped work, first error wins and the
-// rest of the feed drains. Verdicts fold back by index, so the outcome
-// is identical at every worker count.
-func (d *revalidator) check(cands []candidate) ([]verdict, error) {
-	out := make([]verdict, len(cands))
-	workers := d.workers
-	if workers <= 0 {
-		workers = 1
-	}
-	if workers == 1 || len(cands) < 8 {
-		for i, c := range cands {
+// check validates one level's candidates and feeds every verdict — in
+// candidate order — to process, exactly like hyfd's check: serial for
+// small levels, otherwise range-split across the persistent
+// work-stealing pool with per-worker-slot arena Intersector scratch,
+// guard-wrapped work, and the first error poisoning the batch.
+func (d *revalidator) check(cands []candidate, process func(verdict) error) error {
+	if d.pool == nil || len(cands) < 8 {
+		for _, c := range cands {
 			if d.canceled() {
-				return out, nil
+				return nil
 			}
+			var v verdict
 			if err := guard.Run("delta validation", func() error {
-				out[i] = d.checkOne(c, &d.ix)
+				v = d.checkOne(c, d.ix)
 				return nil
 			}); err != nil {
-				return out, err
+				return err
+			}
+			if err := process(v); err != nil {
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		workErr  error
-		poisoned atomic.Bool
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ix pli.Intersector
-			for i := range next {
-				if d.canceled() || poisoned.Load() {
-					continue
-				}
-				if err := guard.Run("delta validation worker", func() error {
-					out[i] = d.checkOne(cands[i], &ix)
-					return nil
-				}); err != nil {
-					errOnce.Do(func() { workErr = err })
-					poisoned.Store(true)
-				}
-			}
-		}()
-	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out, workErr
+	out := make([]verdict, len(cands))
+	return d.pool.Run(d.ctx, "delta validation worker", len(cands), func(i, slot int) error {
+		out[i] = d.checkOne(cands[i], d.wixs[slot])
+		return nil
+	}, func(i int) error {
+		return process(out[i])
+	})
 }
 
 // checkOne validates one candidate against only the delta-touched part

@@ -33,7 +33,6 @@ import (
 	"context"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"normalize/internal/bitset"
@@ -45,6 +44,7 @@ import (
 	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
+	"normalize/internal/wsteal"
 )
 
 // effectiveWorkers resolves the validation worker count: Workers wins
@@ -120,8 +120,11 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	}
 	sub := opts.Substrate
 	if sub == nil {
+		// A missing substrate is built here with the run's worker hint:
+		// the dictionary encode rides the sharded interner row-parallel,
+		// producing the identical encoding at every worker count.
 		var err error
-		sub, err = plicache.Build(ctx, rel)
+		sub, err = plicache.BuildWorkers(ctx, rel, opts.effectiveWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -143,16 +146,27 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	}
 
 	d := &discoverer{
-		ctx:    ctx,
-		done:   ctx.Done(),
-		enc:    enc,
-		n:      n,
-		maxLhs: maxLhs,
-		tree:   fd.NewTree(n),
-		tr:     opts.Budget,
-		opts:   opts,
+		ctx:     ctx,
+		done:    ctx.Done(),
+		enc:     enc,
+		n:       n,
+		maxLhs:  maxLhs,
+		tree:    fd.NewTree(n),
+		tr:      opts.Budget,
+		opts:    opts,
+		ix:      pli.NewArenaIntersector(),
+		full:    bitset.Full(n),
+		outside: bitset.New(n),
 	}
 	defer d.flushCounters(observe.Or(opts.Observer))
+	// One persistent work-stealing pool serves the whole run: PLI
+	// prewarm, pair sampling, and every validation level. Workers park
+	// between batches instead of respawning per level.
+	if workers := opts.effectiveWorkers(); workers > 1 {
+		d.pool = wsteal.New(workers)
+		defer d.pool.Close()
+		d.workersSpawned = int64(workers)
+	}
 	if err := d.buildPLIs(sub); err != nil {
 		return nil, err
 	}
@@ -218,7 +232,11 @@ type discoverer struct {
 	inverted [][]int // row → cluster per attribute, shared by workers
 	sampler  *sampler
 	opts     Options
-	ix       pli.Intersector // scratch of the serial validation path
+	ix       *pli.Intersector   // arena scratch of the serial validation path
+	pool     *wsteal.Pool       // nil on the serial path
+	wixs     []*pli.Intersector // per-worker-slot arena intersectors
+	full     *bitset.Set        // constant {0..n-1}, source for outside
+	outside  *bitset.Set        // induct's reusable ¬agree scratch
 
 	// Work counters, flushed to the observer when discovery returns.
 	// The atomics are shared with the parallel validation workers; the
@@ -246,6 +264,9 @@ func (d *discoverer) flushCounters(obs observe.Observer) {
 	flush(observe.CounterValidationWorkers, d.workersSpawned)
 	flush(observe.CounterPLIsIntersected, d.plisIntersected.Load())
 	flush(observe.CounterCandidatesChecked, d.candidatesChecked.Load())
+	if d.pool != nil {
+		flush(observe.CounterValidationSteals, d.pool.Steals())
+	}
 }
 
 // canceled is the non-blocking cancellation poll of the hot loops.
@@ -266,14 +287,24 @@ func (d *discoverer) canceled() bool {
 func (d *discoverer) buildPLIs(sub *plicache.Substrate) error {
 	d.plis = make([]*pli.PLI, d.n)
 	d.inverted = make([][]int, d.n)
+	// Each per-attribute index retains roughly two ints per row. The
+	// charge happens in the ordered commit even on the parallel path, so
+	// a budget trips at the same attribute at every worker count.
+	charge := func(int) error { return d.tr.Grow(16 * int64(d.enc.NumRows)) }
+	if d.pool != nil {
+		return d.pool.Run(d.ctx, "hyfd pli build", d.n, func(a, _ int) error {
+			d.plis[a] = sub.PLI(a)
+			d.inverted[a] = sub.Inverted(a)
+			return nil
+		}, charge)
+	}
 	for a := 0; a < d.n; a++ {
 		if d.canceled() {
 			return d.ctx.Err()
 		}
 		d.plis[a] = sub.PLI(a)
 		d.inverted[a] = sub.Inverted(a)
-		// Each per-attribute index retains roughly two ints per row.
-		if err := d.tr.Grow(16 * int64(d.enc.NumRows)); err != nil {
+		if err := charge(a); err != nil {
 			return err
 		}
 	}
@@ -281,18 +312,20 @@ func (d *discoverer) buildPLIs(sub *plicache.Substrate) error {
 }
 
 // sampleAndInduct runs the sampler for the given number of window
-// rounds and folds every new agree set into the positive cover.
+// rounds and folds every new agree set into the positive cover. With a
+// pool the per-cluster pair comparisons run on the workers while the
+// coordinator inducts earlier clusters' agree sets — the sets arrive
+// in cluster order either way, so the cover evolves identically.
 func (d *discoverer) sampleAndInduct(rounds int) error {
-	for i, s := range d.sampler.run(rounds) {
+	i := 0
+	return d.sampler.run(d.ctx, rounds, d.pool, func(s *bitset.Set) error {
 		if i&63 == 0 && d.canceled() {
 			return d.ctx.Err()
 		}
+		i++
 		d.agreeSets++
-		if err := d.induct(s); err != nil {
-			return err
-		}
-	}
-	return nil
+		return d.induct(s)
+	})
 }
 
 // induct updates the candidate tree with the non-FD evidence of one
@@ -313,7 +346,7 @@ func (d *discoverer) induct(agree *bitset.Set) error {
 	}
 	var tripped error
 	fdBytes := budget.FDBytes(d.n)
-	outside := bitset.Full(d.n).DifferenceWith(agree)
+	outside := d.outside.CopyFrom(d.full).DifferenceWith(agree)
 	for _, v := range violated {
 		d.tree.RemoveRhs(v.Lhs, v.Rhs)
 		if v.Lhs.Cardinality() >= d.maxLhs {
@@ -395,21 +428,16 @@ func (d *discoverer) validate() error {
 		if len(cands) == 0 {
 			continue
 		}
-		verdicts, err := d.check(cands)
-		if err != nil {
-			return err
-		}
-		if d.canceled() {
-			return d.ctx.Err()
-		}
+		// process folds one verdict into the cover. It always runs on
+		// the coordinating goroutine, in ascending candidate order —
+		// serially after each check on the serial path, from the pool's
+		// ordered commit on the parallel path — so the tree sees the
+		// identical mutation sequence at every worker count.
 		total, invalid := 0, 0
-		for i, v := range verdicts {
-			if i&15 == 0 && d.canceled() {
-				return d.ctx.Err()
-			}
+		process := func(v verdict) error {
 			total += v.cand.rhs.Cardinality()
 			if v.invalid == nil {
-				continue
+				return nil
 			}
 			invalid += v.invalid.Cardinality()
 			d.violationsFound += int64(v.invalid.Cardinality())
@@ -417,12 +445,22 @@ func (d *discoverer) validate() error {
 			// inductor removes the refuted candidates and specializes
 			// them one level up. (A single pass per level suffices:
 			// removals only hit refuted candidates, and every insert
-			// lands at a deeper level than the candidate it replaces.)
+			// lands at a deeper level than the candidate it replaces —
+			// which is also why committing verdict i while candidates
+			// j > i are still being checked is safe: checks read only
+			// the immutable indexes, never the tree.)
 			for _, p := range v.pairs {
 				if err := d.induct(d.agreeSet(p[0], p[1])); err != nil {
 					return err
 				}
 			}
+			return nil
+		}
+		if err := d.check(cands, process); err != nil {
+			return err
+		}
+		if d.canceled() {
+			return d.ctx.Err()
 		}
 		// Switching heuristic: if validation found mostly garbage,
 		// cheaper sampling likely prunes the next levels better.
@@ -435,63 +473,54 @@ func (d *discoverer) validate() error {
 	return nil
 }
 
-// check validates the candidates of one level against the data,
-// optionally in parallel. On cancellation the remaining candidates are
-// skipped (workers drain the feed without doing work and exit), and the
-// caller re-checks the context before trusting the verdicts. A panic in
-// a worker is recovered inside that goroutine (recover is per-goroutine,
-// so the coordinator's stage guard cannot see it) and surfaces as a
-// *guard.PanicError; the first one wins and the rest of the feed drains.
-func (d *discoverer) check(cands []candidate) ([]verdict, error) {
-	out := make([]verdict, len(cands))
-	workers := d.opts.effectiveWorkers()
-	if workers == 1 || len(cands) < 8 {
-		for i, c := range cands {
+// check validates the candidates of one level against the data and
+// feeds every verdict — in candidate order — to process. With a pool
+// the candidates are range-split across the persistent workers (idle
+// workers steal from loaded ones), while the coordinator inducts
+// verdicts as their turn comes instead of waiting for a level barrier.
+// On cancellation the remaining candidates are skipped and the caller
+// re-checks the context. A panic in a worker is recovered inside that
+// goroutine and surfaces as a *guard.PanicError.
+func (d *discoverer) check(cands []candidate, process func(verdict) error) error {
+	if d.pool == nil || len(cands) < 8 {
+		for _, c := range cands {
 			if d.canceled() {
-				return out, nil
+				return nil
 			}
+			var v verdict
 			if err := guard.Run("hyfd validation", func() error {
-				out[i] = d.checkOne(c, &d.ix)
+				v = d.checkOne(c, d.ix)
 				return nil
 			}); err != nil {
-				return out, err
+				return err
+			}
+			if err := process(v); err != nil {
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
-	d.workersSpawned += int64(workers)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		workErr  error
-		poisoned atomic.Bool
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ix pli.Intersector // per-worker scratch, never shared
-			for i := range next {
-				if d.canceled() || poisoned.Load() {
-					continue // keep draining so the feeder never blocks
-				}
-				if err := guard.Run("hyfd validation worker", func() error {
-					out[i] = d.checkOne(cands[i], &ix)
-					return nil
-				}); err != nil {
-					errOnce.Do(func() { workErr = err })
-					poisoned.Store(true)
-				}
-			}
-		}()
+	out := make([]verdict, len(cands))
+	ixs := d.slotIntersectors()
+	return d.pool.Run(d.ctx, "hyfd validation worker", len(cands), func(i, slot int) error {
+		out[i] = d.checkOne(cands[i], ixs[slot])
+		return nil
+	}, func(i int) error {
+		return process(out[i])
+	})
+}
+
+// slotIntersectors lazily builds one arena-backed Intersector per pool
+// worker slot; each verdict's partition chain is consumed inside
+// checkOne, so the arena's transient-result contract holds.
+func (d *discoverer) slotIntersectors() []*pli.Intersector {
+	if d.wixs == nil {
+		d.wixs = make([]*pli.Intersector, d.pool.Workers())
+		for i := range d.wixs {
+			d.wixs[i] = pli.NewArenaIntersector()
+		}
 	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out, workErr
+	return d.wixs
 }
 
 // checkOne validates a single candidate: it materializes the LHS

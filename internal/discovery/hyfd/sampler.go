@@ -1,11 +1,13 @@
 package hyfd
 
 import (
+	"context"
 	"sort"
 
 	"normalize/internal/bitset"
 	"normalize/internal/pli"
 	"normalize/internal/relation"
+	"normalize/internal/wsteal"
 )
 
 // sampler produces non-FD evidence by comparing record pairs that are
@@ -71,13 +73,46 @@ func newSampler(enc *relation.Encoded, plis []*pli.PLI) *sampler {
 // comparisons.
 func (s *sampler) hasMore() bool { return s.window < s.maxCluster }
 
-// run executes up to rounds window-widening passes and returns the
-// agree sets not seen before.
-func (s *sampler) run(rounds int) []*bitset.Set {
-	var out []*bitset.Set
+// run executes up to rounds window-widening passes, calling emit for
+// every agree set not seen before. With a pool the per-cluster pair
+// comparisons run on the workers; the dedup against seen and the emit
+// happen in the pool's ordered commit, so the emitted sequence is
+// byte-identical to the serial sweep (cluster order, then pair order)
+// at every worker count — while emit (FD induction) overlaps the
+// comparison of later clusters.
+func (s *sampler) run(ctx context.Context, rounds int, pool *wsteal.Pool, emit func(*bitset.Set) error) error {
 	for r := 0; r < rounds && s.hasMore(); r++ {
 		w := s.window
 		s.window++
+		if pool != nil && len(s.clusters) >= 2 {
+			perCluster := make([][]*bitset.Set, len(s.clusters))
+			err := pool.Run(ctx, "hyfd sampling", len(s.clusters), func(i, _ int) error {
+				cluster := s.clusters[i]
+				var sets []*bitset.Set
+				for j := 0; j+w < len(cluster); j++ {
+					sets = append(sets, s.agreeSet(cluster[j], cluster[j+w]))
+				}
+				perCluster[i] = sets
+				return nil
+			}, func(i int) error {
+				for _, a := range perCluster[i] {
+					k := a.Key()
+					if s.seen[k] {
+						continue
+					}
+					s.seen[k] = true
+					if err := emit(a); err != nil {
+						return err
+					}
+				}
+				perCluster[i] = nil
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
 		for _, cluster := range s.clusters {
 			for i := 0; i+w < len(cluster); i++ {
 				a := s.agreeSet(cluster[i], cluster[i+w])
@@ -86,11 +121,13 @@ func (s *sampler) run(rounds int) []*bitset.Set {
 					continue
 				}
 				s.seen[k] = true
-				out = append(out, a)
+				if err := emit(a); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return out
+	return nil
 }
 
 func (s *sampler) agreeSet(r1, r2 int) *bitset.Set {

@@ -3,8 +3,6 @@ package ucc
 import (
 	"context"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"normalize/internal/bitset"
 	"normalize/internal/guard"
@@ -13,6 +11,7 @@ import (
 	"normalize/internal/plicache"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
+	"normalize/internal/wsteal"
 )
 
 // DiscoverHybrid finds all minimal unique column combinations with the
@@ -44,7 +43,7 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	sub := opts.Substrate
 	if sub == nil {
 		var err error
-		sub, err = plicache.Build(ctx, rel)
+		sub, err = plicache.BuildWorkers(ctx, rel, opts.effectiveWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -156,9 +155,26 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	// indexes — never the candidate cover — so a level's candidates can be
 	// checked in any order (or concurrently) and the verdicts folded back
 	// in candidate order, which is observably identical to the serial
-	// check-then-induct loop for every worker count.
-	workers := opts.effectiveWorkers()
-	var ix pli.Intersector // scratch of the serial path
+	// check-then-induct loop for every worker count. The parallel path
+	// rides the work-stealing pool: candidates are range-split across
+	// persistent workers and each verdict is folded from the pool's
+	// ordered commit, so induction of candidate i overlaps the checks of
+	// candidates j > i instead of waiting for a level barrier.
+	var pool *wsteal.Pool
+	var ixs []*pli.Intersector
+	if workers := opts.effectiveWorkers(); workers > 1 {
+		pool = wsteal.New(workers)
+		defer func() {
+			pool.Close()
+			c.steals = pool.Steals()
+		}()
+		c.workersSpawned = int64(workers)
+		ixs = make([]*pli.Intersector, workers)
+		for i := range ixs {
+			ixs[i] = pli.NewArenaIntersector()
+		}
+	}
+	ix := pli.NewArenaIntersector() // scratch of the serial path
 	var result []*bitset.Set
 	for level := 0; ; level++ {
 		var todo []*bitset.Set
@@ -176,38 +192,46 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 		if level > maxLevel {
 			break
 		}
-		verdicts := make([]uccVerdict, len(todo))
-		if workers == 1 || len(todo) < 8 {
+		// fold merges one verdict back on the coordinating goroutine, in
+		// candidate order on both paths.
+		fold := func(i int, v uccVerdict) error {
+			c.plisIntersected += v.intersections
+			if v.r1 >= 0 {
+				return induct(agreeSet(enc, n, v.r1, v.r2))
+			}
+			result = append(result, todo[i])
+			return nil
+		}
+		if pool == nil || len(todo) < 8 {
 			for i, cand := range todo {
 				if i&15 == 0 && canceled(done) {
 					return nil, ctx.Err()
 				}
+				var v uccVerdict
 				if err := guard.Run("hyucc validation", func() error {
-					verdicts[i] = checkUnique(enc, plis, inverted, cand, &ix)
+					v = checkUnique(enc, plis, inverted, cand, ix)
 					return nil
 				}); err != nil {
 					return nil, err
 				}
+				if err := fold(i, v); err != nil {
+					return nil, err
+				}
 			}
 		} else {
-			c.workersSpawned += int64(workers)
-			if err := checkLevel(done, workers, enc, plis, inverted, todo, verdicts); err != nil {
+			verdicts := make([]uccVerdict, len(todo))
+			err := pool.Run(ctx, "hyucc validation worker", len(todo), func(i, slot int) error {
+				verdicts[i] = checkUnique(enc, plis, inverted, todo[i], ixs[slot])
+				return nil
+			}, func(i int) error {
+				return fold(i, verdicts[i])
+			})
+			if err != nil {
 				return nil, err
 			}
 		}
 		if canceled(done) {
 			return nil, ctx.Err()
-		}
-		for i, cand := range todo {
-			v := verdicts[i]
-			c.plisIntersected += v.intersections
-			if v.r1 >= 0 {
-				if err := induct(agreeSet(enc, n, v.r1, v.r2)); err != nil {
-					return nil, err
-				}
-				continue
-			}
-			result = append(result, cand)
 		}
 	}
 	sort.Slice(result, func(i, j int) bool {
@@ -238,48 +262,6 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 type uccVerdict struct {
 	r1, r2        int
 	intersections int64
-}
-
-// checkLevel validates one level's candidates with a bounded worker
-// pool. Workers own private Intersector scratch, drain the feed on
-// cancellation or failure, and recover their own panics via guard.Run
-// (recover is per-goroutine, so the pipeline's stage guard cannot see
-// them); the first failure wins. Verdicts land at their candidate's
-// index, keeping the merge deterministic.
-func checkLevel(done <-chan struct{}, workers int, enc *relation.Encoded,
-	plis []*pli.PLI, inverted [][]int, todo []*bitset.Set, verdicts []uccVerdict) error {
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		workErr  error
-		poisoned atomic.Bool
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ix pli.Intersector // per-worker scratch, never shared
-			for i := range next {
-				if canceled(done) || poisoned.Load() {
-					continue // keep draining so the feeder never blocks
-				}
-				if err := guard.Run("hyucc validation worker", func() error {
-					verdicts[i] = checkUnique(enc, plis, inverted, todo[i], &ix)
-					return nil
-				}); err != nil {
-					errOnce.Do(func() { workErr = err })
-					poisoned.Store(true)
-				}
-			}
-		}()
-	}
-	for i := range todo {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return workErr
 }
 
 // checkUnique returns a pair of rows agreeing on all attributes of the

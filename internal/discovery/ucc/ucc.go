@@ -73,6 +73,7 @@ type counters struct {
 	plisIntersected int64
 	uccsFound       int64
 	workersSpawned  int64
+	steals          int64
 }
 
 func (c *counters) flush(obs observe.Observer) {
@@ -84,6 +85,9 @@ func (c *counters) flush(obs observe.Observer) {
 	}
 	if c.workersSpawned != 0 {
 		obs.Counter(observe.PrimaryKey, observe.CounterValidationWorkers, c.workersSpawned)
+	}
+	if c.steals != 0 {
+		obs.Counter(observe.PrimaryKey, observe.CounterValidationSteals, c.steals)
 	}
 }
 

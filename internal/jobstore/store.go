@@ -205,14 +205,14 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("jobstore: %w", err)
 	}
 	s := &Store{
-		dir:         dir,
-		opts:        opts,
+		dir:            dir,
+		opts:           opts,
 		jobs:           make(map[string]*JobRecord),
 		resultByID:     make(map[string]int),
 		resultByKey:    make(map[string]int),
 		lineageByChild: make(map[string]int),
-		epoch:       newEpoch(),
-		changed:     make(chan struct{}),
+		epoch:          newEpoch(),
+		changed:        make(chan struct{}),
 	}
 	report := &RecoveryReport{}
 

@@ -71,9 +71,13 @@ const (
 	CounterRowsMaterialized  = "rows_materialized"
 	CounterUCCsDiscovered    = "uccs_discovered"
 	// CounterValidationWorkers counts validation worker goroutines
-	// spawned by parallel candidate checking (summed over levels; zero
-	// when every level ran on the serial path).
+	// spawned by parallel candidate checking (one persistent
+	// work-stealing pool per discovery run; zero on the serial path).
 	CounterValidationWorkers = "validation_workers"
+	// CounterValidationSteals counts successful work-stealing chunk
+	// transfers inside the validation pool — nonzero means the candidate
+	// load was skewed enough that idle workers rebalanced it.
+	CounterValidationSteals = "validation_steals"
 	// CounterSubstrateBuilds/-Derived/-Hits report the shared PLI/
 	// encoding substrate cache: full dictionary encodes, code-level
 	// projection derivations, and lookups served from the cache.

@@ -30,17 +30,43 @@ type PLI struct {
 	inv     []int // cached row → cluster-id index, built lazily
 }
 
-// FromColumn builds the PLI of a dictionary-encoded column.
+// FromColumn builds the PLI of a dictionary-encoded column. All
+// clusters are carved from one shared slab (two counting passes), so
+// the construction does O(1) allocations regardless of cardinality.
 func FromColumn(codes []int, cardinality int) *PLI {
-	groups := make([][]int, cardinality)
-	for row, code := range codes {
-		groups[code] = append(groups[code], row)
+	counts := make([]int, cardinality)
+	for _, code := range codes {
+		counts[code]++
 	}
-	p := &PLI{numRows: len(codes)}
-	for _, g := range groups {
-		if len(g) >= 2 {
-			p.clusters = append(p.clusters, g)
-			p.size += len(g)
+	total, nclusters := 0, 0
+	for _, c := range counts {
+		if c >= 2 {
+			total += c
+			nclusters++
+		}
+	}
+	p := &PLI{numRows: len(codes), size: total}
+	if nclusters == 0 {
+		return p
+	}
+	// Repurpose counts as per-code write cursors into the slab; codes
+	// whose cluster was stripped get a negative cursor.
+	slab := make([]int, total)
+	p.clusters = make([][]int, 0, nclusters)
+	off := 0
+	for code, c := range counts {
+		if c >= 2 {
+			p.clusters = append(p.clusters, slab[off:off+c:off+c])
+			counts[code] = off
+			off += c
+		} else {
+			counts[code] = -1
+		}
+	}
+	for row, code := range codes {
+		if cur := counts[code]; cur >= 0 {
+			slab[cur] = row
+			counts[code] = cur + 1
 		}
 	}
 	return p
@@ -223,49 +249,128 @@ func (p *PLI) FirstViolation(codes []int) (int, int) {
 func (p *PLI) Error() int { return p.size - len(p.clusters) }
 
 // Intersector carries the scratch state of repeated PLI intersections:
-// the probe buckets grouping each cluster's rows by partner cluster id.
-// Reusing one Intersector across the candidates of a validation level
-// eliminates every per-candidate allocation except the result clusters
-// themselves. An Intersector is not safe for concurrent use — parallel
-// validation gives each worker its own.
+// flat per-partner-cluster counters and write cursors (a counting sort,
+// replacing the map probe table that used to dominate validation CPU),
+// plus an optional two-generation result arena. Reusing one Intersector
+// across the candidates of a validation level eliminates every
+// per-candidate allocation except the result clusters themselves — and
+// with an arena (NewArenaIntersector) even those come from reused
+// slabs, making steady-state intersection allocation-free.
+//
+// An Intersector is not safe for concurrent use — parallel validation
+// gives each worker its own.
 type Intersector struct {
-	buckets map[int][]int // partner cluster id → rows, capacity reused
-	touched []int         // bucket ids used for the current cluster
+	cnt     []int // partner cluster id → row count for current cluster
+	cur     []int // partner cluster id → slab write cursor, -1 = stripped
+	touched []int // partner ids used by the current cluster
+
+	arena *arena // nil: results own their memory
+}
+
+// arena is a two-generation slab allocator for intersection results.
+// Generations alternate per call, so a result stays valid while it is
+// the input of the next intersection — exactly the lifetime of the
+// left-deep intersection chains validation builds. See
+// NewArenaIntersector for the full contract.
+type arena struct {
+	slabs [2][]int
+	heads [2][][]int
+	flip  int
+}
+
+// NewArenaIntersector returns an Intersector whose results are carved
+// from a reusable two-generation arena instead of fresh allocations.
+//
+// Contract: a PLI returned by an arena-backed Intersect/IntersectInverted
+// is only valid until the second-next call on the same Intersector, and
+// callers must not retain it, mutate it, or call Inverted on it. That
+// covers the validation pattern — intersect a chain most-selective-first,
+// inspect the final product, move to the next candidate — which is why
+// HyFD, HyUCC, delta revalidation, and the score index use it. Callers
+// that keep partitions across candidates (TANE's level-wise refinement)
+// must use a zero-value Intersector instead.
+func NewArenaIntersector() *Intersector {
+	return &Intersector{arena: new(arena)}
+}
+
+// ensure sizes the flat scratch for partner cluster ids, which are
+// bounded by the partner's cluster count ≤ numRows.
+func (ix *Intersector) ensure(numRows int) {
+	if len(ix.cnt) < numRows {
+		ix.cnt = make([]int, numRows)
+		ix.cur = make([]int, numRows)
+	}
 }
 
 // IntersectInverted computes p ∩ inv like (*PLI).IntersectInverted but
 // reuses the Intersector's scratch buffers. Singleton clusters of the
 // product are stripped eagerly, and the result's cluster order is
-// deterministic (first-touch order per cluster of p).
+// deterministic (first-touch order per cluster of p, identical to the
+// historical map-based implementation).
 func (ix *Intersector) IntersectInverted(p *PLI, inv []int) *PLI {
-	if ix.buckets == nil {
-		ix.buckets = make(map[int][]int)
+	ix.ensure(p.numRows)
+	var slab []int
+	var heads [][]int
+	if a := ix.arena; a != nil {
+		// Flip generations: the buffer being overwritten is the one from
+		// two calls ago, so the immediately preceding result (often the
+		// p of this call) stays intact.
+		a.flip ^= 1
+		if cap(a.slabs[a.flip]) < p.size {
+			a.slabs[a.flip] = make([]int, p.size)
+		}
+		slab = a.slabs[a.flip][:p.size]
+		heads = a.heads[a.flip][:0]
+	} else {
+		slab = make([]int, p.size)
 	}
 	res := &PLI{numRows: p.numRows}
+	off := 0
 	for _, cluster := range p.clusters {
 		for _, row := range cluster {
-			id := inv[row]
-			if id < 0 {
-				continue
+			if id := inv[row]; id >= 0 {
+				if ix.cnt[id] == 0 {
+					ix.touched = append(ix.touched, id)
+				}
+				ix.cnt[id]++
 			}
-			b := ix.buckets[id]
-			if len(b) == 0 {
-				ix.touched = append(ix.touched, id)
-			}
-			ix.buckets[id] = append(b, row)
 		}
 		for _, id := range ix.touched {
-			g := ix.buckets[id]
-			if len(g) >= 2 {
-				out := make([]int, len(g))
-				copy(out, g)
-				res.clusters = append(res.clusters, out)
-				res.size += len(g)
+			if c := ix.cnt[id]; c >= 2 {
+				heads = append(heads, slab[off:off+c:off+c])
+				ix.cur[id] = off
+				off += c
+				res.size += c
+			} else {
+				ix.cur[id] = -1
 			}
-			ix.buckets[id] = g[:0]
+			ix.cnt[id] = 0
 		}
 		ix.touched = ix.touched[:0]
+		for _, row := range cluster {
+			if id := inv[row]; id >= 0 {
+				if cur := ix.cur[id]; cur >= 0 {
+					slab[cur] = row
+					ix.cur[id] = cur + 1
+				}
+			}
+		}
 	}
+	if a := ix.arena; a != nil {
+		a.heads[a.flip] = heads
+	} else if off*2 < len(slab) {
+		// The result owns its memory; don't let small products pin a
+		// slab sized for the input. Clusters were carved sequentially,
+		// so their offsets are the prefix sums of their lengths.
+		compact := make([]int, off)
+		copy(compact, slab[:off])
+		pos := 0
+		for i, h := range heads {
+			heads[i] = compact[pos : pos+len(h) : pos+len(h)]
+			pos += len(h)
+		}
+	}
+	res.clusters = heads
 	return res
 }
 

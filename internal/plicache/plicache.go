@@ -59,7 +59,15 @@ func New(enc *relation.Encoded) *Substrate {
 // relation.EncodeContext. A columnar-backed relation is already
 // encoded, so its substrate is free.
 func Build(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
-	enc, err := rel.EncodeContext(ctx)
+	return BuildWorkers(ctx, rel, 1)
+}
+
+// BuildWorkers is Build with a worker hint: a large row-backed
+// relation is encoded row-parallel on the sharded lock-free interner
+// (relation.EncodeParallelContext), which produces byte-identical
+// encodings at every worker count. workers <= 1 is exactly Build.
+func BuildWorkers(ctx context.Context, rel *relation.Relation, workers int) (*Substrate, error) {
+	enc, err := rel.EncodeParallelContext(ctx, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -161,8 +169,15 @@ func NewCache() *Cache {
 // cache builds an uncached substrate each call, so callers can thread
 // an optional cache unconditionally.
 func (c *Cache) For(ctx context.Context, rel *relation.Relation) (*Substrate, error) {
+	return c.ForWorkers(ctx, rel, 1)
+}
+
+// ForWorkers is For with a worker hint threaded through to the encode
+// on a cache miss (see BuildWorkers); hits are unaffected, and the
+// cached substrate is identical at every worker count.
+func (c *Cache) ForWorkers(ctx context.Context, rel *relation.Relation, workers int) (*Substrate, error) {
 	if c == nil {
-		return Build(ctx, rel)
+		return BuildWorkers(ctx, rel, workers)
 	}
 	c.mu.Lock()
 	if s, ok := c.byRel[rel]; ok {
@@ -184,7 +199,7 @@ func (c *Cache) For(ctx context.Context, rel *relation.Relation) (*Substrate, er
 
 	// Build outside the lock; a concurrent builder of the same content
 	// may race us, in which case the first stored substrate wins.
-	s, err := Build(ctx, rel)
+	s, err := BuildWorkers(ctx, rel, workers)
 	if err != nil {
 		return nil, err
 	}

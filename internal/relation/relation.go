@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"normalize/internal/bitset"
+	"normalize/internal/shardenc"
 )
 
 // IsNull reports whether a value represents SQL null (⊥).
@@ -529,6 +531,48 @@ type Encoded struct {
 func (r *Relation) Encode() *Encoded {
 	e, _ := r.EncodeContext(context.Background())
 	return e
+}
+
+// parallelEncodeMinRows is the row count below which the sharded
+// parallel encode is not worth its goroutine setup; smaller relations
+// take the serial path regardless of the worker hint.
+const parallelEncodeMinRows = 4096
+
+// EncodeParallelContext is EncodeContext with a worker hint: columns
+// of a row-backed relation are encoded row-parallel on the sharded
+// lock-free interner (internal/shardenc) when workers > 1 and the
+// relation is large enough to pay for the fan-out. The two-phase
+// intern-then-densify scheme makes the result byte-identical to
+// EncodeContext at every worker count — codes are dense in
+// first-appearance order, Cardinality and HasNull match exactly.
+func (r *Relation) EncodeParallelContext(ctx context.Context, workers int) (*Encoded, error) {
+	if r.cols != nil {
+		return r.cols.Enc, nil
+	}
+	if workers <= 1 || len(r.rows) < parallelEncodeMinRows {
+		return r.EncodeContext(ctx)
+	}
+	e := &Encoded{
+		NumRows:     len(r.rows),
+		Columns:     make([][]int, len(r.Attrs)),
+		Cardinality: make([]int, len(r.Attrs)),
+		HasNull:     make([]bool, len(r.Attrs)),
+	}
+	for c := range r.Attrs {
+		var hasNull atomic.Bool
+		col, card, err := shardenc.Encode(ctx, len(r.rows), func(i int) string {
+			v := r.rows[i][c]
+			if IsNull(v) {
+				hasNull.Store(true)
+			}
+			return v
+		}, workers)
+		if err != nil {
+			return nil, err
+		}
+		e.Columns[c], e.Cardinality[c], e.HasNull[c] = col, card, hasNull.Load()
+	}
+	return e, nil
 }
 
 // EncodeContext is Encode with cancellation: encoding a wide relation is

@@ -50,6 +50,14 @@ import (
 type Config struct {
 	// Workers is the size of the normalization worker pool (default 2).
 	Workers int
+	// JobWorkers is the default per-job validation worker count applied
+	// to submissions that omit options.workers; 0 keeps the pipeline
+	// default (all CPUs). With several concurrent jobs, capping each
+	// job's work-stealing pool avoids oversubscribing the host. The
+	// resolved value is persisted with the job, so crash replays run
+	// with the workers the submission actually used. Requests that set
+	// options.workers explicitly are never overridden.
+	JobWorkers int
 	// QueueDepth bounds the FIFO job queue; a full queue rejects
 	// submissions with 503 (default 32).
 	QueueDepth int
@@ -385,8 +393,8 @@ type jobStatus struct {
 	// listing; keys are derived from content and survive restarts).
 	Key string `json:"key,omitempty"`
 	// Parent is the resolved parent content key of a delta job.
-	Parent string `json:"parent,omitempty"`
-	Cached bool   `json:"cached,omitempty"`
+	Parent       string                   `json:"parent,omitempty"`
+	Cached       bool                     `json:"cached,omitempty"`
 	Created      time.Time                `json:"created"`
 	Started      *time.Time               `json:"started,omitempty"`
 	Finished     *time.Time               `json:"finished,omitempty"`
@@ -450,6 +458,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Resolve the server-wide validation-worker default before the spec
+	// (and its cache key) is built, so the persisted job and its replay
+	// carry the worker count the run actually used.
+	if req.Options.Workers == 0 {
+		req.Options.Workers = s.cfg.JobWorkers
 	}
 	spec, err := buildSpec(&req)
 	if err != nil {

@@ -612,3 +612,40 @@ func TestSSEHandlerStreamsToCompletion(t *testing.T) {
 		t.Errorf("last event is not terminal: %q", last)
 	}
 }
+
+// TestJobWorkersDefault pins the server-wide validation-worker default:
+// submissions that omit options.workers inherit Config.JobWorkers,
+// explicit values are never overridden, and the zero config keeps the
+// pipeline default (workers = 0, all CPUs).
+func TestJobWorkersDefault(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, JobWorkers: 3})
+	h := s.Handler()
+
+	st := submit(t, h, csvBody(addressCSV, ""))
+	job, ok := s.m.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not found", st.ID)
+	}
+	if got := job.spec.opts.Workers; got != 3 {
+		t.Errorf("defaulted job: workers = %d, want 3", got)
+	}
+
+	st = submit(t, h, csvBody(addressCSV, `"workers":2`))
+	job, ok = s.m.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not found", st.ID)
+	}
+	if got := job.spec.opts.Workers; got != 2 {
+		t.Errorf("explicit job: workers = %d, want 2", got)
+	}
+
+	s2 := testServer(t, Config{Workers: 1, MetricsName: "test_TestJobWorkersDefault_zero"})
+	st = submit(t, s2.Handler(), csvBody(addressCSV, ""))
+	job, ok = s2.m.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not found", st.ID)
+	}
+	if got := job.spec.opts.Workers; got != 0 {
+		t.Errorf("zero-config job: workers = %d, want 0", got)
+	}
+}

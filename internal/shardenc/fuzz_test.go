@@ -1,0 +1,49 @@
+package shardenc
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// FuzzEncodeDifferential pins the two-phase parallel encode against
+// the serial one-map reference on arbitrary value sequences and worker
+// counts. The fuzzer controls both the value shapes (splitting the
+// input on newlines, with a repetition factor to manufacture skew) and
+// the concurrency, so it explores exactly the interner states a chosen
+// input can reach — contended hot slots, shard grows mid-insert, and
+// sealed-shard retries.
+func FuzzEncodeDifferential(f *testing.F) {
+	f.Add([]byte("a\nb\na\nc\n"), uint8(4), uint8(1))
+	f.Add([]byte("same\nsame\nsame\nsame"), uint8(8), uint8(16))
+	f.Add([]byte("x1\nx2\nx3\nx4\nx5\nx6\nx7\nx8"), uint8(3), uint8(32))
+	f.Add([]byte(""), uint8(2), uint8(1))
+	f.Add([]byte("\n\n\n"), uint8(7), uint8(4))
+	f.Add([]byte(strings.Repeat("k\n", 64)), uint8(5), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, workers, rep uint8) {
+		w := int(workers%12) + 1
+		parts := bytes.Split(data, []byte("\n"))
+		n := len(parts) * (int(rep%64) + 1)
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		val := func(i int) string { return string(parts[i%len(parts)]) }
+		got, card, err := Encode(context.Background(), n, val, w)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		want, wantCard, err := encodeSerial(context.Background(), n, val)
+		if err != nil {
+			t.Fatalf("encodeSerial: %v", err)
+		}
+		if card != wantCard {
+			t.Fatalf("workers=%d n=%d: cardinality %d, want %d", w, n, card, wantCard)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d n=%d: codes[%d] = %d, want %d", w, n, i, got[i], want[i])
+			}
+		}
+	})
+}

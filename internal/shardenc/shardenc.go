@@ -1,0 +1,278 @@
+// Package shardenc is a sharded, lock-free string interner and the
+// row-parallel dictionary encode built on top of it. Serial encoding
+// assigns dense codes in first-appearance order with one map per
+// column; under multiple workers that map would be a contention point,
+// so the interner shards the value space by hash and publishes every
+// entry with a compare-and-swap — concurrent writers never take a lock
+// and never contend on one map. Interning hands out *provisional* ids
+// (racy, gappy, nondeterministic); a serial row-order densify pass then
+// remaps them to first-appearance codes, so the final encoding is
+// observably identical to the serial map encode at every worker count.
+//
+// The sharding follows the set-if-new idiom: each shard is reached
+// through an atomic.Pointer, slots hold immutable entries installed by
+// CAS, and a full shard is grown by freezing it (sealing every empty
+// slot), copying its entries into a bigger shard, and CAS-swapping the
+// shard pointer — losers of any race simply retry against the
+// installed winner.
+package shardenc
+
+import (
+	"context"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"normalize/internal/guard"
+)
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+	// initialSlots is the starting capacity of each shard; shards grow
+	// by doubling once three quarters full.
+	initialSlots = 8
+)
+
+// entry is one interned value. Entries are immutable after
+// publication, which is what makes seal-and-copy growth safe.
+type entry struct {
+	hash uint64
+	id   int32
+	val  string
+}
+
+// sealed marks an empty slot of a shard being grown: no insert can
+// succeed there, so the shard's entry set is frozen for copying.
+var sealed = new(entry)
+
+type shard struct {
+	mask  uint32
+	slots []atomic.Pointer[entry]
+	used  atomic.Int32
+}
+
+func newShard(capacity int) *shard {
+	return &shard{mask: uint32(capacity - 1), slots: make([]atomic.Pointer[entry], capacity)}
+}
+
+// place inserts during a single-threaded grow copy; no CAS needed.
+func (sh *shard) place(e *entry) {
+	i := uint32(e.hash>>shardBits) & sh.mask
+	for sh.slots[i].Load() != nil {
+		i = (i + 1) & sh.mask
+	}
+	sh.slots[i].Store(e)
+}
+
+// probe looks v up, inserting it at the first empty slot when absent.
+// ok=false means the shard is sealed, saturated, or past the load
+// threshold; the caller grows (or reloads) it and retries. *ep carries
+// a pre-allocated entry across retries so one Intern call allocates at
+// most one provisional id — lost insert races are the only id gaps.
+func (sh *shard) probe(t *Table, h uint64, v string, ep **entry) (id int, ok bool) {
+	i := uint32(h>>shardBits) & sh.mask
+	for range sh.slots {
+		p := sh.slots[i].Load()
+		if p == nil {
+			if int(sh.used.Load())*4 >= len(sh.slots)*3 {
+				return 0, false
+			}
+			if *ep == nil {
+				*ep = &entry{hash: h, id: int32(t.next.Add(1) - 1), val: v}
+			}
+			if sh.slots[i].CompareAndSwap(nil, *ep) {
+				sh.used.Add(1)
+				return int((*ep).id), true
+			}
+			p = sh.slots[i].Load()
+		}
+		if p == sealed {
+			return 0, false
+		}
+		if p.hash == h && p.val == v {
+			return int(p.id), true
+		}
+		i = (i + 1) & sh.mask
+	}
+	return 0, false
+}
+
+// Table is the sharded interner. Safe for concurrent use; the zero
+// value is not usable, construct with NewTable.
+type Table struct {
+	seed   maphash.Seed
+	shards [numShards]atomic.Pointer[shard]
+	next   atomic.Int32
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	t := &Table{seed: maphash.MakeSeed()}
+	for i := range t.shards {
+		t.shards[i].Store(newShard(initialSlots))
+	}
+	return t
+}
+
+// Intern returns the provisional id of v, assigning a fresh one if v
+// was never seen. Every call with the same value observes the same id;
+// ids are NOT dense (lost races leave gaps) and their order is
+// nondeterministic — Densify restores determinism.
+func (t *Table) Intern(v string) int {
+	h := maphash.String(t.seed, v)
+	si := h & (numShards - 1)
+	var e *entry
+	for {
+		sh := t.shards[si].Load()
+		if id, ok := sh.probe(t, h, v, &e); ok {
+			return id
+		}
+		t.grow(int(si), sh)
+	}
+}
+
+// grow replaces shard si with one at least twice as large. Concurrent
+// growers all seal the same frozen entry set and build equivalent
+// copies; the first shard-pointer CAS wins and the rest are discarded.
+func (t *Table) grow(si int, sh *shard) {
+	if t.shards[si].Load() != sh {
+		return // already replaced; caller reloads and retries
+	}
+	// Seal every empty slot so no insert can succeed in the old shard;
+	// its entry set is frozen from here on.
+	for i := range sh.slots {
+		for sh.slots[i].Load() == nil && !sh.slots[i].CompareAndSwap(nil, sealed) {
+		}
+	}
+	var entries []*entry
+	for i := range sh.slots {
+		if p := sh.slots[i].Load(); p != sealed {
+			entries = append(entries, p)
+		}
+	}
+	capacity := len(sh.slots) * 2
+	for len(entries)*4 >= capacity*3 {
+		capacity *= 2
+	}
+	bigger := newShard(capacity)
+	for _, e := range entries {
+		bigger.place(e)
+	}
+	t.shards[si].CompareAndSwap(sh, bigger)
+}
+
+// Bound returns an exclusive upper bound on every id handed out so
+// far: all ids are in [0, Bound).
+func (t *Table) Bound() int { return int(t.next.Load()) }
+
+// Densify remaps provisional ids to dense codes in first-appearance
+// order over prov, writing into codes (same length) and returning the
+// number of distinct codes. bound must be at least Table.Bound().
+func Densify(prov []int32, bound int, codes []int) int {
+	remap := make([]int32, bound)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := int32(0)
+	for i, p := range prov {
+		c := remap[p]
+		if c < 0 {
+			c = next
+			next++
+			remap[p] = c
+		}
+		codes[i] = int(c)
+	}
+	return int(next)
+}
+
+// Encode dictionary-encodes n values row-parallel: workers intern
+// contiguous row ranges concurrently (phase one), then a serial
+// row-order densify assigns first-appearance codes (phase two). The
+// result — codes and cardinality — is observably identical to the
+// serial one-map encode at every worker count. val must be safe for
+// concurrent calls with distinct rows; it is called exactly once per
+// row unless the context is cancelled.
+func Encode(ctx context.Context, n int, val func(row int) string, workers int) ([]int, int, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n > math.MaxInt32 {
+		return encodeSerial(ctx, n, val)
+	}
+	t := NewTable()
+	prov := make([]int32, n)
+	done := ctx.Done()
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := guard.Run("shardenc encode worker", func() error {
+				for i := lo; i < hi; i++ {
+					if i&511 == 0 {
+						if stop.Load() {
+							return nil
+						}
+						select {
+						case <-done:
+							return ctx.Err()
+						default:
+						}
+					}
+					prov[i] = int32(t.Intern(val(i)))
+				}
+				return nil
+			})
+			if err != nil {
+				stop.Store(true)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	codes := make([]int, n)
+	card := Densify(prov, t.Bound(), codes)
+	return codes, card, nil
+}
+
+// encodeSerial is the one-map reference path, identical in semantics
+// to relation.EncodeContext's per-column loop.
+func encodeSerial(ctx context.Context, n int, val func(row int) string) ([]int, int, error) {
+	done := ctx.Done()
+	codes := make([]int, n)
+	seen := make(map[string]int)
+	for i := 0; i < n; i++ {
+		if i&1023 == 0 {
+			select {
+			case <-done:
+				return nil, 0, ctx.Err()
+			default:
+			}
+		}
+		v := val(i)
+		code, ok := seen[v]
+		if !ok {
+			code = len(seen)
+			seen[v] = code
+		}
+		codes[i] = code
+	}
+	return codes, len(seen), nil
+}

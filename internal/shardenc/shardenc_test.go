@@ -1,0 +1,223 @@
+package shardenc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"normalize/internal/guard"
+)
+
+// refEncode is the serial one-map reference: dense codes in
+// first-appearance order.
+func refEncode(vals []string) ([]int, int) {
+	codes := make([]int, len(vals))
+	seen := make(map[string]int)
+	for i, v := range vals {
+		c, ok := seen[v]
+		if !ok {
+			c = len(seen)
+			seen[v] = c
+		}
+		codes[i] = c
+	}
+	return codes, len(seen)
+}
+
+func checkEncode(t *testing.T, vals []string, workers int) {
+	t.Helper()
+	got, card, err := Encode(context.Background(), len(vals), func(i int) string { return vals[i] }, workers)
+	if err != nil {
+		t.Fatalf("Encode(workers=%d): %v", workers, err)
+	}
+	want, wantCard := refEncode(vals)
+	if card != wantCard {
+		t.Fatalf("workers=%d: cardinality %d, want %d", workers, card, wantCard)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workers=%d: codes[%d] = %d, want %d", workers, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEncodeMatchesSerial pins the determinism contract: the parallel
+// two-phase encode produces exactly the serial first-appearance codes
+// at every worker count, over low- and high-cardinality columns.
+func TestEncodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string][]string{
+		"empty":    {},
+		"single":   {"a"},
+		"constant": repeat("same", 5000),
+		"binary":   randomVals(rng, 5000, 2),
+		"skewed":   randomVals(rng, 5000, 17),
+		"dense":    randomVals(rng, 5000, 1000),
+		"unique":   uniqueVals(5000),
+	}
+	for name, vals := range shapes {
+		for _, w := range []int{1, 2, 3, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers-%d", name, w), func(t *testing.T) {
+				checkEncode(t, vals, w)
+			})
+		}
+	}
+}
+
+// TestInternStress hammers one table from many goroutines with
+// adversarial mixes — a constant column (every goroutine CASes the
+// same slot) and an all-distinct column (grow storms) — and checks the
+// interner's only invariants: same value ⇒ same id, distinct values ⇒
+// distinct ids, all ids within [0, Bound). Run under -race.
+func TestInternStress(t *testing.T) {
+	const goroutines = 8
+	const perG = 4000
+	tab := NewTable()
+	ids := make([]map[string]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			mine := make(map[string]int)
+			for i := 0; i < perG; i++ {
+				var v string
+				switch rng.Intn(3) {
+				case 0:
+					v = "hot" // maximal contention on one slot
+				case 1:
+					v = fmt.Sprintf("low-%d", rng.Intn(4))
+				default:
+					v = fmt.Sprintf("wide-%d", rng.Intn(perG)) // forces grows
+				}
+				id := tab.Intern(v)
+				if prev, ok := mine[v]; ok && prev != id {
+					t.Errorf("g%d: %q interned as %d then %d", g, v, prev, id)
+					return
+				}
+				mine[v] = id
+			}
+			ids[g] = mine
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	bound := tab.Bound()
+	global := make(map[string]int)
+	byID := make(map[int]string)
+	for g, mine := range ids {
+		for v, id := range mine {
+			if id < 0 || id >= bound {
+				t.Fatalf("g%d: id %d of %q outside [0,%d)", g, id, v, bound)
+			}
+			if prev, ok := global[v]; ok && prev != id {
+				t.Fatalf("%q interned as %d by one goroutine, %d by g%d", v, prev, id, g)
+			}
+			global[v] = id
+			if other, ok := byID[id]; ok && other != v {
+				t.Fatalf("id %d assigned to both %q and %q", id, other, v)
+			}
+			byID[id] = v
+		}
+	}
+	// Re-interning after the storm must return the established ids.
+	for v, id := range global {
+		if got := tab.Intern(v); got != id {
+			t.Fatalf("post-storm Intern(%q) = %d, want %d", v, got, id)
+		}
+	}
+}
+
+// TestGrowKeepsIdentities inserts enough distinct values to force
+// every shard through several grows, then verifies all earlier ids
+// survived the seal-and-copy.
+func TestGrowKeepsIdentities(t *testing.T) {
+	tab := NewTable()
+	const n = 20000
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = tab.Intern(fmt.Sprintf("v%d", i))
+	}
+	for i := range ids {
+		if got := tab.Intern(fmt.Sprintf("v%d", i)); got != ids[i] {
+			t.Fatalf("Intern(v%d) = %d after grows, want %d", i, got, ids[i])
+		}
+	}
+	if b := tab.Bound(); b < n {
+		t.Fatalf("Bound() = %d with %d distinct values interned", b, n)
+	}
+}
+
+// TestEncodeCancel cancels mid-encode and checks the workers unwind
+// without leaking goroutines.
+func TestEncodeCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var once sync.Once
+	_, _, err := Encode(ctx, 1<<20, func(i int) string {
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		return fmt.Sprintf("v%d", i%64)
+	}, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Encode after cancel: err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestEncodePanicSurfaces pins that a panicking value accessor comes
+// back as a *guard.PanicError instead of crashing the process.
+func TestEncodePanicSurfaces(t *testing.T) {
+	_, _, err := Encode(context.Background(), 4096, func(i int) string {
+		if i == 3000 {
+			panic("bad row")
+		}
+		return "x"
+	}, 4)
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *guard.PanicError", err)
+	}
+}
+
+func repeat(v string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func randomVals(rng *rand.Rand, n, card int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("val-%d", rng.Intn(card))
+	}
+	return out
+}
+
+func uniqueVals(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("uniq-%d", i)
+	}
+	return out
+}
