@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"normalize/internal/server"
+	"normalize/internal/wsteal"
 )
 
 func main() {
@@ -68,6 +69,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	cache := flag.Int("cache", 64, "result cache entries (negative disables)")
 	dataDir := flag.String("data-dir", "", "persist job state to this directory (crash-safe; empty = in-memory only)")
+	spillDir := flag.String("spill-dir", "", "directory for transient spill files (default: data-dir/spill when -data-dir is set, else the OS temp dir)")
 	fsync := flag.Bool("fsync", false, "fsync the job log after every append (survives power loss, not just SIGKILL)")
 	drainGrace := flag.Duration("drain-grace", 15*time.Second, "how long in-flight jobs may finish on shutdown before being cancelled")
 	quiet := flag.Bool("quiet", false, "disable request logging")
@@ -92,11 +94,12 @@ func main() {
 
 	cfg := server.Config{
 		Workers:      *workers,
-		JobWorkers:   *jobWorkers,
+		JobWorkers:   wsteal.ClampWorkers(*jobWorkers),
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		CacheEntries: *cache,
 		DataDir:      *dataDir,
+		SpillDir:     *spillDir,
 		Fsync:        *fsync,
 		Logf:         log.Printf,
 	}

@@ -58,6 +58,14 @@ type Tracker struct {
 	maxMem int64
 	fds    atomic.Int64
 	mem    atomic.Int64
+
+	// reclaim, when set, is invoked by Grow before reporting a memory
+	// trip: it frees charged-but-evictable memory (the PLI store's cold
+	// partitions) and reports whether the footprint is back under the
+	// ceiling. This is what lets unrelated charges — FD candidates,
+	// materialized decompositions — displace cold partitions instead of
+	// tripping the run into the degradation ladder.
+	reclaim atomic.Pointer[func() bool]
 }
 
 // NewTracker returns a tracker with the given ceilings; a zero (or
@@ -86,16 +94,38 @@ func (t *Tracker) AddFDs(n int64) error {
 }
 
 // Grow charges bytes of approximate memory and returns *Exceeded when
-// the footprint crosses the ceiling.
+// the footprint crosses the ceiling. A positive charge that crosses
+// the ceiling first runs the registered reclaimer (if any); the charge
+// stands when reclamation gets the footprint back under the limit.
 func (t *Tracker) Grow(bytes int64) error {
 	if t == nil {
 		return nil
 	}
 	used := t.mem.Add(bytes)
 	if t.maxMem > 0 && used > t.maxMem {
+		// Refunds (negative bytes) never trip and must not re-enter the
+		// reclaimer: eviction itself refunds through Grow.
+		if fn := t.reclaim.Load(); bytes > 0 && fn != nil && (*fn)() {
+			return nil
+		}
 		return &Exceeded{Resource: ResourceMemory, Limit: t.maxMem, Used: used}
 	}
 	return nil
+}
+
+// SetReclaimer registers fn as the tracker's memory reclaimer (nil
+// unregisters). One reclaimer per tracker; the last registration wins.
+// fn must not charge the tracker and must tolerate concurrent calls.
+// Nil-safe.
+func (t *Tracker) SetReclaimer(fn func() bool) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.reclaim.Store(nil)
+		return
+	}
+	t.reclaim.Store(&fn)
 }
 
 // FDs returns the currently charged FD count (0 on nil).
@@ -112,6 +142,15 @@ func (t *Tracker) Memory() int64 {
 		return 0
 	}
 	return t.mem.Load()
+}
+
+// MemLimit returns the memory ceiling (0 = unlimited, including nil).
+// The PLI store uses it to decide when eviction has freed enough.
+func (t *Tracker) MemLimit() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.maxMem
 }
 
 // Reset zeroes the charged amounts, keeping the ceilings; the pipeline

@@ -15,9 +15,11 @@ import (
 	"normalize/internal/keys"
 	"normalize/internal/observe"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/scoring"
 	"normalize/internal/violation"
+	"normalize/internal/wsteal"
 )
 
 // ClosureAlgorithm selects the closure variant (Section 4); the
@@ -77,6 +79,11 @@ type Options struct {
 	// Observer receives stage start/finish events and work counters
 	// from every pipeline component; nil means no instrumentation.
 	Observer observe.Observer
+	// SpillDir is the directory for the PLI store's transient spill
+	// file; empty means the OS temp dir. Consulted only when
+	// Budget.MaxMemoryBytes is set — an unconstrained run keeps every
+	// partition resident and never creates the store.
+	SpillDir string
 	// ScoreSeed pre-fills the run's exact scoring facts (distinct counts
 	// and max value lengths per attribute set, universal index space).
 	// The delta plane maintains a parent run's ScoreMemo incrementally
@@ -192,6 +199,19 @@ func NormalizeRelationContext(ctx context.Context, rel *relation.Relation, opts 
 	p.res.Stats.Attrs = rel.NumAttrs()
 	p.res.Stats.Records = rel.NumRows()
 
+	// A memory ceiling attaches the compressed, budget-governed PLI
+	// store to the run's substrate cache: retained partitions rest
+	// delta-varint compressed, and under pressure cold ones spill to a
+	// transient file or are dropped for recompute instead of tripping
+	// the budget — discovery completes exactly where it used to sample.
+	// Unconstrained runs skip the store (and its compression cost)
+	// entirely; every partition stays a flat resident as before.
+	if opts.Budget.MaxMemoryBytes > 0 {
+		p.st = plistore.New(p.tr, opts.SpillDir)
+		p.cache.SetStore(p.st)
+		defer p.st.Close()
+	}
+
 	// Budget rung 0: a row ceiling reduces the input upfront by
 	// deterministic stride sampling. The whole run — including the
 	// materialized output — operates on the sample, so the resulting
@@ -220,6 +240,9 @@ type run struct {
 	// from here, and decomposition registers the children's substrates
 	// derived from the parent's codes instead of re-encoding strings.
 	cache *plicache.Cache
+	// st is the compressed PLI store backing the cache's substrates when
+	// the run has a memory ceiling; nil otherwise.
+	st *plistore.Store
 	// workers is the resolved parallelism (Options.Workers or GOMAXPROCS).
 	workers int
 	// analyses holds the asynchronously precomputed key-derivation and
@@ -236,12 +259,14 @@ type run struct {
 	firstStageErr *StageError
 }
 
-// effectiveWorkers resolves Options.Workers: 0 means GOMAXPROCS.
+// effectiveWorkers resolves Options.Workers: 0 means GOMAXPROCS, and
+// the result is clamped to the host's CPU count — oversubscribed pools
+// cannot add throughput to these CPU-bound stages.
 func effectiveWorkers(w int) int {
-	if w > 0 {
-		return w
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	return wsteal.ClampWorkers(w)
 }
 
 // analysis is the asynchronously precomputed per-table work of the
@@ -517,9 +542,18 @@ func (p *run) normalize(ctx context.Context, rel *relation.Relation) (*Result, e
 			worklist = append(worklist, r1, r2)
 			p.analyze(r1)
 			p.analyze(r2)
-			// The two projections retain their materialized instances;
-			// approximate a string header per cell.
-			return p.tr.Grow(16 * rows * int64(t.Data.NumAttrs()))
+			// The two projections retain new materialized instances
+			// (approximated as a string header per cell), while the
+			// parent's — unless it is the input root, which was never
+			// charged because the caller's relation exists regardless —
+			// becomes garbage with this split. Refund it so the tracker
+			// carries the live decomposition tree, not the cumulative
+			// sum over every intermediate table ever materialized.
+			if t != root {
+				p.tr.Grow(-16 * int64(t.Data.NumRows()) * int64(t.Data.NumAttrs()))
+			}
+			return p.tr.Grow(16 * (int64(r1.Data.NumRows())*int64(r1.Data.NumAttrs()) +
+				int64(r2.Data.NumRows())*int64(r2.Data.NumAttrs())))
 		})
 		switch {
 		case derr == nil:
@@ -593,6 +627,9 @@ func (p *run) flushCacheStats() {
 	}
 	if hits != 0 {
 		p.obs.Counter(observe.Discovery, observe.CounterSubstrateHits, hits)
+	}
+	if p.st != nil {
+		p.st.FlushCounters(p.obs, observe.Discovery)
 	}
 }
 
@@ -696,6 +733,10 @@ func (p *run) discoverFDs(ctx context.Context, rel *relation.Relation) (*fd.Set,
 			return nil, rel, err // context end, panic, or custom-discovery failure
 		}
 		p.tr.Reset()
+		// The store's entries survive the retry (the substrate cache still
+		// holds them); re-base their live charges on the fresh tracker so
+		// the next attempt accounts for what is already resident.
+		p.st.Recharge()
 		switch {
 		case builtin && len(rungs) > 0:
 			maxLhs = rungs[0]

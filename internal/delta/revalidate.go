@@ -11,6 +11,7 @@ import (
 	"normalize/internal/guard"
 	"normalize/internal/pli"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/wsteal"
 )
@@ -33,8 +34,7 @@ type revalidator struct {
 	maxLhs   int
 	baseRows int
 	tree     *fd.Tree
-	plis     []*pli.PLI
-	inverted [][]int
+	handles  []*plistore.Handle
 	ix       *pli.Intersector   // arena scratch of the serial path
 	pool     *wsteal.Pool       // nil on the serial path
 	wixs     []*pli.Intersector // per-worker-slot arena intersectors
@@ -69,15 +69,14 @@ func revalidate(ctx context.Context, sub *plicache.Substrate, cover *fd.Set, bas
 		maxLhs:   maxLhs,
 		baseRows: baseRows,
 		tree:     fd.NewTree(n),
-		plis:     make([]*pli.PLI, n),
-		inverted: make([][]int, n),
+		handles:  make([]*plistore.Handle, n),
 		ix:       pli.NewArenaIntersector(),
 		seeds:    make(map[string]*bitset.Set, cover.Len()),
 	}
 	// Seeded revalidation rides the same work-stealing scheduler as full
 	// discovery: one persistent pool for the whole sweep, range-split
 	// levels, verdicts folded from the ordered commit.
-	if workers > 1 {
+	if workers = wsteal.ClampWorkers(workers); workers > 1 {
 		d.pool = wsteal.New(workers)
 		defer d.pool.Close()
 		d.wixs = make([]*pli.Intersector, workers)
@@ -89,8 +88,17 @@ func revalidate(ctx context.Context, sub *plicache.Substrate, cover *fd.Set, bas
 		if d.canceled() {
 			return nil, false, ctx.Err()
 		}
-		d.plis[a] = sub.PLI(a)
-		d.inverted[a] = sub.Inverted(a)
+		h, err := sub.Handle(a)
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := h.Acquire()
+		if err != nil {
+			return nil, false, err
+		}
+		p.Inverted() // prewarm the row→cluster index before parallel use
+		h.Release()
+		d.handles[a] = h
 	}
 	for _, f := range cover.FDs {
 		d.tree.AddSet(f.Lhs, f.Rhs)
@@ -192,8 +200,9 @@ func (d *revalidator) check(cands []candidate, process func(verdict) error) erro
 			}
 			var v verdict
 			if err := guard.Run("delta validation", func() error {
-				v = d.checkOne(c, d.ix)
-				return nil
+				var err error
+				v, err = d.checkOne(c, d.ix)
+				return err
 			}); err != nil {
 				return err
 			}
@@ -205,8 +214,9 @@ func (d *revalidator) check(cands []candidate, process func(verdict) error) erro
 	}
 	out := make([]verdict, len(cands))
 	return d.pool.Run(d.ctx, "delta validation worker", len(cands), func(i, slot int) error {
-		out[i] = d.checkOne(cands[i], d.wixs[slot])
-		return nil
+		var err error
+		out[i], err = d.checkOne(cands[i], d.wixs[slot])
+		return err
 	}, func(i int) error {
 		return process(out[i])
 	})
@@ -216,7 +226,7 @@ func (d *revalidator) check(cands []candidate, process func(verdict) error) erro
 // of its LHS partition. A candidate whose pivot clusters contain no
 // appended row is accepted without work — it holds on the base rows by
 // construction, and the appended rows created no agreeing pair.
-func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) verdict {
+func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) (verdict, error) {
 	v := verdict{cand: c}
 	if c.lhs.IsEmpty() {
 		d.checked.Add(int64(c.rhs.Cardinality()))
@@ -231,11 +241,15 @@ func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) verdict {
 			}
 			return true
 		})
-		return v
+		return v, nil
 	}
-	p := d.deltaPliFor(c.lhs, ix)
+	p, release, err := d.deltaPliFor(c.lhs, ix)
+	defer release()
+	if err != nil {
+		return v, err
+	}
 	if p == nil {
-		return v // untouched by the delta: holds
+		return v, nil // untouched by the delta: holds
 	}
 	// Count per (LHS, RHS attribute) — the same unit as the full
 	// pipeline's candidates_checked, so the two are comparable.
@@ -250,7 +264,7 @@ func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) verdict {
 		}
 		return true
 	})
-	return v
+	return v, nil
 }
 
 // deltaPliFor materializes the LHS partition restricted to clusters
@@ -266,10 +280,30 @@ func (d *revalidator) checkOne(c candidate, ix *pli.Intersector) verdict {
 // no validation at all. An appended row whose pivot value is a
 // singleton (stripped from the partition) agrees with no other row and
 // needs no cluster.
-func (d *revalidator) deltaPliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI {
+// The returned fragment may alias the pivot partition's cluster slabs,
+// so every acquired handle stays pinned until the caller invokes the
+// returned release func (always non-nil, even on error).
+func (d *revalidator) deltaPliFor(lhs *bitset.Set, ix *pli.Intersector) (*pli.PLI, func(), error) {
+	var acquired []*plistore.Handle
+	release := func() {
+		for _, h := range acquired {
+			h.Release()
+		}
+	}
+	acquire := func(a int) (*pli.PLI, error) {
+		p, err := d.handles[a].Acquire()
+		if err == nil {
+			acquired = append(acquired, d.handles[a])
+		}
+		return p, err
+	}
 	attrs := d.validationOrder(lhs)
 	pivot := attrs[0]
-	inv := d.inverted[pivot]
+	pp, err := acquire(pivot)
+	if err != nil {
+		return nil, release, err
+	}
+	inv := pp.Inverted()
 	var ids []int
 	for r := d.baseRows; r < d.enc.NumRows; r++ {
 		if id := inv[r]; id >= 0 {
@@ -277,10 +311,10 @@ func (d *revalidator) deltaPliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI
 		}
 	}
 	if len(ids) == 0 {
-		return nil
+		return nil, release, nil
 	}
 	sort.Ints(ids)
-	all := d.plis[pivot].Clusters()
+	all := pp.Clusters()
 	touched := make([][]int, 0, len(ids))
 	prev := -1
 	for _, id := range ids {
@@ -294,12 +328,16 @@ func (d *revalidator) deltaPliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI
 		if p.IsUnique() {
 			break
 		}
-		p = d.dropBaseOnly(ix.IntersectInverted(p, d.inverted[a]))
+		pa, err := acquire(a)
+		if err != nil {
+			return nil, release, err
+		}
+		p = d.dropBaseOnly(ix.IntersectInverted(p, pa.Inverted()))
 	}
 	if p.IsUnique() {
-		return nil // no agreeing pair involves an appended row
+		return nil, release, nil // no agreeing pair involves an appended row
 	}
-	return p
+	return p, release, nil
 }
 
 // dropBaseOnly strips clusters made up entirely of base rows. Rows stay
@@ -324,7 +362,7 @@ func (d *revalidator) dropBaseOnly(p *pli.PLI) *pli.PLI {
 func (d *revalidator) validationOrder(lhs *bitset.Set) []int {
 	attrs := lhs.Elements()
 	sort.Slice(attrs, func(i, j int) bool {
-		ei, ej := d.plis[attrs[i]].Error(), d.plis[attrs[j]].Error()
+		ei, ej := d.handles[attrs[i]].Error(), d.handles[attrs[j]].Error()
 		if ei != ej {
 			return ei < ej
 		}

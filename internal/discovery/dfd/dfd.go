@@ -30,6 +30,8 @@ import (
 	"normalize/internal/fd"
 	"normalize/internal/observe"
 	"normalize/internal/pli"
+	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 )
 
@@ -37,6 +39,13 @@ import (
 type Options struct {
 	// MaxLhs bounds the size of left-hand sides; 0 means unbounded.
 	MaxLhs int
+	// Substrate, when non-nil, supplies the pre-built dictionary
+	// encoding and single-column PLIs of the relation (see
+	// internal/plicache), sharing one build across pipeline stages — and,
+	// when a compressed PLI store is attached to it, hands DFD's cached
+	// partitions to that store instead of keeping them flat residents.
+	// It must describe exactly the relation passed to discovery.
+	Substrate *plicache.Substrate
 	// Observer receives work counters under the fd-discovery stage;
 	// nil means no instrumentation.
 	Observer observe.Observer
@@ -66,9 +75,16 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	if n == 0 {
 		return result, nil
 	}
-	enc, err := rel.EncodeContext(ctx)
-	if err != nil {
-		return nil, err
+	sub := opts.Substrate
+	var enc *relation.Encoded
+	if sub != nil {
+		enc = sub.Encoded()
+	} else {
+		var err error
+		enc, err = rel.EncodeContext(ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if enc.NumRows == 0 {
 		result.Add(bitset.New(n), bitset.Full(n))
@@ -79,13 +95,28 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		maxLhs = n
 	}
 
-	d := &discoverer{ctx: ctx, done: ctx.Done(), enc: enc, n: n, tr: opts.Budget, plis: make(map[string]*pli.PLI)}
+	d := &discoverer{ctx: ctx, done: ctx.Done(), enc: enc, n: n, tr: opts.Budget, plis: make(map[string]*plistore.Handle)}
+	if sub != nil {
+		d.st = sub.Store()
+	}
 	defer d.flushCounters(observe.Or(opts.Observer))
 	for a := 0; a < n; a++ {
-		p := pli.FromColumn(enc.Columns[a], enc.Cardinality[a])
-		d.plis[bitset.Of(n, a).Key()] = p
-		if err := opts.Budget.Grow(8*int64(p.Size()) + 64); err != nil {
-			return nil, err
+		var h *plistore.Handle
+		if sub != nil {
+			var err error
+			if h, err = sub.Handle(a); err != nil {
+				return nil, err
+			}
+		} else {
+			h = plistore.Resident(pli.FromColumn(enc.Columns[a], enc.Cardinality[a]))
+		}
+		d.plis[bitset.Of(n, a).Key()] = h
+		if d.st == nil {
+			// Flat resident partitions charge here; store-backed ones
+			// charge (and evict) themselves.
+			if err := opts.Budget.Grow(8*int64(h.Size()) + 64); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -107,8 +138,9 @@ type discoverer struct {
 	enc     *relation.Encoded
 	n       int
 	tr      *budget.Tracker
-	tripped error               // first budget trip inside an error-less helper
-	plis    map[string]*pli.PLI // PLI cache, keyed by attribute-set key
+	st      *plistore.Store             // nil: cached partitions stay flat residents
+	tripped error                       // first budget trip inside an error-less helper
+	plis    map[string]*plistore.Handle // PLI cache, keyed by attribute-set key
 
 	plisIntersected   int64
 	candidatesChecked int64
@@ -211,13 +243,47 @@ func (d *discoverer) maximize(x *bitset.Set, a int, universe *bitset.Set) *bitse
 	return cur
 }
 
-// isDep checks X → a via stripped-partition refinement, with PLI reuse.
+// isDep checks X → a via stripped-partition refinement, with PLI
+// reuse. After a parked trip it reports false immediately; the
+// classification loop in findLhss surfaces the trip.
 func (d *discoverer) isDep(x *bitset.Set, a int) bool {
+	if d.tripped != nil {
+		return false
+	}
 	d.candidatesChecked++
 	if x.IsEmpty() {
 		return d.enc.Cardinality[a] == 1
 	}
-	return d.pliFor(x).Refines(d.enc.Columns[a])
+	h := d.pliFor(x)
+	if h == nil || d.tripped != nil {
+		return false
+	}
+	p, err := h.Acquire()
+	if err != nil {
+		d.trip(err)
+		return false
+	}
+	defer h.Release()
+	return p.Refines(d.enc.Columns[a])
+}
+
+// trip parks the first error of an error-less helper path.
+func (d *discoverer) trip(err error) {
+	if d.tripped == nil {
+		d.tripped = err
+	}
+}
+
+// putPart registers an intersected partition: compressed into the
+// store when one governs the run, flat resident (charged) otherwise.
+func (d *discoverer) putPart(p *pli.PLI) (*plistore.Handle, error) {
+	if d.st != nil {
+		return d.st.Put(p)
+	}
+	if err := d.tr.Grow(8*int64(p.Size()) + 64); err != nil {
+		return nil, err
+	}
+	return plistore.Resident(p), nil
 }
 
 // pliFor returns the cached PLI of x, computing it from the largest
@@ -225,36 +291,54 @@ func (d *discoverer) isDep(x *bitset.Set, a int) bool {
 // cache insert is charged against the budget; a trip is parked in
 // d.tripped (the refinement-check callers have no error return) and
 // the classification loop in findLhss surfaces it.
-func (d *discoverer) pliFor(x *bitset.Set) *pli.PLI {
-	if p, ok := d.plis[x.Key()]; ok {
-		return p
+func (d *discoverer) pliFor(x *bitset.Set) *plistore.Handle {
+	if h, ok := d.plis[x.Key()]; ok {
+		return h
 	}
 	// Build up from single columns, most selective first, caching the
-	// prefix partitions along the way.
+	// prefix partitions along the way. The chain acquires each operand
+	// only for the duration of its intersection.
 	attrs := x.Elements()
 	sort.Slice(attrs, func(i, j int) bool {
-		pi := d.plis[bitset.Of(d.n, attrs[i]).Key()]
-		pj := d.plis[bitset.Of(d.n, attrs[j]).Key()]
-		return pi.Error() < pj.Error()
+		hi := d.plis[bitset.Of(d.n, attrs[i]).Key()]
+		hj := d.plis[bitset.Of(d.n, attrs[j]).Key()]
+		return hi.Error() < hj.Error()
 	})
 	cur := bitset.Of(d.n, attrs[0])
-	p := d.plis[cur.Key()]
+	h := d.plis[cur.Key()]
 	for _, b := range attrs[1:] {
 		cur.Add(b)
 		if cached, ok := d.plis[cur.Key()]; ok {
-			p = cached
+			h = cached
 			continue
 		}
-		if !p.IsUnique() {
-			p = p.Intersect(d.plis[bitset.Of(d.n, b).Key()])
+		if !h.IsUnique() {
+			hb := d.plis[bitset.Of(d.n, b).Key()]
+			p, err := h.Acquire()
+			if err != nil {
+				d.trip(err)
+				return nil
+			}
+			pb, err := hb.Acquire()
+			if err != nil {
+				h.Release()
+				d.trip(err)
+				return nil
+			}
+			product := p.Intersect(pb)
+			hb.Release()
+			h.Release()
 			d.plisIntersected++
+			nh, err := d.putPart(product)
+			if err != nil {
+				d.trip(err)
+				return nil
+			}
+			h = nh
 		}
-		d.plis[cur.Key()] = p
-		if err := d.tr.Grow(8*int64(p.Size()) + 64); err != nil && d.tripped == nil {
-			d.tripped = err
-		}
+		d.plis[cur.Key()] = h
 	}
-	return p
+	return h
 }
 
 // minimalHittingSets enumerates the inclusion-minimal subsets of

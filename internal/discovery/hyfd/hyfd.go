@@ -42,6 +42,7 @@ import (
 	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
 	"normalize/internal/wsteal"
@@ -52,10 +53,10 @@ import (
 // is serial.
 func (o Options) effectiveWorkers() int {
 	if o.Workers > 0 {
-		return o.Workers
+		return wsteal.ClampWorkers(o.Workers)
 	}
 	if o.Parallel {
-		return runtime.GOMAXPROCS(0)
+		return wsteal.ClampWorkers(runtime.GOMAXPROCS(0))
 	}
 	return 1
 }
@@ -178,7 +179,11 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		d.tree.Add(empty, a)
 	}
 
-	d.sampler = newSampler(enc, d.plis)
+	smp, err := newSampler(enc, d.handles)
+	if err != nil {
+		return nil, err
+	}
+	d.sampler = smp
 	rounds := opts.sampleRounds
 	if rounds == 0 {
 		rounds = 3
@@ -221,22 +226,21 @@ func Minimize(s *fd.Set) *fd.Set {
 }
 
 type discoverer struct {
-	ctx      context.Context
-	done     <-chan struct{}
-	enc      *relation.Encoded
-	n        int
-	maxLhs   int
-	tree     *fd.Tree
-	tr       *budget.Tracker
-	plis     []*pli.PLI
-	inverted [][]int // row → cluster per attribute, shared by workers
-	sampler  *sampler
-	opts     Options
-	ix       *pli.Intersector   // arena scratch of the serial validation path
-	pool     *wsteal.Pool       // nil on the serial path
-	wixs     []*pli.Intersector // per-worker-slot arena intersectors
-	full     *bitset.Set        // constant {0..n-1}, source for outside
-	outside  *bitset.Set        // induct's reusable ¬agree scratch
+	ctx     context.Context
+	done    <-chan struct{}
+	enc     *relation.Encoded
+	n       int
+	maxLhs  int
+	tree    *fd.Tree
+	tr      *budget.Tracker
+	handles []*plistore.Handle // per-attribute partitions, shared by workers
+	sampler *sampler
+	opts    Options
+	ix      *pli.Intersector   // arena scratch of the serial validation path
+	pool    *wsteal.Pool       // nil on the serial path
+	wixs    []*pli.Intersector // per-worker-slot arena intersectors
+	full    *bitset.Set        // constant {0..n-1}, source for outside
+	outside *bitset.Set        // induct's reusable ¬agree scratch
 
 	// Work counters, flushed to the observer when discovery returns.
 	// The atomics are shared with the parallel validation workers; the
@@ -279,31 +283,48 @@ func (d *discoverer) canceled() bool {
 	}
 }
 
-// buildPLIs pulls the per-attribute partitions and inverted indexes from
-// the shared substrate (building any that are missing). The budget is
-// charged exactly as before the substrate existed — discovery retains
-// references to all indexes for its whole run, so the ceiling must
-// account for them whether or not another stage built them first.
+// buildPLIs pulls the per-attribute partition handles from the shared
+// substrate (building any that are missing) and prewarms each decoded
+// partition's inverted index. Without a compressed store the handles
+// are flat residents retained for the whole run, so the budget is
+// charged exactly as before the store existed; with a store the
+// compressed entries charge (and evict) themselves.
 func (d *discoverer) buildPLIs(sub *plicache.Substrate) error {
-	d.plis = make([]*pli.PLI, d.n)
-	d.inverted = make([][]int, d.n)
-	// Each per-attribute index retains roughly two ints per row. The
-	// charge happens in the ordered commit even on the parallel path, so
-	// a budget trips at the same attribute at every worker count.
-	charge := func(int) error { return d.tr.Grow(16 * int64(d.enc.NumRows)) }
+	d.handles = make([]*plistore.Handle, d.n)
+	charge := func(int) error { return nil }
+	if sub == nil || sub.Store() == nil {
+		// Each resident per-attribute index retains roughly two ints per
+		// row. The charge happens in the ordered commit even on the
+		// parallel path, so a budget trips at the same attribute at
+		// every worker count.
+		charge = func(int) error { return d.tr.Grow(16 * int64(d.enc.NumRows)) }
+	}
+	build := func(a int) error {
+		h, err := sub.Handle(a)
+		if err != nil {
+			return err
+		}
+		p, err := h.Acquire()
+		if err != nil {
+			return err
+		}
+		p.Inverted() // prewarm the row → cluster index
+		h.Release()
+		d.handles[a] = h
+		return nil
+	}
 	if d.pool != nil {
 		return d.pool.Run(d.ctx, "hyfd pli build", d.n, func(a, _ int) error {
-			d.plis[a] = sub.PLI(a)
-			d.inverted[a] = sub.Inverted(a)
-			return nil
+			return build(a)
 		}, charge)
 	}
 	for a := 0; a < d.n; a++ {
 		if d.canceled() {
 			return d.ctx.Err()
 		}
-		d.plis[a] = sub.PLI(a)
-		d.inverted[a] = sub.Inverted(a)
+		if err := build(a); err != nil {
+			return err
+		}
 		if err := charge(a); err != nil {
 			return err
 		}
@@ -489,8 +510,9 @@ func (d *discoverer) check(cands []candidate, process func(verdict) error) error
 			}
 			var v verdict
 			if err := guard.Run("hyfd validation", func() error {
-				v = d.checkOne(c, d.ix)
-				return nil
+				var err error
+				v, err = d.checkOne(c, d.ix)
+				return err
 			}); err != nil {
 				return err
 			}
@@ -503,8 +525,9 @@ func (d *discoverer) check(cands []candidate, process func(verdict) error) error
 	out := make([]verdict, len(cands))
 	ixs := d.slotIntersectors()
 	return d.pool.Run(d.ctx, "hyfd validation worker", len(cands), func(i, slot int) error {
-		out[i] = d.checkOne(cands[i], ixs[slot])
-		return nil
+		var err error
+		out[i], err = d.checkOne(cands[i], ixs[slot])
+		return err
 	}, func(i int) error {
 		return process(out[i])
 	})
@@ -525,8 +548,10 @@ func (d *discoverer) slotIntersectors() []*pli.Intersector {
 
 // checkOne validates a single candidate: it materializes the LHS
 // partition with the caller's scratch Intersector and tests refinement
-// of every RHS column.
-func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) verdict {
+// of every RHS column. Acquiring a partition handle can fail under a
+// memory budget (a trip that eviction could not absorb), which surfaces
+// as the error.
+func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) (verdict, error) {
 	// One candidate per (LHS, RHS attribute) pair — the unit every
 	// discovery algorithm reports, so counters compare across them.
 	d.candidatesChecked.Add(int64(c.rhs.Cardinality()))
@@ -545,9 +570,13 @@ func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) verdict {
 			}
 			return true
 		})
-		return v
+		return v, nil
 	}
-	p := d.pliFor(c.lhs, ix)
+	p, release, err := d.pliFor(c.lhs, ix)
+	if err != nil {
+		return v, err
+	}
+	defer release()
 	c.rhs.ForEach(func(a int) bool {
 		if r1, r2 := p.FirstViolation(d.enc.Columns[a]); r1 >= 0 {
 			if v.invalid == nil {
@@ -558,7 +587,7 @@ func (d *discoverer) checkOne(c candidate, ix *pli.Intersector) verdict {
 		}
 		return true
 	})
-	return v
+	return v, nil
 }
 
 func (d *discoverer) firstDifferingRows(a int) (int, int) {
@@ -579,7 +608,7 @@ func (d *discoverer) firstDifferingRows(a int) (int, int) {
 func (d *discoverer) validationOrder(lhs *bitset.Set) []int {
 	attrs := lhs.Elements()
 	sort.Slice(attrs, func(i, j int) bool {
-		ei, ej := d.plis[attrs[i]].Error(), d.plis[attrs[j]].Error()
+		ei, ej := d.handles[attrs[i]].Error(), d.handles[attrs[j]].Error()
 		if ei != ej {
 			return ei < ej
 		}
@@ -589,16 +618,37 @@ func (d *discoverer) validationOrder(lhs *bitset.Set) []int {
 }
 
 // pliFor intersects the single-column PLIs of the LHS, most selective
-// first, so intermediate partitions shrink as fast as possible.
-func (d *discoverer) pliFor(lhs *bitset.Set, ix *pli.Intersector) *pli.PLI {
+// first, so intermediate partitions shrink as fast as possible. The
+// acquired handles stay pinned until the returned release is called —
+// the candidate's partition chain (including arena-backed results that
+// borrow the first operand) must be fully consumed before then.
+func (d *discoverer) pliFor(lhs *bitset.Set, ix *pli.Intersector) (*pli.PLI, func(), error) {
 	attrs := d.validationOrder(lhs)
-	p := d.plis[attrs[0]]
+	acquired := make([]*plistore.Handle, 0, len(attrs))
+	release := func() {
+		for _, h := range acquired {
+			h.Release()
+		}
+	}
+	h0 := d.handles[attrs[0]]
+	p, err := h0.Acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	acquired = append(acquired, h0)
 	for _, a := range attrs[1:] {
 		if p.IsUnique() {
 			break
 		}
-		p = ix.IntersectInverted(p, d.inverted[a])
+		h := d.handles[a]
+		pa, err := h.Acquire()
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		acquired = append(acquired, h)
+		p = ix.IntersectInverted(p, pa.Inverted())
 		d.plisIntersected.Add(1)
 	}
-	return p
+	return p, release, nil
 }

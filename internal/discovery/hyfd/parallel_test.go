@@ -73,7 +73,7 @@ func TestValidationOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	for a, want := range []int{0, 5, 2, 2} {
-		if got := d.plis[a].Error(); got != want {
+		if got := d.handles[a].Error(); got != want {
 			t.Fatalf("err(a%d) = %d, want %d (test setup)", a, got, want)
 		}
 	}

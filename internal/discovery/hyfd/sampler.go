@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"normalize/internal/bitset"
-	"normalize/internal/pli"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/wsteal"
 )
@@ -26,10 +26,10 @@ type sampler struct {
 	seen       map[string]bool
 }
 
-func newSampler(enc *relation.Encoded, plis []*pli.PLI) *sampler {
+func newSampler(enc *relation.Encoded, handles []*plistore.Handle) (*sampler, error) {
 	s := &sampler{
 		enc:    enc,
-		n:      len(plis),
+		n:      len(handles),
 		window: 1,
 		seen:   make(map[string]bool),
 	}
@@ -55,7 +55,13 @@ func newSampler(enc *relation.Encoded, plis []*pli.PLI) *sampler {
 		rank[r] = pos
 	}
 
-	for _, p := range plis {
+	// The sampler copies (and re-sorts) every cluster it keeps, so each
+	// partition is only pinned while its clusters are read.
+	for _, h := range handles {
+		p, err := h.Acquire()
+		if err != nil {
+			return nil, err
+		}
 		for _, cluster := range p.Clusters() {
 			c := make([]int, len(cluster))
 			copy(c, cluster)
@@ -65,8 +71,9 @@ func newSampler(enc *relation.Encoded, plis []*pli.PLI) *sampler {
 				s.maxCluster = len(c)
 			}
 		}
+		h.Release()
 	}
-	return s
+	return s, nil
 }
 
 // hasMore reports whether widening the window can still produce new

@@ -22,8 +22,8 @@ import (
 	"normalize/internal/budget"
 	"normalize/internal/fd"
 	"normalize/internal/observe"
-	"normalize/internal/pli"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 )
 
@@ -53,7 +53,7 @@ type Options struct {
 type node struct {
 	attrs      []int // X as a sorted attribute list
 	set        *bitset.Set
-	part       *pli.PLI
+	part       *plistore.Handle
 	err        int
 	cplus      *bitset.Set
 	parentErrs map[int]int // removed attribute → e(X\{attr})
@@ -93,7 +93,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 		result.Add(bitset.New(n), bitset.Full(n))
 		return result.Aggregate().Sort(), nil
 	}
-	d := &discoverer{ctx: ctx, done: ctx.Done(), tr: opts.Budget}
+	d := &discoverer{ctx: ctx, done: ctx.Done(), tr: opts.Budget, st: sub.Store()}
 	defer d.flushCounters(observe.Or(opts.Observer))
 
 	emptyErr := enc.NumRows - 1 // e(∅): a single cluster holding all rows
@@ -101,12 +101,15 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 	// Level 1: single attributes with C⁺ = R.
 	level := make([]*node, 0, n)
 	for a := 0; a < n; a++ {
-		p := sub.PLI(a)
+		h, err := sub.Handle(a)
+		if err != nil {
+			return nil, err
+		}
 		level = append(level, &node{
 			attrs:      []int{a},
 			set:        bitset.Of(n, a),
-			part:       p,
-			err:        p.Error(),
+			part:       h,
+			err:        h.Error(),
 			cplus:      bitset.Full(n),
 			parentErrs: map[int]int{a: emptyErr},
 		})
@@ -138,6 +141,7 @@ type discoverer struct {
 	ctx  context.Context
 	done <-chan struct{}
 	tr   *budget.Tracker
+	st   *plistore.Store // nil: retained partitions stay flat residents
 
 	plisIntersected   int64
 	candidatesChecked int64
@@ -276,21 +280,42 @@ func (d *discoverer) generateNextLevel(survivors map[string]*node, n int) ([]*no
 			if !ok || cplus.IsEmpty() {
 				continue
 			}
+			pa, err := a.part.Acquire()
+			if err != nil {
+				return nil, err
+			}
+			pb, err := b.part.Acquire()
+			if err != nil {
+				a.part.Release()
+				return nil, err
+			}
+			part := pa.Intersect(pb)
+			b.part.Release()
+			a.part.Release()
+			d.plisIntersected++
 			child := &node{
 				attrs:      attrs,
 				set:        set,
-				part:       a.part.Intersect(b.part),
+				err:        part.Error(),
 				cplus:      cplus,
 				parentErrs: parentErrs,
 			}
-			d.plisIntersected++
-			// The retained child partition is the dominant allocation of
-			// the level-wise sweep: one int per row the stripped
-			// partition still holds, plus cluster headers.
-			if err := d.tr.Grow(8*int64(child.part.Size()) + 64); err != nil {
-				return nil, err
+			if d.st != nil {
+				// The store compresses the retained child partition and
+				// charges (or evicts) it under the run's budget itself.
+				child.part, err = d.st.Put(part)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				// The retained child partition is the dominant allocation
+				// of the level-wise sweep: one int per row the stripped
+				// partition still holds, plus cluster headers.
+				if err := d.tr.Grow(8*int64(part.Size()) + 64); err != nil {
+					return nil, err
+				}
+				child.part = plistore.Resident(part)
 			}
-			child.err = child.part.Error()
 			next = append(next, child)
 		}
 	}

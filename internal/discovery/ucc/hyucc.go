@@ -9,6 +9,7 @@ import (
 	"normalize/internal/observe"
 	"normalize/internal/pli"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
 	"normalize/internal/wsteal"
@@ -56,16 +57,21 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	defer c.flush(observe.Or(opts.Observer))
 	done := ctx.Done()
 
-	plis := make([]*pli.PLI, n)
-	inverted := make([][]int, n)
+	handles := make([]*plistore.Handle, n)
 	for a := 0; a < n; a++ {
-		plis[a] = sub.PLI(a)
-		inverted[a] = sub.Inverted(a)
-		// Partition plus inverted index retain about two ints per row;
-		// discovery keeps them for its whole run, so the budget charge is
-		// unchanged whether or not another stage built the substrate.
-		if err := opts.Budget.Grow(16 * int64(enc.NumRows)); err != nil {
+		h, err := sub.Handle(a)
+		if err != nil {
 			return nil, err
+		}
+		handles[a] = h
+		if sub.Store() == nil {
+			// Resident partition plus inverted index retain about two
+			// ints per row for the whole run, so the budget charge is
+			// unchanged whether or not another stage built the substrate.
+			// With a store the compressed entries charge themselves.
+			if err := opts.Budget.Grow(16 * int64(enc.NumRows)); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -124,10 +130,16 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 	}
 
 	// Sample neighbouring rows within each cluster (window 1 and 2).
+	// Each partition stays pinned only while its clusters are swept.
 	agreeSeen := map[string]bool{}
 	for a := 0; a < n; a++ {
-		for _, cluster := range plis[a].Clusters() {
+		pa, err := handles[a].Acquire()
+		if err != nil {
+			return nil, err
+		}
+		for _, cluster := range pa.Clusters() {
 			if canceled(done) {
+				handles[a].Release()
 				return nil, ctx.Err()
 			}
 			for w := 1; w <= 2; w++ {
@@ -135,18 +147,21 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 					// Induction over a large cluster is the hot part of the
 					// sampling sweep; poll per pair batch.
 					if i&63 == 0 && canceled(done) {
+						handles[a].Release()
 						return nil, ctx.Err()
 					}
 					s := agreeSet(enc, n, cluster[i], cluster[i+w])
 					if k := s.Key(); !agreeSeen[k] {
 						agreeSeen[k] = true
 						if err := induct(s); err != nil {
+							handles[a].Release()
 							return nil, err
 						}
 					}
 				}
 			}
 		}
+		handles[a].Release()
 	}
 
 	// Validation: level-wise confirmation; a refuted candidate yields a
@@ -209,8 +224,9 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 				}
 				var v uccVerdict
 				if err := guard.Run("hyucc validation", func() error {
-					v = checkUnique(enc, plis, inverted, cand, ix)
-					return nil
+					var err error
+					v, err = checkUnique(enc, handles, cand, ix)
+					return err
 				}); err != nil {
 					return nil, err
 				}
@@ -221,8 +237,9 @@ func DiscoverHybridContext(ctx context.Context, rel *relation.Relation, opts Opt
 		} else {
 			verdicts := make([]uccVerdict, len(todo))
 			err := pool.Run(ctx, "hyucc validation worker", len(todo), func(i, slot int) error {
-				verdicts[i] = checkUnique(enc, plis, inverted, todo[i], ixs[slot])
-				return nil
+				var err error
+				verdicts[i], err = checkUnique(enc, handles, todo[i], ixs[slot])
+				return err
 			}, func(i int) error {
 				return fold(i, verdicts[i])
 			})
@@ -266,29 +283,48 @@ type uccVerdict struct {
 
 // checkUnique returns a pair of rows agreeing on all attributes of the
 // candidate (r1 < 0 when the candidate is unique) together with the
-// number of PLI intersections spent.
-func checkUnique(enc *relation.Encoded, plis []*pli.PLI, inverted [][]int, cand *bitset.Set, ix *pli.Intersector) uccVerdict {
+// number of PLI intersections spent. The single-column partitions stay
+// pinned until the candidate's chain is consumed; acquiring one can
+// fail under a memory budget, which surfaces as the error.
+func checkUnique(enc *relation.Encoded, handles []*plistore.Handle, cand *bitset.Set, ix *pli.Intersector) (uccVerdict, error) {
 	v := uccVerdict{r1: -1, r2: -1}
 	if cand.IsEmpty() {
 		if enc.NumRows > 1 {
 			v.r1, v.r2 = 0, 1
 		}
-		return v
+		return v, nil
 	}
 	attrs := cand.Elements()
-	p := plis[attrs[0]]
+	acquired := make([]*plistore.Handle, 0, len(attrs))
+	defer func() {
+		for _, h := range acquired {
+			h.Release()
+		}
+	}()
+	h0 := handles[attrs[0]]
+	p, err := h0.Acquire()
+	if err != nil {
+		return v, err
+	}
+	acquired = append(acquired, h0)
 	for _, a := range attrs[1:] {
 		if p.IsUnique() {
-			return v
+			return v, nil
 		}
-		p = ix.IntersectInverted(p, inverted[a])
+		h := handles[a]
+		pa, err := h.Acquire()
+		if err != nil {
+			return v, err
+		}
+		acquired = append(acquired, h)
+		p = ix.IntersectInverted(p, pa.Inverted())
 		v.intersections++
 	}
 	for _, cluster := range p.Clusters() {
 		v.r1, v.r2 = cluster[0], cluster[1]
 		break
 	}
-	return v
+	return v, nil
 }
 
 func agreeSet(enc *relation.Encoded, n, r1, r2 int) *bitset.Set {

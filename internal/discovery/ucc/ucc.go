@@ -22,10 +22,11 @@ import (
 	"normalize/internal/bitset"
 	"normalize/internal/budget"
 	"normalize/internal/observe"
-	"normalize/internal/pli"
 	"normalize/internal/plicache"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 	"normalize/internal/settrie"
+	"normalize/internal/wsteal"
 )
 
 // Options configures discovery.
@@ -53,10 +54,11 @@ type Options struct {
 	Budget *budget.Tracker
 }
 
-// effectiveWorkers resolves the hybrid validation worker count.
+// effectiveWorkers resolves the hybrid validation worker count,
+// clamped to the host's CPUs.
 func (o Options) effectiveWorkers() int {
 	if o.Workers > 1 {
-		return o.Workers
+		return wsteal.ClampWorkers(o.Workers)
 	}
 	return 1
 }
@@ -64,7 +66,7 @@ func (o Options) effectiveWorkers() int {
 type node struct {
 	attrs []int
 	set   *bitset.Set
-	part  *pli.PLI
+	part  *plistore.Handle
 }
 
 // counters accumulates the work of one discovery run and flushes it to
@@ -130,20 +132,23 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 
 	level := make([]*node, 0, n)
 	for a := 0; a < n; a++ {
-		p := sub.PLI(a)
+		h, err := sub.Handle(a)
+		if err != nil {
+			return nil, err
+		}
 		s := bitset.Of(n, a)
-		if p.IsUnique() {
+		if h.IsUnique() {
 			result = append(result, s)
 			minimal.Insert(s)
 			continue
 		}
-		level = append(level, &node{attrs: []int{a}, set: s, part: p})
+		level = append(level, &node{attrs: []int{a}, set: s, part: h})
 	}
 
 	done := ctx.Done()
 	for size := 1; len(level) > 0 && size < maxSize; size++ {
 		var err error
-		level, err = nextLevel(ctx, done, level, &minimal, &result, n, &c, opts.Budget)
+		level, err = nextLevel(ctx, done, level, &minimal, &result, n, &c, opts.Budget, sub.Store())
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +162,7 @@ func DiscoverContext(ctx context.Context, rel *relation.Relation, opts Options) 
 // UCCs (minimal because all their subsets are non-unique), and the
 // remaining candidates form the next level.
 func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
-	minimal *settrie.Trie, result *[]*bitset.Set, n int, c *counters, tr *budget.Tracker) ([]*node, error) {
+	minimal *settrie.Trie, result *[]*bitset.Set, n int, c *counters, tr *budget.Tracker, st *plistore.Store) ([]*node, error) {
 	sort.Slice(level, func(i, j int) bool {
 		a, b := level[i].attrs, level[j].attrs
 		for k := range a {
@@ -204,7 +209,18 @@ func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
 			if !ok {
 				continue
 			}
-			part := a.part.Intersect(b.part)
+			pa, err := a.part.Acquire()
+			if err != nil {
+				return nil, err
+			}
+			pb, err := b.part.Acquire()
+			if err != nil {
+				a.part.Release()
+				return nil, err
+			}
+			part := pa.Intersect(pb)
+			b.part.Release()
+			a.part.Release()
 			c.plisIntersected++
 			attrs := append(append(make([]int, 0, len(a.attrs)+1), a.attrs...), b.attrs[len(b.attrs)-1])
 			if part.IsUnique() {
@@ -213,11 +229,21 @@ func nextLevel(ctx context.Context, done <-chan struct{}, level []*node,
 				continue
 			}
 			// Non-unique candidates retain their partition for the next
-			// level; that retention is the memory the budget meters.
-			if err := tr.Grow(8*int64(part.Size()) + 64); err != nil {
-				return nil, err
+			// level; that retention is the memory the budget meters —
+			// compressed and evictable when a store governs the run.
+			var h *plistore.Handle
+			if st != nil {
+				h, err = st.Put(part)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				if err := tr.Grow(8*int64(part.Size()) + 64); err != nil {
+					return nil, err
+				}
+				h = plistore.Resident(part)
 			}
-			next = append(next, &node{attrs: attrs, set: set, part: part})
+			next = append(next, &node{attrs: attrs, set: set, part: h})
 		}
 	}
 	return next, nil

@@ -216,6 +216,12 @@ func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
 	}
 	report := &RecoveryReport{}
 
+	// A crash between writing snapshot.tmp and renaming it over
+	// snapshot.db leaves the temp file behind; it is dead weight (the
+	// old snapshot + journal are authoritative) and the next compaction
+	// recreates it from scratch, so drop it now rather than leak it.
+	os.Remove(filepath.Join(dir, snapTempName))
+
 	s.loadSnapshot(report)
 	if err := s.replayLog(report); err != nil {
 		return nil, nil, err

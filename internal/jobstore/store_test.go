@@ -233,3 +233,33 @@ func TestClosedStoreRejectsAppends(t *testing.T) {
 		t.Errorf("double close: %v", err)
 	}
 }
+
+// TestOpenRemovesStaleSnapshotTemp pins the crash-leak contract: a
+// process killed between writing snapshot.tmp and renaming it over
+// snapshot.db leaves the temp file behind, and the next Open must
+// remove it — the old snapshot + journal stay authoritative, so the
+// half-written temp is pure dead weight.
+func TestOpenRemovesStaleSnapshotTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir, Options{})
+	seedStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, snapTempName)
+	if err := os.WriteFile(stale, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := open(t, dir, Options{})
+	defer s2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale %s survived Open", snapTempName)
+	}
+	// Recovery must still see the seeded history, untouched by the sweep.
+	if got := len(s2.Jobs()); got == 0 {
+		t.Fatal("recovery lost the seeded jobs after removing the stale temp file")
+	}
+	_ = rep
+}

@@ -99,6 +99,19 @@ const (
 	CounterIngestChunks = "ingest_chunks"
 	CounterIngestRows   = "ingest_rows"
 	CounterSpillEvents  = "spill_events"
+	// The compressed PLI store (internal/plistore) reports the bytes of
+	// delta-varint compressed partitions it produced, entries whose
+	// compressed segments spilled to the transient temp file under
+	// memory pressure, spilled entries decoded back from disk, and
+	// dropped single-column entries recomputed from the columnar codes.
+	CounterPLICompressedBytes = "pli_compressed_bytes"
+	CounterPLISpillEvents     = "pli_spill_events"
+	CounterPLIReloads         = "pli_reloads"
+	CounterPLIRecomputes      = "pli_recomputes"
+	// CounterPLIResidentBytes is what the store's partitions would
+	// occupy fully decoded — the footprint a run without the store would
+	// keep resident, against which -max-memory savings are judged.
+	CounterPLIResidentBytes = "pli_resident_bytes"
 )
 
 // Observer receives instrumentation events from the pipeline.

@@ -87,6 +87,15 @@ func FromClusters(numRows int, clusters [][]int) *PLI {
 	return p
 }
 
+// FromOwnedClusters builds a PLI that takes ownership of clusters
+// without copying or stripping: the caller guarantees that no cluster
+// is a singleton and that size equals the sum of the cluster lengths.
+// The compressed PLI store's decoder uses it to rebuild a partition
+// from its delta-varint segments into a freshly carved slab.
+func FromOwnedClusters(numRows, size int, clusters [][]int) *PLI {
+	return &PLI{numRows: numRows, size: size, clusters: clusters}
+}
+
 // Extend builds the PLI of a dictionary-encoded column that grew by
 // appended rows, reusing the base PLI instead of regrouping the whole
 // column. codes is the full extended column, base is the PLI of its

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"normalize/internal/pli"
+	"normalize/internal/plistore"
 	"normalize/internal/relation"
 )
 
@@ -36,8 +37,15 @@ import (
 // instance and one PLI (plus cached inverted index) per attribute,
 // built lazily and cached. Safe for concurrent use.
 type Substrate struct {
-	enc  *relation.Encoded
-	cols []substrateColumn
+	enc     *relation.Encoded
+	cols    []substrateColumn
+	handles []substrateHandle
+
+	// store, when set, governs the handle-form PLIs: Handle compresses
+	// them into the budget-governed store instead of keeping flat
+	// residents. Attached at construction/registration time, before the
+	// substrate is shared across goroutines.
+	store *plistore.Store
 
 	// Set on appended substrates (Extend): column PLIs are grown from
 	// the parent's instead of rebuilt from the full column.
@@ -50,9 +58,19 @@ type substrateColumn struct {
 	p    *pli.PLI
 }
 
+type substrateHandle struct {
+	once sync.Once
+	h    *plistore.Handle
+	err  error
+}
+
 // New wraps an already-encoded relation.
 func New(enc *relation.Encoded) *Substrate {
-	return &Substrate{enc: enc, cols: make([]substrateColumn, len(enc.Columns))}
+	return &Substrate{
+		enc:     enc,
+		cols:    make([]substrateColumn, len(enc.Columns)),
+		handles: make([]substrateHandle, len(enc.Columns)),
+	}
 }
 
 // Build encodes rel and wraps it; the encoding polls ctx like
@@ -85,10 +103,22 @@ func Extend(parent *Substrate, enc *relation.Encoded) *Substrate {
 	return &Substrate{
 		enc:      enc,
 		cols:     make([]substrateColumn, len(enc.Columns)),
+		handles:  make([]substrateHandle, len(enc.Columns)),
+		store:    parent.store,
 		parent:   parent,
 		baseRows: parent.NumRows(),
 	}
 }
+
+// SetStore attaches a compressed PLI store, making Handle compress the
+// lazy per-attribute PLIs into it instead of wrapping flat residents.
+// Must be called before the substrate is shared across goroutines
+// (construction/registration time); the flat PLI accessor is
+// unaffected.
+func (s *Substrate) SetStore(st *plistore.Store) { s.store = st }
+
+// Store returns the attached compressed PLI store, or nil.
+func (s *Substrate) Store() *plistore.Store { return s.store }
 
 // Encoded returns the dictionary-encoded instance; callers must not
 // modify it.
@@ -117,6 +147,58 @@ func (s *Substrate) PLI(a int) *pli.PLI {
 // Inverted returns the cached row → cluster index of attribute a's PLI.
 func (s *Substrate) Inverted(a int) []int { return s.PLI(a).Inverted() }
 
+// Handle returns attribute a's partition as a store handle, built and
+// cached on first use. Without an attached store it wraps the flat
+// resident PLI (free acquisition, no accounting — the unconstrained
+// fast path); with a store it compresses the partition into the
+// budget-governed store, and on appended substrates the partition is
+// grown from the parent's handle via pli.Extend first. Safe for
+// concurrent use.
+func (s *Substrate) Handle(a int) (*plistore.Handle, error) {
+	c := &s.handles[a]
+	c.once.Do(func() {
+		st := s.store
+		if st == nil {
+			c.h = plistore.Resident(s.PLI(a))
+			return
+		}
+		if s.parent != nil {
+			ph, err := s.parent.Handle(a)
+			if err != nil {
+				c.err = err
+				return
+			}
+			pp, err := ph.Acquire()
+			if err != nil {
+				c.err = err
+				return
+			}
+			grown := pli.Extend(pp, s.enc.Columns[a], s.baseRows, s.enc.Cardinality[a])
+			ph.Release()
+			// Extend's result is identical to FromColumn on the full
+			// column, so the full codes are a valid recompute source.
+			c.h, c.err = st.PutPLI(grown, s.enc.Columns[a], s.enc.Cardinality[a])
+			return
+		}
+		c.h, c.err = st.PutColumn(s.enc.Columns[a], s.enc.Cardinality[a])
+	})
+	return c.h, c.err
+}
+
+// Handles returns all single-column partition handles in attribute
+// order, building any that are missing.
+func (s *Substrate) Handles() ([]*plistore.Handle, error) {
+	out := make([]*plistore.Handle, len(s.handles))
+	for a := range s.handles {
+		h, err := s.Handle(a)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = h
+	}
+	return out, nil
+}
+
 // PLIs returns all single-column PLIs in attribute order, building any
 // that are missing.
 func (s *Substrate) PLIs() []*pli.PLI {
@@ -138,7 +220,9 @@ func (s *Substrate) PLIs() []*pli.PLI {
 func (s *Substrate) ProjectDedup(cols []int) *Substrate {
 	keep := s.enc.DedupKeep(cols)
 	child, _ := s.enc.Select(cols, keep)
-	return New(child)
+	cs := New(child)
+	cs.store = s.store // decomposition children share the run's store
+	return cs
 }
 
 // Cache deduplicates substrate builds across the tables of one
@@ -151,10 +235,24 @@ type Cache struct {
 	mu    sync.Mutex
 	byRel map[*relation.Relation]*Substrate
 	byKey map[[sha256.Size]byte]*Substrate
+	store *plistore.Store
 
 	builds  atomic.Int64 // full encodes
 	derives atomic.Int64 // code-level projection derivations
 	hits    atomic.Int64 // lookups served from the cache
+}
+
+// SetStore attaches a compressed PLI store to the cache: substrates
+// built or registered through it from now on hand their handle-form
+// PLIs to the store. The pipeline calls this once, before discovery,
+// when a memory budget governs the run. Nil-safe.
+func (c *Cache) SetStore(st *plistore.Store) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
 }
 
 // NewCache returns an empty substrate cache.
@@ -207,6 +305,7 @@ func (c *Cache) ForWorkers(ctx context.Context, rel *relation.Relation, workers 
 	if prev, ok := c.byKey[key]; ok {
 		s = prev
 	} else {
+		s.store = c.store
 		c.byKey[key] = s
 		c.builds.Add(1)
 	}
@@ -233,6 +332,9 @@ func (c *Cache) PutDerived(child *relation.Relation, s *Substrate) {
 		return
 	}
 	c.mu.Lock()
+	if s.store == nil {
+		s.store = c.store
+	}
 	c.byRel[child] = s
 	c.mu.Unlock()
 	c.derives.Add(1)
@@ -247,6 +349,9 @@ func (c *Cache) PutKeyed(rel *relation.Relation, key [sha256.Size]byte, s *Subst
 		return
 	}
 	c.mu.Lock()
+	if s.store == nil {
+		s.store = c.store
+	}
 	if rel != nil {
 		c.byRel[rel] = s
 	}

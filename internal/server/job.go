@@ -94,7 +94,7 @@ func (s *jobSpec) finalizeDeltaKey(parentKey string) {
 // paper's evaluation; CSV sources stream through the columnar ingest
 // path, reporting stage events and counters to obs and honoring the
 // job's memory ceiling on the read side.
-func (s *jobSpec) relations(ctx context.Context, obs normalize.Observer) (*normalize.Relation, []relation.RowError, error) {
+func (s *jobSpec) relations(ctx context.Context, obs normalize.Observer, spillDir string) (*normalize.Relation, []relation.RowError, error) {
 	if s.gen != "" {
 		ds, err := generate(s.gen, s.scale, s.artists, s.seed)
 		if err != nil {
@@ -106,6 +106,7 @@ func (s *jobSpec) relations(ctx context.Context, obs normalize.Observer) (*norma
 		Lenient:        s.lenient,
 		Workers:        s.opts.Workers,
 		MaxMemoryBytes: s.opts.Budget.MaxMemoryBytes,
+		SpillDir:       spillDir,
 		Observer:       obs,
 	})
 }
@@ -321,6 +322,11 @@ type manager struct {
 	wg         sync.WaitGroup
 
 	observer normalize.Observer // server-wide metrics sink (may be nil)
+
+	// spillDir is where jobs place transient spill files (ingest
+	// blocks, compressed PLI segments); "" means the OS temp dir. The
+	// server sweeps a server-owned dir at startup and drain.
+	spillDir string
 }
 
 func newManager(workers, queueDepth, cacheEntries int, cacheBytes int64, metrics normalize.Observer, p *persister) *manager {
@@ -510,6 +516,9 @@ func (m *manager) runJob(job *Job) {
 	// span and counters reach the SSE stream and recorder like any
 	// pipeline stage's.
 	opts := job.spec.opts
+	// The spill directory is the server's to choose, never the
+	// client's: override whatever the submission carried.
+	opts.SpillDir = m.spillDir
 	obs := newBusObserver(job.bus)
 	observers := normalize.MultiObserver{obs.observer(), job.rec}
 	if m.observer != nil {
@@ -532,7 +541,7 @@ func (m *manager) runJob(job *Job) {
 		return
 	}
 
-	rel, skipped, err := job.spec.relations(ctx, observers)
+	rel, skipped, err := job.spec.relations(ctx, observers, m.spillDir)
 	if err != nil {
 		obs.flush()
 		job.finish(classify(nil, err))
@@ -583,7 +592,7 @@ func (m *manager) normalizeDelta(ctx context.Context, spec *jobSpec, opts normal
 // the root without any child ever holding the concatenated CSV.
 func (m *manager) materialize(ctx context.Context, spec *jobSpec, obs normalize.Observer) (*normalize.Relation, error) {
 	if !spec.delta() {
-		rel, _, err := spec.relations(ctx, obs)
+		rel, _, err := spec.relations(ctx, obs, m.spillDir)
 		return rel, err
 	}
 	parent, ok := m.findJob(spec.parentKey)

@@ -35,6 +35,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -76,6 +78,14 @@ type Config struct {
 	// under this expvar name (default "normalize_stages"; "-" skips
 	// registration, for processes embedding several servers).
 	MetricsName string
+	// SpillDir is the directory for transient spill files (out-of-core
+	// CSV ingest and the budget-governed PLI store). Defaults to
+	// DataDir/spill when DataDir is set, else the OS temp dir. A
+	// server-owned spill dir is swept of leftover spill files at
+	// startup and again at drain, so a crash can never leak them
+	// across process lifetimes. Requests cannot choose the directory:
+	// the server overrides any client-supplied value.
+	SpillDir string
 	// DataDir, when non-empty, makes job state crash-safe: submissions,
 	// lifecycle transitions, and terminal results are appended to a
 	// write-ahead log in this directory, and a restart replays it —
@@ -111,6 +121,9 @@ func (c *Config) fill() {
 	if c.MetricsName == "" {
 		c.MetricsName = "normalize_stages"
 	}
+	if c.SpillDir == "" && c.DataDir != "" {
+		c.SpillDir = filepath.Join(c.DataDir, "spill")
+	}
 }
 
 // Server is the normalization service: an HTTP handler plus the worker
@@ -133,6 +146,14 @@ type Server struct {
 // submission is accepted.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: spill dir: %w", err)
+		}
+		// The previous process may have died mid-job; its transient
+		// spill files are garbage now.
+		sweepSpill(cfg.SpillDir, cfg.Logf)
+	}
 	s := &Server{cfg: cfg, metrics: &normalize.MetricsPublisher{}}
 	if cfg.MetricsName != "-" {
 		if err := s.metrics.Publish(cfg.MetricsName); err != nil {
@@ -149,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 		p = &persister{store: store, logf: cfg.Logf}
 	}
 	s.m = newManager(cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.CacheBytes, s.metrics, p)
+	s.m.spillDir = cfg.SpillDir
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -200,6 +222,31 @@ func (s *Server) Shutdown(ctx context.Context) {
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
 			s.logf("server: close job store: %v", err)
+		}
+	}
+	// The pool has exited: any spill file still present in a
+	// server-owned dir was leaked by a cancelled or crashed job.
+	if s.cfg.SpillDir != "" {
+		sweepSpill(s.cfg.SpillDir, s.cfg.Logf)
+	}
+}
+
+// sweepSpill removes leftover transient spill files — out-of-core
+// ingest blocks and compressed PLI segments — from a server-owned
+// spill directory. Both producers create files via os.CreateTemp and
+// remove them on every orderly exit path, so anything matching here is
+// an orphan from a crash or kill. Never called on the shared OS temp
+// dir (other processes' files live there).
+func sweepSpill(dir string, logf func(string, ...any)) {
+	for _, pattern := range []string{"ingest-spill-*.bin", "pli-spill-*.bin"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			continue
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err == nil && logf != nil {
+				logf("server: removed leaked spill file %s", m)
+			}
 		}
 	}
 }

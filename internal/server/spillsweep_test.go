@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seedSpillFiles drops fake orphaned spill files — the names
+// os.CreateTemp would have produced for out-of-core ingest blocks and
+// compressed PLI segments — plus an unrelated file that must survive
+// every sweep.
+func seedSpillFiles(t *testing.T, dir string) (orphans []string, keep string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ingest-spill-1234.bin", "pli-spill-5678.bin"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("orphaned spill payload"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		orphans = append(orphans, p)
+	}
+	keep = filepath.Join(dir, "unrelated.txt")
+	if err := os.WriteFile(keep, []byte("not a spill file"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return orphans, keep
+}
+
+// TestSpillSweepOnStartup pins the leak contract's first half: a
+// previous process that died mid-job leaves transient spill files
+// behind, and New must remove them before accepting work — without
+// touching anything else in the directory.
+func TestSpillSweepOnStartup(t *testing.T) {
+	spillDir := filepath.Join(t.TempDir(), "spill")
+	orphans, keep := seedSpillFiles(t, spillDir)
+
+	s := testServer(t, Config{Workers: 1, SpillDir: spillDir})
+	_ = s
+
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphaned spill file survived startup sweep: %s", p)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("startup sweep removed an unrelated file: %v", err)
+	}
+}
+
+// TestSpillSweepOnShutdown pins the second half: files leaked by a
+// cancelled or crashed job during the server's lifetime are removed
+// when the drained pool exits.
+func TestSpillSweepOnShutdown(t *testing.T) {
+	spillDir := filepath.Join(t.TempDir(), "spill")
+	s := testServer(t, Config{Workers: 1, SpillDir: spillDir})
+
+	// Run one real job so the sweep happens on a server that actually
+	// worked, then fake a leak after it finishes.
+	h := s.Handler()
+	st := submit(t, h, csvBody(addressCSV, ""))
+	if st = waitTerminal(t, h, st.ID); st.State != StateDone {
+		t.Fatalf("job state = %s, want done", st.State)
+	}
+	orphans, keep := seedSpillFiles(t, spillDir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx) // idempotent: the testServer cleanup's second call is a no-op
+
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("leaked spill file survived shutdown sweep: %s", p)
+		}
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("shutdown sweep removed an unrelated file: %v", err)
+	}
+}
+
+// TestSpillDirDefaultsUnderDataDir checks the config plumbing: with
+// only DataDir set, jobs spill under <DataDir>/spill, and the
+// directory exists after New.
+func TestSpillDirDefaultsUnderDataDir(t *testing.T) {
+	dataDir := t.TempDir()
+	s := testServer(t, Config{Workers: 1, DataDir: dataDir})
+	want := filepath.Join(dataDir, "spill")
+	if s.cfg.SpillDir != want {
+		t.Fatalf("SpillDir = %q, want %q", s.cfg.SpillDir, want)
+	}
+	if fi, err := os.Stat(want); err != nil || !fi.IsDir() {
+		t.Fatalf("default spill dir not created: %v", err)
+	}
+}

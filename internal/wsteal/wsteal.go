@@ -31,11 +31,34 @@ package wsteal
 
 import (
 	"context"
+	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"normalize/internal/guard"
 )
+
+// clampOnce gates the debug log line of the first clamped request so a
+// server processing thousands of jobs emits it once, not per job.
+var clampOnce sync.Once
+
+// ClampWorkers caps a requested worker count at runtime.NumCPU(). The
+// validation pools are CPU-bound, so workers beyond the physical cores
+// cannot add throughput and measurably cost it on small hosts (cache
+// pressure plus steal contention); every Options.Workers resolution
+// funnels through this clamp. Results are unaffected — verdicts commit
+// in index order at any worker count. New deliberately does not clamp:
+// the pool itself is policy-free and tests exercise oversubscription.
+func ClampWorkers(w int) int {
+	if max := runtime.NumCPU(); w > max {
+		clampOnce.Do(func() {
+			log.Printf("wsteal: clamping %d workers to %d (runtime.NumCPU)", w, max)
+		})
+		return max
+	}
+	return w
+}
 
 // Pool is a fixed-size set of persistent worker goroutines executing
 // Run batches with work stealing. A Pool is cheap enough to create per

@@ -60,6 +60,21 @@ const (
 	CounterSpillEvents = observe.CounterSpillEvents
 )
 
+// Counter names the budget-governed PLI store emits under the
+// discovery stage when a run has a memory ceiling: compressed resting
+// bytes put into the store, cold segments spilled to the transient
+// temp file, spilled entries decoded back from disk, dropped
+// single-column partitions rebuilt from columnar codes, and the
+// footprint the retained partitions would occupy fully decoded (what a
+// run without the store keeps resident).
+const (
+	CounterPLICompressedBytes = observe.CounterPLICompressedBytes
+	CounterPLISpillEvents     = observe.CounterPLISpillEvents
+	CounterPLIReloads         = observe.CounterPLIReloads
+	CounterPLIRecomputes      = observe.CounterPLIRecomputes
+	CounterPLIResidentBytes   = observe.CounterPLIResidentBytes
+)
+
 // Stages returns all pipeline stages in Figure-1 order.
 func Stages() []Stage {
 	return observe.Stages()

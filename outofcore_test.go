@@ -106,3 +106,92 @@ func TestOutOfCoreIngest(t *testing.T) {
 		t.Fatalf("DDL mismatch between in-memory and out-of-core runs:\n--- in-memory ---\n%s\n--- out-of-core ---\n%s", w, g)
 	}
 }
+
+// TestOutOfCoreDiscovery pins the tentpole of the compressed PLI
+// store: TPC-H discovery under a memory budget smaller than the
+// resident PLI footprint must complete exactly — spilling and
+// reloading cold partitions, never degrading (no max-lhs tightening,
+// no row sampling) — and emit DDL byte-identical to the unconstrained
+// run at every worker count. The lineitem relation is the PLI-heavy
+// shape the store exists for: thousands of rows over 16 attributes,
+// so partitions dominate the run's memory, not the FD cover.
+func TestOutOfCoreDiscovery(t *testing.T) {
+	// The window is hand-tuned like TestOutOfCoreIngest's: wide enough
+	// for the run's non-evictable state (FD cover, materialized
+	// decompositions, encoded substrate), narrow enough that the
+	// partitions cannot all stay resident alongside it — the store-wide
+	// resident PLI footprint is ~7.1 MB, measured by the
+	// pli_resident_bytes counter and asserted below.
+	const budgetBytes = 5 << 20
+
+	ds, err := GenerateTPCH(0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Original[7] // lineitem
+	rel.Columnarize()
+
+	want, err := Normalize(rel, Options{MaxLhs: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDDL := DDL(want.Tables)
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			var spills, recomputes, reloads, compressed, resident atomic.Int64
+			spillDir := t.TempDir()
+			got, err := NormalizeContext(context.Background(), rel, Options{
+				MaxLhs:   3,
+				Workers:  workers,
+				SpillDir: spillDir,
+				Budget:   Budget{MaxMemoryBytes: budgetBytes},
+				Observer: FuncObserver{
+					OnCounter: func(stage Stage, name string, delta int64) {
+						switch name {
+						case CounterPLISpillEvents:
+							spills.Add(delta)
+						case CounterPLIRecomputes:
+							recomputes.Add(delta)
+						case CounterPLIReloads:
+							reloads.Add(delta)
+						case CounterPLICompressedBytes:
+							compressed.Add(delta)
+						case CounterPLIResidentBytes:
+							resident.Add(delta)
+						}
+					},
+				},
+			})
+			if err != nil {
+				t.Fatalf("constrained discovery failed under a %d-byte budget: %v", budgetBytes, err)
+			}
+			if len(got.Degradations) != 0 {
+				t.Fatalf("constrained discovery degraded instead of spilling: %s", FormatDegradations(got.Degradations))
+			}
+			if r := resident.Load(); r <= budgetBytes {
+				t.Fatalf("resident PLI footprint %d ≤ budget %d: the test no longer exercises an out-of-core working set", r, budgetBytes)
+			}
+			if spills.Load() == 0 && recomputes.Load() == 0 {
+				t.Fatalf("neither spills nor recomputes under a %d-byte budget: the ceiling never bound the PLI working set (compressed %d bytes)",
+					budgetBytes, compressed.Load())
+			}
+			if compressed.Load() == 0 {
+				t.Fatal("pli_compressed_bytes = 0: the store was never engaged")
+			}
+			if g := DDL(got.Tables); g != wantDDL {
+				t.Fatalf("DDL mismatch between unconstrained and out-of-core discovery:\n--- unconstrained ---\n%s\n--- out-of-core ---\n%s", wantDDL, g)
+			}
+			// The spill file is transient: gone once the run completes.
+			ents, err := os.ReadDir(spillDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				t.Errorf("spill file left behind: %s", filepath.Join(spillDir, e.Name()))
+			}
+			t.Logf("budget %d: compressed=%dB resident=%dB spills=%d reloads=%d recomputes=%d",
+				budgetBytes, compressed.Load(), resident.Load(), spills.Load(), reloads.Load(), recomputes.Load())
+		})
+	}
+}
